@@ -1,0 +1,125 @@
+// Command mosh-bench regenerates the paper's evaluation (§4): every table
+// and figure, replayed in deterministic virtual time over the emulated
+// networks. Run it with no flags for the full set, or select one
+// experiment:
+//
+//	mosh-bench -exp fig2       # Figure 2: EV-DO keystroke latency CDF
+//	mosh-bench -exp fig3       # Figure 3: collection-interval sweep
+//	mosh-bench -exp lte        # Verizon LTE + concurrent download table
+//	mosh-bench -exp singapore  # MIT–Singapore wired path table
+//	mosh-bench -exp loss       # 29%-loss netem table (predictions off)
+//	mosh-bench -exp ablations  # design-choice ablations
+//
+// -keys N sets the keystrokes per user (default: the paper-scale 1664,
+// ≈10k total across six users).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/netem"
+	"repro/internal/overlay"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig2|fig3|lte|singapore|loss|ablations|all")
+	keys := flag.Int("keys", 1664, "keystrokes per user (6 users)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	cfg := bench.Config{KeystrokesPerUser: *keys, Seed: *seed}
+
+	run := func(name string, f func(bench.Config)) {
+		if *exp == "all" || *exp == name {
+			start := time.Now()
+			f(cfg)
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	run("fig2", func(c bench.Config) {
+		r := bench.Figure2(c)
+		fmt.Println(bench.FormatComparison(r))
+		fmt.Println(bench.FormatCDF(r))
+		fmt.Printf("paper: Mosh median 5 ms / mean 173 ms, SSH median 503 ms / mean 515 ms, ~70%% instant, 0.9%% repaired\n")
+	})
+	run("fig3", func(c bench.Config) {
+		pts := bench.Figure3(c)
+		fmt.Println(bench.FormatSweep(pts))
+		fmt.Printf("minimum at %v (paper: 8 ms)\n", bench.BestInterval(pts))
+	})
+	run("lte", func(c bench.Config) {
+		fmt.Println(bench.FormatComparison(bench.TableLTE(c)))
+		fmt.Printf("paper: SSH 5.36 s / 5.03 s / 2.14 s; Mosh <5 ms / 1.70 s / 2.60 s\n")
+	})
+	run("singapore", func(c bench.Config) {
+		fmt.Println(bench.FormatComparison(bench.TableSingapore(c)))
+		fmt.Printf("paper: SSH 273 ms / 272 ms / 9 ms; Mosh <5 ms / 86 ms / 132 ms\n")
+	})
+	run("loss", func(c bench.Config) {
+		fmt.Println(bench.FormatComparison(bench.TableLoss(c)))
+		fmt.Printf("paper: SSH 0.416 s / 16.8 s / 52.2 s; Mosh (no predictions) 0.222 s / 0.329 s / 1.63 s\n")
+	})
+	run("ablations", runAblations)
+}
+
+// runAblations sweeps the design choices DESIGN.md calls out.
+func runAblations(cfg bench.Config) {
+	small := cfg
+	if small.KeystrokesPerUser > 400 {
+		small.KeystrokesPerUser = 400
+	}
+	tr := trace.Generate(small.Seed+11, trace.SixProfiles()[4], small.KeystrokesPerUser)
+
+	fmt.Println("Ablation: prediction display policy (EV-DO)")
+	for _, p := range []struct {
+		name string
+		pref overlay.DisplayPreference
+	}{{"adaptive", overlay.Adaptive}, {"always", overlay.Always}, {"never", overlay.Never}} {
+		res := bench.RunMoshTrace(tr, netem.EVDO(), small.Seed, bench.MoshOptions{Predictions: p.pref})
+		fmt.Println(bench.TableRow("mosh/"+p.name, bench.Summarize(res.Samples)))
+	}
+	fmt.Println()
+
+	fmt.Println("Ablation: server-side echo ack timeout (EV-DO, adaptive)")
+	for _, d := range []time.Duration{time.Millisecond, 50 * time.Millisecond, 500 * time.Millisecond} {
+		res := bench.RunMoshTrace(tr, netem.EVDO(), small.Seed,
+			bench.MoshOptions{Predictions: overlay.Adaptive, EchoAckTimeout: d})
+		st := bench.Summarize(res.Samples)
+		fmt.Printf("%s   mispredictions=%d\n", bench.TableRow(fmt.Sprintf("echo-ack %v", d), st), res.Mispredicted)
+	}
+	fmt.Println()
+
+	fmt.Println("Ablation: SSP minimum RTO under 29% loss (predictions off)")
+	for _, rto := range []time.Duration{50 * time.Millisecond, time.Second} {
+		res := bench.RunMoshTrace(tr, netem.LossyNetem(), small.Seed,
+			bench.MoshOptions{Predictions: overlay.Never, MinRTO: rto, MaxRTO: 4 * rto})
+		fmt.Println(bench.TableRow(fmt.Sprintf("min-rto %v", rto), bench.Summarize(res.Samples)))
+	}
+	fmt.Println()
+
+	fmt.Println("Ablation: frame-rate cap during a 10s terminal flood (LAN-fast path)")
+	for _, min := range []time.Duration{20 * time.Millisecond, time.Millisecond} {
+		timing := transport.DefaultTiming()
+		timing.SendIntervalMin = min
+		res := bench.RunFlood(10*time.Second, &timing, small.Seed)
+		fmt.Printf("%-24s frames: %5d   wire packets: %5d   converged: %v\n",
+			fmt.Sprintf("frame cap %v", min), res.Frames, res.WirePackets, res.Converged)
+	}
+	fmt.Println()
+
+	fmt.Println("Ablation: delayed-ack interval (EV-DO, packets sent)")
+	for _, d := range []time.Duration{time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond} {
+		timing := transport.DefaultTiming()
+		timing.AckDelay = d
+		res := bench.RunMoshTrace(tr, netem.EVDO(), small.Seed,
+			bench.MoshOptions{Predictions: overlay.Adaptive, Timing: &timing})
+		fmt.Printf("%-24s wire packets: %d\n", fmt.Sprintf("ack delay %v", d), res.WirePackets)
+	}
+}

@@ -1,0 +1,138 @@
+// Command mosh-client is the client side of a real (UDP) Mosh session:
+// it reads keystrokes from stdin, runs them through the speculative-echo
+// engine, and paints the synchronized remote screen to stdout using the
+// same minimal-diff renderer the protocol uses on the wire.
+//
+// Usage (after starting mosh-server):
+//
+//	mosh-client -to 127.0.0.1:60001 -key <key printed by the server>
+//
+// stdin is consumed unbuffered when the terminal allows it; under a
+// line-buffered terminal, whole lines are sent at once (the protocol and
+// prediction layers behave identically either way).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/overlay"
+	"repro/internal/simclock"
+	"repro/internal/sspcrypto"
+	"repro/internal/terminal"
+)
+
+func main() {
+	to := flag.String("to", "127.0.0.1:60001", "server host:port")
+	keyStr := flag.String("key", "", "session key printed by mosh-server")
+	predict := flag.String("predict", "adaptive", "speculative echo: adaptive|always|never")
+	flag.Parse()
+
+	if *keyStr == "" {
+		log.Fatal("missing -key (printed by mosh-server)")
+	}
+	key, err := sspcrypto.KeyFromBase64(*keyStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raddr, err := net.ResolveUDPAddr("udp", *to)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pref := overlay.Adaptive
+	switch *predict {
+	case "always":
+		pref = overlay.Always
+	case "never":
+		pref = overlay.Never
+	}
+
+	var (
+		mu     sync.Mutex
+		client *core.Client
+		shown  *terminal.Framebuffer
+	)
+	client, err = core.NewClient(core.ClientConfig{
+		Key:         key,
+		Clock:       simclock.Real{},
+		Predictions: pref,
+		Emit: func(wire []byte) {
+			conn.Write(wire)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	repaint := func() {
+		d := client.Display()
+		if shown == nil {
+			os.Stdout.Write(terminal.NewFrame(false, nil, d))
+		} else if !shown.Equal(d) {
+			os.Stdout.Write(terminal.NewFrame(true, shown, d))
+		} else {
+			return
+		}
+		shown = d
+	}
+
+	// Network receive loop.
+	go func() {
+		buf := make([]byte, 2048)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "read:", err)
+				return
+			}
+			mu.Lock()
+			client.Receive(append([]byte(nil), buf[:n]...), netem.Addr{})
+			repaint()
+			mu.Unlock()
+		}
+	}()
+
+	// Timer loop.
+	go func() {
+		for {
+			mu.Lock()
+			client.Tick()
+			wait := client.WaitTime()
+			repaint()
+			mu.Unlock()
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+			time.Sleep(wait)
+		}
+	}()
+
+	// Keyboard loop: bytes from stdin become user events.
+	in := bufio.NewReader(os.Stdin)
+	for {
+		b, err := in.ReadByte()
+		if err != nil {
+			return
+		}
+		if b == '\n' {
+			b = '\r' // terminals send CR for the return key
+		}
+		mu.Lock()
+		client.UserBytes([]byte{b})
+		repaint()
+		mu.Unlock()
+	}
+}

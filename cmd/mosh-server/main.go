@@ -1,0 +1,131 @@
+// Command mosh-server is the server side of a real (UDP) Mosh session. It
+// binds a high UDP port, prints the session key for out-of-band bootstrap
+// (MOSH CONNECT port key — the paper's SSH-launched script would carry
+// this to the client), and serves a built-in demo shell. A production
+// deployment would attach a pty instead of the demo application; the
+// session, terminal and protocol layers are identical.
+//
+// Usage:
+//
+//	mosh-server [-port 60001] [-demo shell|editor|mail]
+//
+// Then run: mosh-client -to <host>:<port> -key <key>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/netem"
+	"repro/internal/simclock"
+	"repro/internal/sspcrypto"
+)
+
+func main() {
+	port := flag.Int("port", 60001, "UDP port to listen on")
+	demo := flag.String("demo", "shell", "demo application: shell|editor|mail")
+	flag.Parse()
+
+	key, err := sspcrypto.NewRandomKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{Port: *port})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MOSH CONNECT %d %s\n", *port, key.Base64())
+
+	var app host.App
+	switch *demo {
+	case "editor":
+		app = host.NewEditor(time.Now().UnixNano(), 80)
+	case "mail":
+		app = host.NewMailReader(time.Now().UnixNano())
+	default:
+		app = host.NewShell(time.Now().UnixNano())
+	}
+
+	var (
+		mu         sync.Mutex
+		server     *core.Server
+		clientAddr *net.UDPAddr
+	)
+
+	server, err = core.NewServer(core.ServerConfig{
+		Key:   key,
+		Clock: simclock.Real{},
+		Emit: func(wire []byte) {
+			if clientAddr != nil {
+				conn.WriteToUDP(wire, clientAddr)
+			}
+		},
+		HostInput: func(data []byte) {
+			out, delay := app.Input(data)
+			if len(out) > 0 {
+				go func() {
+					time.Sleep(delay)
+					mu.Lock()
+					server.HostOutput(out)
+					mu.Unlock()
+				}()
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mu.Lock()
+	server.HostOutput(app.Start())
+	mu.Unlock()
+
+	// Timer-driven ticks.
+	go func() {
+		for {
+			mu.Lock()
+			server.Tick()
+			wait := server.WaitTime()
+			mu.Unlock()
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+			time.Sleep(wait)
+		}
+	}()
+
+	buf := make([]byte, 2048)
+	for {
+		n, src, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "read:", err)
+			continue
+		}
+		wire := append([]byte(nil), buf[:n]...)
+		mu.Lock()
+		// The datagram layer owns roaming; we mirror its reply target to
+		// a real socket address.
+		if err := server.Receive(wire, udpToAddr(src)); err == nil {
+			clientAddr = src
+		}
+		mu.Unlock()
+	}
+}
+
+// udpToAddr compresses a UDP source into the emulated-address form the
+// datagram layer tracks roaming with.
+func udpToAddr(a *net.UDPAddr) netem.Addr {
+	ip := a.IP.To4()
+	var host uint32
+	if ip != nil {
+		host = uint32(ip[0])<<24 | uint32(ip[1])<<16 | uint32(ip[2])<<8 | uint32(ip[3])
+	}
+	return netem.Addr{Host: host, Port: uint16(a.Port)}
+}

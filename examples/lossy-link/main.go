@@ -1,0 +1,47 @@
+// Lossy link: SSP versus TCP at 50% round-trip packet loss — the paper's
+// netem experiment (§4), live. TCP (carrying an SSH-style byte stream)
+// stalls in loss-induced exponential backoff; SSP's datagrams are
+// idempotent state diffs, so it just keeps sending the newest state and
+// converges as soon as any datagram gets through.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/netem"
+	"repro/internal/overlay"
+	"repro/internal/trace"
+)
+
+func main() {
+	fmt.Println("replaying the same 200-keystroke session over a 100ms-RTT path")
+	fmt.Println("with 29% packet loss in each direction (≈50% round-trip loss):")
+	fmt.Println()
+
+	tr := trace.Generate(77, trace.SixProfiles()[0], 200)
+	params := netem.LossyNetem()
+
+	ssh := bench.RunSSHTrace(tr, params, 7, bench.SSHOptions{})
+	sshStats := bench.Summarize(ssh)
+
+	mosh := bench.RunMoshTrace(tr, params, 7, bench.MoshOptions{Predictions: overlay.Never})
+	moshStats := bench.Summarize(mosh.Samples)
+
+	fmt.Println(bench.TableHeader("keystroke response time (predictions disabled, pure SSP vs TCP)"))
+	fmt.Println(bench.TableRow("SSH (TCP)", sshStats))
+	fmt.Println(bench.TableRow("Mosh (SSP)", moshStats))
+	fmt.Println()
+
+	fmt.Printf("TCP's worst keystroke waited %v; SSP's worst %v\n",
+		bench.Percentile(ssh, 100).Round(10*time.Millisecond),
+		bench.Percentile(mosh.Samples, 100).Round(10*time.Millisecond))
+	fmt.Println()
+	fmt.Println("paper's result for this experiment:")
+	fmt.Println("  SSH    median 0.416 s   mean 16.8 s   σ 52.2 s")
+	fmt.Println("  Mosh   median 0.222 s   mean 0.329 s  σ 1.63 s")
+	fmt.Println()
+	fmt.Println("the shape to check: TCP's mean and σ explode (rare multi-minute")
+	fmt.Println("backoff stalls); SSP's distribution stays tight and bounded.")
+}

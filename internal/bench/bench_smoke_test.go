@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/overlay"
+	"repro/internal/trace"
+)
+
+func smallTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	return trace.Generate(42, trace.SixProfiles()[0], 120)
+}
+
+func TestRunMoshTraceProducesSamples(t *testing.T) {
+	tr := smallTrace(t)
+	res := RunMoshTrace(tr, netem.EVDO(), 1, MoshOptions{Predictions: overlay.Adaptive})
+	if len(res.Samples) < len(tr.Steps)/2 {
+		t.Fatalf("only %d samples from %d steps", len(res.Samples), len(tr.Steps))
+	}
+	st := Summarize(res.Samples)
+	if st.Median <= 0 && st.FracInstant == 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	t.Logf("mosh EV-DO: median=%v mean=%v instant=%.0f%% predicted=%.0f%%",
+		st.Median, st.Mean, st.FracInstant*100, st.FracPredicted*100)
+}
+
+func TestRunSSHTraceProducesSamples(t *testing.T) {
+	tr := smallTrace(t)
+	samples := RunSSHTrace(tr, netem.EVDO(), 1, SSHOptions{})
+	if len(samples) < len(tr.Steps)/2 {
+		t.Fatalf("only %d samples from %d steps", len(samples), len(tr.Steps))
+	}
+	st := Summarize(samples)
+	// EV-DO RTT ≈ 500 ms: SSH's median must sit near it.
+	if st.Median < 300*time.Millisecond || st.Median > 1200*time.Millisecond {
+		t.Fatalf("SSH median on EV-DO = %v, want ≈0.5s", st.Median)
+	}
+	t.Logf("ssh EV-DO: median=%v mean=%v", st.Median, st.Mean)
+}
+
+func TestFigure2Shape(t *testing.T) {
+	// The paper's headline: Mosh median < 5 ms (instant), SSH median ≈
+	// path RTT (503 ms), ~70% of keystrokes instant.
+	c := runComparison("fig2-small", Config{KeystrokesPerUser: 120, Seed: 1},
+		netem.EVDO(), MoshOptions{Predictions: overlay.Adaptive}, SSHOptions{})
+	if c.Mosh.Stats.Median >= 50*time.Millisecond {
+		t.Fatalf("Mosh median = %v, want near-instant", c.Mosh.Stats.Median)
+	}
+	if c.SSH.Stats.Median < 300*time.Millisecond {
+		t.Fatalf("SSH median = %v, want ≈RTT", c.SSH.Stats.Median)
+	}
+	if c.Mosh.Stats.FracInstant < 0.45 || c.Mosh.Stats.FracInstant > 0.95 {
+		t.Fatalf("Mosh instant fraction = %.2f, want ≈0.70", c.Mosh.Stats.FracInstant)
+	}
+	if c.SSH.Stats.FracInstant > 0.05 {
+		t.Fatalf("SSH instant fraction = %.2f, should be ~0", c.SSH.Stats.FracInstant)
+	}
+	t.Logf("%s", FormatComparison(c))
+}
+
+func TestTableLossShape(t *testing.T) {
+	// SSP without predictions must beat TCP's RTO tail: bounded mean and
+	// σ vs SSH's loss-induced multi-second stalls.
+	c := runComparison("loss-small", Config{KeystrokesPerUser: 100, Seed: 2},
+		netem.LossyNetem(), MoshOptions{Predictions: overlay.Never}, SSHOptions{})
+	if c.Mosh.Stats.Mean > 2*time.Second {
+		t.Fatalf("Mosh mean under loss = %v, should stay bounded", c.Mosh.Stats.Mean)
+	}
+	if c.SSH.Stats.Mean < c.Mosh.Stats.Mean*2 {
+		t.Fatalf("SSH mean %v vs Mosh %v: TCP should be far worse under 50%% loss",
+			c.SSH.Stats.Mean, c.Mosh.Stats.Mean)
+	}
+	if c.SSH.Stats.Stddev < c.SSH.Stats.Mean {
+		t.Fatalf("SSH σ=%v < mean=%v; expected heavy tail", c.SSH.Stats.Stddev, c.SSH.Stats.Mean)
+	}
+	t.Logf("%s", FormatComparison(c))
+}
+
+func TestFigure3ShapeSmall(t *testing.T) {
+	traces := []*trace.Trace{trace.Generate(7, trace.SixProfiles()[0], 200)}
+	intervals := []time.Duration{
+		100 * time.Microsecond, 2 * time.Millisecond, 8 * time.Millisecond,
+		32 * time.Millisecond, 100 * time.Millisecond,
+	}
+	pts := CollectionSweep(traces, intervals)
+	if len(pts) != len(intervals) {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Writes == 0 {
+			t.Fatalf("no writes measured at %v", p.Interval)
+		}
+		t.Logf("C=%-10v meanDelay=%v writes=%d", p.Interval, p.MeanDelay, p.Writes)
+	}
+	best := BestInterval(pts)
+	// The minimum should be in the single-digit-millisecond region, not
+	// at the extremes.
+	if best < time.Millisecond || best > 50*time.Millisecond {
+		t.Fatalf("best interval = %v, expected near the paper's 8 ms", best)
+	}
+}
+
+func TestStatsFunctions(t *testing.T) {
+	samples := []Sample{
+		{Latency: 1 * time.Millisecond},
+		{Latency: 2 * time.Millisecond, Predicted: true},
+		{Latency: 100 * time.Millisecond},
+		{Latency: 200 * time.Millisecond},
+		{Latency: 300 * time.Millisecond},
+	}
+	st := Summarize(samples)
+	if st.N != 5 || st.Median != 100*time.Millisecond {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.FracInstant != 0.4 || st.FracPredicted != 0.2 {
+		t.Fatalf("fractions = %+v", st)
+	}
+	cdf := CDF(samples, []time.Duration{5 * time.Millisecond, time.Second})
+	if cdf[0] != 0.4 || cdf[1] != 1.0 {
+		t.Fatalf("cdf = %v", cdf)
+	}
+	if p := Percentile(samples, 100); p != 300*time.Millisecond {
+		t.Fatalf("p100 = %v", p)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summarize")
+	}
+}

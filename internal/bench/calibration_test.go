@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/overlay"
+	"repro/internal/simclock"
+	"repro/internal/sspcrypto"
+)
+
+// TestLongTypingRunMostlyInstant traces why long typing runs do or don't display
+// instantly on a 500ms-RTT path.
+func TestLongTypingRunMostlyInstant(t *testing.T) {
+	sched := simclock.NewScheduler(benchEpoch)
+	nw := netem.NewNetwork(sched)
+	path := netem.NewPath(nw, netem.EVDO(), 3)
+	key := sspcrypto.Key{1}
+	clientAddr := netem.Addr{Host: 1, Port: 1}
+	serverAddr := netem.Addr{Host: 2, Port: 2}
+
+	var server *core.Server
+	var client *core.Client
+	var wakeServer func()
+	server, _ = core.NewServer(core.ServerConfig{
+		Key: key, Clock: sched,
+		Emit: func(w []byte) {
+			if dst, ok := server.Transport().Connection().RemoteAddr(); ok {
+				path.Down.Send(netem.Packet{Src: serverAddr, Dst: dst, Payload: w})
+			}
+		},
+		HostInput: func(data []byte) {
+			out := make([]byte, 0)
+			for _, b := range data {
+				if b >= 0x20 && b < 0x7f {
+					out = append(out, b)
+				}
+			}
+			if len(out) > 0 {
+				sched.After(3*time.Millisecond, func() {
+					server.HostOutput(out)
+					wakeServer()
+				})
+			}
+		},
+	})
+	client, _ = core.NewClient(core.ClientConfig{
+		Key: key, Clock: sched, Predictions: overlay.Adaptive,
+		Emit: func(w []byte) {
+			path.Up.Send(netem.Packet{Src: clientAddr, Dst: serverAddr, Payload: w})
+		},
+	})
+	nw.Attach(serverAddr, func(p netem.Packet) { server.Receive(p.Payload, p.Src) })
+	nw.Attach(clientAddr, func(p netem.Packet) { client.Receive(p.Payload, p.Src) })
+	wakeClient := core.Pump(sched, client)
+	wakeServer = core.Pump(sched, server)
+	sched.RunFor(3 * time.Second)
+
+	// A 40-keystroke typing run at 150ms spacing.
+	type ev struct {
+		seq uint64
+		at  time.Time
+	}
+	var evs []ev
+	for i := 0; i < 40; i++ {
+		r := rune('a' + i%26)
+		seq := client.TypeRune(r)
+		evs = append(evs, ev{seq: seq, at: sched.Now()})
+		wakeClient()
+		sched.RunFor(150 * time.Millisecond)
+	}
+	sched.RunFor(5 * time.Second)
+
+	instant, confirmed := 0, 0
+	for i, e := range evs {
+		rec, ok := client.Predictions().TakeInputRecord(e.seq)
+		if !ok {
+			t.Logf("key %d: no record", i)
+			continue
+		}
+		lat := time.Duration(-1)
+		if rec.Displayed {
+			lat = rec.DisplayedAt.Sub(e.at)
+		}
+		if rec.Outcome == overlay.OutcomeCorrect {
+			confirmed++
+		}
+		if rec.Displayed && lat < 5*time.Millisecond {
+			instant++
+		}
+		if i < 12 || lat >= 5*time.Millisecond {
+			t.Logf("key %2d: epoch=%d displayed=%v lat=%v outcome=%v", i, rec.Epoch, rec.Displayed, lat, rec.Outcome)
+		}
+	}
+	t.Logf("stats: %+v", client.Predictions().Stats())
+	t.Logf("instant=%d/40 confirmed=%d/40", instant, confirmed)
+	if instant < 30 {
+		t.Fatalf("long run should be mostly instant; got %d/40", instant)
+	}
+}

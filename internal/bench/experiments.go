@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/overlay"
+	"repro/internal/trace"
+)
+
+// Config sizes an experiment run. The full paper-scale workload is six
+// users at ~1664 keystrokes each; tests use smaller values.
+type Config struct {
+	// KeystrokesPerUser sizes each of the six traces (0 = paper scale).
+	KeystrokesPerUser int
+	// Seed makes the whole experiment reproducible.
+	Seed int64
+}
+
+func (c Config) traces() []*trace.Trace {
+	n := c.KeystrokesPerUser
+	if n == 0 {
+		n = 1664
+	}
+	profiles := trace.SixProfiles()
+	traces := make([]*trace.Trace, len(profiles))
+	for i, p := range profiles {
+		traces[i] = trace.Generate(c.Seed+int64(i)*1000+1, p, n)
+	}
+	return traces
+}
+
+// ArmResult is one arm (Mosh or SSH) of a comparison.
+type ArmResult struct {
+	Name    string
+	Stats   Stats
+	Samples []Sample
+}
+
+// Comparison is a two-arm experiment result.
+type Comparison struct {
+	Title string
+	SSH   ArmResult
+	Mosh  ArmResult
+	// Mispredicted is the fraction of Mosh keystrokes whose displayed
+	// prediction proved wrong (paper: 0.9% on EV-DO).
+	Mispredicted float64
+}
+
+// runComparison replays all traces through both arms on the same path.
+func runComparison(title string, cfg Config, params netem.LinkParams,
+	moshOpt MoshOptions, sshOpt SSHOptions) Comparison {
+	traces := cfg.traces()
+	var moshSamples, sshSamples []Sample
+	mispred, inputs := 0, 0
+	for i, tr := range traces {
+		mr := RunMoshTrace(tr, params, cfg.Seed+int64(i)*7+1, moshOpt)
+		moshSamples = append(moshSamples, mr.Samples...)
+		mispred += mr.Mispredicted
+		inputs += len(tr.Steps)
+		sshSamples = append(sshSamples, RunSSHTrace(tr, params, cfg.Seed+int64(i)*7+1, sshOpt)...)
+	}
+	c := Comparison{
+		Title: title,
+		SSH:   ArmResult{Name: "SSH", Stats: Summarize(sshSamples), Samples: sshSamples},
+		Mosh:  ArmResult{Name: "Mosh", Stats: Summarize(moshSamples), Samples: moshSamples},
+	}
+	if inputs > 0 {
+		c.Mispredicted = float64(mispred) / float64(inputs)
+	}
+	return c
+}
+
+// Figure2 regenerates the headline experiment: keystroke response-time
+// distribution for Mosh vs SSH over the Sprint EV-DO (3G) model.
+func Figure2(cfg Config) Comparison {
+	return runComparison("Figure 2: keystroke response time, Sprint EV-DO (3G)",
+		cfg, netem.EVDO(),
+		MoshOptions{Predictions: overlay.Adaptive}, SSHOptions{})
+}
+
+// TableLTE regenerates the Verizon LTE experiment: one concurrent TCP
+// download fills the bottleneck buffer.
+func TableLTE(cfg Config) Comparison {
+	return runComparison("Verizon LTE with one concurrent TCP download",
+		cfg, netem.LTE(),
+		MoshOptions{Predictions: overlay.Adaptive, BulkDownload: true},
+		SSHOptions{BulkDownload: true})
+}
+
+// TableSingapore regenerates the MIT→Singapore wired-path experiment.
+func TableSingapore(cfg Config) Comparison {
+	return runComparison("MIT–Singapore Internet path (Amazon EC2)",
+		cfg, netem.Transoceanic(),
+		MoshOptions{Predictions: overlay.Adaptive}, SSHOptions{})
+}
+
+// TableLoss regenerates the packet-loss experiment: 100 ms RTT, 29% i.i.d.
+// loss each direction, Mosh predictions disabled to isolate SSP.
+func TableLoss(cfg Config) Comparison {
+	return runComparison("netem router: 100 ms RTT, 29% loss each way (predictions off)",
+		cfg, netem.LossyNetem(),
+		MoshOptions{Predictions: overlay.Never}, SSHOptions{})
+}
+
+// Figure3 regenerates the collection-interval sweep.
+func Figure3(cfg Config) []SweepPoint {
+	return CollectionSweep(cfg.traces(), Figure3Intervals())
+}
+
+// FormatComparison renders a comparison as a paper-style table.
+func FormatComparison(c Comparison) string {
+	var b strings.Builder
+	b.WriteString(TableHeader(c.Title))
+	b.WriteString("\n")
+	b.WriteString(TableRow(c.SSH.Name, c.SSH.Stats))
+	b.WriteString("\n")
+	b.WriteString(TableRow(c.Mosh.Name, c.Mosh.Stats))
+	b.WriteString("\n")
+	if c.Mispredicted > 0 {
+		fmt.Fprintf(&b, "mosh mispredictions repaired: %.1f%% of keystrokes\n", c.Mispredicted*100)
+	}
+	return b.String()
+}
+
+// FormatCDF renders Figure 2's cumulative distributions as text.
+func FormatCDF(c Comparison) string {
+	thresholds := []time.Duration{
+		time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond,
+		25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
+		200 * time.Millisecond, 300 * time.Millisecond, 400 * time.Millisecond,
+		500 * time.Millisecond, 700 * time.Millisecond, time.Second,
+		2 * time.Second, 5 * time.Second,
+	}
+	mosh := CDF(c.Mosh.Samples, thresholds)
+	ssh := CDF(c.SSH.Samples, thresholds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s\n", "latency <=", "Mosh", "SSH")
+	for i, th := range thresholds {
+		fmt.Fprintf(&b, "%-12s %7.1f%% %7.1f%%\n", th, mosh[i]*100, ssh[i]*100)
+	}
+	return b.String()
+}
+
+// FormatSweep renders Figure 3 as text.
+func FormatSweep(pts []SweepPoint) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: mean protocol-induced delay vs collection interval (frame interval 250 ms)\n")
+	fmt.Fprintf(&b, "%-14s %12s %8s\n", "interval", "mean delay", "writes")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-14s %12s %8d\n", p.Interval, p.MeanDelay.Round(100*time.Microsecond), p.Writes)
+	}
+	return b.String()
+}
+
+// BestInterval returns the sweep's minimum-delay collection interval.
+func BestInterval(pts []SweepPoint) time.Duration {
+	if len(pts) == 0 {
+		return 0
+	}
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.MeanDelay < best.MeanDelay {
+			best = p
+		}
+	}
+	return best.Interval
+}

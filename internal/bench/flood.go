@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/simclock"
+	"repro/internal/sspcrypto"
+	"repro/internal/transport"
+)
+
+// FloodResult reports how a Mosh session behaved while the host flooded
+// the terminal with output (the runaway-process scenario of §1/§2.3).
+type FloodResult struct {
+	// Frames is the number of screen-state instructions the server sent.
+	Frames int
+	// WirePackets counts all server datagrams.
+	WirePackets int
+	// Converged reports whether the client's screen matched the server's
+	// at the end.
+	Converged bool
+}
+
+// RunFlood floods the server terminal with output for the given duration
+// over a fast path and reports how much traffic SSP generated. With the
+// paper's 50 Hz frame cap the traffic stays bounded no matter how fast
+// the host writes; the ablation removes the cap.
+func RunFlood(d time.Duration, timing *transport.Timing, seed int64) FloodResult {
+	sched := simclock.NewScheduler(benchEpoch)
+	nw := netem.NewNetwork(sched)
+	path := netem.NewPath(nw, netem.LinkParams{Delay: 2 * time.Millisecond}, seed)
+	clientAddr := netem.Addr{Host: 1, Port: 1001}
+	serverAddr := netem.Addr{Host: 2, Port: 60001}
+	key := sspcrypto.Key{byte(seed), 0x0f}
+
+	var server *core.Server
+	var client *core.Client
+	packets := 0
+	server, _ = core.NewServer(core.ServerConfig{
+		Key: key, Clock: sched, Timing: timing,
+		Emit: func(w []byte) {
+			packets++
+			if dst, ok := server.Transport().Connection().RemoteAddr(); ok {
+				path.Down.Send(netem.Packet{Src: serverAddr, Dst: dst, Payload: w})
+			}
+		},
+	})
+	client, _ = core.NewClient(core.ClientConfig{
+		Key: key, Clock: sched, Timing: timing,
+		Emit: func(w []byte) {
+			path.Up.Send(netem.Packet{Src: clientAddr, Dst: serverAddr, Payload: w})
+		},
+	})
+	wakeClient := core.Pump(sched, client)
+	wakeServer := core.Pump(sched, server)
+	nw.Attach(serverAddr, func(p netem.Packet) { server.Receive(p.Payload, p.Src); wakeServer() })
+	nw.Attach(clientAddr, func(p netem.Packet) { client.Receive(p.Payload, p.Src); wakeClient() })
+	sched.RunFor(time.Second)
+
+	stop := sched.Now().Add(d)
+	counter := 0
+	var flood func()
+	flood = func() {
+		if sched.Now().After(stop) {
+			return
+		}
+		var b strings.Builder
+		for i := 0; i < 5; i++ {
+			counter++
+			fmt.Fprintf(&b, "runaway process output line %08d!\r\n", counter)
+		}
+		server.HostOutput([]byte(b.String()))
+		wakeServer()
+		sched.After(2*time.Millisecond, flood)
+	}
+	sched.After(0, flood)
+	sched.RunFor(d + 5*time.Second)
+
+	return FloodResult{
+		Frames:      server.Transport().Sender().Stats().Instructions,
+		WirePackets: packets,
+		Converged:   client.ServerState().Equal(server.Terminal().Framebuffer()),
+	}
+}

@@ -1,0 +1,132 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure in the paper's evaluation (§4). It replays the synthetic
+// keystroke traces over emulated networks in deterministic virtual time,
+// measures per-keystroke user-interface response latency for both Mosh and
+// the SSH baseline, and formats results the way the paper reports them.
+//
+// Experiment index (see DESIGN.md):
+//
+//	Figure 2   — keystroke latency CDF, Mosh vs SSH, EV-DO (3G)
+//	Figure 3   — protocol-induced delay vs collection interval
+//	Table LTE  — Verizon LTE with a concurrent TCP download
+//	Table Sing — MIT→Singapore wired path
+//	Table Loss — 100 ms RTT with 29% loss/direction, predictions off
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Sample is one measured keystroke response.
+type Sample struct {
+	Kind      trace.Kind
+	Latency   time.Duration
+	Predicted bool // displayed via speculative local echo
+}
+
+// Stats summarizes a latency distribution the way the paper's tables do.
+type Stats struct {
+	N             int
+	Median        time.Duration
+	Mean          time.Duration
+	Stddev        time.Duration
+	FracInstant   float64 // fraction displayed within 5 ms ("instant")
+	FracPredicted float64
+}
+
+// Summarize computes distribution statistics.
+func Summarize(samples []Sample) Stats {
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	lat := make([]time.Duration, len(samples))
+	instant, predicted := 0, 0
+	var sum float64
+	for i, s := range samples {
+		lat[i] = s.Latency
+		sum += float64(s.Latency)
+		if s.Latency < 5*time.Millisecond {
+			instant++
+		}
+		if s.Predicted {
+			predicted++
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	mean := sum / float64(len(lat))
+	var varsum float64
+	for _, l := range lat {
+		d := float64(l) - mean
+		varsum += d * d
+	}
+	return Stats{
+		N:             len(lat),
+		Median:        lat[len(lat)/2],
+		Mean:          time.Duration(mean),
+		Stddev:        time.Duration(math.Sqrt(varsum / float64(len(lat)))),
+		FracInstant:   float64(instant) / float64(len(lat)),
+		FracPredicted: float64(predicted) / float64(len(lat)),
+	}
+}
+
+// CDF returns the cumulative fraction of samples at or below each
+// threshold.
+func CDF(samples []Sample, thresholds []time.Duration) []float64 {
+	out := make([]float64, len(thresholds))
+	if len(samples) == 0 {
+		return out
+	}
+	for i, th := range thresholds {
+		n := 0
+		for _, s := range samples {
+			if s.Latency <= th {
+				n++
+			}
+		}
+		out[i] = float64(n) / float64(len(samples))
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile latency (0..100).
+func Percentile(samples []Sample, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	lat := make([]time.Duration, len(samples))
+	for i, s := range samples {
+		lat[i] = s.Latency
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := int(p / 100 * float64(len(lat)-1))
+	return lat[idx]
+}
+
+// fmtDur renders a latency like the paper ("<0.005 s" for instant).
+func fmtDur(d time.Duration) string {
+	if d < 5*time.Millisecond {
+		return "< 5 ms"
+	}
+	if d < time.Second {
+		return fmt.Sprintf("%d ms", d.Milliseconds())
+	}
+	return fmt.Sprintf("%.2f s", d.Seconds())
+}
+
+// TableRow formats one arm of a latency table.
+func TableRow(name string, st Stats) string {
+	return fmt.Sprintf("%-24s %10s %10s %10s   (n=%d, instant=%.0f%%)",
+		name, fmtDur(st.Median), fmtDur(st.Mean), fmtDur(st.Stddev), st.N, st.FracInstant*100)
+}
+
+// TableHeader is the column header matching TableRow.
+func TableHeader(title string) string {
+	return fmt.Sprintf("%s\n%-24s %10s %10s %10s\n%s",
+		title, "", "median", "mean", "σ", strings.Repeat("-", 70))
+}

@@ -1,0 +1,365 @@
+// Package core assembles the Mosh session endpoints from the layers below:
+// SSP (internal/network + internal/transport) synchronizing the two state
+// objects (internal/statesync), the server-side terminal emulator
+// (internal/terminal), and the client-side prediction engine
+// (internal/overlay).
+//
+// Both endpoints are IO-free, single-threaded state machines with the same
+// driving contract as the transport layer: call Receive when a datagram
+// arrives, call Tick after local activity or when WaitTime elapses. The
+// benchmark harness drives them in virtual time over internal/netem; the
+// cmd/mosh-server and cmd/mosh-client binaries drive them from goroutines
+// over real UDP sockets.
+package core
+
+import (
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/overlay"
+	"repro/internal/simclock"
+	"repro/internal/sspcrypto"
+	"repro/internal/statesync"
+	"repro/internal/terminal"
+	"repro/internal/transport"
+)
+
+// DefaultEchoAckTimeout is the paper's server-side echo timeout: a
+// keystroke is "echo-acknowledged" once it has been presented to the host
+// application for 50 ms, chosen to contain the vast majority of legitimate
+// application echoes while still detecting mistaken predictions fast
+// (§3.2).
+const DefaultEchoAckTimeout = 50 * time.Millisecond
+
+// ServerConfig parameterizes a Server.
+type ServerConfig struct {
+	// Key is the pre-shared session key (printed by the bootstrap).
+	Key sspcrypto.Key
+	// Clock drives all timing.
+	Clock simclock.Clock
+	// Width, Height size the initial terminal.
+	Width, Height int
+	// Timing overrides SSP transport timing (nil = paper defaults).
+	Timing *transport.Timing
+	// MinRTO/MaxRTO pass through to the datagram layer.
+	MinRTO, MaxRTO time.Duration
+	// EchoAckTimeout overrides the 50 ms echo timeout (0 = default).
+	// The ablation benches sweep it.
+	EchoAckTimeout time.Duration
+	// Emit transmits one sealed datagram toward the client.
+	Emit func(wire []byte)
+	// HostInput delivers decoded user keystrokes to the host application
+	// (a pty in production, a scripted application model in benches).
+	HostInput func(data []byte)
+	// OnResize reports window-size changes (to forward to the pty).
+	OnResize func(w, h int)
+}
+
+type echoEntry struct {
+	num uint64
+	at  time.Time
+}
+
+// Server is the Mosh server endpoint: it owns the authoritative terminal,
+// applies user input arriving via SSP, and synchronizes the screen state
+// back to the client.
+type Server struct {
+	cfg ServerConfig
+	tr  *transport.Transport[*statesync.Complete, *statesync.UserStream]
+
+	processedEvents uint64
+	echoQueue       []echoEntry
+	pendingEchoAck  uint64
+	haveEchoUpdate  bool
+}
+
+// NewServer builds a server endpoint.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.EchoAckTimeout == 0 {
+		cfg.EchoAckTimeout = DefaultEchoAckTimeout
+	}
+	if cfg.Width == 0 {
+		cfg.Width = 80
+	}
+	if cfg.Height == 0 {
+		cfg.Height = 24
+	}
+	tr, err := transport.New(transport.Config[*statesync.Complete, *statesync.UserStream]{
+		Direction:     sspcrypto.ToClient,
+		Key:           cfg.Key,
+		Clock:         cfg.Clock,
+		Timing:        cfg.Timing,
+		MinRTO:        cfg.MinRTO,
+		MaxRTO:        cfg.MaxRTO,
+		LocalInitial:  statesync.NewComplete(cfg.Width, cfg.Height),
+		RemoteInitial: statesync.NewUserStream(),
+		Emit:          cfg.Emit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, tr: tr}, nil
+}
+
+// Transport exposes the SSP endpoint (stats, RTT, roaming target).
+func (s *Server) Transport() *transport.Transport[*statesync.Complete, *statesync.UserStream] {
+	return s.tr
+}
+
+// Terminal exposes the authoritative terminal state.
+func (s *Server) Terminal() *terminal.Emulator {
+	return s.tr.CurrentState().Terminal()
+}
+
+// Receive processes one datagram from the client at src. New user input is
+// decoded and delivered to the host application exactly once, and queued
+// for echo acknowledgment.
+func (s *Server) Receive(wire []byte, src netem.Addr) error {
+	isNew, err := s.tr.Receive(wire, src)
+	if err != nil || !isNew {
+		return err
+	}
+	stream := s.tr.RemoteState()
+	now := s.cfg.Clock.Now()
+	for _, ev := range stream.EventsSince(s.processedEvents) {
+		switch ev.Type {
+		case statesync.EventBytes:
+			if s.cfg.HostInput != nil {
+				s.cfg.HostInput(ev.Data)
+			}
+		case statesync.EventResize:
+			s.Terminal().Resize(ev.W, ev.H)
+			if s.cfg.OnResize != nil {
+				s.cfg.OnResize(ev.W, ev.H)
+			}
+		}
+	}
+	s.processedEvents = stream.Size()
+	s.echoQueue = append(s.echoQueue, echoEntry{num: s.tr.RemoteStateNum(), at: now})
+	s.Tick()
+	return nil
+}
+
+// HostOutput interprets host application output onto the terminal and
+// wakes the transport (which will wait out the collection interval before
+// sending a frame).
+func (s *Server) HostOutput(data []byte) {
+	s.Terminal().Write(data)
+	s.tr.Tick()
+}
+
+// Answerback drains terminal→host reports (cursor position queries and the
+// like) that the caller must feed back to the host application.
+func (s *Server) Answerback() []byte { return s.Terminal().TakeAnswerback() }
+
+// Tick advances the echo-ack clock and the transport.
+func (s *Server) Tick() {
+	now := s.cfg.Clock.Now()
+	for len(s.echoQueue) > 0 && now.Sub(s.echoQueue[0].at) >= s.cfg.EchoAckTimeout {
+		s.pendingEchoAck = s.echoQueue[0].num
+		s.haveEchoUpdate = true
+		s.echoQueue = s.echoQueue[1:]
+	}
+	if s.haveEchoUpdate {
+		// Dirtying the state triggers the "extra datagram ~50 ms after a
+		// keystroke" the paper describes.
+		s.tr.CurrentState().SetEchoAck(s.pendingEchoAck)
+		s.haveEchoUpdate = false
+	}
+	s.tr.Tick()
+}
+
+// WaitTime reports how long the event loop may sleep before calling Tick.
+func (s *Server) WaitTime() time.Duration {
+	w := s.tr.WaitTime()
+	if len(s.echoQueue) > 0 {
+		d := s.cfg.EchoAckTimeout - s.cfg.Clock.Now().Sub(s.echoQueue[0].at)
+		if d < 0 {
+			d = 0
+		}
+		if d < w {
+			w = d
+		}
+	}
+	return w
+}
+
+// ClientConfig parameterizes a Client.
+type ClientConfig struct {
+	// Key is the pre-shared session key.
+	Key sspcrypto.Key
+	// Clock drives all timing.
+	Clock simclock.Clock
+	// Width, Height must match the server's initial terminal size.
+	Width, Height int
+	// Timing overrides SSP transport timing (nil = paper defaults).
+	Timing *transport.Timing
+	// MinRTO/MaxRTO pass through to the datagram layer.
+	MinRTO, MaxRTO time.Duration
+	// Predictions selects the speculative-echo display policy.
+	Predictions overlay.DisplayPreference
+	// Emit transmits one sealed datagram toward the server.
+	Emit func(wire []byte)
+}
+
+// Client is the Mosh client endpoint: it records user input into the
+// synchronized UserStream, maintains the reconstructed server screen, and
+// overlays speculative local echo.
+type Client struct {
+	cfg           ClientConfig
+	tr            *transport.Transport[*statesync.UserStream, *statesync.Complete]
+	engine        *overlay.Engine
+	notifications *overlay.NotificationEngine
+}
+
+// NewClient builds a client endpoint.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Width == 0 {
+		cfg.Width = 80
+	}
+	if cfg.Height == 0 {
+		cfg.Height = 24
+	}
+	tr, err := transport.New(transport.Config[*statesync.UserStream, *statesync.Complete]{
+		Direction:     sspcrypto.ToServer,
+		Key:           cfg.Key,
+		Clock:         cfg.Clock,
+		Timing:        cfg.Timing,
+		MinRTO:        cfg.MinRTO,
+		MaxRTO:        cfg.MaxRTO,
+		LocalInitial:  statesync.NewUserStream(),
+		RemoteInitial: statesync.NewComplete(cfg.Width, cfg.Height),
+		Emit:          cfg.Emit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		cfg:           cfg,
+		tr:            tr,
+		engine:        overlay.NewEngine(cfg.Clock, cfg.Predictions),
+		notifications: overlay.NewNotificationEngine(cfg.Clock),
+	}
+	// Introduce ourselves so the server learns our address immediately.
+	tr.Sender().ForceAckSoon()
+	return c, nil
+}
+
+// Transport exposes the SSP endpoint.
+func (c *Client) Transport() *transport.Transport[*statesync.UserStream, *statesync.Complete] {
+	return c.tr
+}
+
+// Predictions exposes the speculative-echo engine (stats, preferences).
+func (c *Client) Predictions() *overlay.Engine { return c.engine }
+
+// Notifications exposes the connectivity-banner engine.
+func (c *Client) Notifications() *overlay.NotificationEngine { return c.notifications }
+
+// ServerState returns the newest reconstructed server screen (read-only).
+func (c *Client) ServerState() *terminal.Framebuffer {
+	return c.tr.RemoteState().Framebuffer()
+}
+
+// sendInterval mirrors the transport's frame-rate rule for the engine's
+// adaptive triggers.
+func (c *Client) sendInterval() time.Duration {
+	iv := c.tr.Connection().SRTT(time.Second) / 2
+	if iv < 20*time.Millisecond {
+		iv = 20 * time.Millisecond
+	}
+	if iv > 250*time.Millisecond {
+		iv = 250 * time.Millisecond
+	}
+	return iv
+}
+
+// InputSeq returns the global index the next user event will carry; the
+// latency harness uses it to correlate keystrokes with prediction records.
+func (c *Client) InputSeq() uint64 { return c.tr.CurrentState().Size() + 1 }
+
+// UserBytes records one user keystroke event (already encoded as host
+// bytes), runs it through the prediction engine, and wakes the transport.
+// It returns the event's global index.
+func (c *Client) UserBytes(data []byte) uint64 {
+	seq := c.InputSeq()
+	c.engine.SetSendInterval(c.sendInterval())
+	c.engine.SetLocalFrameSent(c.tr.Sender().LastSentNum())
+	c.engine.NewUserInput(seq, data, c.ServerState())
+	c.tr.CurrentState().PushBytes(data)
+	c.tr.Tick()
+	return seq
+}
+
+// TypeRune is a convenience for a printable keystroke.
+func (c *Client) TypeRune(r rune) uint64 { return c.UserBytes(terminal.EncodeRune(r)) }
+
+// TypeSpecial encodes a special key according to the synchronized terminal
+// modes and records it.
+func (c *Client) TypeSpecial(k terminal.SpecialKey) uint64 {
+	return c.UserBytes(terminal.EncodeSpecial(k, c.ServerState().DS.ApplicationCursorKeys))
+}
+
+// Resize records a window-size change.
+func (c *Client) Resize(w, h int) {
+	c.tr.CurrentState().PushResize(w, h)
+	c.tr.Tick()
+}
+
+// Receive processes one datagram from the server at src, updating the
+// reconstructed screen and re-judging outstanding predictions.
+func (c *Client) Receive(wire []byte, src netem.Addr) error {
+	isNew, err := c.tr.Receive(wire, src)
+	if err == nil {
+		c.notifications.ServerHeard()
+	}
+	if err != nil || !isNew {
+		return err
+	}
+	c.engine.SetSendInterval(c.sendInterval())
+	c.engine.SetLocalFrameAcked(c.tr.Sender().LastAckedNum())
+	c.engine.SetLocalFrameLateAcked(c.tr.RemoteState().EchoAck())
+	c.engine.Cull(c.ServerState())
+	return nil
+}
+
+// Display returns what the user sees: the reconstructed server screen with
+// displayable predictions overlaid, plus the connectivity banner when the
+// server has gone silent.
+func (c *Client) Display() *terminal.Framebuffer {
+	fb := c.ServerState().Clone()
+	c.engine.Apply(fb)
+	c.notifications.Apply(fb)
+	return fb
+}
+
+// Tick drives timers; call after local activity or when WaitTime elapses.
+func (c *Client) Tick() { c.tr.Tick() }
+
+// WaitTime reports how long the event loop may sleep before calling Tick.
+func (c *Client) WaitTime() time.Duration { return c.tr.WaitTime() }
+
+// Endpoint is the common driving contract shared by Client and Server.
+type Endpoint interface {
+	Tick()
+	WaitTime() time.Duration
+}
+
+// Pump attaches an endpoint to a simulation scheduler with a
+// self-rescheduling timer and returns a wake function: call it after any
+// local activity so deadlines are re-armed. This is the virtual-time
+// equivalent of each program's select loop.
+func Pump(sched *simclock.Scheduler, ep Endpoint) (wake func()) {
+	var pump func()
+	timer := sched.NewTimer(func() { pump() })
+	pump = func() {
+		ep.Tick()
+		wait := ep.WaitTime()
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		timer.Reset(sched.Now().Add(wait))
+	}
+	sched.After(0, pump)
+	return pump
+}

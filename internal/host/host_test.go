@@ -1,0 +1,165 @@
+package host
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func feed(t *testing.T, app App, input string) []byte {
+	t.Helper()
+	var out []byte
+	for _, b := range []byte(input) {
+		o, d := app.Input([]byte{b})
+		if d < 0 || d > 500*time.Millisecond {
+			t.Fatalf("implausible app delay %v", d)
+		}
+		out = append(out, o...)
+	}
+	return out
+}
+
+func TestShellEchoesTyping(t *testing.T) {
+	sh := NewShell(1)
+	if !strings.Contains(string(sh.Start()), "$") {
+		t.Fatalf("prompt missing: %q", sh.Start())
+	}
+	out := feed(t, sh, "ls -la")
+	if string(out) != "ls -la" {
+		t.Fatalf("echo = %q", out)
+	}
+}
+
+func TestShellBackspace(t *testing.T) {
+	sh := NewShell(1)
+	feed(t, sh, "ab")
+	out, _ := sh.Input([]byte{0x7f})
+	if string(out) != "\b \b" {
+		t.Fatalf("rubout = %q", out)
+	}
+	// Backspace on an empty line echoes nothing.
+	sh2 := NewShell(1)
+	out, _ = sh2.Input([]byte{0x7f})
+	if len(out) != 0 {
+		t.Fatalf("empty-line rubout = %q", out)
+	}
+}
+
+func TestShellEnterRunsCommand(t *testing.T) {
+	sh := NewShell(7)
+	feed(t, sh, "ls")
+	out, _ := sh.Input([]byte{'\r'})
+	if !bytes.HasPrefix(out, []byte("\r\n")) {
+		t.Fatalf("no newline before output: %q", out)
+	}
+	if !strings.HasSuffix(string(out), "user@remote:~$ ") {
+		t.Fatalf("no fresh prompt: %q", out)
+	}
+}
+
+func TestShellInterrupt(t *testing.T) {
+	sh := NewShell(1)
+	feed(t, sh, "sleep 100")
+	out, _ := sh.Input([]byte{0x03})
+	if !strings.Contains(string(out), "^C") {
+		t.Fatalf("interrupt echo = %q", out)
+	}
+}
+
+func TestShellDeterministic(t *testing.T) {
+	a, b := NewShell(5), NewShell(5)
+	feed(t, a, "make\r")
+	feed(t, b, "make\r")
+	oa, _ := a.Input([]byte{'\r'})
+	ob, _ := b.Input([]byte{'\r'})
+	if !bytes.Equal(oa, ob) {
+		t.Fatal("same seed, different output")
+	}
+}
+
+func TestEditorEchoAndStatus(t *testing.T) {
+	ed := NewEditor(1, 80)
+	if !strings.Contains(string(ed.Start()), "buffer.txt") {
+		t.Fatal("editor start screen missing status line")
+	}
+	statusSeen := false
+	for i := 0; i < 40; i++ {
+		out, _ := ed.Input([]byte{'x'})
+		if !bytes.HasPrefix(out, []byte{'x'}) {
+			t.Fatalf("keystroke %d echo = %q", i, out)
+		}
+		if bytes.Contains(out, []byte("[+]")) {
+			statusSeen = true
+		}
+	}
+	if !statusSeen {
+		t.Fatal("periodic status-line update never happened")
+	}
+}
+
+func TestEditorArrows(t *testing.T) {
+	ed := NewEditor(1, 80)
+	out, _ := ed.Input([]byte{0x1b, '[', 'A'})
+	if string(out) != "\x1b[A" {
+		t.Fatalf("up-arrow response = %q", out)
+	}
+	out, _ = ed.Input([]byte{0x1b, '[', 'D'})
+	if string(out) != "\x1b[D" {
+		t.Fatalf("left-arrow response = %q", out)
+	}
+}
+
+func TestMailNavigationRepaints(t *testing.T) {
+	m := NewMailReader(1)
+	if len(m.Start()) < 500 {
+		t.Fatal("index screen too small")
+	}
+	out, _ := m.Input([]byte{'n'})
+	if len(out) < 500 || !bytes.Contains(out, []byte("MESSAGE INDEX")) {
+		t.Fatalf("navigation did not repaint: %d bytes", len(out))
+	}
+	// Unknown keys produce nothing.
+	out, _ = m.Input([]byte{'z'})
+	if out != nil {
+		t.Fatalf("unknown key output = %q", out)
+	}
+}
+
+func TestPagerPages(t *testing.T) {
+	p := NewPager(3)
+	first := string(p.Start())
+	if !strings.Contains(first, "--More--") {
+		t.Fatal("pager prompt missing")
+	}
+	next, _ := p.Input([]byte{' '})
+	if string(next) == first {
+		t.Fatal("space did not page forward")
+	}
+	quit, _ := p.Input([]byte{'q'})
+	if !strings.Contains(string(quit), "$") {
+		t.Fatalf("quit did not restore prompt: %q", quit)
+	}
+}
+
+func TestPasswordPromptSilence(t *testing.T) {
+	pw := NewPasswordPrompt()
+	if string(pw.Start()) != "Password: " {
+		t.Fatalf("prompt = %q", pw.Start())
+	}
+	for _, b := range []byte("hunter2") {
+		out, _ := pw.Input([]byte{b})
+		if out != nil {
+			t.Fatalf("password echoed: %q", out)
+		}
+	}
+	out, _ := pw.Input([]byte{'\r'})
+	if !strings.Contains(string(out), "ok") {
+		t.Fatalf("enter response = %q", out)
+	}
+	// After completion the prompt is inert.
+	out, _ = pw.Input([]byte{'x'})
+	if out != nil {
+		t.Fatal("finished prompt still responding")
+	}
+}

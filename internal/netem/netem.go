@@ -1,0 +1,267 @@
+// Package netem is a deterministic network emulator in the spirit of the
+// Linux netem qdisc the paper used for its packet-loss experiment. It models
+// unidirectional links with propagation delay, jitter, i.i.d. loss, a
+// bottleneck transmission rate and a drop-tail queue, delivering packets
+// through a simclock.Scheduler so that entire experiments run in virtual
+// time and are exactly reproducible from a seed.
+//
+// The same emulator reproduces every network in the paper's evaluation:
+// Sprint EV-DO (long RTT), Verizon LTE with a deep bufferbloated bottleneck
+// queue, the MIT–Singapore wired path, and the 29%-loss netem router.
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Addr identifies an endpoint on the emulated network, standing in for an
+// (IP, UDP port) pair. The Host field changes when a mobile client roams.
+type Addr struct {
+	Host uint32
+	Port uint16
+}
+
+// String renders the address in a dotted-quad-like form for logs.
+func (a Addr) String() string {
+	return fmt.Sprintf("10.%d.%d.%d:%d", byte(a.Host>>16), byte(a.Host>>8), byte(a.Host), a.Port)
+}
+
+// Packet is a datagram in flight on the emulated network.
+type Packet struct {
+	Src, Dst Addr
+	Payload  []byte
+}
+
+// Handler receives packets addressed to an attached node.
+type Handler func(p Packet)
+
+// Sender is the transmit side of a link; endpoints hold a Sender for the
+// direction they talk on. Send reports whether the packet entered the link
+// (false means it was dropped at ingress by loss or a full queue).
+type Sender interface {
+	Send(p Packet) bool
+}
+
+// Network dispatches delivered packets to attached nodes by address.
+// Packets addressed to a detached node are silently dropped, exactly as on
+// a real network.
+type Network struct {
+	sched *simclock.Scheduler
+	nodes map[Addr]Handler
+}
+
+// NewNetwork returns an empty network driven by sched.
+func NewNetwork(sched *simclock.Scheduler) *Network {
+	return &Network{sched: sched, nodes: make(map[Addr]Handler)}
+}
+
+// Scheduler exposes the scheduler driving the network.
+func (n *Network) Scheduler() *simclock.Scheduler { return n.sched }
+
+// Attach registers h to receive packets addressed to a. Re-attaching an
+// address replaces the previous handler; a roaming client attaches its new
+// address and detaches the old one.
+func (n *Network) Attach(a Addr, h Handler) { n.nodes[a] = h }
+
+// Detach removes the node at a.
+func (n *Network) Detach(a Addr) { delete(n.nodes, a) }
+
+func (n *Network) deliver(p Packet) {
+	if h, ok := n.nodes[p.Dst]; ok {
+		h(p)
+	}
+}
+
+// LinkParams configures one direction of an emulated path.
+type LinkParams struct {
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// LossProb is the i.i.d. probability that a packet is dropped.
+	LossProb float64
+	// RateBitsPerSec is the bottleneck transmission rate; 0 means infinite.
+	RateBitsPerSec int64
+	// QueueBytes is the drop-tail queue capacity ahead of the bottleneck;
+	// 0 means unlimited. Deep queues model 3G/LTE bufferbloat.
+	QueueBytes int
+	// Overhead is added to each packet's length when computing
+	// transmission time and queue occupancy (IP+UDP headers and so on).
+	Overhead int
+	// AllowReorder permits jitter to reorder packets. When false
+	// (the default), delivery times are monotonized per link.
+	AllowReorder bool
+}
+
+// LinkStats counts what happened to packets offered to a link.
+type LinkStats struct {
+	Sent           int // packets accepted onto the link
+	Delivered      int
+	DroppedLoss    int // random loss
+	DroppedQueue   int // drop-tail overflow
+	BytesDelivered int64
+	MaxQueueBytes  int // high-water mark of queue occupancy
+}
+
+// Link is one direction of an emulated path. Multiple flows may share a
+// Link, in which case they share its bottleneck queue — this is how the
+// "concurrent TCP download" experiment fills the buffer that delays SSH.
+type Link struct {
+	net          *Network
+	params       LinkParams
+	rng          *rand.Rand
+	busyUntil    time.Time // when the bottleneck transmitter frees up
+	queuedBytes  int
+	lastDelivery time.Time
+	stats        LinkStats
+}
+
+// NewLink creates a link on net with the given parameters. Links with the
+// same seed and traffic behave identically run-to-run.
+func NewLink(net *Network, params LinkParams, seed int64) *Link {
+	return &Link{net: net, params: params, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Params returns the link's configuration.
+func (l *Link) Params() LinkParams { return l.params }
+
+// Stats returns a snapshot of the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueBytes reports current queue occupancy at the bottleneck.
+func (l *Link) QueueBytes() int { return l.queuedBytes }
+
+// QueueDelay reports how long a packet entering now would wait before its
+// transmission begins.
+func (l *Link) QueueDelay() time.Duration {
+	now := l.net.sched.Now()
+	if l.busyUntil.After(now) {
+		return l.busyUntil.Sub(now)
+	}
+	return 0
+}
+
+// Send offers a packet to the link. The payload is not copied; callers must
+// not reuse the buffer.
+func (l *Link) Send(p Packet) bool {
+	now := l.net.sched.Now()
+	if l.params.LossProb > 0 && l.rng.Float64() < l.params.LossProb {
+		l.stats.DroppedLoss++
+		return false
+	}
+	size := len(p.Payload) + l.params.Overhead
+	deliverAt := now
+	if l.params.RateBitsPerSec > 0 {
+		if l.params.QueueBytes > 0 && l.queuedBytes+size > l.params.QueueBytes {
+			l.stats.DroppedQueue++
+			return false
+		}
+		start := now
+		if l.busyUntil.After(start) {
+			start = l.busyUntil
+		}
+		tx := time.Duration(int64(size) * 8 * int64(time.Second) / l.params.RateBitsPerSec)
+		l.busyUntil = start.Add(tx)
+		l.queuedBytes += size
+		if l.queuedBytes > l.stats.MaxQueueBytes {
+			l.stats.MaxQueueBytes = l.queuedBytes
+		}
+		endOfTx := l.busyUntil
+		l.net.sched.At(endOfTx, func() { l.queuedBytes -= size })
+		deliverAt = endOfTx
+	}
+	deliverAt = deliverAt.Add(l.params.Delay)
+	if l.params.Jitter > 0 {
+		deliverAt = deliverAt.Add(time.Duration(l.rng.Int63n(int64(l.params.Jitter))))
+	}
+	if !l.params.AllowReorder && deliverAt.Before(l.lastDelivery) {
+		deliverAt = l.lastDelivery
+	}
+	l.lastDelivery = deliverAt
+	l.stats.Sent++
+	l.net.sched.At(deliverAt, func() {
+		l.stats.Delivered++
+		l.stats.BytesDelivered += int64(len(p.Payload))
+		l.net.deliver(p)
+	})
+	return true
+}
+
+// Path is a bidirectional link pair between a client side and a server
+// side: Up carries client→server traffic, Down carries server→client.
+type Path struct {
+	Up, Down *Link
+}
+
+// NewPath builds a symmetric path from one parameter set, with independent
+// loss/jitter randomness per direction derived from seed.
+func NewPath(net *Network, params LinkParams, seed int64) *Path {
+	return &Path{
+		Up:   NewLink(net, params, seed),
+		Down: NewLink(net, params, seed+0x9e3779b9),
+	}
+}
+
+// NewAsymmetricPath builds a path with distinct per-direction parameters.
+func NewAsymmetricPath(net *Network, up, down LinkParams, seed int64) *Path {
+	return &Path{
+		Up:   NewLink(net, up, seed),
+		Down: NewLink(net, down, seed+0x9e3779b9),
+	}
+}
+
+// Profiles for the paper's evaluation networks. RTTs follow §4: EV-DO
+// "about half a second", MIT–Singapore 273 ms, the loss experiment 100 ms.
+// Rates and queue depths are chosen to reproduce the published bufferbloat
+// behaviour (multi-second delays under a concurrent bulk transfer).
+
+// EVDO models the Sprint EV-DO (3G) connection: ~500 ms RTT, modest rate,
+// a deep buffer, light jitter.
+func EVDO() LinkParams {
+	return LinkParams{
+		Delay:          190 * time.Millisecond,
+		Jitter:         25 * time.Millisecond,
+		RateBitsPerSec: 900_000,
+		QueueBytes:     30_000,
+		Overhead:       28,
+	}
+}
+
+// LTE models the Verizon LTE connection: short propagation delay, high
+// rate, and a very deep drop-tail buffer — the bufferbloat that produces
+// multi-second SSH latency when a concurrent download fills it.
+func LTE() LinkParams {
+	return LinkParams{
+		Delay:          25 * time.Millisecond,
+		Jitter:         10 * time.Millisecond,
+		RateBitsPerSec: 8_000_000,
+		QueueBytes:     4_000_000,
+		Overhead:       28,
+	}
+}
+
+// Transoceanic models the MIT→Singapore wired path: 273 ms RTT, fast,
+// effectively lossless, tiny jitter.
+func Transoceanic() LinkParams {
+	return LinkParams{
+		Delay:          136 * time.Millisecond,
+		Jitter:         2 * time.Millisecond,
+		RateBitsPerSec: 100_000_000,
+		QueueBytes:     1_000_000,
+		Overhead:       28,
+	}
+}
+
+// LossyNetem models the paper's router experiment: 100 ms RTT and 29%
+// i.i.d. loss in each direction (≈50% round-trip loss), no rate limit.
+func LossyNetem() LinkParams {
+	return LinkParams{
+		Delay:    50 * time.Millisecond,
+		LossProb: 0.29,
+		Overhead: 28,
+	}
+}

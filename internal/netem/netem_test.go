@@ -1,0 +1,258 @@
+package netem
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+var t0 = time.Date(2012, 4, 1, 0, 0, 0, 0, time.UTC)
+
+func testNet() (*simclock.Scheduler, *Network) {
+	s := simclock.NewScheduler(t0)
+	return s, NewNetwork(s)
+}
+
+func TestDeliveryAfterDelay(t *testing.T) {
+	s, n := testNet()
+	var gotAt time.Time
+	var got Packet
+	dst := Addr{Host: 2, Port: 60001}
+	n.Attach(dst, func(p Packet) { gotAt, got = s.Now(), p })
+	l := NewLink(n, LinkParams{Delay: 100 * time.Millisecond}, 1)
+	ok := l.Send(Packet{Src: Addr{Host: 1, Port: 9}, Dst: dst, Payload: []byte("hi")})
+	if !ok {
+		t.Fatal("send failed")
+	}
+	s.Drain(0)
+	if !gotAt.Equal(t0.Add(100 * time.Millisecond)) {
+		t.Fatalf("delivered at %v", gotAt)
+	}
+	if string(got.Payload) != "hi" || got.Src.Port != 9 {
+		t.Fatalf("wrong packet %+v", got)
+	}
+}
+
+func TestDetachedNodeDrops(t *testing.T) {
+	s, n := testNet()
+	l := NewLink(n, LinkParams{}, 1)
+	l.Send(Packet{Dst: Addr{Host: 9}, Payload: []byte("x")})
+	s.Drain(0) // must not panic
+	if l.Stats().Delivered != 1 {
+		t.Fatalf("stats = %+v", l.Stats())
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	s, n := testNet()
+	dst := Addr{Host: 2}
+	delivered := 0
+	n.Attach(dst, func(Packet) { delivered++ })
+	l := NewLink(n, LinkParams{LossProb: 0.29}, 42)
+	const total = 20000
+	for i := 0; i < total; i++ {
+		l.Send(Packet{Dst: dst, Payload: []byte("p")})
+	}
+	s.Drain(0)
+	rate := 1 - float64(delivered)/float64(total)
+	if math.Abs(rate-0.29) > 0.02 {
+		t.Fatalf("observed loss %.3f, want ~0.29", rate)
+	}
+	st := l.Stats()
+	if st.DroppedLoss+st.Delivered != total {
+		t.Fatalf("loss accounting: %+v", st)
+	}
+}
+
+func TestRateLimitSerializes(t *testing.T) {
+	s, n := testNet()
+	dst := Addr{Host: 2}
+	var deliveries []time.Duration
+	n.Attach(dst, func(Packet) { deliveries = append(deliveries, s.Now().Sub(t0)) })
+	// 8000 bit/s => a 100-byte packet (no overhead) takes exactly 100ms.
+	l := NewLink(n, LinkParams{RateBitsPerSec: 8000}, 1)
+	for i := 0; i < 3; i++ {
+		l.Send(Packet{Dst: dst, Payload: make([]byte, 100)})
+	}
+	s.Drain(0)
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond}
+	for i := range want {
+		if deliveries[i] != want[i] {
+			t.Fatalf("delivery %d at %v, want %v (all: %v)", i, deliveries[i], want[i], deliveries)
+		}
+	}
+}
+
+func TestDropTailQueue(t *testing.T) {
+	s, n := testNet()
+	dst := Addr{Host: 2}
+	n.Attach(dst, func(Packet) {})
+	l := NewLink(n, LinkParams{RateBitsPerSec: 8000, QueueBytes: 250}, 1)
+	accepted := 0
+	for i := 0; i < 5; i++ {
+		if l.Send(Packet{Dst: dst, Payload: make([]byte, 100)}) {
+			accepted++
+		}
+	}
+	if accepted != 2 {
+		t.Fatalf("accepted %d packets into a 250-byte queue of 100-byte packets, want 2", accepted)
+	}
+	if l.Stats().DroppedQueue != 3 {
+		t.Fatalf("stats = %+v", l.Stats())
+	}
+	s.Drain(0)
+	if l.QueueBytes() != 0 {
+		t.Fatalf("queue did not drain: %d", l.QueueBytes())
+	}
+}
+
+func TestQueueDrainsAllowingLaterTraffic(t *testing.T) {
+	s, n := testNet()
+	dst := Addr{Host: 2}
+	delivered := 0
+	n.Attach(dst, func(Packet) { delivered++ })
+	l := NewLink(n, LinkParams{RateBitsPerSec: 8000, QueueBytes: 150}, 1)
+	l.Send(Packet{Dst: dst, Payload: make([]byte, 100)})
+	s.RunFor(150 * time.Millisecond) // first packet transmitted at 100ms
+	if !l.Send(Packet{Dst: dst, Payload: make([]byte, 100)}) {
+		t.Fatal("queue should have drained")
+	}
+	s.Drain(0)
+	if delivered != 2 {
+		t.Fatalf("delivered %d", delivered)
+	}
+}
+
+func TestNoReorderByDefault(t *testing.T) {
+	s, n := testNet()
+	dst := Addr{Host: 2}
+	var order []int
+	n.Attach(dst, func(p Packet) { order = append(order, int(p.Payload[0])) })
+	l := NewLink(n, LinkParams{Delay: 10 * time.Millisecond, Jitter: 50 * time.Millisecond}, 7)
+	for i := 0; i < 50; i++ {
+		l.Send(Packet{Dst: dst, Payload: []byte{byte(i)}})
+		s.RunFor(time.Millisecond)
+	}
+	s.Drain(0)
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("reordered despite AllowReorder=false: %v", order)
+		}
+	}
+}
+
+func TestJitterCanReorderWhenAllowed(t *testing.T) {
+	s, n := testNet()
+	dst := Addr{Host: 2}
+	var order []int
+	n.Attach(dst, func(p Packet) { order = append(order, int(p.Payload[0])) })
+	l := NewLink(n, LinkParams{Delay: time.Millisecond, Jitter: 100 * time.Millisecond, AllowReorder: true}, 7)
+	for i := 0; i < 100; i++ {
+		l.Send(Packet{Dst: dst, Payload: []byte{byte(i)}})
+		s.RunFor(time.Millisecond)
+	}
+	s.Drain(0)
+	reordered := false
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			reordered = true
+		}
+	}
+	if !reordered {
+		t.Fatal("expected at least one reordering with large jitter")
+	}
+}
+
+func TestRoamingReattach(t *testing.T) {
+	s, n := testNet()
+	oldAddr := Addr{Host: 1, Port: 5}
+	newAddr := Addr{Host: 99, Port: 6}
+	atOld, atNew := 0, 0
+	n.Attach(oldAddr, func(Packet) { atOld++ })
+	l := NewLink(n, LinkParams{}, 1)
+	l.Send(Packet{Dst: oldAddr})
+	s.Drain(0)
+	n.Detach(oldAddr)
+	n.Attach(newAddr, func(Packet) { atNew++ })
+	l.Send(Packet{Dst: oldAddr}) // stale destination: dropped
+	l.Send(Packet{Dst: newAddr})
+	s.Drain(0)
+	if atOld != 1 || atNew != 1 {
+		t.Fatalf("atOld=%d atNew=%d", atOld, atNew)
+	}
+}
+
+func TestSharedLinkSharesQueue(t *testing.T) {
+	s, n := testNet()
+	a, b := Addr{Host: 2, Port: 1}, Addr{Host: 2, Port: 2}
+	var aTimes []time.Duration
+	n.Attach(a, func(Packet) { aTimes = append(aTimes, s.Now().Sub(t0)) })
+	n.Attach(b, func(Packet) {})
+	l := NewLink(n, LinkParams{RateBitsPerSec: 8000}, 1)
+	// Bulk flow to b occupies the transmitter for 1s (1000 bytes at 1kB/s).
+	l.Send(Packet{Dst: b, Payload: make([]byte, 1000)})
+	// Interactive packet to a must wait behind it.
+	l.Send(Packet{Dst: a, Payload: make([]byte, 10)})
+	s.Drain(0)
+	if len(aTimes) != 1 || aTimes[0] < time.Second {
+		t.Fatalf("interactive packet did not queue behind bulk: %v", aTimes)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []time.Duration {
+		s, n := testNet()
+		dst := Addr{Host: 2}
+		var times []time.Duration
+		n.Attach(dst, func(Packet) { times = append(times, s.Now().Sub(t0)) })
+		l := NewLink(n, LinkParams{Delay: 20 * time.Millisecond, Jitter: 30 * time.Millisecond, LossProb: 0.1}, 99)
+		for i := 0; i < 200; i++ {
+			l.Send(Packet{Dst: dst, Payload: []byte{byte(i)}})
+			s.RunFor(3 * time.Millisecond)
+		}
+		s.Drain(0)
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPathDirections(t *testing.T) {
+	s, n := testNet()
+	client, server := Addr{Host: 1, Port: 10}, Addr{Host: 2, Port: 20}
+	gotAtServer, gotAtClient := 0, 0
+	n.Attach(client, func(Packet) { gotAtClient++ })
+	n.Attach(server, func(Packet) { gotAtServer++ })
+	p := NewPath(n, LinkParams{Delay: 5 * time.Millisecond}, 3)
+	p.Up.Send(Packet{Src: client, Dst: server})
+	p.Down.Send(Packet{Src: server, Dst: client})
+	s.Drain(0)
+	if gotAtServer != 1 || gotAtClient != 1 {
+		t.Fatalf("server=%d client=%d", gotAtServer, gotAtClient)
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	for name, p := range map[string]LinkParams{
+		"evdo": EVDO(), "lte": LTE(), "transoceanic": Transoceanic(), "lossy": LossyNetem(),
+	} {
+		if p.Delay <= 0 {
+			t.Errorf("%s: non-positive delay", name)
+		}
+		if p.LossProb < 0 || p.LossProb >= 1 {
+			t.Errorf("%s: bad loss prob %f", name, p.LossProb)
+		}
+	}
+	if LossyNetem().LossProb != 0.29 {
+		t.Error("loss experiment must use the paper's 29% per-direction loss")
+	}
+}

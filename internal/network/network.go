@@ -1,0 +1,279 @@
+// Package network implements SSP's datagram layer (paper §2.2). It accepts
+// opaque transport payloads, prepends an incrementing sequence number,
+// encrypts each packet with AES-OCB, and tracks the connection's timing and
+// the client's current address.
+//
+// Responsibilities, per the paper:
+//
+//   - confidentiality and authenticity under a single pre-shared key;
+//   - idempotent datagrams — reordered or replayed packets are simply
+//     discarded by sequence number, with no replay cache;
+//   - client roaming — whenever the server receives an authentic datagram
+//     with the highest sequence number so far, that packet's source address
+//     becomes the new reply target;
+//   - RTT and RTT-variation estimation from per-packet millisecond
+//     timestamps and hold-time-adjusted timestamp replies, using TCP's
+//     algorithm (RFC 6298) with a 50 ms (not 1 s) lower bound on the RTO.
+//
+// The layer is IO-free: NewPacket returns wire bytes for the caller to
+// transmit (over internal/netem in simulation, or a real UDP socket in
+// cmd/mosh-client and cmd/mosh-server), and Receive consumes wire bytes.
+package network
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/simclock"
+	"repro/internal/sspcrypto"
+)
+
+// Timing constants from the paper and the reference implementation.
+const (
+	// DefaultMinRTO is SSP's floor on the retransmission timeout: 50 ms
+	// rather than TCP's one second (§2.2 change 3).
+	DefaultMinRTO = 50 * time.Millisecond
+	// DefaultMaxRTO caps the retransmission timeout.
+	DefaultMaxRTO = 1000 * time.Millisecond
+)
+
+// tsNone is the wire encoding of "no timestamp reply".
+const tsNone = 0xFFFF
+
+// Errors surfaced by Receive. ErrOldPacket and ErrOwnDirection are normal
+// network noise and safe to ignore; authentication failures mean the packet
+// was forged or corrupted.
+var (
+	ErrOldPacket    = errors.New("network: stale or replayed sequence number")
+	ErrOwnDirection = errors.New("network: packet from our own direction")
+)
+
+// Config parameterizes a Connection.
+type Config struct {
+	// Direction identifies which end this is (client seals ToServer).
+	Direction sspcrypto.Direction
+	// Key is the pre-shared session key.
+	Key sspcrypto.Key
+	// Clock supplies time; required.
+	Clock simclock.Clock
+	// MinRTO/MaxRTO bound the retransmission timeout. Zero values take
+	// the defaults. MinRTO is an ablation knob (the paper argues 50 ms
+	// against TCP's 1 s floor).
+	MinRTO, MaxRTO time.Duration
+}
+
+// Connection is one end of an SSP datagram-layer association. It is a pure
+// state machine: not safe for concurrent use.
+type Connection struct {
+	cfg     Config
+	session *sspcrypto.Session
+
+	nextSeq     uint64 // sequence number of the next outgoing packet
+	expectedSeq uint64 // lowest acceptable incoming sequence number
+
+	// Timestamp bookkeeping for RTT measurement. savedTimestamp is the
+	// most recently received remote timestamp, echoed back (adjusted for
+	// hold time) on our next outgoing packet.
+	savedTimestamp   int32 // -1 when none pending
+	savedTimestampAt time.Time
+
+	srtt     float64 // smoothed RTT, milliseconds
+	rttvar   float64
+	haveRTT  bool
+	lastRTT  time.Duration
+	rttCount int
+
+	lastHeard time.Time
+	heardOnce bool
+
+	// remoteAddr is where to send. The client fixes it at dial time; the
+	// server learns and re-learns it from incoming packets (roaming).
+	remoteAddr    netem.Addr
+	haveRemote    bool
+	remoteChanges int // times the peer's address changed (roaming events)
+}
+
+// NewConnection builds a datagram-layer endpoint.
+func NewConnection(cfg Config) (*Connection, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("network: Config.Clock is required")
+	}
+	if cfg.MinRTO == 0 {
+		cfg.MinRTO = DefaultMinRTO
+	}
+	if cfg.MaxRTO == 0 {
+		cfg.MaxRTO = DefaultMaxRTO
+	}
+	sess, err := sspcrypto.NewSession(cfg.Key)
+	if err != nil {
+		return nil, err
+	}
+	return &Connection{
+		cfg:            cfg,
+		session:        sess,
+		savedTimestamp: -1,
+	}, nil
+}
+
+// SetRemoteAddr fixes the peer address (used by the client at dial time).
+func (c *Connection) SetRemoteAddr(a netem.Addr) {
+	c.remoteAddr = a
+	c.haveRemote = true
+}
+
+// RemoteAddr returns the current reply target and whether one is known.
+func (c *Connection) RemoteAddr() (netem.Addr, bool) { return c.remoteAddr, c.haveRemote }
+
+// RemoteAddrChanges counts roaming events observed (server side).
+func (c *Connection) RemoteAddrChanges() int { return c.remoteChanges }
+
+// NextSeq reports the sequence number the next outgoing packet will carry.
+func (c *Connection) NextSeq() uint64 { return c.nextSeq }
+
+func timestamp16(t time.Time) uint16 { return uint16(t.UnixMilli()) }
+
+// NewPacket seals payload into a wire datagram, embedding the current
+// 16-bit millisecond timestamp and, if one is pending, a timestamp reply
+// adjusted by how long we held it (so delayed acks do not inflate the
+// peer's RTT estimate — §2.2 change 2).
+func (c *Connection) NewPacket(payload []byte) ([]byte, error) {
+	now := c.cfg.Clock.Now()
+	reply := uint16(tsNone)
+	if c.savedTimestamp >= 0 {
+		hold := now.Sub(c.savedTimestampAt).Milliseconds()
+		reply = uint16(uint32(c.savedTimestamp) + uint32(hold))
+		c.savedTimestamp = -1
+	}
+	pt := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint16(pt[0:], timestamp16(now))
+	binary.BigEndian.PutUint16(pt[2:], reply)
+	copy(pt[4:], payload)
+	seq := c.nextSeq
+	c.nextSeq++
+	wire, err := c.session.Encrypt(c.cfg.Direction, seq, pt)
+	if err != nil {
+		return nil, fmt.Errorf("network: sealing packet: %w", err)
+	}
+	return wire, nil
+}
+
+// Receive authenticates and opens a wire datagram received from src,
+// returning the transport payload. Stale and replayed packets return
+// ErrOldPacket; packets sealed by our own direction return ErrOwnDirection.
+// On the server, an authentic packet with the newest sequence number makes
+// src the new reply target, implementing roaming.
+func (c *Connection) Receive(wire []byte, src netem.Addr) ([]byte, error) {
+	dir, seq, pt, err := c.session.Decrypt(wire)
+	if err != nil {
+		return nil, err
+	}
+	if dir == c.cfg.Direction {
+		return nil, ErrOwnDirection
+	}
+	if len(pt) < 4 {
+		return nil, sspcrypto.ErrTooShort
+	}
+	if seq < c.expectedSeq {
+		return nil, ErrOldPacket
+	}
+	c.expectedSeq = seq + 1
+	now := c.cfg.Clock.Now()
+	c.lastHeard = now
+	c.heardOnce = true
+
+	ts := binary.BigEndian.Uint16(pt[0:])
+	c.savedTimestamp = int32(ts)
+	c.savedTimestampAt = now
+
+	if reply := binary.BigEndian.Uint16(pt[2:]); reply != tsNone {
+		sample := float64(timestamp16(now) - reply) // mod-2^16 arithmetic
+		c.observeRTT(sample)
+	}
+
+	// Roaming: the server re-targets replies at the newest source address.
+	if c.cfg.Direction == sspcrypto.ToClient {
+		if !c.haveRemote || c.remoteAddr != src {
+			if c.haveRemote {
+				c.remoteChanges++
+			}
+			c.remoteAddr = src
+			c.haveRemote = true
+		}
+	}
+	return pt[4:], nil
+}
+
+// observeRTT folds one RTT sample (milliseconds) into SRTT/RTTVAR per
+// RFC 6298. Every SSP packet has a unique sequence number, so there is no
+// retransmission ambiguity (§2.2 change 1) and every sample is usable.
+func (c *Connection) observeRTT(ms float64) {
+	if ms < 0 {
+		return
+	}
+	c.lastRTT = time.Duration(ms * float64(time.Millisecond))
+	c.rttCount++
+	if !c.haveRTT {
+		c.srtt = ms
+		c.rttvar = ms / 2
+		c.haveRTT = true
+		return
+	}
+	const alpha, beta = 1.0 / 8.0, 1.0 / 4.0
+	diff := c.srtt - ms
+	if diff < 0 {
+		diff = -diff
+	}
+	c.rttvar = (1-beta)*c.rttvar + beta*diff
+	c.srtt = (1-alpha)*c.srtt + alpha*ms
+}
+
+// SRTT returns the smoothed round-trip estimate, or def if no sample yet.
+func (c *Connection) SRTT(def time.Duration) time.Duration {
+	if !c.haveRTT {
+		return def
+	}
+	return time.Duration(c.srtt * float64(time.Millisecond))
+}
+
+// RTTVar returns the RTT variation estimate.
+func (c *Connection) RTTVar() time.Duration {
+	return time.Duration(c.rttvar * float64(time.Millisecond))
+}
+
+// HaveRTT reports whether at least one RTT sample has been folded in.
+func (c *Connection) HaveRTT() bool { return c.haveRTT }
+
+// RTTSamples reports how many RTT samples have been observed.
+func (c *Connection) RTTSamples() int { return c.rttCount }
+
+// RTO returns the retransmission timeout: SRTT + 4·RTTVAR clamped to
+// [MinRTO, MaxRTO]. Before any sample it returns MaxRTO.
+func (c *Connection) RTO() time.Duration {
+	if !c.haveRTT {
+		return c.cfg.MaxRTO
+	}
+	rto := time.Duration((c.srtt + 4*c.rttvar) * float64(time.Millisecond))
+	if rto < c.cfg.MinRTO {
+		rto = c.cfg.MinRTO
+	}
+	if rto > c.cfg.MaxRTO {
+		rto = c.cfg.MaxRTO
+	}
+	return rto
+}
+
+// LastHeard returns when the last authentic packet arrived, and whether any
+// has. The client uses this to warn the user about lost connectivity.
+func (c *Connection) LastHeard() (time.Time, bool) { return c.lastHeard, c.heardOnce }
+
+// HasPendingTimestampReply reports whether a received timestamp is waiting
+// to be echoed; the transport sender uses this to piggyback replies rather
+// than let them go stale.
+func (c *Connection) HasPendingTimestampReply() bool { return c.savedTimestamp >= 0 }
+
+// Overhead is the total per-packet byte overhead added by this layer
+// (sequence header, AEAD tag, timestamps).
+func (c *Connection) Overhead() int { return c.session.Overhead() + 4 }

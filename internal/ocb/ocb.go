@@ -1,0 +1,240 @@
+// Package ocb implements the OCB3 authenticated-encryption mode of
+// operation (RFC 7253) over a 128-bit block cipher. The paper builds SSP's
+// confidentiality and authenticity on AES-128 in OCB mode with a single
+// shared key [Krovetz & Rogaway]; this package provides that AEAD from
+// scratch on top of the standard library's AES block cipher.
+//
+// The implementation follows the RFC's specification directly (offset
+// doubling, nonce stretching, checksum accumulation) and is validated
+// against the RFC 7253 Appendix A test vectors.
+package ocb
+
+import (
+	"crypto/cipher"
+	"crypto/subtle"
+	"errors"
+	"math/bits"
+)
+
+const (
+	blockSize = 16
+	// NonceSize is the nonce length used by this package: 12 bytes, as in
+	// the RFC's AEAD_AES_128_OCB_TAGLEN128 profile. SSP uses the packet
+	// sequence number as the nonce.
+	NonceSize = 12
+	// TagSize is the full 128-bit authenticator length.
+	TagSize = 16
+	// maxL bounds the precomputed L table; 2^48 blocks is far beyond any
+	// datagram this package will see.
+	maxL = 48
+)
+
+// ErrOpen is returned when decryption fails authentication. No plaintext is
+// ever released for an inauthentic message.
+var ErrOpen = errors.New("ocb: message authentication failed")
+
+type ocb struct {
+	block   cipher.Block
+	lstar   [blockSize]byte
+	ldollar [blockSize]byte
+	l       [maxL][blockSize]byte
+}
+
+// New returns an OCB3 AEAD (12-byte nonce, 16-byte tag) wrapping block,
+// which must have a 128-bit block size (e.g. crypto/aes).
+func New(block cipher.Block) (cipher.AEAD, error) {
+	if block.BlockSize() != blockSize {
+		return nil, errors.New("ocb: cipher block size must be 128 bits")
+	}
+	o := &ocb{block: block}
+	block.Encrypt(o.lstar[:], make([]byte, blockSize))
+	double(&o.ldollar, &o.lstar)
+	double(&o.l[0], &o.ldollar)
+	for i := 1; i < maxL; i++ {
+		double(&o.l[i], &o.l[i-1])
+	}
+	return o, nil
+}
+
+// double computes dst = 2*src in GF(2^128) with the OCB polynomial.
+func double(dst, src *[blockSize]byte) {
+	carry := src[0] >> 7
+	for i := 0; i < blockSize-1; i++ {
+		dst[i] = src[i]<<1 | src[i+1]>>7
+	}
+	dst[blockSize-1] = src[blockSize-1] << 1
+	dst[blockSize-1] ^= carry * 0x87
+}
+
+func xorBlock(dst, a, b []byte) {
+	for i := 0; i < blockSize; i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+func (o *ocb) NonceSize() int { return NonceSize }
+func (o *ocb) Overhead() int  { return TagSize }
+
+// initialOffset derives Offset_0 from the nonce per RFC 7253 §4.2.
+func (o *ocb) initialOffset(nonce []byte) [blockSize]byte {
+	var n [blockSize]byte
+	// Nonce = num2str(TAGLEN mod 128, 7) || zeros || 1 || N.
+	// TAGLEN = 128, so the leading 7 bits are zero.
+	n[blockSize-1-len(nonce)] |= 1
+	copy(n[blockSize-len(nonce):], nonce)
+	bottom := int(n[blockSize-1] & 0x3F)
+	n[blockSize-1] &= 0xC0
+	var ktop [blockSize]byte
+	o.block.Encrypt(ktop[:], n[:])
+	var stretch [blockSize + 8]byte
+	copy(stretch[:blockSize], ktop[:])
+	for i := 0; i < 8; i++ {
+		stretch[blockSize+i] = ktop[i] ^ ktop[i+1]
+	}
+	var offset [blockSize]byte
+	byteShift, bitShift := bottom/8, uint(bottom%8)
+	for i := 0; i < blockSize; i++ {
+		offset[i] = stretch[i+byteShift] << bitShift
+		if bitShift > 0 {
+			offset[i] |= stretch[i+byteShift+1] >> (8 - bitShift)
+		}
+	}
+	return offset
+}
+
+// hash computes the HASH(K, A) value over the associated data.
+func (o *ocb) hash(ad []byte) [blockSize]byte {
+	var sum, offset, tmp [blockSize]byte
+	i := 1
+	for len(ad) >= blockSize {
+		xorBlock(offset[:], offset[:], o.l[bits.TrailingZeros(uint(i))][:])
+		xorBlock(tmp[:], ad[:blockSize], offset[:])
+		o.block.Encrypt(tmp[:], tmp[:])
+		xorBlock(sum[:], sum[:], tmp[:])
+		ad = ad[blockSize:]
+		i++
+	}
+	if len(ad) > 0 {
+		xorBlock(offset[:], offset[:], o.lstar[:])
+		var padded [blockSize]byte
+		copy(padded[:], ad)
+		padded[len(ad)] = 0x80
+		xorBlock(tmp[:], padded[:], offset[:])
+		o.block.Encrypt(tmp[:], tmp[:])
+		xorBlock(sum[:], sum[:], tmp[:])
+	}
+	return sum
+}
+
+// Seal encrypts and authenticates plaintext, authenticates additionalData,
+// and appends the result to dst.
+func (o *ocb) Seal(dst, nonce, plaintext, additionalData []byte) []byte {
+	if len(nonce) != NonceSize {
+		panic("ocb: incorrect nonce length")
+	}
+	ret, out := sliceForAppend(dst, len(plaintext)+TagSize)
+	offset := o.initialOffset(nonce)
+	var checksum, tmp [blockSize]byte
+	i := 1
+	p := plaintext
+	for len(p) >= blockSize {
+		xorBlock(offset[:], offset[:], o.l[bits.TrailingZeros(uint(i))][:])
+		xorBlock(tmp[:], p[:blockSize], offset[:])
+		o.block.Encrypt(tmp[:], tmp[:])
+		xorBlock(out[:blockSize], tmp[:], offset[:])
+		xorBlock(checksum[:], checksum[:], p[:blockSize])
+		p = p[blockSize:]
+		out = out[blockSize:]
+		i++
+	}
+	if len(p) > 0 {
+		xorBlock(offset[:], offset[:], o.lstar[:])
+		var pad [blockSize]byte
+		o.block.Encrypt(pad[:], offset[:])
+		for j := range p {
+			out[j] = p[j] ^ pad[j]
+		}
+		checksum[len(p)] ^= 0x80
+		for j := range p {
+			checksum[j] ^= p[j]
+		}
+		out = out[len(p):]
+	}
+	var tag [blockSize]byte
+	xorBlock(tag[:], checksum[:], offset[:])
+	xorBlock(tag[:], tag[:], o.ldollar[:])
+	o.block.Encrypt(tag[:], tag[:])
+	adHash := o.hash(additionalData)
+	xorBlock(tag[:], tag[:], adHash[:])
+	copy(out, tag[:])
+	return ret
+}
+
+// Open authenticates and decrypts ciphertext, appending the plaintext to
+// dst. It returns ErrOpen if authentication fails.
+func (o *ocb) Open(dst, nonce, ciphertext, additionalData []byte) ([]byte, error) {
+	if len(nonce) != NonceSize {
+		panic("ocb: incorrect nonce length")
+	}
+	if len(ciphertext) < TagSize {
+		return nil, ErrOpen
+	}
+	body := ciphertext[:len(ciphertext)-TagSize]
+	expectedTag := ciphertext[len(ciphertext)-TagSize:]
+	ret, out := sliceForAppend(dst, len(body))
+	offset := o.initialOffset(nonce)
+	var checksum, tmp [blockSize]byte
+	i := 1
+	c := body
+	outp := out
+	for len(c) >= blockSize {
+		xorBlock(offset[:], offset[:], o.l[bits.TrailingZeros(uint(i))][:])
+		xorBlock(tmp[:], c[:blockSize], offset[:])
+		o.block.Decrypt(tmp[:], tmp[:])
+		xorBlock(outp[:blockSize], tmp[:], offset[:])
+		xorBlock(checksum[:], checksum[:], outp[:blockSize])
+		c = c[blockSize:]
+		outp = outp[blockSize:]
+		i++
+	}
+	if len(c) > 0 {
+		xorBlock(offset[:], offset[:], o.lstar[:])
+		var pad [blockSize]byte
+		o.block.Encrypt(pad[:], offset[:])
+		for j := range c {
+			outp[j] = c[j] ^ pad[j]
+		}
+		checksum[len(c)] ^= 0x80
+		for j := range c {
+			checksum[j] ^= outp[j]
+		}
+	}
+	var tag [blockSize]byte
+	xorBlock(tag[:], checksum[:], offset[:])
+	xorBlock(tag[:], tag[:], o.ldollar[:])
+	o.block.Encrypt(tag[:], tag[:])
+	adHash := o.hash(additionalData)
+	xorBlock(tag[:], tag[:], adHash[:])
+	if subtle.ConstantTimeCompare(tag[:], expectedTag) != 1 {
+		// Wipe any released plaintext before failing.
+		for j := range out {
+			out[j] = 0
+		}
+		return nil, ErrOpen
+	}
+	return ret, nil
+}
+
+// sliceForAppend extends in by n bytes, returning the combined slice and
+// the newly-added tail (the same helper shape crypto/cipher uses).
+func sliceForAppend(in []byte, n int) (head, tail []byte) {
+	total := len(in) + n
+	if cap(in) >= total {
+		head = in[:total]
+	} else {
+		head = make([]byte, total)
+		copy(head, in)
+	}
+	tail = head[len(in):]
+	return
+}

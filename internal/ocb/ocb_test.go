@@ -1,0 +1,203 @@
+package ocb
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func mustAEAD(t testing.TB) cipher.AEAD {
+	t.Helper()
+	key, _ := hex.DecodeString("000102030405060708090A0B0C0D0E0F")
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// RFC 7253 Appendix A sample results for AEAD_AES_128_OCB_TAGLEN128 with
+// key 000102030405060708090A0B0C0D0E0F.
+var rfcVectors = []struct {
+	nonce, ad, pt, ct string
+}{
+	{"BBAA99887766554433221100", "", "", "785407BFFFC8AD9EDCC5520AC9111EE6"},
+	{"BBAA99887766554433221101", "0001020304050607", "0001020304050607",
+		"6820B3657B6F615A5725BDA0D3B4EB3A257C9AF1F8F03009"},
+	{"BBAA99887766554433221102", "0001020304050607", "",
+		"81017F8203F081277152FADE694A0A00"},
+	{"BBAA99887766554433221103", "", "0001020304050607",
+		"45DD69F8F5AAE72414054CD1F35D82760B2CD00D2F99BFA9"},
+	{"BBAA99887766554433221104", "000102030405060708090A0B0C0D0E0F", "000102030405060708090A0B0C0D0E0F",
+		"571D535B60B277188BE5147170A9A22C3AD7A4FF3835B8C5701C1CCEC8FC3358"},
+	{"BBAA99887766554433221105", "000102030405060708090A0B0C0D0E0F", "",
+		"8CF761B6902EF764462AD86498CA6B97"},
+	{"BBAA99887766554433221106", "", "000102030405060708090A0B0C0D0E0F",
+		"5CE88EC2E0692706A915C00AEB8B2396F40E1C743F52436BDF06D8FA1ECA343D"},
+	{"BBAA99887766554433221107", "000102030405060708090A0B0C0D0E0F1011121314151617",
+		"000102030405060708090A0B0C0D0E0F1011121314151617",
+		"1CA2207308C87C010756104D8840CE1952F09673A448A122C92C62241051F57356D7F3C90BB0E07F"},
+}
+
+func TestRFC7253Vectors(t *testing.T) {
+	a := mustAEAD(t)
+	for i, v := range rfcVectors {
+		nonce, ad, pt := unhex(t, v.nonce), unhex(t, v.ad), unhex(t, v.pt)
+		want := unhex(t, v.ct)
+		got := a.Seal(nil, nonce, pt, ad)
+		if !bytes.Equal(got, want) {
+			t.Errorf("vector %d: Seal = %X, want %X", i, got, want)
+			continue
+		}
+		back, err := a.Open(nil, nonce, got, ad)
+		if err != nil {
+			t.Errorf("vector %d: Open failed: %v", i, err)
+			continue
+		}
+		if !bytes.Equal(back, pt) {
+			t.Errorf("vector %d: round trip = %X, want %X", i, back, pt)
+		}
+	}
+}
+
+func TestTamperedCiphertextRejected(t *testing.T) {
+	a := mustAEAD(t)
+	nonce := make([]byte, NonceSize)
+	ct := a.Seal(nil, nonce, []byte("attack at dawn"), []byte("hdr"))
+	for bit := 0; bit < len(ct)*8; bit += 7 {
+		mutated := bytes.Clone(ct)
+		mutated[bit/8] ^= 1 << (bit % 8)
+		if _, err := a.Open(nil, nonce, mutated, []byte("hdr")); err == nil {
+			t.Fatalf("flipping bit %d went undetected", bit)
+		}
+	}
+}
+
+func TestWrongADRejected(t *testing.T) {
+	a := mustAEAD(t)
+	nonce := make([]byte, NonceSize)
+	ct := a.Seal(nil, nonce, []byte("payload"), []byte("ad-1"))
+	if _, err := a.Open(nil, nonce, ct, []byte("ad-2")); err == nil {
+		t.Fatal("wrong associated data accepted")
+	}
+}
+
+func TestWrongNonceRejected(t *testing.T) {
+	a := mustAEAD(t)
+	n1 := make([]byte, NonceSize)
+	n2 := make([]byte, NonceSize)
+	n2[11] = 1
+	ct := a.Seal(nil, n1, []byte("payload"), nil)
+	if _, err := a.Open(nil, n2, ct, nil); err == nil {
+		t.Fatal("wrong nonce accepted")
+	}
+}
+
+func TestShortCiphertextRejected(t *testing.T) {
+	a := mustAEAD(t)
+	if _, err := a.Open(nil, make([]byte, NonceSize), make([]byte, TagSize-1), nil); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+}
+
+func TestSealAppendsToDst(t *testing.T) {
+	a := mustAEAD(t)
+	nonce := make([]byte, NonceSize)
+	prefix := []byte("prefix")
+	out := a.Seal(bytes.Clone(prefix), nonce, []byte("body"), nil)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("Seal did not preserve dst prefix")
+	}
+	pt, err := a.Open(nil, nonce, out[len(prefix):], nil)
+	if err != nil || string(pt) != "body" {
+		t.Fatalf("round trip through dst prefix failed: %v %q", err, pt)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	a := mustAEAD(t)
+	f := func(pt, ad []byte, nonceSeed uint64) bool {
+		nonce := make([]byte, NonceSize)
+		for i := 0; i < 8; i++ {
+			nonce[4+i] = byte(nonceSeed >> (8 * i))
+		}
+		ct := a.Seal(nil, nonce, pt, ad)
+		if len(ct) != len(pt)+TagSize {
+			return false
+		}
+		back, err := a.Open(nil, nonce, ct, ad)
+		return err == nil && bytes.Equal(back, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctNoncesDistinctCiphertexts(t *testing.T) {
+	a := mustAEAD(t)
+	pt := []byte("identical plaintext, 32 bytes!!!")
+	seen := make(map[string]bool)
+	nonce := make([]byte, NonceSize)
+	for i := 0; i < 64; i++ {
+		nonce[11] = byte(i)
+		ct := string(a.Seal(nil, nonce, pt, nil))
+		if seen[ct] {
+			t.Fatal("two nonces produced identical ciphertext")
+		}
+		seen[ct] = true
+	}
+}
+
+func TestBlockSizeValidation(t *testing.T) {
+	if _, err := New(fakeBlock{}); err == nil {
+		t.Fatal("accepted non-128-bit block cipher")
+	}
+}
+
+type fakeBlock struct{}
+
+func (fakeBlock) BlockSize() int          { return 8 }
+func (fakeBlock) Encrypt(dst, src []byte) {}
+func (fakeBlock) Decrypt(dst, src []byte) {}
+
+func BenchmarkSeal1K(b *testing.B) {
+	a := mustAEAD(b)
+	nonce := make([]byte, NonceSize)
+	pt := make([]byte, 1024)
+	dst := make([]byte, 0, len(pt)+TagSize)
+	b.SetBytes(int64(len(pt)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Seal(dst[:0], nonce, pt, nil)
+	}
+}
+
+func BenchmarkOpen1K(b *testing.B) {
+	a := mustAEAD(b)
+	nonce := make([]byte, NonceSize)
+	ct := a.Seal(nil, nonce, make([]byte, 1024), nil)
+	dst := make([]byte, 0, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Open(dst[:0], nonce, ct, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package simclock provides the time substrate shared by every component in
+// this repository. Protocol endpoints are written against the small Clock
+// interface so that the identical state machines can run either in real time
+// (over UDP sockets) or inside a deterministic discrete-event simulation
+// (for tests and for regenerating the paper's experiments).
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time. Implementations must be safe for use by a
+// single goroutine; the real-time implementation is additionally safe for
+// concurrent use.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real is a Clock backed by the system clock.
+type Real struct{}
+
+// Now returns the current wall-clock time.
+func (Real) Now() time.Time { return time.Now() }
+
+// Event is a scheduled callback inside a Scheduler. It may be cancelled
+// before it fires.
+type Event struct {
+	at       time.Time
+	seq      uint64 // tie-break: FIFO among events at the same instant
+	fn       func()
+	index    int // heap index, -1 once removed
+	canceled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// At reports the time the event is scheduled to fire.
+func (e *Event) At() time.Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event simulator. It implements
+// Clock; time advances only when events run. Events scheduled for the same
+// instant fire in the order they were scheduled.
+//
+// The zero value is not usable; call NewScheduler.
+type Scheduler struct {
+	now  time.Time
+	seq  uint64
+	heap eventHeap
+}
+
+// NewScheduler returns a Scheduler whose clock starts at start.
+func NewScheduler(start time.Time) *Scheduler {
+	return &Scheduler{now: start}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// At schedules fn to run at time t. Scheduling in the past runs the event at
+// the current time (it will fire on the next Step).
+func (s *Scheduler) At(t time.Time, fn func()) *Event {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.heap, e)
+	return e
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	return s.At(s.now.Add(d), fn)
+}
+
+// Pending reports the number of events waiting to fire, including cancelled
+// events that have not yet been discarded.
+func (s *Scheduler) Pending() int { return len(s.heap) }
+
+// NextAt returns the firing time of the earliest pending live event, and
+// false if none is pending.
+func (s *Scheduler) NextAt() (time.Time, bool) {
+	for len(s.heap) > 0 && s.heap[0].canceled {
+		heap.Pop(&s.heap)
+	}
+	if len(s.heap) == 0 {
+		return time.Time{}, false
+	}
+	return s.heap[0].at, true
+}
+
+// Step advances the clock to the next live event and runs it. It returns
+// false if no events remain.
+func (s *Scheduler) Step() bool {
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil runs events with firing times <= t, then advances the clock to t.
+func (s *Scheduler) RunUntil(t time.Time) {
+	for {
+		at, ok := s.NextAt()
+		if !ok || at.After(t) {
+			break
+		}
+		s.Step()
+	}
+	if s.now.Before(t) {
+		s.now = t
+	}
+}
+
+// RunFor runs the simulation for duration d of virtual time.
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Drain runs events until none remain or the limit of steps is hit,
+// returning the number of events run. A limit of 0 means no limit.
+func (s *Scheduler) Drain(limit int) int {
+	n := 0
+	for limit == 0 || n < limit {
+		if !s.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Timer is a restartable one-shot timer on a Scheduler, analogous to
+// time.Timer but virtual. It is a convenience for protocol endpoints that
+// keep re-arming a single deadline (retransmission, heartbeat, and so on).
+type Timer struct {
+	s  *Scheduler
+	ev *Event
+	fn func()
+}
+
+// NewTimer returns a stopped timer that runs fn when it fires.
+func (s *Scheduler) NewTimer(fn func()) *Timer { return &Timer{s: s, fn: fn} }
+
+// Reset arms the timer to fire at t, replacing any earlier deadline.
+func (t *Timer) Reset(at time.Time) {
+	t.Stop()
+	t.ev = t.s.At(at, t.fn)
+}
+
+// ResetAfter arms the timer to fire d from now.
+func (t *Timer) ResetAfter(d time.Duration) { t.Reset(t.s.Now().Add(d)) }
+
+// Stop cancels any pending firing.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+// Manual is a Clock whose time is set explicitly. It is safe for concurrent
+// use and handy for unit tests that do not need an event queue.
+type Manual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManual returns a Manual clock set to start.
+func NewManual(start time.Time) *Manual { return &Manual{now: start} }
+
+// Now returns the manual clock's current time.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Advance moves the clock forward by d.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = m.now.Add(d)
+}
+
+// Set jumps the clock to t.
+func (m *Manual) Set(t time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = t
+}

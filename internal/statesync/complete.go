@@ -1,0 +1,101 @@
+package statesync
+
+import (
+	"encoding/binary"
+
+	"repro/internal/terminal"
+)
+
+// Complete is the server→client SSP object: the complete terminal state.
+// Its diff is a small header (dimensions and the echo ack) followed by the
+// minimal ANSI byte string that transforms the source screen into this one
+// (computed by terminal.NewFrame) — so intermediate screen states are never
+// transmitted, which is what keeps "Control-C" working within an RTT on a
+// flooded terminal (paper §1, §2.3).
+type Complete struct {
+	emu *terminal.Emulator
+}
+
+// NewComplete returns a blank terminal state of the given size.
+func NewComplete(w, h int) *Complete {
+	return &Complete{emu: terminal.NewEmulator(w, h)}
+}
+
+// Terminal exposes the wrapped emulator (the server writes host output to
+// it; the client reads the synchronized screen from it).
+func (c *Complete) Terminal() *terminal.Emulator { return c.emu }
+
+// Framebuffer exposes the screen state.
+func (c *Complete) Framebuffer() *terminal.Framebuffer { return c.emu.Framebuffer() }
+
+// SetEchoAck updates the synchronized echo acknowledgment: the newest
+// user-stream state whose keystrokes have been presented to the host
+// application for at least the server's echo timeout (§3.2). Returns true
+// when the value changed (making the state dirty).
+func (c *Complete) SetEchoAck(n uint64) bool {
+	if c.emu.Framebuffer().EchoAck == n {
+		return false
+	}
+	c.emu.Framebuffer().EchoAck = n
+	return true
+}
+
+// EchoAck reads the synchronized echo acknowledgment.
+func (c *Complete) EchoAck() uint64 { return c.emu.Framebuffer().EchoAck }
+
+// Clone implements transport.State. Parser state is not cloned: every diff
+// is a self-contained byte string, so a fresh parser is equivalent.
+func (c *Complete) Clone() *Complete {
+	n := terminal.NewEmulator(c.emu.Framebuffer().W, c.emu.Framebuffer().H)
+	n.SetFramebuffer(c.emu.Framebuffer().Clone())
+	return &Complete{emu: n}
+}
+
+// Equal implements transport.State.
+func (c *Complete) Equal(o *Complete) bool {
+	return c.emu.Framebuffer().Equal(o.emu.Framebuffer())
+}
+
+// DiffFrom implements transport.State.
+func (c *Complete) DiffFrom(src *Complete) []byte {
+	fb, sfb := c.emu.Framebuffer(), src.emu.Framebuffer()
+	sameSize := fb.W == sfb.W && fb.H == sfb.H
+	frame := terminal.NewFrame(sameSize, sfb, fb)
+	buf := binary.AppendUvarint(nil, uint64(fb.W))
+	buf = binary.AppendUvarint(buf, uint64(fb.H))
+	buf = binary.AppendUvarint(buf, fb.EchoAck)
+	return append(buf, frame...)
+}
+
+// Apply implements transport.State.
+func (c *Complete) Apply(diff []byte) error {
+	if len(diff) == 0 {
+		return nil
+	}
+	w, n := binary.Uvarint(diff)
+	if n <= 0 {
+		return ErrBadDiff
+	}
+	diff = diff[n:]
+	h, n := binary.Uvarint(diff)
+	if n <= 0 {
+		return ErrBadDiff
+	}
+	diff = diff[n:]
+	echoAck, n := binary.Uvarint(diff)
+	if n <= 0 {
+		return ErrBadDiff
+	}
+	diff = diff[n:]
+	fb := c.emu.Framebuffer()
+	if int(w) != fb.W || int(h) != fb.H {
+		c.emu.Resize(int(w), int(h))
+	}
+	c.emu.Write(diff)
+	c.emu.Framebuffer().EchoAck = echoAck
+	return nil
+}
+
+// Subtract implements transport.State: screen states share no removable
+// prefix, so this is a no-op (as in the reference implementation).
+func (c *Complete) Subtract(*Complete) {}

@@ -1,0 +1,198 @@
+// Package statesync defines the two state objects Mosh synchronizes with
+// SSP (paper §2): the UserStream, a client→server record of everything the
+// user has done (keystrokes and window resizes, where the diff carries
+// every intervening event), and Complete, the server→client terminal
+// screen state (where the diff is only the minimal transformation to the
+// newest frame).
+package statesync
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// EventType distinguishes user-stream events.
+type EventType uint8
+
+const (
+	// EventBytes carries user keystrokes, already encoded as the byte
+	// sequence the host application should receive.
+	EventBytes EventType = 1
+	// EventResize reports a client window-size change.
+	EventResize EventType = 2
+)
+
+// Event is one element of the user input history.
+type Event struct {
+	Type EventType
+	Data []byte // EventBytes
+	W, H int    // EventResize
+}
+
+func (e Event) clone() Event {
+	ne := e
+	ne.Data = append([]byte(nil), e.Data...)
+	return ne
+}
+
+func (e Event) equal(o Event) bool {
+	if e.Type != o.Type || e.W != o.W || e.H != o.H || len(e.Data) != len(o.Data) {
+		return false
+	}
+	for i := range e.Data {
+		if e.Data[i] != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UserStream is the client→server SSP object: an append-only event log.
+// Acknowledged prefixes are garbage-collected by Subtract; base tracks how
+// many events have been subtracted so global indices stay stable.
+type UserStream struct {
+	base   uint64
+	events []Event
+}
+
+// NewUserStream returns an empty stream.
+func NewUserStream() *UserStream { return &UserStream{} }
+
+// PushBytes appends a keystroke event.
+func (u *UserStream) PushBytes(data []byte) {
+	u.events = append(u.events, Event{Type: EventBytes, Data: append([]byte(nil), data...)})
+}
+
+// PushResize appends a window-size event.
+func (u *UserStream) PushResize(w, h int) {
+	u.events = append(u.events, Event{Type: EventResize, W: w, H: h})
+}
+
+// Size returns the global event count (including subtracted history).
+func (u *UserStream) Size() uint64 { return u.base + uint64(len(u.events)) }
+
+// EventsSince returns the events with global indices >= from. The server
+// uses it to feed newly arrived input to the host application exactly once.
+func (u *UserStream) EventsSince(from uint64) []Event {
+	if from < u.base {
+		from = u.base
+	}
+	idx := from - u.base
+	if idx > uint64(len(u.events)) {
+		return nil
+	}
+	return u.events[idx:]
+}
+
+// Clone implements transport.State.
+func (u *UserStream) Clone() *UserStream {
+	n := &UserStream{base: u.base, events: make([]Event, len(u.events))}
+	for i := range u.events {
+		n.events[i] = u.events[i].clone()
+	}
+	return n
+}
+
+// Equal implements transport.State.
+func (u *UserStream) Equal(o *UserStream) bool {
+	if u.base != o.base || len(u.events) != len(o.events) {
+		return false
+	}
+	for i := range u.events {
+		if !u.events[i].equal(o.events[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffFrom implements transport.State: the diff carries every event the
+// source lacks (the paper: "for user inputs, the diff contains every
+// intervening keystroke").
+func (u *UserStream) DiffFrom(src *UserStream) []byte {
+	srcSize := src.Size()
+	if srcSize > u.Size() {
+		srcSize = u.base // defensive; cannot happen in SSP usage
+	}
+	newEvents := u.EventsSince(srcSize)
+	if len(newEvents) == 0 {
+		return nil
+	}
+	buf := binary.AppendUvarint(nil, uint64(len(newEvents)))
+	for _, e := range newEvents {
+		buf = append(buf, byte(e.Type))
+		switch e.Type {
+		case EventBytes:
+			buf = binary.AppendUvarint(buf, uint64(len(e.Data)))
+			buf = append(buf, e.Data...)
+		case EventResize:
+			buf = binary.AppendUvarint(buf, uint64(e.W))
+			buf = binary.AppendUvarint(buf, uint64(e.H))
+		}
+	}
+	return buf
+}
+
+// ErrBadDiff reports a malformed user-stream diff.
+var ErrBadDiff = errors.New("statesync: malformed user stream diff")
+
+// Apply implements transport.State.
+func (u *UserStream) Apply(diff []byte) error {
+	if len(diff) == 0 {
+		return nil
+	}
+	count, n := binary.Uvarint(diff)
+	if n <= 0 {
+		return ErrBadDiff
+	}
+	diff = diff[n:]
+	for i := uint64(0); i < count; i++ {
+		if len(diff) < 1 {
+			return ErrBadDiff
+		}
+		t := EventType(diff[0])
+		diff = diff[1:]
+		switch t {
+		case EventBytes:
+			l, n := binary.Uvarint(diff)
+			if n <= 0 || uint64(len(diff[n:])) < l {
+				return ErrBadDiff
+			}
+			u.events = append(u.events, Event{Type: EventBytes, Data: append([]byte(nil), diff[n:n+int(l)]...)})
+			diff = diff[n+int(l):]
+		case EventResize:
+			w, n := binary.Uvarint(diff)
+			if n <= 0 {
+				return ErrBadDiff
+			}
+			diff = diff[n:]
+			h, n2 := binary.Uvarint(diff)
+			if n2 <= 0 {
+				return ErrBadDiff
+			}
+			diff = diff[n2:]
+			u.events = append(u.events, Event{Type: EventResize, W: int(w), H: int(h)})
+		default:
+			return fmt.Errorf("%w: unknown event type %d", ErrBadDiff, t)
+		}
+	}
+	if len(diff) != 0 {
+		return ErrBadDiff
+	}
+	return nil
+}
+
+// Subtract implements transport.State: drops the shared prefix with other,
+// advancing base so global indices remain stable.
+func (u *UserStream) Subtract(other *UserStream) {
+	if other.Size() <= u.base {
+		return
+	}
+	drop := other.Size() - u.base
+	if drop > uint64(len(u.events)) {
+		drop = uint64(len(u.events))
+	}
+	u.events = append([]Event(nil), u.events[drop:]...)
+	u.base += drop
+}

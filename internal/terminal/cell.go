@@ -1,0 +1,196 @@
+// Package terminal implements the character-cell terminal emulator at the
+// heart of Mosh (paper §3.1): a parser and interpreter for the subset of
+// the ISO/IEC 6429 / ECMA-48 control language used by xterm and friends,
+// a framebuffer holding the screen state, and a renderer that produces the
+// minimal byte string transforming one screen state into another — the
+// "logical diff" SSP ships from server to client.
+package terminal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Color encodes a cell color: the zero value is the terminal default;
+// values 1..256 are the 256-color palette entries 0..255; RGB truecolor
+// sets the top bit.
+type Color uint32
+
+const (
+	// ColorDefault is the terminal's default foreground or background.
+	ColorDefault Color = 0
+	rgbBit             = Color(1) << 31
+)
+
+// PaletteColor returns the indexed palette color n (0..255).
+func PaletteColor(n uint8) Color { return Color(n) + 1 }
+
+// RGBColor returns a 24-bit truecolor value.
+func RGBColor(r, g, b uint8) Color {
+	return rgbBit | Color(r)<<16 | Color(g)<<8 | Color(b)
+}
+
+// IsRGB reports whether the color is a truecolor value.
+func (c Color) IsRGB() bool { return c&rgbBit != 0 }
+
+// Palette returns the palette index for an indexed color.
+func (c Color) Palette() uint8 { return uint8(c - 1) }
+
+// RGB returns the components of a truecolor value.
+func (c Color) RGB() (r, g, b uint8) {
+	return uint8(c >> 16), uint8(c >> 8), uint8(c)
+}
+
+// Renditions is the graphic state applied to printed characters (SGR).
+type Renditions struct {
+	Fg, Bg    Color
+	Bold      bool
+	Faint     bool
+	Italic    bool
+	Underline bool
+	Blink     bool
+	Inverse   bool
+	Invisible bool
+}
+
+// SGRReset is the default rendition.
+var SGRReset = Renditions{}
+
+// ANSIString returns the escape sequence that establishes r starting from
+// the default rendition (always beginning with a reset).
+func (r Renditions) ANSIString() string {
+	var b strings.Builder
+	b.WriteString("\x1b[0")
+	if r.Bold {
+		b.WriteString(";1")
+	}
+	if r.Faint {
+		b.WriteString(";2")
+	}
+	if r.Italic {
+		b.WriteString(";3")
+	}
+	if r.Underline {
+		b.WriteString(";4")
+	}
+	if r.Blink {
+		b.WriteString(";5")
+	}
+	if r.Inverse {
+		b.WriteString(";7")
+	}
+	if r.Invisible {
+		b.WriteString(";8")
+	}
+	writeColor := func(base int, c Color) {
+		switch {
+		case c == ColorDefault:
+		case c.IsRGB():
+			cr, cg, cb := c.RGB()
+			fmt.Fprintf(&b, ";%d;2;%d;%d;%d", base+8, cr, cg, cb)
+		case c.Palette() < 8:
+			fmt.Fprintf(&b, ";%d", base+int(c.Palette()))
+		default:
+			fmt.Fprintf(&b, ";%d;5;%d", base+8, c.Palette())
+		}
+	}
+	writeColor(30, r.Fg)
+	writeColor(40, r.Bg)
+	b.WriteString("m")
+	return b.String()
+}
+
+// Cell is one character cell of the screen.
+type Cell struct {
+	// Contents is the cell's grapheme: a base character plus any
+	// combining characters, UTF-8 encoded. Empty means blank.
+	Contents string
+	// Rend is the graphic rendition the cell was printed with.
+	Rend Renditions
+	// Wide marks the leading half of a double-width character; the cell
+	// to its right must be a blank continuation.
+	Wide bool
+	// wrap marks that the line soft-wrapped after this (last-column)
+	// cell; renderers and predictors use it to reflow correctly.
+	wrap bool
+}
+
+// Reset clears the cell to a blank with the given background.
+func (c *Cell) Reset(bg Renditions) {
+	*c = Cell{Rend: Renditions{Bg: bg.Bg}}
+}
+
+// IsBlank reports whether the cell shows nothing (empty or space with no
+// distinguishing rendition).
+func (c *Cell) IsBlank() bool {
+	return (c.Contents == "" || c.Contents == " ") && !c.Wide &&
+		c.Rend == Renditions{Bg: c.Rend.Bg} && c.Rend.Bg == ColorDefault
+}
+
+// Equal reports whether two cells render identically. The soft-wrap flag
+// is deliberately excluded: it is invisible, and screen diffs (which use
+// absolute cursor positioning) cannot reproduce it on the remote side.
+func (c *Cell) Equal(o *Cell) bool {
+	cc, oc := c.Contents, o.Contents
+	if cc == " " {
+		cc = ""
+	}
+	if oc == " " {
+		oc = ""
+	}
+	return cc == oc && c.Rend == o.Rend && c.Wide == o.Wide
+}
+
+// Wrapped reports whether the line soft-wrapped after this cell.
+func (c *Cell) Wrapped() bool { return c.wrap }
+
+// String renders the cell's visible contents (space when blank).
+func (c *Cell) String() string {
+	if c.Contents == "" {
+		return " "
+	}
+	return c.Contents
+}
+
+// RuneWidth reports the number of terminal columns r occupies: 0 for
+// combining marks, 2 for East Asian wide characters, 1 otherwise. The
+// table covers the ranges interactive programs actually emit.
+func RuneWidth(r rune) int {
+	switch {
+	case r == 0:
+		return 0
+	case r < 32 || (r >= 0x7f && r < 0xa0):
+		return 0 // control; never printed into cells
+	case isCombining(r):
+		return 0
+	case isWide(r):
+		return 2
+	default:
+		return 1
+	}
+}
+
+func isCombining(r rune) bool {
+	return (r >= 0x0300 && r <= 0x036f) || // combining diacritical marks
+		(r >= 0x1ab0 && r <= 0x1aff) ||
+		(r >= 0x1dc0 && r <= 0x1dff) ||
+		(r >= 0x20d0 && r <= 0x20ff) ||
+		(r >= 0xfe20 && r <= 0xfe2f) ||
+		r == 0x200d // zero-width joiner
+}
+
+func isWide(r rune) bool {
+	return (r >= 0x1100 && r <= 0x115f) || // Hangul Jamo
+		(r >= 0x2e80 && r <= 0x303e) || // CJK radicals, punctuation
+		(r >= 0x3041 && r <= 0x33ff) || // Hiragana..CJK compat
+		(r >= 0x3400 && r <= 0x4dbf) ||
+		(r >= 0x4e00 && r <= 0x9fff) || // CJK unified
+		(r >= 0xa000 && r <= 0xa4cf) ||
+		(r >= 0xac00 && r <= 0xd7a3) || // Hangul syllables
+		(r >= 0xf900 && r <= 0xfaff) ||
+		(r >= 0xfe30 && r <= 0xfe4f) ||
+		(r >= 0xff00 && r <= 0xff60) || // fullwidth forms
+		(r >= 0xffe0 && r <= 0xffe6) ||
+		(r >= 0x1f300 && r <= 0x1f9ff) || // emoji
+		(r >= 0x20000 && r <= 0x3fffd)
+}

@@ -1,0 +1,195 @@
+package terminal
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// NewFrame computes the byte string that, when interpreted by a terminal
+// currently displaying last, makes it display f. This is the server→client
+// "logical diff" of the paper: only what changed is sent, and intermediate
+// states are never represented. When initialized is false, last is ignored
+// and a full repaint is produced.
+//
+// The output is interpretable both by real terminals (the client's actual
+// display) and by this package's own Emulator (the client's synchronized
+// copy of the server screen): round-tripping a frame through Emulator
+// reproduces f exactly, which the test suite checks by property.
+func NewFrame(initialized bool, last, f *Framebuffer) []byte {
+	var out bytes.Buffer
+	var cur frameState
+
+	if !initialized || last == nil || last.W != f.W || last.H != f.H {
+		// Full repaint from a pristine screen.
+		out.WriteString("\x1b[0m\x1b[r\x1b[2J\x1b[H")
+		last = NewFramebuffer(f.W, f.H)
+		cur = frameState{row: 0, col: 0, rend: SGRReset}
+	} else {
+		cur = frameState{row: last.DS.CursorRow, col: last.DS.CursorCol, rend: SGRReset}
+		// Establish a known rendition before painting.
+		out.WriteString("\x1b[0m")
+	}
+
+	// Window title.
+	if f.Title != last.Title {
+		out.WriteString("\x1b]2;")
+		out.WriteString(f.Title)
+		out.WriteString("\a")
+	}
+
+	// Bell: ring once per increment.
+	if f.BellCount > last.BellCount {
+		for i := last.BellCount; i < f.BellCount; i++ {
+			out.WriteByte(0x07)
+		}
+	}
+
+	// Synchronized modes that affect the client's input handling or the
+	// whole display.
+	diffMode(&out, last.DS.ReverseVideo, f.DS.ReverseVideo, 5)
+	diffMode(&out, last.DS.ApplicationCursorKeys, f.DS.ApplicationCursorKeys, 1)
+	diffMode(&out, last.DS.BracketedPaste, f.DS.BracketedPaste, 2004)
+
+	// Hide the cursor while painting to avoid flicker on real terminals.
+	out.WriteString("\x1b[?25l")
+
+	// Scroll optimization: if the screen content moved up by k lines
+	// (the common "host printed at the bottom" case), scroll first so
+	// the surviving lines need no repainting.
+	lastRows := last.rows
+	if k := detectScroll(last, f); k > 0 {
+		fmt.Fprintf(&out, "\x1b[r\x1b[%dS", k)
+		shifted := make([]*Row, f.H)
+		copy(shifted, lastRows[k:])
+		for i := f.H - k; i < f.H; i++ {
+			shifted[i] = newRow(f.W, SGRReset)
+		}
+		lastRows = shifted
+	}
+
+	for y := 0; y < f.H; y++ {
+		paintRow(&out, &cur, y, lastRows[y], f.rows[y], f.W)
+	}
+
+	// Final cursor position, rendition and visibility.
+	fmt.Fprintf(&out, "\x1b[%d;%dH", f.DS.CursorRow+1, f.DS.CursorCol+1)
+	out.WriteString(f.DS.Rend.ANSIString())
+	if f.DS.CursorVisible {
+		out.WriteString("\x1b[?25h")
+	}
+	return out.Bytes()
+}
+
+// frameState tracks the remote terminal's cursor and rendition as our
+// emitted bytes move it.
+type frameState struct {
+	row, col int
+	// colValid is false when the remote cursor position is unknown
+	// (e.g. after printing into the last column).
+	colInvalid bool
+	rend       Renditions
+}
+
+func diffMode(out *bytes.Buffer, was, is bool, mode int) {
+	if was == is {
+		return
+	}
+	ch := byte('l')
+	if is {
+		ch = 'h'
+	}
+	fmt.Fprintf(out, "\x1b[?%d%c", mode, ch)
+}
+
+// detectScroll looks for a uniform upward shift: f's row i matching last's
+// row i+k by generation. Returns the shift k (0 when none is worthwhile).
+func detectScroll(last, f *Framebuffer) int {
+	bestK, bestMatches := 0, 0
+	for k := 1; k < f.H; k++ {
+		m := 0
+		for i := 0; i+k < f.H; i++ {
+			if f.rows[i].gen == last.rows[i+k].gen {
+				m++
+			}
+		}
+		if m > bestMatches {
+			bestMatches, bestK = m, k
+		}
+	}
+	if bestK > 0 && bestMatches >= (f.H-bestK+1)/2 && bestMatches > 0 {
+		return bestK
+	}
+	return 0
+}
+
+// paintRow emits the minimal update turning lastRow into row.
+func paintRow(out *bytes.Buffer, cur *frameState, y int, lastRow, row *Row, width int) {
+	if row.gen == lastRow.gen {
+		return
+	}
+	// Find the extent of trailing blankness for the erase optimization.
+	blankFrom := width
+	for blankFrom > 0 {
+		c := &row.Cells[blankFrom-1]
+		if !c.IsBlank() {
+			break
+		}
+		blankFrom--
+	}
+
+	x := 0
+	for x < width {
+		cell := &row.Cells[x]
+		lastCell := &lastRow.Cells[x]
+		if cell.Equal(lastCell) {
+			x++
+			continue
+		}
+		// Erase-to-end shortcut: everything from here on is blank in the
+		// target row.
+		if x >= blankFrom {
+			moveTo(out, cur, y, x)
+			setRend(out, cur, SGRReset)
+			out.WriteString("\x1b[K")
+			return
+		}
+		// A differing continuation cell of a wide character cannot be
+		// painted directly; repaint its leader, which regenerates it.
+		if cell.Contents == "" && x > 0 && row.Cells[x-1].Wide {
+			x--
+			cell = &row.Cells[x]
+		}
+		moveTo(out, cur, y, x)
+		setRend(out, cur, cell.Rend)
+		out.WriteString(cell.String())
+		w := 1
+		if cell.Wide {
+			w = 2
+		}
+		if x+w >= width {
+			// Wrote into the last column: remote pending-wrap state is
+			// ambiguous, so force an absolute move next time.
+			cur.colInvalid = true
+			x = width
+		} else {
+			cur.col = x + w
+			x += w
+		}
+	}
+}
+
+func moveTo(out *bytes.Buffer, cur *frameState, row, col int) {
+	if !cur.colInvalid && cur.row == row && cur.col == col {
+		return
+	}
+	fmt.Fprintf(out, "\x1b[%d;%dH", row+1, col+1)
+	cur.row, cur.col, cur.colInvalid = row, col, false
+}
+
+func setRend(out *bytes.Buffer, cur *frameState, r Renditions) {
+	if cur.rend == r {
+		return
+	}
+	out.WriteString(r.ANSIString())
+	cur.rend = r
+}

@@ -1,0 +1,502 @@
+package terminal
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Emulator interprets the host application's output byte stream onto a
+// Framebuffer. The server runs one as the authoritative screen; the client
+// runs another to apply SSP diffs; and the prediction engine consults the
+// same cell semantics to guess echo effects.
+type Emulator struct {
+	fb     *Framebuffer
+	parser Parser
+	// answerback accumulates terminal→host reports (cursor position,
+	// device attributes) for the server to feed back to the application.
+	answerback bytes.Buffer
+}
+
+// NewEmulator returns an emulator with a blank w×h screen.
+func NewEmulator(w, h int) *Emulator {
+	return &Emulator{fb: NewFramebuffer(w, h)}
+}
+
+// Framebuffer exposes the live screen state.
+func (e *Emulator) Framebuffer() *Framebuffer { return e.fb }
+
+// SetFramebuffer replaces the live screen state (used when applying a
+// resize that arrives via state sync).
+func (e *Emulator) SetFramebuffer(fb *Framebuffer) { e.fb = fb }
+
+// Write interprets host output, implementing io.Writer. It never fails;
+// unknown sequences are ignored like real terminals do.
+func (e *Emulator) Write(data []byte) (int, error) {
+	e.parser.Feed(data, e)
+	return len(data), nil
+}
+
+// WriteString interprets host output given as a string.
+func (e *Emulator) WriteString(s string) { e.Write([]byte(s)) }
+
+// Resize changes the screen dimensions (user resized their window).
+func (e *Emulator) Resize(w, h int) { e.fb.Resize(w, h) }
+
+// TakeAnswerback drains pending terminal→host responses.
+func (e *Emulator) TakeAnswerback() []byte {
+	if e.answerback.Len() == 0 {
+		return nil
+	}
+	out := bytes.Clone(e.answerback.Bytes())
+	e.answerback.Reset()
+	return out
+}
+
+// --- dispatcher implementation ---
+
+func (e *Emulator) print(r rune) {
+	fb := e.fb
+	ds := &fb.DS
+	width := RuneWidth(r)
+
+	if width == 0 {
+		// Combining character: attach to the previously printed cell.
+		row, col := ds.CursorRow, ds.CursorCol
+		if !ds.NextPrintWraps && col > 0 {
+			col--
+		}
+		if col > 0 && fb.Cell(row, col).Contents == "" && fb.Cell(row, col-1).Wide {
+			col--
+		}
+		c := fb.Cell(row, col)
+		if c.Contents != "" {
+			c.Contents += string(r)
+			fb.Row(row).touch()
+		}
+		return
+	}
+
+	// Deferred autowrap.
+	if ds.NextPrintWraps && ds.AutoWrapMode {
+		fb.Row(ds.CursorRow).Cells[fb.W-1].wrap = true
+		fb.Row(ds.CursorRow).touch()
+		ds.CursorCol = 0
+		ds.NextPrintWraps = false
+		e.lineFeed()
+	}
+
+	// A wide character that cannot fit in the last column wraps early.
+	if width == 2 && ds.CursorCol == fb.W-1 {
+		if ds.AutoWrapMode {
+			fb.Row(ds.CursorRow).Cells[fb.W-1].wrap = true
+			fb.Row(ds.CursorRow).touch()
+			ds.CursorCol = 0
+			e.lineFeed()
+		} else {
+			ds.CursorCol = fb.W - 2
+			if ds.CursorCol < 0 {
+				ds.CursorCol = 0
+			}
+		}
+	}
+
+	if ds.InsertMode {
+		fb.InsertCells(width)
+	}
+
+	row, col := ds.CursorRow, ds.CursorCol
+	// Overwriting the continuation half of a wide character destroys the
+	// leader too.
+	if col > 0 && fb.Cell(row, col-1).Wide {
+		lead := fb.Cell(row, col-1)
+		lead.Reset(lead.Rend)
+	}
+	c := fb.Cell(row, col)
+	c.Contents = string(r)
+	c.Rend = ds.Rend
+	c.Wide = width == 2
+	c.wrap = false
+	if width == 2 && col+1 < fb.W {
+		fb.Cell(row, col+1).Reset(ds.Rend)
+	}
+	fb.normalizeWide(row)
+	fb.Row(row).touch()
+
+	if col+width >= fb.W {
+		ds.CursorCol = fb.W - 1
+		ds.NextPrintWraps = true
+	} else {
+		ds.CursorCol = col + width
+		ds.NextPrintWraps = false
+	}
+}
+
+func (e *Emulator) lineFeed() {
+	fb := e.fb
+	if fb.DS.CursorRow == fb.DS.ScrollBottom {
+		fb.Scroll(1)
+	} else if fb.DS.CursorRow < fb.H-1 {
+		fb.DS.CursorRow++
+	}
+}
+
+func (e *Emulator) reverseLineFeed() {
+	fb := e.fb
+	if fb.DS.CursorRow == fb.DS.ScrollTop {
+		fb.Scroll(-1)
+	} else if fb.DS.CursorRow > 0 {
+		fb.DS.CursorRow--
+	}
+}
+
+func (e *Emulator) execute(b byte) {
+	fb := e.fb
+	switch b {
+	case 0x07: // BEL
+		fb.Ring()
+	case 0x08: // BS
+		if fb.DS.CursorCol > 0 {
+			fb.DS.CursorCol--
+		}
+		fb.DS.NextPrintWraps = false
+	case 0x09: // HT
+		fb.DS.CursorCol = fb.NextTab(fb.DS.CursorCol)
+		fb.DS.NextPrintWraps = false
+	case 0x0a, 0x0b, 0x0c: // LF VT FF
+		e.lineFeed()
+		fb.DS.NextPrintWraps = false
+	case 0x0d: // CR
+		fb.DS.CursorCol = 0
+		fb.DS.NextPrintWraps = false
+	case 0x0e, 0x0f: // SO/SI charset shifts: unsupported, ignored
+	}
+}
+
+func (e *Emulator) escDispatch(inter []byte, final byte) {
+	fb := e.fb
+	if len(inter) == 1 && inter[0] == '#' {
+		if final == '8' { // DECALN
+			for r := 0; r < fb.H; r++ {
+				for c := 0; c < fb.W; c++ {
+					cell := fb.Cell(r, c)
+					cell.Contents = "E"
+					cell.Rend = SGRReset
+					cell.Wide = false
+				}
+				fb.Row(r).touch()
+			}
+			fb.MoveCursor(0, 0)
+		}
+		return
+	}
+	if len(inter) == 1 && (inter[0] == '(' || inter[0] == ')') {
+		return // charset designation: only ASCII supported
+	}
+	switch final {
+	case '7':
+		fb.SaveCursor()
+	case '8':
+		fb.RestoreCursor()
+	case 'c':
+		fb.Reset()
+	case 'D': // IND
+		e.lineFeed()
+	case 'E': // NEL
+		fb.DS.CursorCol = 0
+		e.lineFeed()
+	case 'H': // HTS
+		fb.SetTab()
+	case 'M': // RI
+		e.reverseLineFeed()
+	case '=':
+		fb.DS.ApplicationKeypad = true
+	case '>':
+		fb.DS.ApplicationKeypad = false
+	}
+}
+
+// param fetches params[i], substituting def for missing or default (-1)
+// entries.
+func param(params []int, i, def int) int {
+	if i >= len(params) || params[i] < 0 {
+		return def
+	}
+	return params[i]
+}
+
+func (e *Emulator) csiDispatch(private byte, params []int, inter []byte, final byte) {
+	if private == '?' {
+		switch final {
+		case 'h':
+			e.decMode(params, true)
+		case 'l':
+			e.decMode(params, false)
+		}
+		return
+	}
+	if private != 0 || len(inter) > 0 {
+		return // unsupported private/intermediate sequences
+	}
+	fb := e.fb
+	ds := &fb.DS
+	n := param(params, 0, 1)
+	if n < 1 {
+		n = 1
+	}
+	switch final {
+	case '@': // ICH
+		fb.InsertCells(n)
+	case 'A': // CUU
+		fb.MoveCursor(ds.CursorRow-n, ds.CursorCol)
+	case 'B', 'e': // CUD, VPR
+		fb.MoveCursor(ds.CursorRow+n, ds.CursorCol)
+	case 'C', 'a': // CUF, HPR
+		fb.MoveCursor(ds.CursorRow, ds.CursorCol+n)
+	case 'D': // CUB
+		fb.MoveCursor(ds.CursorRow, ds.CursorCol-n)
+	case 'E': // CNL
+		fb.MoveCursor(ds.CursorRow+n, 0)
+	case 'F': // CPL
+		fb.MoveCursor(ds.CursorRow-n, 0)
+	case 'G', '`': // CHA, HPA
+		fb.MoveCursor(ds.CursorRow, param(params, 0, 1)-1)
+	case 'H', 'f': // CUP, HVP
+		e.cursorPosition(param(params, 0, 1), param(params, 1, 1))
+	case 'I': // CHT
+		for i := 0; i < n; i++ {
+			ds.CursorCol = fb.NextTab(ds.CursorCol)
+		}
+		ds.NextPrintWraps = false
+	case 'J': // ED
+		fb.EraseInDisplay(param(params, 0, 0))
+	case 'K': // EL
+		fb.EraseInLine(param(params, 0, 0))
+	case 'L': // IL
+		fb.InsertLines(n)
+	case 'M': // DL
+		fb.DeleteLines(n)
+	case 'P': // DCH
+		fb.DeleteCells(n)
+	case 'S': // SU
+		fb.Scroll(n)
+	case 'T': // SD
+		fb.Scroll(-n)
+	case 'X': // ECH
+		fb.eraseCells(ds.CursorRow, ds.CursorCol, ds.CursorCol+n)
+	case 'Z': // CBT
+		for i := 0; i < n; i++ {
+			ds.CursorCol = fb.PrevTab(ds.CursorCol)
+		}
+		ds.NextPrintWraps = false
+	case 'b': // REP: repeat preceding graphic character
+		e.repeatLast(n)
+	case 'c': // DA
+		e.answerback.WriteString("\x1b[?62c")
+	case 'd': // VPA
+		fb.MoveCursor(param(params, 0, 1)-1, ds.CursorCol)
+	case 'g': // TBC
+		switch param(params, 0, 0) {
+		case 0:
+			fb.ClearTab()
+		case 3:
+			fb.ClearAllTabs()
+		}
+	case 'h':
+		e.ansiMode(params, true)
+	case 'l':
+		e.ansiMode(params, false)
+	case 'm':
+		e.selectGraphicRendition(params)
+	case 'n': // DSR
+		switch param(params, 0, 0) {
+		case 5:
+			e.answerback.WriteString("\x1b[0n")
+		case 6:
+			row, col := ds.CursorRow+1, ds.CursorCol+1
+			if ds.OriginMode {
+				row -= ds.ScrollTop
+			}
+			fmt.Fprintf(&e.answerback, "\x1b[%d;%dR", row, col)
+		}
+	case 'r': // DECSTBM
+		top := param(params, 0, 1) - 1
+		bottom := param(params, 1, fb.H) - 1
+		fb.SetScrollingRegion(top, bottom)
+		e.cursorPosition(1, 1)
+	case 's': // SCOSC
+		fb.SaveCursor()
+	case 'u': // SCORC
+		fb.RestoreCursor()
+	}
+}
+
+// cursorPosition implements CUP with origin-mode translation (1-based
+// parameters).
+func (e *Emulator) cursorPosition(row, col int) {
+	fb := e.fb
+	r := row - 1
+	if fb.DS.OriginMode {
+		r += fb.DS.ScrollTop
+		r = clamp(r, fb.DS.ScrollTop, fb.DS.ScrollBottom)
+	}
+	fb.MoveCursor(r, col-1)
+}
+
+// repeatLast implements REP by reprinting the cell left of the cursor.
+func (e *Emulator) repeatLast(n int) {
+	fb := e.fb
+	col := fb.DS.CursorCol
+	if fb.DS.NextPrintWraps {
+		col = fb.W - 1
+	} else if col > 0 {
+		col--
+	} else {
+		return
+	}
+	contents := fb.Cell(fb.DS.CursorRow, col).Contents
+	if contents == "" {
+		return
+	}
+	r := []rune(contents)[0]
+	if n > fb.W {
+		n = fb.W
+	}
+	for i := 0; i < n; i++ {
+		e.print(r)
+	}
+}
+
+func (e *Emulator) ansiMode(params []int, set bool) {
+	for i := range params {
+		switch param(params, i, -1) {
+		case 4: // IRM
+			e.fb.DS.InsertMode = set
+		}
+	}
+}
+
+func (e *Emulator) decMode(params []int, set bool) {
+	fb := e.fb
+	for i := range params {
+		switch param(params, i, -1) {
+		case 1: // DECCKM
+			fb.DS.ApplicationCursorKeys = set
+		case 3: // DECCOLM: column-mode switch clears the screen
+			fb.EraseInDisplay(2)
+			fb.MoveCursor(0, 0)
+		case 5: // DECSCNM
+			fb.DS.ReverseVideo = set
+		case 6: // DECOM
+			fb.DS.OriginMode = set
+			e.cursorPosition(1, 1)
+		case 7: // DECAWM
+			fb.DS.AutoWrapMode = set
+		case 25: // DECTCEM
+			fb.DS.CursorVisible = set
+		case 47, 1047, 1049:
+			// Alternate screen: SSP synchronizes a single screen, so
+			// (like the reference implementation) we approximate with
+			// save/clear on entry and clear/restore on exit.
+			if set {
+				fb.SaveCursor()
+				fb.EraseInDisplay(2)
+			} else {
+				fb.EraseInDisplay(2)
+				fb.RestoreCursor()
+			}
+		case 2004:
+			fb.DS.BracketedPaste = set
+		}
+	}
+}
+
+func (e *Emulator) selectGraphicRendition(params []int) {
+	ds := &e.fb.DS
+	if len(params) == 0 {
+		ds.Rend = SGRReset
+		return
+	}
+	for i := 0; i < len(params); i++ {
+		p := param(params, i, 0)
+		switch {
+		case p == 0:
+			ds.Rend = SGRReset
+		case p == 1:
+			ds.Rend.Bold = true
+		case p == 2:
+			ds.Rend.Faint = true
+		case p == 3:
+			ds.Rend.Italic = true
+		case p == 4:
+			ds.Rend.Underline = true
+		case p == 5 || p == 6:
+			ds.Rend.Blink = true
+		case p == 7:
+			ds.Rend.Inverse = true
+		case p == 8:
+			ds.Rend.Invisible = true
+		case p == 21 || p == 22:
+			ds.Rend.Bold, ds.Rend.Faint = false, false
+		case p == 23:
+			ds.Rend.Italic = false
+		case p == 24:
+			ds.Rend.Underline = false
+		case p == 25:
+			ds.Rend.Blink = false
+		case p == 27:
+			ds.Rend.Inverse = false
+		case p == 28:
+			ds.Rend.Invisible = false
+		case p >= 30 && p <= 37:
+			ds.Rend.Fg = PaletteColor(uint8(p - 30))
+		case p == 38:
+			if c, skip, ok := extendedColor(params, i); ok {
+				ds.Rend.Fg = c
+				i += skip
+			} else {
+				return
+			}
+		case p == 39:
+			ds.Rend.Fg = ColorDefault
+		case p >= 40 && p <= 47:
+			ds.Rend.Bg = PaletteColor(uint8(p - 40))
+		case p == 48:
+			if c, skip, ok := extendedColor(params, i); ok {
+				ds.Rend.Bg = c
+				i += skip
+			} else {
+				return
+			}
+		case p == 49:
+			ds.Rend.Bg = ColorDefault
+		case p >= 90 && p <= 97:
+			ds.Rend.Fg = PaletteColor(uint8(p - 90 + 8))
+		case p >= 100 && p <= 107:
+			ds.Rend.Bg = PaletteColor(uint8(p - 100 + 8))
+		}
+	}
+}
+
+// extendedColor parses the 38/48 extended color forms: ;5;n (palette) and
+// ;2;r;g;b (truecolor). It returns the color, how many params to skip, and
+// whether parsing succeeded.
+func extendedColor(params []int, i int) (Color, int, bool) {
+	switch param(params, i+1, -1) {
+	case 5:
+		n := param(params, i+2, 0)
+		return PaletteColor(uint8(clamp(n, 0, 255))), 2, true
+	case 2:
+		r := clamp(param(params, i+2, 0), 0, 255)
+		g := clamp(param(params, i+3, 0), 0, 255)
+		b := clamp(param(params, i+4, 0), 0, 255)
+		return RGBColor(uint8(r), uint8(g), uint8(b)), 4, true
+	}
+	return ColorDefault, 0, false
+}
+
+func (e *Emulator) oscDispatch(data []byte) {
+	// OSC 0/1/2 set the window title.
+	if len(data) >= 2 && (data[0] == '0' || data[0] == '1' || data[0] == '2') && data[1] == ';' {
+		e.fb.Title = string(data[2:])
+	}
+}

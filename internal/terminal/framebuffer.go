@@ -1,0 +1,544 @@
+package terminal
+
+// Row is one screen line. Its generation number changes on every
+// modification and is preserved across clones, so two rows with equal gen
+// are guaranteed identical — the renderer uses this to detect scrolls and
+// skip unchanged lines without comparing cells.
+type Row struct {
+	Cells []Cell
+	gen   uint64
+}
+
+var rowGenCounter uint64
+
+func nextGen() uint64 {
+	rowGenCounter++
+	return rowGenCounter
+}
+
+func newRow(width int, bg Renditions) *Row {
+	r := &Row{Cells: make([]Cell, width), gen: nextGen()}
+	for i := range r.Cells {
+		r.Cells[i].Reset(bg)
+	}
+	return r
+}
+
+// Gen returns the row's generation number.
+func (r *Row) Gen() uint64 { return r.gen }
+
+// Touch marks the row modified, invalidating generation-based equality.
+// Overlay code uses it after writing cells directly.
+func (r *Row) Touch() { r.touch() }
+
+// touch marks the row modified.
+func (r *Row) touch() { r.gen = nextGen() }
+
+func (r *Row) clone() *Row {
+	nr := &Row{Cells: make([]Cell, len(r.Cells)), gen: r.gen}
+	copy(nr.Cells, r.Cells)
+	return nr
+}
+
+func (r *Row) equal(o *Row) bool {
+	if r.gen == o.gen {
+		return true
+	}
+	if len(r.Cells) != len(o.Cells) {
+		return false
+	}
+	for i := range r.Cells {
+		if !r.Cells[i].Equal(&o.Cells[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// DrawState is the non-grid portion of terminal state: cursor, modes,
+// scrolling region, tab stops and the active rendition.
+type DrawState struct {
+	CursorRow, CursorCol int
+	// NextPrintWraps is the deferred-autowrap flag: set when a character
+	// lands in the last column, so the *next* printed character wraps.
+	NextPrintWraps bool
+
+	Tabs []bool
+
+	// ScrollTop/ScrollBottom delimit the scrolling region, inclusive.
+	ScrollTop, ScrollBottom int
+
+	Rend Renditions
+
+	savedCursorSet        bool
+	SavedCursorRow        int
+	SavedCursorCol        int
+	SavedRend             Renditions
+	SavedOriginMode       bool
+	InsertMode            bool
+	OriginMode            bool
+	AutoWrapMode          bool
+	CursorVisible         bool
+	ReverseVideo          bool
+	ApplicationCursorKeys bool
+	ApplicationKeypad     bool
+	BracketedPaste        bool
+}
+
+func defaultTabs(width int) []bool {
+	t := make([]bool, width)
+	for i := 8; i < width; i += 8 {
+		t[i] = true
+	}
+	return t
+}
+
+// Framebuffer is the complete screen state synchronized between server and
+// client: the cell grid, draw state, window title, bell count and the
+// "echo ack" the prediction engine relies on (§3.2).
+type Framebuffer struct {
+	W, H int
+	rows []*Row
+	DS   DrawState
+
+	Title string
+	// BellCount increments on BEL so the client can ring locally.
+	BellCount uint64
+	// EchoAck is the count of user-input bytes that have been presented
+	// to the host application for at least the server's echo timeout
+	// (50 ms), so their effects ought to be visible in this frame.
+	EchoAck uint64
+
+	// scrollback holds lines scrolled off the top of the screen, oldest
+	// first. It is local state — the paper lists scrollback browsing as
+	// future work, and by construction the client's copy fills up
+	// naturally as it applies the server's scroll diffs. It is excluded
+	// from Clone and Equal (it is not synchronized).
+	scrollback    []*Row
+	scrollbackMax int
+}
+
+// DefaultScrollbackLimit bounds the local history.
+const DefaultScrollbackLimit = 1000
+
+// NewFramebuffer returns a blank w×h screen.
+func NewFramebuffer(w, h int) *Framebuffer {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	f := &Framebuffer{W: w, H: h}
+	f.rows = make([]*Row, h)
+	for i := range f.rows {
+		f.rows[i] = newRow(w, SGRReset)
+	}
+	f.DS = DrawState{
+		Tabs:          defaultTabs(w),
+		ScrollBottom:  h - 1,
+		AutoWrapMode:  true,
+		CursorVisible: true,
+	}
+	return f
+}
+
+// Clone deep-copies the framebuffer; row generations are preserved.
+// Scrollback is carried over as a shallow copy: scrolled-off rows are
+// never mutated again, and the state-sync receiver reconstructs each new
+// state from a clone of the previous one, so history accumulates across
+// the chain.
+func (f *Framebuffer) Clone() *Framebuffer {
+	nf := &Framebuffer{
+		W: f.W, H: f.H, DS: f.DS, Title: f.Title, BellCount: f.BellCount, EchoAck: f.EchoAck,
+		scrollbackMax: f.scrollbackMax,
+	}
+	nf.DS.Tabs = append([]bool(nil), f.DS.Tabs...)
+	nf.rows = make([]*Row, len(f.rows))
+	for i, r := range f.rows {
+		nf.rows[i] = r.clone()
+	}
+	nf.scrollback = append([]*Row(nil), f.scrollback...)
+	return nf
+}
+
+// Equal reports whether two framebuffers render identically and carry the
+// same synchronized metadata.
+func (f *Framebuffer) Equal(o *Framebuffer) bool {
+	if f.W != o.W || f.H != o.H || f.Title != o.Title ||
+		f.BellCount != o.BellCount || f.EchoAck != o.EchoAck {
+		return false
+	}
+	if f.DS.CursorRow != o.DS.CursorRow || f.DS.CursorCol != o.DS.CursorCol ||
+		f.DS.CursorVisible != o.DS.CursorVisible ||
+		f.DS.ReverseVideo != o.DS.ReverseVideo ||
+		f.DS.ApplicationCursorKeys != o.DS.ApplicationCursorKeys ||
+		f.DS.BracketedPaste != o.DS.BracketedPaste {
+		return false
+	}
+	for i := range f.rows {
+		if !f.rows[i].equal(o.rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Row returns row i (0-based).
+func (f *Framebuffer) Row(i int) *Row { return f.rows[i] }
+
+// Cell returns the cell at (row, col).
+func (f *Framebuffer) Cell(row, col int) *Cell {
+	return &f.rows[row].Cells[col]
+}
+
+// Text returns the visible contents of row i as a string (for tests and
+// examples).
+func (f *Framebuffer) Text(i int) string {
+	var s []byte
+	for c := range f.rows[i].Cells {
+		s = append(s, f.rows[i].Cells[c].String()...)
+	}
+	return string(s)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// MoveCursor positions the cursor, clamping to the screen (and to the
+// scrolling region when origin mode is on). Coordinates are 0-based and
+// absolute; origin-mode translation happens in the emulator.
+func (f *Framebuffer) MoveCursor(row, col int) {
+	f.DS.CursorRow = clamp(row, 0, f.H-1)
+	f.DS.CursorCol = clamp(col, 0, f.W-1)
+	f.DS.NextPrintWraps = false
+}
+
+// touchCursorRow marks the cursor's row modified.
+func (f *Framebuffer) touchCursorRow() { f.rows[f.DS.CursorRow].touch() }
+
+// eraseCells blanks cols [from, to) of row with the current background.
+func (f *Framebuffer) eraseCells(row, from, to int) {
+	r := f.rows[row]
+	from = clamp(from, 0, f.W)
+	to = clamp(to, 0, f.W)
+	if from >= to {
+		return
+	}
+	for i := from; i < to; i++ {
+		r.Cells[i].Reset(f.DS.Rend)
+	}
+	f.normalizeWide(row)
+	r.touch()
+}
+
+// normalizeWide repairs the wide-character invariant on a row after any
+// cell-level mutation: a wide leader never sits in the last column, and
+// its continuation cell is always a blank carrying the leader's
+// background. The display renderer relies on this invariant — it lets a
+// repaint of the leader deterministically regenerate the continuation, so
+// screen diffs always converge.
+func (f *Framebuffer) normalizeWide(row int) {
+	r := f.rows[row]
+	for col := 0; col < f.W; col++ {
+		c := &r.Cells[col]
+		if !c.Wide {
+			continue
+		}
+		if col == f.W-1 {
+			c.Reset(c.Rend)
+			continue
+		}
+		want := Cell{Rend: Renditions{Bg: c.Rend.Bg}}
+		if r.Cells[col+1] != want {
+			r.Cells[col+1] = want
+		}
+		col++ // skip the continuation we just fixed
+	}
+}
+
+// EraseInLine implements EL: mode 0 erases cursor→end, 1 start→cursor
+// (inclusive), 2 the whole line.
+func (f *Framebuffer) EraseInLine(mode int) {
+	row, col := f.DS.CursorRow, f.DS.CursorCol
+	switch mode {
+	case 0:
+		f.eraseCells(row, col, f.W)
+	case 1:
+		f.eraseCells(row, 0, col+1)
+	case 2:
+		f.eraseCells(row, 0, f.W)
+	}
+}
+
+// EraseInDisplay implements ED: mode 0 erases cursor→end of screen, 1
+// start→cursor, 2 whole screen.
+func (f *Framebuffer) EraseInDisplay(mode int) {
+	row := f.DS.CursorRow
+	switch mode {
+	case 0:
+		f.EraseInLine(0)
+		for i := row + 1; i < f.H; i++ {
+			f.eraseCells(i, 0, f.W)
+		}
+	case 1:
+		for i := 0; i < row; i++ {
+			f.eraseCells(i, 0, f.W)
+		}
+		f.EraseInLine(1)
+	case 2:
+		for i := 0; i < f.H; i++ {
+			f.eraseCells(i, 0, f.W)
+		}
+	}
+}
+
+// Scroll moves the scrolling region up by n lines (down when n < 0),
+// filling vacated lines with the current background.
+func (f *Framebuffer) Scroll(n int) {
+	top, bot := f.DS.ScrollTop, f.DS.ScrollBottom
+	height := bot - top + 1
+	if n > height {
+		n = height
+	}
+	if -n > height {
+		n = -height
+	}
+	switch {
+	case n > 0:
+		// Lines leaving the top of a full-width scroll enter the local
+		// scrollback history.
+		if top == 0 {
+			for i := 0; i < n; i++ {
+				f.pushScrollback(f.rows[i])
+			}
+		}
+		copy(f.rows[top:], f.rows[top+n:bot+1])
+		for i := bot - n + 1; i <= bot; i++ {
+			f.rows[i] = newRow(f.W, f.DS.Rend)
+		}
+	case n < 0:
+		n = -n
+		copy(f.rows[top+n:bot+1], f.rows[top:])
+		for i := top; i < top+n; i++ {
+			f.rows[i] = newRow(f.W, f.DS.Rend)
+		}
+	}
+}
+
+// InsertLines implements IL at the cursor row (within the scroll region).
+func (f *Framebuffer) InsertLines(n int) {
+	row := f.DS.CursorRow
+	if row < f.DS.ScrollTop || row > f.DS.ScrollBottom {
+		return
+	}
+	savedTop := f.DS.ScrollTop
+	f.DS.ScrollTop = row
+	f.Scroll(-n)
+	f.DS.ScrollTop = savedTop
+}
+
+// DeleteLines implements DL at the cursor row (within the scroll region).
+func (f *Framebuffer) DeleteLines(n int) {
+	row := f.DS.CursorRow
+	if row < f.DS.ScrollTop || row > f.DS.ScrollBottom {
+		return
+	}
+	savedTop := f.DS.ScrollTop
+	f.DS.ScrollTop = row
+	f.Scroll(n)
+	f.DS.ScrollTop = savedTop
+}
+
+// InsertCells implements ICH: shift cells right from the cursor, dropping
+// overflow, blanking the gap.
+func (f *Framebuffer) InsertCells(n int) {
+	row, col := f.DS.CursorRow, f.DS.CursorCol
+	if n > f.W-col {
+		n = f.W - col
+	}
+	if n <= 0 {
+		return
+	}
+	r := f.rows[row]
+	copy(r.Cells[col+n:], r.Cells[col:f.W-n])
+	for i := col; i < col+n; i++ {
+		r.Cells[i].Reset(f.DS.Rend)
+	}
+	f.normalizeWide(row)
+	r.touch()
+}
+
+// DeleteCells implements DCH: shift cells left into the cursor, blanking
+// the tail.
+func (f *Framebuffer) DeleteCells(n int) {
+	row, col := f.DS.CursorRow, f.DS.CursorCol
+	if n > f.W-col {
+		n = f.W - col
+	}
+	if n <= 0 {
+		return
+	}
+	r := f.rows[row]
+	copy(r.Cells[col:], r.Cells[col+n:])
+	for i := f.W - n; i < f.W; i++ {
+		r.Cells[i].Reset(f.DS.Rend)
+	}
+	f.normalizeWide(row)
+	r.touch()
+}
+
+// Resize changes the screen size, preserving as much content as possible
+// (top-left anchored, like the reference implementation).
+func (f *Framebuffer) Resize(w, h int) {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	if w == f.W && h == f.H {
+		return
+	}
+	rows := make([]*Row, h)
+	for i := 0; i < h; i++ {
+		r := newRow(w, SGRReset)
+		if i < f.H {
+			src := f.rows[i]
+			n := copy(r.Cells, src.Cells)
+			// A surviving wide cell split at the boundary becomes blank.
+			if n > 0 && r.Cells[n-1].Wide && n == w {
+				r.Cells[n-1].Reset(SGRReset)
+			}
+		}
+		rows[i] = r
+	}
+	f.rows = rows
+	f.W, f.H = w, h
+	f.DS.Tabs = defaultTabs(w)
+	f.DS.ScrollTop = 0
+	f.DS.ScrollBottom = h - 1
+	f.DS.CursorRow = clamp(f.DS.CursorRow, 0, h-1)
+	f.DS.CursorCol = clamp(f.DS.CursorCol, 0, w-1)
+	f.DS.NextPrintWraps = false
+}
+
+// SetScrollingRegion implements DECSTBM with 0-based inclusive bounds.
+func (f *Framebuffer) SetScrollingRegion(top, bottom int) {
+	top = clamp(top, 0, f.H-1)
+	bottom = clamp(bottom, 0, f.H-1)
+	if top >= bottom {
+		// Invalid region resets to full screen, per DEC behavior.
+		top, bottom = 0, f.H-1
+	}
+	f.DS.ScrollTop, f.DS.ScrollBottom = top, bottom
+}
+
+// SaveCursor implements DECSC.
+func (f *Framebuffer) SaveCursor() {
+	f.DS.savedCursorSet = true
+	f.DS.SavedCursorRow = f.DS.CursorRow
+	f.DS.SavedCursorCol = f.DS.CursorCol
+	f.DS.SavedRend = f.DS.Rend
+	f.DS.SavedOriginMode = f.DS.OriginMode
+}
+
+// RestoreCursor implements DECRC.
+func (f *Framebuffer) RestoreCursor() {
+	if !f.DS.savedCursorSet {
+		f.MoveCursor(0, 0)
+		f.DS.Rend = SGRReset
+		return
+	}
+	f.DS.Rend = f.DS.SavedRend
+	f.DS.OriginMode = f.DS.SavedOriginMode
+	f.MoveCursor(f.DS.SavedCursorRow, f.DS.SavedCursorCol)
+}
+
+// Reset implements RIS: back to the power-on state at the current size.
+func (f *Framebuffer) Reset() {
+	*f = *NewFramebuffer(f.W, f.H)
+}
+
+// SetTab sets a tab stop at the cursor column.
+func (f *Framebuffer) SetTab() { f.DS.Tabs[f.DS.CursorCol] = true }
+
+// ClearTab clears a tab stop at the cursor column.
+func (f *Framebuffer) ClearTab() { f.DS.Tabs[f.DS.CursorCol] = false }
+
+// ClearAllTabs removes every tab stop.
+func (f *Framebuffer) ClearAllTabs() {
+	for i := range f.DS.Tabs {
+		f.DS.Tabs[i] = false
+	}
+}
+
+// NextTab returns the next tab stop strictly after col (or the last
+// column).
+func (f *Framebuffer) NextTab(col int) int {
+	for i := col + 1; i < f.W; i++ {
+		if f.DS.Tabs[i] {
+			return i
+		}
+	}
+	return f.W - 1
+}
+
+// PrevTab returns the previous tab stop strictly before col (or 0).
+func (f *Framebuffer) PrevTab(col int) int {
+	for i := col - 1; i > 0; i-- {
+		if f.DS.Tabs[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// Ring increments the synchronized bell counter.
+func (f *Framebuffer) Ring() { f.BellCount++ }
+
+func (f *Framebuffer) pushScrollback(r *Row) {
+	max := f.scrollbackMax
+	if max == 0 {
+		max = DefaultScrollbackLimit
+	}
+	if max < 0 {
+		return // history disabled
+	}
+	f.scrollback = append(f.scrollback, r)
+	if len(f.scrollback) > max {
+		f.scrollback = append(f.scrollback[:0], f.scrollback[len(f.scrollback)-max:]...)
+	}
+}
+
+// SetScrollbackLimit bounds the local history; negative disables and
+// discards it.
+func (f *Framebuffer) SetScrollbackLimit(n int) {
+	f.scrollbackMax = n
+	if n < 0 {
+		f.scrollback = nil
+		return
+	}
+	if len(f.scrollback) > n {
+		f.scrollback = append(f.scrollback[:0], f.scrollback[len(f.scrollback)-n:]...)
+	}
+}
+
+// ScrollbackLines reports how many history lines are held.
+func (f *Framebuffer) ScrollbackLines() int { return len(f.scrollback) }
+
+// ScrollbackText returns history line i (0 = oldest).
+func (f *Framebuffer) ScrollbackText(i int) string {
+	var s []byte
+	for c := range f.scrollback[i].Cells {
+		s = append(s, f.scrollback[i].Cells[c].String()...)
+	}
+	return string(s)
+}

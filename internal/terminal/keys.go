@@ -1,0 +1,105 @@
+package terminal
+
+import "unicode/utf8"
+
+// SpecialKey identifies a non-character key on the user's keyboard. The
+// client encodes these to the byte sequences the host application expects,
+// honoring the synchronized terminal modes (application cursor keys).
+type SpecialKey int
+
+// Special keys supported by the encoder.
+const (
+	KeyNone SpecialKey = iota
+	KeyUp
+	KeyDown
+	KeyRight
+	KeyLeft
+	KeyHome
+	KeyEnd
+	KeyInsert
+	KeyDelete
+	KeyPageUp
+	KeyPageDown
+	KeyF1
+	KeyF2
+	KeyF3
+	KeyF4
+	KeyF5
+	KeyF6
+	KeyF7
+	KeyF8
+	KeyF9
+	KeyF10
+	KeyF11
+	KeyF12
+)
+
+// EncodeRune encodes an ordinary character keystroke as the bytes sent to
+// the host (UTF-8).
+func EncodeRune(r rune) []byte {
+	buf := make([]byte, 4)
+	n := utf8.EncodeRune(buf, r)
+	return buf[:n]
+}
+
+// EncodeSpecial encodes a special key. applicationCursor selects the DECCKM
+// encoding (SS3) for the arrow and home/end keys, as synchronized from the
+// server's terminal state.
+func EncodeSpecial(k SpecialKey, applicationCursor bool) []byte {
+	cursor := func(ch byte) []byte {
+		if applicationCursor {
+			return []byte{0x1b, 'O', ch}
+		}
+		return []byte{0x1b, '[', ch}
+	}
+	tilde := func(n string) []byte {
+		return append(append([]byte{0x1b, '['}, n...), '~')
+	}
+	switch k {
+	case KeyUp:
+		return cursor('A')
+	case KeyDown:
+		return cursor('B')
+	case KeyRight:
+		return cursor('C')
+	case KeyLeft:
+		return cursor('D')
+	case KeyHome:
+		return cursor('H')
+	case KeyEnd:
+		return cursor('F')
+	case KeyInsert:
+		return tilde("2")
+	case KeyDelete:
+		return tilde("3")
+	case KeyPageUp:
+		return tilde("5")
+	case KeyPageDown:
+		return tilde("6")
+	case KeyF1:
+		return []byte{0x1b, 'O', 'P'}
+	case KeyF2:
+		return []byte{0x1b, 'O', 'Q'}
+	case KeyF3:
+		return []byte{0x1b, 'O', 'R'}
+	case KeyF4:
+		return []byte{0x1b, 'O', 'S'}
+	case KeyF5:
+		return tilde("15")
+	case KeyF6:
+		return tilde("17")
+	case KeyF7:
+		return tilde("18")
+	case KeyF8:
+		return tilde("19")
+	case KeyF9:
+		return tilde("20")
+	case KeyF10:
+		return tilde("21")
+	case KeyF11:
+		return tilde("23")
+	case KeyF12:
+		return tilde("24")
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package transport
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// protocolVersion identifies this wire format.
+const protocolVersion = 2
+
+// Instruction is the transport layer's only message: a self-contained
+// statement that "state NewNum is state OldNum plus this diff", along with
+// acknowledgment (AckNum: the newest remote state we have received) and
+// history trimming (ThrowawayNum: the receiver may discard every state
+// numbered below it, because the sender will never again diff from them).
+type Instruction struct {
+	ProtocolVersion uint8
+	OldNum          uint64
+	NewNum          uint64
+	AckNum          uint64
+	ThrowawayNum    uint64
+	Diff            []byte
+}
+
+var (
+	// ErrBadInstruction marks a syntactically invalid instruction.
+	ErrBadInstruction = errors.New("transport: malformed instruction")
+	// ErrVersion marks an instruction from an incompatible peer.
+	ErrVersion = errors.New("transport: unsupported protocol version")
+)
+
+// marshal encodes the instruction: version byte, four uvarints, then the
+// raw diff to the end of the buffer.
+func (inst *Instruction) marshal() []byte {
+	buf := make([]byte, 0, 1+4*binary.MaxVarintLen64+len(inst.Diff))
+	buf = append(buf, inst.ProtocolVersion)
+	buf = binary.AppendUvarint(buf, inst.OldNum)
+	buf = binary.AppendUvarint(buf, inst.NewNum)
+	buf = binary.AppendUvarint(buf, inst.AckNum)
+	buf = binary.AppendUvarint(buf, inst.ThrowawayNum)
+	buf = append(buf, inst.Diff...)
+	return buf
+}
+
+// unmarshalInstruction decodes a buffer produced by marshal.
+func unmarshalInstruction(b []byte) (*Instruction, error) {
+	if len(b) < 5 {
+		return nil, ErrBadInstruction
+	}
+	inst := &Instruction{ProtocolVersion: b[0]}
+	if inst.ProtocolVersion != protocolVersion {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, inst.ProtocolVersion)
+	}
+	rest := b[1:]
+	for _, dst := range []*uint64{&inst.OldNum, &inst.NewNum, &inst.AckNum, &inst.ThrowawayNum} {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, ErrBadInstruction
+		}
+		*dst = v
+		rest = rest[n:]
+	}
+	inst.Diff = rest
+	return inst, nil
+}
+
+// Compression. Like the reference implementation, instructions are
+// zlib-compressed before fragmentation when that actually helps (screen
+// repaints are full of runs and repeated escape sequences). A one-byte
+// flag distinguishes the encodings.
+
+const (
+	encodingRaw  = 0
+	encodingZlib = 1
+	// compressThreshold skips compression for tiny instructions
+	// (keystrokes, acks) where the zlib header would only add bytes.
+	compressThreshold = 64
+	// maxDecompressed bounds decompression output defensively.
+	maxDecompressed = 16 << 20
+)
+
+// encodeInstruction marshals and, when profitable, compresses.
+func encodeInstruction(inst *Instruction) []byte {
+	raw := inst.marshal()
+	if len(raw) >= compressThreshold {
+		var z bytes.Buffer
+		z.WriteByte(encodingZlib)
+		w := zlib.NewWriter(&z)
+		w.Write(raw)
+		w.Close()
+		if z.Len() < len(raw)+1 {
+			return z.Bytes()
+		}
+	}
+	return append([]byte{encodingRaw}, raw...)
+}
+
+// decodeInstruction reverses encodeInstruction.
+func decodeInstruction(buf []byte) (*Instruction, error) {
+	if len(buf) < 1 {
+		return nil, ErrBadInstruction
+	}
+	switch buf[0] {
+	case encodingRaw:
+		return unmarshalInstruction(buf[1:])
+	case encodingZlib:
+		r, err := zlib.NewReader(bytes.NewReader(buf[1:]))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInstruction, err)
+		}
+		defer r.Close()
+		raw, err := io.ReadAll(io.LimitReader(r, maxDecompressed))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInstruction, err)
+		}
+		return unmarshalInstruction(raw)
+	default:
+		return nil, ErrBadInstruction
+	}
+}
+
+// Fragmentation. An instruction larger than the MTU is split into numbered
+// fragments sharing an instruction id; the last fragment carries a final
+// bit. Fragments of a newer instruction abandon any partial older one —
+// SSP never needs the old instruction because a newer diff supersedes it.
+
+const (
+	fragmentHeaderLen = 8 + 2
+	finalFragmentBit  = 0x8000
+	// maxFragments bounds a single instruction's fragment count; combined
+	// with the MTU this caps instruction size defensively.
+	maxFragments = 1 << 14
+)
+
+// fragment is one wire piece of an instruction.
+type fragment struct {
+	id       uint64
+	num      uint16
+	final    bool
+	contents []byte
+}
+
+func (f *fragment) marshal() []byte {
+	buf := make([]byte, fragmentHeaderLen+len(f.contents))
+	binary.BigEndian.PutUint64(buf, f.id)
+	num := f.num
+	if f.final {
+		num |= finalFragmentBit
+	}
+	binary.BigEndian.PutUint16(buf[8:], num)
+	copy(buf[fragmentHeaderLen:], f.contents)
+	return buf
+}
+
+func unmarshalFragment(b []byte) (*fragment, error) {
+	if len(b) < fragmentHeaderLen {
+		return nil, ErrBadInstruction
+	}
+	num := binary.BigEndian.Uint16(b[8:])
+	return &fragment{
+		id:       binary.BigEndian.Uint64(b),
+		num:      num &^ finalFragmentBit,
+		final:    num&finalFragmentBit != 0,
+		contents: b[fragmentHeaderLen:],
+	}, nil
+}
+
+// fragmenter splits instructions for transmission.
+type fragmenter struct {
+	nextID uint64
+}
+
+// makeFragments splits the marshalled instruction into fragments whose
+// contents are at most mtu bytes each.
+func (fr *fragmenter) makeFragments(inst *Instruction, mtu int) []*fragment {
+	if mtu < 1 {
+		mtu = 1
+	}
+	payload := encodeInstruction(inst)
+	id := fr.nextID
+	fr.nextID++
+	var frags []*fragment
+	for num := 0; ; num++ {
+		n := len(payload)
+		if n > mtu {
+			n = mtu
+		}
+		frags = append(frags, &fragment{
+			id:       id,
+			num:      uint16(num),
+			final:    n == len(payload),
+			contents: payload[:n],
+		})
+		payload = payload[n:]
+		if len(payload) == 0 {
+			break
+		}
+	}
+	return frags
+}
+
+// assembly reassembles fragments into instructions. It holds at most one
+// instruction in progress; fragments from a newer id reset it.
+type assembly struct {
+	id        uint64
+	active    bool
+	fragments map[uint16][]byte
+	total     int // fragment count once the final fragment is seen, else -1
+}
+
+// add consumes one fragment; when it completes an instruction, the decoded
+// instruction is returned.
+func (a *assembly) add(f *fragment) (*Instruction, error) {
+	if f.num >= maxFragments {
+		return nil, ErrBadInstruction
+	}
+	if !a.active || f.id != a.id {
+		if a.active && f.id < a.id {
+			return nil, nil // stale fragment of an abandoned instruction
+		}
+		a.id = f.id
+		a.active = true
+		a.fragments = make(map[uint16][]byte)
+		a.total = -1
+	}
+	a.fragments[f.num] = f.contents
+	if f.final {
+		a.total = int(f.num) + 1
+	}
+	if a.total < 0 || len(a.fragments) < a.total {
+		return nil, nil
+	}
+	var buf []byte
+	for i := 0; i < a.total; i++ {
+		part, ok := a.fragments[uint16(i)]
+		if !ok {
+			return nil, nil
+		}
+		buf = append(buf, part...)
+	}
+	a.active = false
+	a.fragments = nil
+	return decodeInstruction(buf)
+}

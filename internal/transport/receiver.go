@@ -1,0 +1,74 @@
+package transport
+
+import "fmt"
+
+// maxReceivedStates bounds the receiver's history. ThrowawayNum prunes it
+// in normal operation; the cap is a defensive backstop.
+const maxReceivedStates = 1024
+
+// recvState is one remote state the receiver can serve as a diff source.
+type recvState[T State[T]] struct {
+	num   uint64
+	state T
+}
+
+// Receiver holds the remote object's reconstructed states. States are kept
+// (in ascending number order) until the sender's ThrowawayNum retires
+// them, because the sender may still choose any of them as a diff source.
+type Receiver[T State[T]] struct {
+	states []recvState[T]
+}
+
+// newReceiver builds a receiver whose state number 0 is initial.
+func newReceiver[T State[T]](initial T) *Receiver[T] {
+	return &Receiver[T]{states: []recvState[T]{{num: 0, state: initial.Clone()}}}
+}
+
+// Latest returns the newest reconstructed remote state. Callers must treat
+// it as read-only (Clone before mutating).
+func (r *Receiver[T]) Latest() T { return r.states[len(r.states)-1].state }
+
+// LatestNum returns the newest remote state number.
+func (r *Receiver[T]) LatestNum() uint64 { return r.states[len(r.states)-1].num }
+
+// StateCount reports retained history length (for tests).
+func (r *Receiver[T]) StateCount() int { return len(r.states) }
+
+// processInstruction applies one instruction. It returns true when a new
+// remote state was created (which the caller must acknowledge). Unknown
+// diff sources are not an error — the instruction is simply unusable and
+// the sender will fast-forward us from an older base later.
+func (r *Receiver[T]) processInstruction(inst *Instruction) (bool, error) {
+	// Retire history the sender promises never to reference again, but
+	// always keep the newest state.
+	for len(r.states) > 1 && r.states[0].num < inst.ThrowawayNum {
+		r.states = r.states[1:]
+	}
+
+	if inst.NewNum <= r.LatestNum() {
+		return false, nil // duplicate or superseded; idempotency by number
+	}
+
+	var source T
+	found := false
+	for i := range r.states {
+		if r.states[i].num == inst.OldNum {
+			source = r.states[i].state
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false, nil
+	}
+
+	ns := source.Clone()
+	if err := ns.Apply(inst.Diff); err != nil {
+		return false, fmt.Errorf("transport: applying diff %d→%d: %w", inst.OldNum, inst.NewNum, err)
+	}
+	r.states = append(r.states, recvState[T]{num: inst.NewNum, state: ns})
+	if len(r.states) > maxReceivedStates {
+		r.states = append(r.states[:1], r.states[2:]...)
+	}
+	return true, nil
+}

@@ -1,0 +1,362 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/simclock"
+)
+
+// Timing collects the transport sender's timing parameters. The defaults
+// are the paper's published values; each is exposed so the benchmark
+// harness can sweep them (Figure 3 sweeps CollectionInterval; the ablation
+// benches sweep the others).
+type Timing struct {
+	// SendIntervalMin caps the frame rate at 50 Hz (paper footnote 1).
+	SendIntervalMin time.Duration
+	// SendIntervalMax bounds the inter-frame interval on very slow paths.
+	SendIntervalMax time.Duration
+	// CollectionInterval is the pause after the first host write before a
+	// frame goes out, letting clumped updates coalesce (§2.3; Figure 3
+	// found 8 ms optimal).
+	CollectionInterval time.Duration
+	// AckDelay is the delayed-ack interval; within 100 ms more than 99.9%
+	// of acks piggyback on host data (§2.3).
+	AckDelay time.Duration
+	// HeartbeatInterval keeps NAT bindings alive and lets each side learn
+	// the other is reachable (§2.3: 3 s).
+	HeartbeatInterval time.Duration
+	// ActiveRetryTimeout stops aggressive retransmission when the peer
+	// has been silent this long (it may be disconnected; heartbeats
+	// continue).
+	ActiveRetryTimeout time.Duration
+	// MTU is the maximum fragment-contents size in bytes.
+	MTU int
+}
+
+// DefaultTiming returns the paper's parameter values.
+func DefaultTiming() Timing {
+	return Timing{
+		SendIntervalMin:    20 * time.Millisecond,
+		SendIntervalMax:    250 * time.Millisecond,
+		CollectionInterval: 8 * time.Millisecond,
+		AckDelay:           100 * time.Millisecond,
+		HeartbeatInterval:  3 * time.Second,
+		ActiveRetryTimeout: 10 * time.Second,
+		MTU:                1200,
+	}
+}
+
+// SenderStats counts the sender's wire activity.
+type SenderStats struct {
+	Instructions int // instructions carrying a non-empty diff
+	EmptyAcks    int // pure acks and heartbeats
+	Fragments    int // datagrams sent
+	DiffBytes    int64
+}
+
+// sentState is one entry in the sender's history of states the receiver
+// may hold.
+type sentState[T State[T]] struct {
+	num   uint64
+	at    time.Time
+	state T
+}
+
+// maxSentStates bounds the history; beyond it, a middle entry is culled
+// (the extremes — the known-received baseline and the newest state — must
+// survive).
+const maxSentStates = 32
+
+// Sender drives one direction of SSP: it watches a live local object and
+// fast-forwards the remote host to its current state.
+type Sender[T State[T]] struct {
+	conn   *network.Connection
+	clock  simclock.Clock
+	timing Timing
+	frag   fragmenter
+	// emit transmits one sealed wire datagram; wired up by Transport.
+	emit func(wire []byte)
+
+	// currentState is the live object owned by the application; the
+	// sender reads it every tick and clones it into sentStates on send.
+	currentState T
+
+	sentStates []sentState[T] // front = newest state known received
+
+	assumedIdx int // index of the assumed receiver state
+
+	nextAckTime    time.Time // delayed-ack / heartbeat deadline
+	nextSendTime   time.Time // zero when no data pending
+	mindelayActive bool
+	mindelayAt     time.Time
+
+	pendingDataAck bool
+	ackNum         uint64 // newest remote state num, echoed in instructions
+
+	shutdown bool
+
+	stats SenderStats
+}
+
+// newSender builds a sender for the live object current, whose initial
+// contents both sides agree is state number 0.
+func newSender[T State[T]](conn *network.Connection, clock simclock.Clock, timing Timing, current T) *Sender[T] {
+	now := clock.Now()
+	return &Sender[T]{
+		conn:         conn,
+		clock:        clock,
+		timing:       timing,
+		currentState: current,
+		sentStates:   []sentState[T]{{num: 0, at: now, state: current.Clone()}},
+		nextAckTime:  now.Add(timing.HeartbeatInterval),
+	}
+}
+
+// CurrentState returns the live object the sender synchronizes from.
+func (s *Sender[T]) CurrentState() T { return s.currentState }
+
+// Stats returns a snapshot of wire counters.
+func (s *Sender[T]) Stats() SenderStats { return s.stats }
+
+// SentStateCount reports the retained history length (for tests).
+func (s *Sender[T]) SentStateCount() int { return len(s.sentStates) }
+
+// AssumedReceiverStateNum reports which state the sender currently diffs
+// against.
+func (s *Sender[T]) AssumedReceiverStateNum() uint64 {
+	return s.sentStates[s.assumedIdx].num
+}
+
+// ForceAckSoon makes the next Tick emit at least an empty ack; the client
+// uses it right after dialing so the server learns its address without
+// waiting for the first heartbeat.
+func (s *Sender[T]) ForceAckSoon() { s.nextAckTime = s.clock.Now() }
+
+// LastSentNum reports the newest state number handed to the network; the
+// prediction engine stamps expiration frames with it.
+func (s *Sender[T]) LastSentNum() uint64 { return s.back().num }
+
+// LastAckedNum reports the newest state number the receiver acknowledged.
+func (s *Sender[T]) LastAckedNum() uint64 { return s.front().num }
+
+// setDataAck records that the peer delivered a new state we must
+// acknowledge (within AckDelay, or piggybacked sooner).
+func (s *Sender[T]) setDataAck(ackNum uint64) {
+	s.ackNum = ackNum
+	s.pendingDataAck = true
+}
+
+// sendInterval is the paper's frame-rate rule: half the smoothed RTT,
+// clamped so there is about one instruction in flight at any time but
+// never more than 50 frames per second.
+func (s *Sender[T]) sendInterval() time.Duration {
+	iv := s.conn.SRTT(time.Second) / 2
+	if iv < s.timing.SendIntervalMin {
+		iv = s.timing.SendIntervalMin
+	}
+	if iv > s.timing.SendIntervalMax {
+		iv = s.timing.SendIntervalMax
+	}
+	return iv
+}
+
+func (s *Sender[T]) back() *sentState[T]  { return &s.sentStates[len(s.sentStates)-1] }
+func (s *Sender[T]) front() *sentState[T] { return &s.sentStates[0] }
+
+// updateAssumedReceiverState guesses the newest sent state the receiver
+// has: any state sent within the last RTO (+ ack delay) is optimistically
+// assumed delivered; older unacknowledged states are assumed lost.
+func (s *Sender[T]) updateAssumedReceiverState(now time.Time) {
+	s.assumedIdx = 0
+	horizon := s.conn.RTO() + s.timing.AckDelay
+	for i := 1; i < len(s.sentStates); i++ {
+		if now.Sub(s.sentStates[i].at) < horizon {
+			s.assumedIdx = i
+		} else {
+			break
+		}
+	}
+}
+
+// processAcknowledgmentThrough handles an incoming AckNum: all history at
+// or before the acknowledged state collapses into a new baseline, and the
+// shared prefix is subtracted from every retained state (garbage collection
+// for append-only objects).
+func (s *Sender[T]) processAcknowledgmentThrough(ack uint64) {
+	idx := -1
+	for i := range s.sentStates {
+		if s.sentStates[i].num == ack {
+			idx = i
+			break
+		}
+	}
+	if idx <= 0 {
+		return // unknown (stale or bogus) ack, or already the baseline
+	}
+	s.sentStates = s.sentStates[idx:]
+	base := s.front().state.Clone()
+	s.currentState.Subtract(base)
+	for i := range s.sentStates {
+		s.sentStates[i].state.Subtract(base)
+	}
+}
+
+// calculateTimers recomputes the ack and send deadlines from the current
+// object and history, per §2.3's sender timing rules.
+func (s *Sender[T]) calculateTimers(now time.Time) {
+	s.updateAssumedReceiverState(now)
+
+	if s.pendingDataAck {
+		if deadline := now.Add(s.timing.AckDelay); s.nextAckTime.After(deadline) {
+			s.nextAckTime = deadline
+		}
+	}
+
+	lastHeard, heard := s.conn.LastHeard()
+	remoteActive := heard && now.Sub(lastHeard) < s.timing.ActiveRetryTimeout
+
+	switch {
+	case !s.currentState.Equal(s.back().state):
+		// Fresh changes: wait out the collection interval and the frame
+		// rate, whichever is later.
+		if !s.mindelayActive {
+			s.mindelayActive = true
+			s.mindelayAt = now
+		}
+		t := s.mindelayAt.Add(s.timing.CollectionInterval)
+		if u := s.back().at.Add(s.sendInterval()); u.After(t) {
+			t = u
+		}
+		s.nextSendTime = t
+	case !s.currentState.Equal(s.sentStates[s.assumedIdx].state) && remoteActive:
+		// Nothing new, but the assumed receiver state lags: keep
+		// retransmitting diffs at the frame rate.
+		t := s.back().at.Add(s.sendInterval())
+		if s.mindelayActive {
+			if u := s.mindelayAt.Add(s.timing.CollectionInterval); u.After(t) {
+				t = u
+			}
+		}
+		s.nextSendTime = t
+	case !s.currentState.Equal(s.front().state) && remoteActive:
+		// Receiver may be fully caught up (optimistically), but we lack
+		// the ack: probe again after a timeout.
+		s.nextSendTime = s.back().at.Add(s.conn.RTO() + s.timing.AckDelay)
+	default:
+		s.nextSendTime = time.Time{}
+	}
+}
+
+// tick is the sender's main entry: called whenever anything may have
+// changed (host activity, packet arrival, timer expiry). It sends at most
+// one instruction.
+func (s *Sender[T]) tick() {
+	now := s.clock.Now()
+	s.calculateTimers(now)
+
+	ackDue := !now.Before(s.nextAckTime)
+	sendDue := !s.nextSendTime.IsZero() && !now.Before(s.nextSendTime)
+	if !ackDue && !sendDue {
+		return
+	}
+
+	diff := s.currentState.DiffFrom(s.sentStates[s.assumedIdx].state)
+	if len(diff) == 0 {
+		if ackDue {
+			s.sendEmptyAck(now)
+		}
+		return
+	}
+	if sendDue || ackDue {
+		s.sendToReceiver(now, diff)
+	}
+}
+
+// waitTime reports how long the event loop may sleep before the sender
+// needs another tick.
+func (s *Sender[T]) waitTime() time.Duration {
+	now := s.clock.Now()
+	s.calculateTimers(now)
+	next := s.nextAckTime
+	if !s.nextSendTime.IsZero() && s.nextSendTime.Before(next) {
+		next = s.nextSendTime
+	}
+	if d := next.Sub(now); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// sendEmptyAck emits an instruction with no diff: it carries the ack
+// number (delayed ack) and doubles as the heartbeat.
+func (s *Sender[T]) sendEmptyAck(now time.Time) {
+	num := s.back().num
+	s.sendInstruction(now, &Instruction{
+		ProtocolVersion: protocolVersion,
+		OldNum:          num,
+		NewNum:          num,
+		AckNum:          s.ackNum,
+		ThrowawayNum:    s.front().num,
+	})
+	s.stats.EmptyAcks++
+	s.pendingDataAck = false
+	s.mindelayActive = false
+}
+
+// sendToReceiver conveys the current state as a diff from the assumed
+// receiver state (the action "best calculated to fast-forward the remote
+// host", design goal 3).
+func (s *Sender[T]) sendToReceiver(now time.Time, diff []byte) {
+	var newNum uint64
+	if s.currentState.Equal(s.back().state) {
+		// Resend of a state the receiver should already be getting:
+		// same number, refreshed timestamp.
+		newNum = s.back().num
+		s.back().at = now
+	} else {
+		newNum = s.back().num + 1
+		s.addSentState(now, newNum)
+	}
+	s.sendInstruction(now, &Instruction{
+		ProtocolVersion: protocolVersion,
+		OldNum:          s.sentStates[s.assumedIdx].num,
+		NewNum:          newNum,
+		AckNum:          s.ackNum,
+		ThrowawayNum:    s.front().num,
+		Diff:            diff,
+	})
+	s.stats.Instructions++
+	s.stats.DiffBytes += int64(len(diff))
+	s.pendingDataAck = false
+	s.mindelayActive = false
+}
+
+func (s *Sender[T]) addSentState(now time.Time, num uint64) {
+	s.sentStates = append(s.sentStates, sentState[T]{num: num, at: now, state: s.currentState.Clone()})
+	if len(s.sentStates) > maxSentStates {
+		// Cull from the middle: keep the baseline, recent states and the
+		// newest.
+		mid := len(s.sentStates) / 2
+		s.sentStates = append(s.sentStates[:mid], s.sentStates[mid+1:]...)
+		if s.assumedIdx >= mid && s.assumedIdx > 0 {
+			s.assumedIdx--
+		}
+	}
+}
+
+// sendInstruction fragments, seals and transmits one instruction, and
+// pushes the heartbeat deadline out.
+func (s *Sender[T]) sendInstruction(now time.Time, inst *Instruction) {
+	for _, f := range s.frag.makeFragments(inst, s.timing.MTU) {
+		wire, err := s.conn.NewPacket(f.marshal())
+		if err != nil {
+			return // sequence space exhausted; session is dead
+		}
+		s.stats.Fragments++
+		if s.emit != nil {
+			s.emit(wire)
+		}
+	}
+	s.nextAckTime = now.Add(s.timing.HeartbeatInterval)
+}

@@ -1,0 +1,51 @@
+// Package transport implements SSP's transport layer (paper §2.3): it
+// conveys the current state of an abstract object to the remote host by
+// sending Instructions — self-contained messages carrying the source and
+// target state numbers and the logical diff between them — and modulates
+// its "frame rate" from the datagram layer's RTT estimate so that network
+// buffers never fill.
+//
+// The layer is agnostic to the object type: Mosh instantiates it twice per
+// session, client→server on a user-input stream and server→client on a
+// terminal screen state (see internal/statesync). The object implementation
+// defines diff semantics; for user input the diff carries every keystroke,
+// for screens only the minimal transformation to the newest frame, which is
+// what lets SSP skip intermediate states on slow paths.
+package transport
+
+// State is the object interface SSP synchronizes, the Go rendering of the
+// paper's abstract state object. The type parameter is the concrete
+// implementation itself (e.g. *UserStream), so Clone and DiffFrom are fully
+// typed.
+//
+// Implementations must satisfy the diff algebra SSP relies on:
+//
+//	target.Apply(target.DiffFrom(source)) applied to a copy of source
+//	yields a state Equal to target,
+//
+// and diffs must be idempotent in the sense that applying the same
+// instruction twice (source → target, then again) is detectable by state
+// number and therefore never re-applied — the transport guarantees that by
+// construction.
+type State[T any] interface {
+	// Clone returns a deep copy; the transport stores clones in its sent-
+	// and received-state lists, which must not alias the live object.
+	Clone() T
+
+	// Equal reports semantic equality. The sender uses it to decide
+	// whether anything new needs to be conveyed.
+	Equal(other T) bool
+
+	// DiffFrom returns the logical diff that, applied to source, produces
+	// this state. The transport treats it as opaque bytes.
+	DiffFrom(source T) []byte
+
+	// Apply mutates the state by applying a diff produced by DiffFrom.
+	Apply(diff []byte) error
+
+	// Subtract removes the shared prefix with other. It exists so the
+	// sender can garbage-collect history common to all outstanding
+	// states (meaningful for append-only objects like the user-input
+	// stream; screen states implement it as a no-op).
+	Subtract(other T)
+}

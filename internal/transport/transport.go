@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/network"
+	"repro/internal/simclock"
+	"repro/internal/sspcrypto"
+)
+
+// Transport binds one SSP direction pair over a single datagram-layer
+// connection: a Sender synchronizing the local object outward and a
+// Receiver reconstructing the remote object. Mosh instantiates one
+// Transport per endpoint — on the client the local object is the user
+// input stream and the remote object is the screen; on the server the
+// roles are reversed.
+//
+// Transport is a single-threaded state machine driven by three entries:
+// Receive (a datagram arrived), Tick (timers or the local object may have
+// advanced), and WaitTime (how long the event loop may sleep).
+type Transport[L State[L], R State[R]] struct {
+	conn     *network.Connection
+	clock    simclock.Clock
+	sender   *Sender[L]
+	receiver *Receiver[R]
+	assembly assembly
+}
+
+// Config assembles a Transport endpoint.
+type Config[L State[L], R State[R]] struct {
+	// Direction is ToServer on the client and ToClient on the server.
+	Direction sspcrypto.Direction
+	// Key is the pre-shared session key.
+	Key sspcrypto.Key
+	// Clock drives all timing.
+	Clock simclock.Clock
+	// Timing overrides transport timing; zero fields take defaults.
+	Timing *Timing
+	// MinRTO/MaxRTO pass through to the datagram layer (ablation knobs).
+	MinRTO, MaxRTO time.Duration
+	// LocalInitial is the live local object (state number 0 as currently
+	// constituted); the application keeps mutating it in place.
+	LocalInitial L
+	// RemoteInitial is the agreed initial remote state (number 0).
+	RemoteInitial R
+	// Emit transmits one sealed wire datagram.
+	Emit func(wire []byte)
+}
+
+// New builds a Transport endpoint.
+func New[L State[L], R State[R]](cfg Config[L, R]) (*Transport[L, R], error) {
+	conn, err := network.NewConnection(network.Config{
+		Direction: cfg.Direction,
+		Key:       cfg.Key,
+		Clock:     cfg.Clock,
+		MinRTO:    cfg.MinRTO,
+		MaxRTO:    cfg.MaxRTO,
+	})
+	if err != nil {
+		return nil, err
+	}
+	timing := DefaultTiming()
+	if cfg.Timing != nil {
+		timing = *cfg.Timing
+	}
+	s := newSender[L](conn, cfg.Clock, timing, cfg.LocalInitial)
+	s.emit = cfg.Emit
+	return &Transport[L, R]{
+		conn:     conn,
+		clock:    cfg.Clock,
+		sender:   s,
+		receiver: newReceiver[R](cfg.RemoteInitial),
+	}, nil
+}
+
+// Connection exposes the datagram layer (RTT estimates, roaming target).
+func (t *Transport[L, R]) Connection() *network.Connection { return t.conn }
+
+// Sender exposes the outbound half.
+func (t *Transport[L, R]) Sender() *Sender[L] { return t.sender }
+
+// CurrentState returns the live local object.
+func (t *Transport[L, R]) CurrentState() L { return t.sender.currentState }
+
+// RemoteState returns the newest reconstructed remote state (read-only).
+func (t *Transport[L, R]) RemoteState() R { return t.receiver.Latest() }
+
+// RemoteStateNum returns the newest remote state number.
+func (t *Transport[L, R]) RemoteStateNum() uint64 { return t.receiver.LatestNum() }
+
+// Receive processes one wire datagram from src. It returns true when the
+// remote object advanced to a new state. Stale, replayed and inauthentic
+// packets are rejected by the datagram layer and reported as errors the
+// caller may ignore.
+func (t *Transport[L, R]) Receive(wire []byte, src netem.Addr) (bool, error) {
+	payload, err := t.conn.Receive(wire, src)
+	if err != nil {
+		return false, err
+	}
+	frag, err := unmarshalFragment(payload)
+	if err != nil {
+		return false, err
+	}
+	inst, err := t.assembly.add(frag)
+	if err != nil || inst == nil {
+		return false, err
+	}
+	t.sender.processAcknowledgmentThrough(inst.AckNum)
+	isNew, err := t.receiver.processInstruction(inst)
+	if err != nil {
+		return false, err
+	}
+	if isNew {
+		t.sender.setDataAck(t.receiver.LatestNum())
+	}
+	// Any authentic arrival can unblock sending (acks freed history, a
+	// timestamp refined RTT), so tick opportunistically.
+	t.sender.tick()
+	return isNew, nil
+}
+
+// Tick runs the sender's timing logic; call it after mutating the local
+// object and whenever WaitTime elapses.
+func (t *Transport[L, R]) Tick() { t.sender.tick() }
+
+// WaitTime reports how long the event loop may sleep before the next Tick
+// is needed.
+func (t *Transport[L, R]) WaitTime() time.Duration { return t.sender.waitTime() }

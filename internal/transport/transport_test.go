@@ -1,0 +1,411 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/simclock"
+	"repro/internal/sspcrypto"
+)
+
+var t0 = time.Date(2012, 4, 1, 0, 0, 0, 0, time.UTC)
+
+// textState is an append-only byte-stream state with the same diff algebra
+// as the real user-input stream: a diff is the suffix of bytes the source
+// lacks, and Subtract drops a shared prefix.
+type textState struct {
+	data []byte
+}
+
+func newText() *textState { return &textState{} }
+
+func (s *textState) Append(b []byte) { s.data = append(s.data, b...) }
+
+func (s *textState) Clone() *textState { return &textState{data: bytes.Clone(s.data)} }
+
+func (s *textState) Equal(o *textState) bool { return bytes.Equal(s.data, o.data) }
+
+func (s *textState) DiffFrom(src *textState) []byte {
+	if len(src.data) > len(s.data) || !bytes.Equal(s.data[:len(src.data)], src.data) {
+		// Source is not a prefix (cannot happen in SSP's usage); resend all.
+		return bytes.Clone(s.data)
+	}
+	return bytes.Clone(s.data[len(src.data):])
+}
+
+func (s *textState) Apply(diff []byte) error {
+	s.data = append(s.data, diff...)
+	return nil
+}
+
+func (s *textState) Subtract(o *textState) {
+	n := len(o.data)
+	if n > len(s.data) {
+		n = len(s.data)
+	}
+	if bytes.Equal(s.data[:n], o.data[:n]) {
+		s.data = append([]byte(nil), s.data[n:]...)
+	}
+}
+
+// harness wires a client and server Transport over an emulated path and
+// pumps both with self-rescheduling tick timers.
+type harness struct {
+	sched          *simclock.Scheduler
+	net            *netem.Network
+	path           *netem.Path
+	client, server *Transport[*textState, *textState]
+	clientAddr     netem.Addr
+	serverAddr     netem.Addr
+	clientDrops    bool // when true, stop delivering to client (disconnection)
+	wirePackets    int
+	// wakeClient/wakeServer tick an endpoint and reschedule its pump
+	// timer, as a real event loop does after local activity.
+	wakeClient, wakeServer func()
+}
+
+func newHarness(t *testing.T, params netem.LinkParams, timing *Timing) *harness {
+	t.Helper()
+	h := &harness{
+		sched:      simclock.NewScheduler(t0),
+		clientAddr: netem.Addr{Host: 1, Port: 1000},
+		serverAddr: netem.Addr{Host: 2, Port: 2000},
+	}
+	h.net = netem.NewNetwork(h.sched)
+	h.path = netem.NewPath(h.net, params, 7)
+	key := sspcrypto.Key{1, 2, 3}
+
+	var err error
+	h.client, err = New(Config[*textState, *textState]{
+		Direction:     sspcrypto.ToServer,
+		Key:           key,
+		Clock:         h.sched,
+		Timing:        timing,
+		LocalInitial:  newText(),
+		RemoteInitial: newText(),
+		Emit: func(wire []byte) {
+			h.wirePackets++
+			h.path.Up.Send(netem.Packet{Src: h.clientAddr, Dst: h.serverAddr, Payload: wire})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.server, err = New(Config[*textState, *textState]{
+		Direction:     sspcrypto.ToClient,
+		Key:           key,
+		Clock:         h.sched,
+		Timing:        timing,
+		LocalInitial:  newText(),
+		RemoteInitial: newText(),
+		Emit: func(wire []byte) {
+			h.wirePackets++
+			if dst, ok := h.server.Connection().RemoteAddr(); ok {
+				h.path.Down.Send(netem.Packet{Src: h.serverAddr, Dst: dst, Payload: wire})
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h.net.Attach(h.serverAddr, func(p netem.Packet) {
+		h.server.Receive(p.Payload, p.Src)
+	})
+	h.net.Attach(h.clientAddr, func(p netem.Packet) {
+		if !h.clientDrops {
+			h.client.Receive(p.Payload, p.Src)
+		}
+	})
+
+	// Self-rescheduling pumps, mimicking each endpoint's event loop.
+	var pumpClient, pumpServer func()
+	clientTimer := h.sched.NewTimer(func() { pumpClient() })
+	serverTimer := h.sched.NewTimer(func() { pumpServer() })
+	pumpClient = func() {
+		h.client.Tick()
+		clientTimer.ResetAfter(clampWait(h.client.WaitTime()))
+	}
+	pumpServer = func() {
+		h.server.Tick()
+		serverTimer.ResetAfter(clampWait(h.server.WaitTime()))
+	}
+	h.wakeClient = pumpClient
+	h.wakeServer = pumpServer
+	h.sched.After(0, pumpClient)
+	h.sched.After(0, pumpServer)
+
+	// Client introduces itself so the server learns its address.
+	h.client.Sender().ForceAckSoon()
+	return h
+}
+
+// clampWait keeps the pump from busy-looping while still being responsive.
+func clampWait(d time.Duration) time.Duration {
+	const floor = time.Millisecond
+	if d < floor {
+		return floor
+	}
+	return d
+}
+
+func (h *harness) run(d time.Duration) { h.sched.RunFor(d) }
+
+func TestBasicSynchronizationClientToServer(t *testing.T) {
+	h := newHarness(t, netem.LinkParams{Delay: 40 * time.Millisecond}, nil)
+	h.run(time.Second)
+	h.client.CurrentState().Append([]byte("hello"))
+	h.wakeClient()
+	h.run(2 * time.Second)
+	if got := string(h.server.RemoteState().data); got != "hello" {
+		t.Fatalf("server sees %q, want %q", got, "hello")
+	}
+}
+
+func TestBasicSynchronizationServerToClient(t *testing.T) {
+	h := newHarness(t, netem.LinkParams{Delay: 40 * time.Millisecond}, nil)
+	h.run(time.Second) // let the client introduce itself first
+	h.server.CurrentState().Append([]byte("screen-update"))
+	h.wakeServer()
+	h.run(2 * time.Second)
+	if got := string(h.client.RemoteState().data); got != "screen-update" {
+		t.Fatalf("client sees %q", got)
+	}
+}
+
+func TestBidirectionalConcurrentSync(t *testing.T) {
+	h := newHarness(t, netem.LinkParams{Delay: 30 * time.Millisecond}, nil)
+	h.run(500 * time.Millisecond)
+	for i := 0; i < 20; i++ {
+		h.client.CurrentState().Append([]byte("k"))
+		h.wakeClient()
+		h.server.CurrentState().Append([]byte("echo!"))
+		h.wakeServer()
+		h.run(57 * time.Millisecond)
+	}
+	h.run(3 * time.Second)
+	if got := len(h.server.RemoteState().data); got != 20 {
+		t.Fatalf("server received %d keystroke bytes, want 20", got)
+	}
+	if got := len(h.client.RemoteState().data); got != 100 {
+		t.Fatalf("client received %d echo bytes, want 100", got)
+	}
+}
+
+func TestConvergenceUnderHeavyLoss(t *testing.T) {
+	h := newHarness(t, netem.LinkParams{Delay: 50 * time.Millisecond, LossProb: 0.29}, nil)
+	h.run(time.Second)
+	want := strings.Repeat("x", 50)
+	for i := 0; i < 50; i++ {
+		h.client.CurrentState().Append([]byte("x"))
+		h.wakeClient()
+		h.run(40 * time.Millisecond)
+	}
+	h.run(20 * time.Second)
+	if got := string(h.server.RemoteState().data); got != want {
+		t.Fatalf("server converged to %d bytes, want %d", len(got), len(want))
+	}
+}
+
+func TestSkipsIntermediateStates(t *testing.T) {
+	// On a long-RTT path the sender must coalesce many quick changes into
+	// few instructions — the receiver should see far fewer distinct
+	// states than there were changes.
+	h := newHarness(t, netem.LinkParams{Delay: 250 * time.Millisecond}, nil)
+	h.run(time.Second)
+	for i := 0; i < 100; i++ {
+		h.server.CurrentState().Append([]byte("frame"))
+		h.wakeServer()
+		h.run(5 * time.Millisecond)
+	}
+	h.run(5 * time.Second)
+	if got := len(h.client.RemoteState().data); got != 500 {
+		t.Fatalf("client state has %d bytes, want 500", got)
+	}
+	// 100 changes over 500ms on a 500ms-RTT path: at ~2 frames in flight
+	// per RTT the receiver should have seen a small number of jumps.
+	if states := h.server.Sender().Stats().Instructions; states > 30 {
+		t.Fatalf("sent %d instructions for 100 rapid changes; expected coalescing", states)
+	}
+}
+
+func TestFrameRateRespectsRTT(t *testing.T) {
+	// RTT 500ms → send interval clamped to 250ms; 10 changes in 2.5s
+	// should produce at most ~2.5s/250ms + slack instructions.
+	h := newHarness(t, netem.LinkParams{Delay: 250 * time.Millisecond}, nil)
+	h.run(2 * time.Second) // settle RTT estimate via heartbeats
+	base := h.server.Sender().Stats().Instructions
+	for i := 0; i < 25; i++ {
+		h.server.CurrentState().Append([]byte("y"))
+		h.wakeServer()
+		h.run(100 * time.Millisecond)
+	}
+	h.run(2 * time.Second)
+	sent := h.server.Sender().Stats().Instructions - base
+	if sent > 14 {
+		t.Fatalf("sent %d instructions in 2.5s on a 500ms-RTT path; frame rate not limited", sent)
+	}
+	if got := len(h.client.RemoteState().data); got != 25 {
+		t.Fatalf("client has %d bytes, want 25", got)
+	}
+}
+
+func TestCollectionIntervalCoalescesClumpedWrites(t *testing.T) {
+	h := newHarness(t, netem.LinkParams{Delay: 10 * time.Millisecond}, nil)
+	h.run(5 * time.Second) // settle: short RTT → send interval at floor
+	base := h.server.Sender().Stats().Instructions
+	// Three writes 2ms apart land inside one 8ms collection window.
+	for i := 0; i < 3; i++ {
+		h.server.CurrentState().Append([]byte("w"))
+		h.wakeServer()
+		h.run(2 * time.Millisecond)
+	}
+	h.run(time.Second)
+	if sent := h.server.Sender().Stats().Instructions - base; sent != 1 {
+		t.Fatalf("clumped writes produced %d instructions, want 1", sent)
+	}
+	if got := len(h.client.RemoteState().data); got != 3 {
+		t.Fatalf("client has %d bytes, want 3", got)
+	}
+}
+
+func TestAcksPruneSenderHistory(t *testing.T) {
+	h := newHarness(t, netem.LinkParams{Delay: 20 * time.Millisecond}, nil)
+	h.run(500 * time.Millisecond)
+	for i := 0; i < 30; i++ {
+		h.client.CurrentState().Append([]byte("z"))
+		h.wakeClient()
+		h.run(300 * time.Millisecond)
+	}
+	h.run(2 * time.Second)
+	if n := h.client.Sender().SentStateCount(); n > 3 {
+		t.Fatalf("sender retains %d states after full acknowledgment", n)
+	}
+	// The append-only stream must also have been garbage collected.
+	if n := len(h.client.CurrentState().data); n != 0 {
+		t.Fatalf("current state retains %d acked bytes; Subtract GC failed", n)
+	}
+}
+
+func TestHeartbeatsWhenIdle(t *testing.T) {
+	h := newHarness(t, netem.LinkParams{Delay: 20 * time.Millisecond}, nil)
+	h.run(500 * time.Millisecond)
+	before := h.client.Sender().Stats().EmptyAcks
+	h.run(10 * time.Second)
+	after := h.client.Sender().Stats().EmptyAcks
+	// ~3s heartbeat interval → about 3 heartbeats in 10s.
+	if got := after - before; got < 2 || got > 6 {
+		t.Fatalf("sent %d heartbeats in 10 idle seconds, want ~3", got)
+	}
+}
+
+func TestLargeDiffFragmentsAndReassembles(t *testing.T) {
+	h := newHarness(t, netem.LinkParams{Delay: 20 * time.Millisecond}, nil)
+	h.run(500 * time.Millisecond)
+	big := bytes.Repeat([]byte("0123456789"), 1000) // 10 kB > MTU
+	h.server.CurrentState().Append(big)
+	h.wakeServer()
+	h.run(3 * time.Second)
+	if !bytes.Equal(h.client.RemoteState().data, big) {
+		t.Fatalf("client has %d bytes, want %d", len(h.client.RemoteState().data), len(big))
+	}
+}
+
+func TestReconnectAfterSilence(t *testing.T) {
+	h := newHarness(t, netem.LinkParams{Delay: 20 * time.Millisecond}, nil)
+	h.run(500 * time.Millisecond)
+	// Client goes dark (e.g. suspended laptop) while the server's state
+	// keeps changing.
+	h.clientDrops = true
+	h.server.CurrentState().Append([]byte("missed-while-away"))
+	h.wakeServer()
+	h.run(30 * time.Second)
+	h.clientDrops = false
+	// More activity plus heartbeats should fast-forward the client.
+	h.server.CurrentState().Append([]byte("+back"))
+	h.wakeServer()
+	h.run(10 * time.Second)
+	if got := string(h.client.RemoteState().data); got != "missed-while-away+back" {
+		t.Fatalf("client state after reconnect = %q", got)
+	}
+}
+
+func TestRoamingMidSession(t *testing.T) {
+	h := newHarness(t, netem.LinkParams{Delay: 20 * time.Millisecond}, nil)
+	h.run(500 * time.Millisecond)
+	h.client.CurrentState().Append([]byte("before"))
+	h.wakeClient()
+	h.run(time.Second)
+
+	// Client roams: new address, same session.
+	newAddr := netem.Addr{Host: 77, Port: 7777}
+	h.net.Detach(h.clientAddr)
+	h.clientAddr = newAddr
+	h.net.Attach(newAddr, func(p netem.Packet) {
+		if !h.clientDrops {
+			h.client.Receive(p.Payload, p.Src)
+		}
+	})
+
+	h.client.CurrentState().Append([]byte("+after"))
+	h.wakeClient()
+	h.run(2 * time.Second)
+	if got := string(h.server.RemoteState().data); got != "before+after" {
+		t.Fatalf("server state after roam = %q", got)
+	}
+	if h.server.Connection().RemoteAddrChanges() != 1 {
+		t.Fatalf("server observed %d roams, want 1", h.server.Connection().RemoteAddrChanges())
+	}
+	// And the server can still reach the client at its new address.
+	h.server.CurrentState().Append([]byte("reply"))
+	h.wakeServer()
+	h.run(2 * time.Second)
+	if got := string(h.client.RemoteState().data); got != "reply" {
+		t.Fatalf("client did not hear server after roam: %q", got)
+	}
+}
+
+func TestWaitTimeBounded(t *testing.T) {
+	h := newHarness(t, netem.LinkParams{Delay: 20 * time.Millisecond}, nil)
+	h.run(time.Second)
+	if w := h.client.WaitTime(); w > DefaultTiming().HeartbeatInterval {
+		t.Fatalf("idle wait time %v exceeds heartbeat interval", w)
+	}
+	h.client.CurrentState().Append([]byte("x"))
+	if w := h.client.WaitTime(); w > DefaultTiming().SendIntervalMax {
+		t.Fatalf("wait time with pending data = %v", w)
+	}
+}
+
+func TestReceiveRejectsGarbage(t *testing.T) {
+	h := newHarness(t, netem.LinkParams{}, nil)
+	if _, err := h.client.Receive([]byte("garbage-payload-here-x"), h.serverAddr); !errors.Is(err, sspcrypto.ErrAuth) && !errors.Is(err, sspcrypto.ErrTooShort) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCustomCollectionInterval(t *testing.T) {
+	timing := DefaultTiming()
+	timing.CollectionInterval = 100 * time.Millisecond
+	h := newHarness(t, netem.LinkParams{Delay: 5 * time.Millisecond}, &timing)
+	h.run(5 * time.Second)
+	start := h.sched.Now()
+	h.server.CurrentState().Append([]byte("q"))
+	h.wakeServer()
+	base := h.server.Sender().Stats().Instructions
+	// Run until the instruction goes out; it must not leave before the
+	// 100ms collection interval.
+	for h.server.Sender().Stats().Instructions == base {
+		if h.sched.Now().Sub(start) > 2*time.Second {
+			t.Fatal("instruction never sent")
+		}
+		h.sched.Step()
+	}
+	if wait := h.sched.Now().Sub(start); wait < 100*time.Millisecond {
+		t.Fatalf("sent after %v, want >= 100ms collection interval", wait)
+	}
+}
