@@ -375,7 +375,7 @@ func (e *Engine) predictEcho(seq uint64, rec *InputRecord, r rune, fb *terminal.
 	row := e.rowFor(crow, fb.W)
 	cell := &row.cells[ccol]
 	if !cell.active {
-		cell.original = *fb.Cell(crow, ccol)
+		cell.original = *fb.Peek(crow, ccol)
 	}
 	cell.active = true
 	cell.col = ccol
@@ -446,7 +446,7 @@ func (e *Engine) predictBackspace(rec *InputRecord, fb *terminal.Framebuffer, no
 	row := e.rowFor(crow, fb.W)
 	cell := &row.cells[ccol]
 	if !cell.active {
-		cell.original = *fb.Cell(crow, ccol)
+		cell.original = *fb.Peek(crow, ccol)
 	}
 	cell.active = true
 	cell.col = ccol
@@ -528,7 +528,7 @@ func (e *Engine) cull(fb *terminal.Framebuffer) {
 				if e.Diagnose != nil {
 					actual := "?"
 					if row.rowNum < fb.H && cell.col < fb.W {
-						actual = fb.Cell(row.rowNum, cell.col).String()
+						actual = fb.Peek(row.rowNum, cell.col).String()
 					}
 					e.Diagnose("wrong cell prediction at (%d,%d): predicted %q, screen has %q (epoch %d vs confirmed %d)",
 						row.rowNum, cell.col, cell.replacement.String(), actual,
@@ -623,7 +623,7 @@ func (e *Engine) judgeCell(cell *cellPrediction, rowNum int, fb *terminal.Frameb
 	if e.localFrameLateAcked < cell.expirationFrame {
 		return judgePending
 	}
-	current := fb.Cell(rowNum, cell.col)
+	current := fb.Peek(rowNum, cell.col)
 	if current.Equal(&cell.replacement) {
 		// A blank predicted over a blank, or contents that were already
 		// there, earn no confidence credit.

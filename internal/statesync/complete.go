@@ -14,6 +14,11 @@ import (
 // flooded terminal (paper §1, §2.3).
 type Complete struct {
 	emu *terminal.Emulator
+	// fw holds the diff renderer's reusable scratch (scroll-detection
+	// tables, blank baseline row). It is per-Complete, not cloned: the
+	// sender diffs from its live object, so the scratch warms up there
+	// and every subsequent frame renders without heap allocations.
+	fw terminal.FrameWriter
 }
 
 // NewComplete returns a blank terminal state of the given size.
@@ -43,12 +48,12 @@ func (c *Complete) SetEchoAck(n uint64) bool {
 // EchoAck reads the synchronized echo acknowledgment.
 func (c *Complete) EchoAck() uint64 { return c.emu.Framebuffer().EchoAck }
 
-// Clone implements transport.State. Parser state is not cloned: every diff
-// is a self-contained byte string, so a fresh parser is equivalent.
+// Clone implements transport.State. The screen snapshot is copy-on-write
+// (terminal.Framebuffer.Clone), so cloning costs O(height) regardless of
+// how much of the screen is populated. Parser state is not cloned: every
+// diff is a self-contained byte string, so a fresh parser is equivalent.
 func (c *Complete) Clone() *Complete {
-	n := terminal.NewEmulator(c.emu.Framebuffer().W, c.emu.Framebuffer().H)
-	n.SetFramebuffer(c.emu.Framebuffer().Clone())
-	return &Complete{emu: n}
+	return &Complete{emu: terminal.NewEmulatorWithFramebuffer(c.emu.Framebuffer().Clone())}
 }
 
 // Equal implements transport.State.
@@ -58,13 +63,19 @@ func (c *Complete) Equal(o *Complete) bool {
 
 // DiffFrom implements transport.State.
 func (c *Complete) DiffFrom(src *Complete) []byte {
+	return c.AppendDiff(nil, src)
+}
+
+// AppendDiff implements transport.State: it appends the wire diff to buf
+// and returns the extended buffer. With a reused buffer this path performs
+// no heap allocations in steady state.
+func (c *Complete) AppendDiff(buf []byte, src *Complete) []byte {
 	fb, sfb := c.emu.Framebuffer(), src.emu.Framebuffer()
 	sameSize := fb.W == sfb.W && fb.H == sfb.H
-	frame := terminal.NewFrame(sameSize, sfb, fb)
-	buf := binary.AppendUvarint(nil, uint64(fb.W))
+	buf = binary.AppendUvarint(buf, uint64(fb.W))
 	buf = binary.AppendUvarint(buf, uint64(fb.H))
 	buf = binary.AppendUvarint(buf, fb.EchoAck)
-	return append(buf, frame...)
+	return c.fw.AppendFrame(buf, sameSize, sfb, fb)
 }
 
 // Apply implements transport.State.

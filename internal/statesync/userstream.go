@@ -111,15 +111,21 @@ func (u *UserStream) Equal(o *UserStream) bool {
 // source lacks (the paper: "for user inputs, the diff contains every
 // intervening keystroke").
 func (u *UserStream) DiffFrom(src *UserStream) []byte {
+	return u.AppendDiff(nil, src)
+}
+
+// AppendDiff implements transport.State: DiffFrom appended to a caller-
+// reused buffer.
+func (u *UserStream) AppendDiff(buf []byte, src *UserStream) []byte {
 	srcSize := src.Size()
 	if srcSize > u.Size() {
 		srcSize = u.base // defensive; cannot happen in SSP usage
 	}
 	newEvents := u.EventsSince(srcSize)
 	if len(newEvents) == 0 {
-		return nil
+		return buf
 	}
-	buf := binary.AppendUvarint(nil, uint64(len(newEvents)))
+	buf = binary.AppendUvarint(buf, uint64(len(newEvents)))
 	for _, e := range newEvents {
 		buf = append(buf, byte(e.Type))
 		switch e.Type {

@@ -4,12 +4,27 @@
 // a framebuffer holding the screen state, and a renderer that produces the
 // minimal byte string transforming one screen state into another — the
 // "logical diff" SSP ships from server to client.
+//
+// # Snapshot and diff performance
+//
+// The SSP sender snapshots the screen on every send and diffs the live
+// screen against a retained snapshot on every tick, so both operations are
+// engineered off the row-generation numbers Framebuffer maintains:
+//
+//   - Framebuffer.Clone is copy-on-write: it shares *Row pointers and
+//     marks them shared. Rows are immutable once shared — every mutation
+//     path first materializes a private copy (writableRow) — so a snapshot
+//     costs O(height), not O(width×height).
+//   - FrameWriter renders diffs with reusable scratch and appends into a
+//     caller-owned buffer; with a long-lived writer (one per sender) the
+//     steady-state diff path performs zero heap allocations. NewFrame is
+//     the convenience wrapper that allocates per call.
+//   - Scroll detection and unchanged-row skipping compare generations
+//     (and row pointers), never cells, except for rows that actually
+//     changed.
 package terminal
 
-import (
-	"fmt"
-	"strings"
-)
+import "strconv"
 
 // Color encodes a cell color: the zero value is the terminal default;
 // values 1..256 are the 256-color palette entries 0..255; RGB truecolor
@@ -59,45 +74,62 @@ var SGRReset = Renditions{}
 // ANSIString returns the escape sequence that establishes r starting from
 // the default rendition (always beginning with a reset).
 func (r Renditions) ANSIString() string {
-	var b strings.Builder
-	b.WriteString("\x1b[0")
+	return string(r.appendANSI(nil))
+}
+
+// appendANSI appends the same escape sequence ANSIString returns to buf.
+// It is the allocation-free emission path the frame renderer uses.
+func (r Renditions) appendANSI(buf []byte) []byte {
+	buf = append(buf, "\x1b[0"...)
 	if r.Bold {
-		b.WriteString(";1")
+		buf = append(buf, ";1"...)
 	}
 	if r.Faint {
-		b.WriteString(";2")
+		buf = append(buf, ";2"...)
 	}
 	if r.Italic {
-		b.WriteString(";3")
+		buf = append(buf, ";3"...)
 	}
 	if r.Underline {
-		b.WriteString(";4")
+		buf = append(buf, ";4"...)
 	}
 	if r.Blink {
-		b.WriteString(";5")
+		buf = append(buf, ";5"...)
 	}
 	if r.Inverse {
-		b.WriteString(";7")
+		buf = append(buf, ";7"...)
 	}
 	if r.Invisible {
-		b.WriteString(";8")
+		buf = append(buf, ";8"...)
 	}
-	writeColor := func(base int, c Color) {
-		switch {
-		case c == ColorDefault:
-		case c.IsRGB():
-			cr, cg, cb := c.RGB()
-			fmt.Fprintf(&b, ";%d;2;%d;%d;%d", base+8, cr, cg, cb)
-		case c.Palette() < 8:
-			fmt.Fprintf(&b, ";%d", base+int(c.Palette()))
-		default:
-			fmt.Fprintf(&b, ";%d;5;%d", base+8, c.Palette())
-		}
+	buf = appendColor(buf, 30, r.Fg)
+	buf = appendColor(buf, 40, r.Bg)
+	return append(buf, 'm')
+}
+
+func appendColor(buf []byte, base int, c Color) []byte {
+	switch {
+	case c == ColorDefault:
+	case c.IsRGB():
+		cr, cg, cb := c.RGB()
+		buf = append(buf, ';')
+		buf = strconv.AppendUint(buf, uint64(base+8), 10)
+		buf = append(buf, ";2;"...)
+		buf = strconv.AppendUint(buf, uint64(cr), 10)
+		buf = append(buf, ';')
+		buf = strconv.AppendUint(buf, uint64(cg), 10)
+		buf = append(buf, ';')
+		buf = strconv.AppendUint(buf, uint64(cb), 10)
+	case c.Palette() < 8:
+		buf = append(buf, ';')
+		buf = strconv.AppendUint(buf, uint64(base+int(c.Palette())), 10)
+	default:
+		buf = append(buf, ';')
+		buf = strconv.AppendUint(buf, uint64(base+8), 10)
+		buf = append(buf, ";5;"...)
+		buf = strconv.AppendUint(buf, uint64(c.Palette()), 10)
 	}
-	writeColor(30, r.Fg)
-	writeColor(40, r.Bg)
-	b.WriteString("m")
-	return b.String()
+	return buf
 }
 
 // Cell is one character cell of the screen.
@@ -150,6 +182,20 @@ func (c *Cell) String() string {
 		return " "
 	}
 	return c.Contents
+}
+
+// asciiContents interns the single-character strings for printable ASCII,
+// the overwhelming majority of what hosts emit. Sharing them keeps the
+// print hot path from allocating a one-byte string per keystroke.
+const asciiContents = " !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~"
+
+// runeContents returns string(r) without allocating for printable ASCII.
+func runeContents(r rune) string {
+	if r >= 0x20 && r < 0x7f {
+		i := int(r) - 0x20
+		return asciiContents[i : i+1]
+	}
+	return string(r)
 }
 
 // RuneWidth reports the number of terminal columns r occupies: 0 for

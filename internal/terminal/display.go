@@ -1,9 +1,6 @@
 package terminal
 
-import (
-	"bytes"
-	"fmt"
-)
+import "strconv"
 
 // NewFrame computes the byte string that, when interpreted by a terminal
 // currently displaying last, makes it display f. This is the server→client
@@ -15,69 +12,32 @@ import (
 // display) and by this package's own Emulator (the client's synchronized
 // copy of the server screen): round-tripping a frame through Emulator
 // reproduces f exactly, which the test suite checks by property.
+//
+// NewFrame allocates a fresh output buffer and scratch state per call; the
+// steady-state senders use a reusable FrameWriter via AppendFrame instead,
+// which produces identical bytes with zero heap allocations.
 func NewFrame(initialized bool, last, f *Framebuffer) []byte {
-	var out bytes.Buffer
-	var cur frameState
+	var w FrameWriter
+	return w.AppendFrame(nil, initialized, last, f)
+}
 
-	if !initialized || last == nil || last.W != f.W || last.H != f.H {
-		// Full repaint from a pristine screen.
-		out.WriteString("\x1b[0m\x1b[r\x1b[2J\x1b[H")
-		last = NewFramebuffer(f.W, f.H)
-		cur = frameState{row: 0, col: 0, rend: SGRReset}
-	} else {
-		cur = frameState{row: last.DS.CursorRow, col: last.DS.CursorCol, rend: SGRReset}
-		// Establish a known rendition before painting.
-		out.WriteString("\x1b[0m")
-	}
-
-	// Window title.
-	if f.Title != last.Title {
-		out.WriteString("\x1b]2;")
-		out.WriteString(f.Title)
-		out.WriteString("\a")
-	}
-
-	// Bell: ring once per increment.
-	if f.BellCount > last.BellCount {
-		for i := last.BellCount; i < f.BellCount; i++ {
-			out.WriteByte(0x07)
-		}
-	}
-
-	// Synchronized modes that affect the client's input handling or the
-	// whole display.
-	diffMode(&out, last.DS.ReverseVideo, f.DS.ReverseVideo, 5)
-	diffMode(&out, last.DS.ApplicationCursorKeys, f.DS.ApplicationCursorKeys, 1)
-	diffMode(&out, last.DS.BracketedPaste, f.DS.BracketedPaste, 2004)
-
-	// Hide the cursor while painting to avoid flicker on real terminals.
-	out.WriteString("\x1b[?25l")
-
-	// Scroll optimization: if the screen content moved up by k lines
-	// (the common "host printed at the bottom" case), scroll first so
-	// the surviving lines need no repainting.
-	lastRows := last.rows
-	if k := detectScroll(last, f); k > 0 {
-		fmt.Fprintf(&out, "\x1b[r\x1b[%dS", k)
-		shifted := make([]*Row, f.H)
-		copy(shifted, lastRows[k:])
-		for i := f.H - k; i < f.H; i++ {
-			shifted[i] = newRow(f.W, SGRReset)
-		}
-		lastRows = shifted
-	}
-
-	for y := 0; y < f.H; y++ {
-		paintRow(&out, &cur, y, lastRows[y], f.rows[y], f.W)
-	}
-
-	// Final cursor position, rendition and visibility.
-	fmt.Fprintf(&out, "\x1b[%d;%dH", f.DS.CursorRow+1, f.DS.CursorCol+1)
-	out.WriteString(f.DS.Rend.ANSIString())
-	if f.DS.CursorVisible {
-		out.WriteString("\x1b[?25h")
-	}
-	return out.Bytes()
+// FrameWriter renders screen diffs. It owns the scratch state the diff
+// pipeline needs (scroll-detection tables and a blank baseline row), so a
+// long-lived writer — one per SSP sender — reaches zero heap allocations
+// per frame once warm. The zero value is ready to use. A FrameWriter is
+// not safe for concurrent use.
+type FrameWriter struct {
+	// genIdx maps a row generation in `last` to its row index, turning
+	// scroll detection into one O(height) pass. Generations are unique
+	// within a framebuffer, so the map is exact.
+	genIdx map[uint64]int
+	// votes[k] counts rows supporting an upward scroll of k lines.
+	votes []int
+	// blank is the all-blank baseline row used for full repaints and for
+	// lines a scroll brought on screen. Its generation is 0, which no
+	// real row ever carries (the generation counter starts at 1), so it
+	// never falsely matches. It is read-only by construction.
+	blank *Row
 }
 
 // frameState tracks the remote terminal's cursor and rendition as our
@@ -90,42 +50,159 @@ type frameState struct {
 	rend       Renditions
 }
 
-func diffMode(out *bytes.Buffer, was, is bool, mode int) {
+// blankRow returns the cached width-w blank baseline row.
+func (w *FrameWriter) blankRow(width int) *Row {
+	if w.blank == nil || len(w.blank.Cells) != width {
+		w.blank = &Row{Cells: make([]Cell, width)}
+	}
+	return w.blank
+}
+
+// AppendFrame appends the frame bytes transforming last into f (see
+// NewFrame) to buf and returns the extended buffer. Passing a buffer with
+// spare capacity — typically the previous frame's, truncated to zero —
+// makes the whole diff pipeline allocation-free in steady state.
+func (w *FrameWriter) AppendFrame(buf []byte, initialized bool, last, f *Framebuffer) []byte {
+	var cur frameState
+
+	repaint := !initialized || last == nil || last.W != f.W || last.H != f.H
+	blank := w.blankRow(f.W)
+
+	// Synchronized metadata of the baseline screen: zero values when
+	// repainting from scratch (a pristine terminal has no title, no
+	// rung bells and all modes reset).
+	var lastTitle string
+	var lastBell uint64
+	var lastReverse, lastAppCursor, lastBracketed bool
+
+	if repaint {
+		// Full repaint from a pristine screen.
+		buf = append(buf, "\x1b[0m\x1b[r\x1b[2J\x1b[H"...)
+		cur = frameState{row: 0, col: 0, rend: SGRReset}
+	} else {
+		lastTitle = last.Title
+		lastBell = last.BellCount
+		lastReverse = last.DS.ReverseVideo
+		lastAppCursor = last.DS.ApplicationCursorKeys
+		lastBracketed = last.DS.BracketedPaste
+		cur = frameState{row: last.DS.CursorRow, col: last.DS.CursorCol, rend: SGRReset}
+		// Establish a known rendition before painting.
+		buf = append(buf, "\x1b[0m"...)
+	}
+
+	// Window title.
+	if f.Title != lastTitle {
+		buf = append(buf, "\x1b]2;"...)
+		buf = append(buf, f.Title...)
+		buf = append(buf, '\a')
+	}
+
+	// Bell: ring once per increment.
+	if f.BellCount > lastBell {
+		for i := lastBell; i < f.BellCount; i++ {
+			buf = append(buf, 0x07)
+		}
+	}
+
+	// Synchronized modes that affect the client's input handling or the
+	// whole display.
+	buf = diffMode(buf, lastReverse, f.DS.ReverseVideo, 5)
+	buf = diffMode(buf, lastAppCursor, f.DS.ApplicationCursorKeys, 1)
+	buf = diffMode(buf, lastBracketed, f.DS.BracketedPaste, 2004)
+
+	// Hide the cursor while painting to avoid flicker on real terminals.
+	buf = append(buf, "\x1b[?25l"...)
+
+	// Scroll optimization: if the screen content moved up by k lines
+	// (the common "host printed at the bottom" case), scroll first so
+	// the surviving lines need no repainting.
+	k := 0
+	if !repaint {
+		if k = w.detectScroll(last, f); k > 0 {
+			buf = append(buf, "\x1b[r\x1b["...)
+			buf = strconv.AppendUint(buf, uint64(k), 10)
+			buf = append(buf, 'S')
+		}
+	}
+
+	for y := 0; y < f.H; y++ {
+		// The baseline for row y after scrolling by k: last's row y+k
+		// while it exists, blank for the lines the scroll brought in
+		// (and for every row of a full repaint).
+		lastRow := blank
+		if !repaint && y+k < f.H {
+			lastRow = last.rows[y+k]
+		}
+		buf = paintRow(buf, &cur, y, lastRow, f.rows[y], f.W)
+	}
+
+	// Final cursor position, rendition and visibility.
+	buf = appendMove(buf, f.DS.CursorRow, f.DS.CursorCol)
+	buf = f.DS.Rend.appendANSI(buf)
+	if f.DS.CursorVisible {
+		buf = append(buf, "\x1b[?25h"...)
+	}
+	return buf
+}
+
+func diffMode(buf []byte, was, is bool, mode int) []byte {
 	if was == is {
-		return
+		return buf
 	}
 	ch := byte('l')
 	if is {
 		ch = 'h'
 	}
-	fmt.Fprintf(out, "\x1b[?%d%c", mode, ch)
+	buf = append(buf, "\x1b[?"...)
+	buf = strconv.AppendUint(buf, uint64(mode), 10)
+	return append(buf, ch)
 }
 
 // detectScroll looks for a uniform upward shift: f's row i matching last's
 // row i+k by generation. Returns the shift k (0 when none is worthwhile).
-func detectScroll(last, f *Framebuffer) int {
-	bestK, bestMatches := 0, 0
-	for k := 1; k < f.H; k++ {
-		m := 0
-		for i := 0; i+k < f.H; i++ {
-			if f.rows[i].gen == last.rows[i+k].gen {
-				m++
-			}
-		}
-		if m > bestMatches {
-			bestMatches, bestK = m, k
+// One pass builds a generation→index table for last, a second tallies a
+// vote for each matching pair, so the cost is O(height) rather than the
+// O(height²) of comparing every (row, shift) combination.
+func (w *FrameWriter) detectScroll(last, f *Framebuffer) int {
+	h := f.H
+	if w.genIdx == nil {
+		w.genIdx = make(map[uint64]int, h)
+	} else {
+		clear(w.genIdx)
+	}
+	if cap(w.votes) < h {
+		w.votes = make([]int, h)
+	} else {
+		w.votes = w.votes[:h]
+		clear(w.votes)
+	}
+	for i, r := range last.rows {
+		w.genIdx[r.gen] = i
+	}
+	for i, r := range f.rows {
+		if j, ok := w.genIdx[r.gen]; ok && j > i {
+			w.votes[j-i]++
 		}
 	}
-	if bestK > 0 && bestMatches >= (f.H-bestK+1)/2 && bestMatches > 0 {
+	bestK, bestMatches := 0, 0
+	for k := 1; k < h; k++ {
+		if w.votes[k] > bestMatches {
+			bestMatches, bestK = w.votes[k], k
+		}
+	}
+	// A scroll is worthwhile when at least half the surviving lines move
+	// with it. bestK > 0 already implies bestMatches ≥ 1 (a shift is only
+	// recorded on a strict improvement over zero votes).
+	if bestK > 0 && bestMatches >= (f.H-bestK+1)/2 {
 		return bestK
 	}
 	return 0
 }
 
 // paintRow emits the minimal update turning lastRow into row.
-func paintRow(out *bytes.Buffer, cur *frameState, y int, lastRow, row *Row, width int) {
-	if row.gen == lastRow.gen {
-		return
+func paintRow(buf []byte, cur *frameState, y int, lastRow, row *Row, width int) []byte {
+	if row == lastRow || row.gen == lastRow.gen {
+		return buf
 	}
 	// Find the extent of trailing blankness for the erase optimization.
 	blankFrom := width
@@ -148,10 +225,9 @@ func paintRow(out *bytes.Buffer, cur *frameState, y int, lastRow, row *Row, widt
 		// Erase-to-end shortcut: everything from here on is blank in the
 		// target row.
 		if x >= blankFrom {
-			moveTo(out, cur, y, x)
-			setRend(out, cur, SGRReset)
-			out.WriteString("\x1b[K")
-			return
+			buf = moveTo(buf, cur, y, x)
+			buf = setRend(buf, cur, SGRReset)
+			return append(buf, "\x1b[K"...)
 		}
 		// A differing continuation cell of a wide character cannot be
 		// painted directly; repaint its leader, which regenerates it.
@@ -159,9 +235,9 @@ func paintRow(out *bytes.Buffer, cur *frameState, y int, lastRow, row *Row, widt
 			x--
 			cell = &row.Cells[x]
 		}
-		moveTo(out, cur, y, x)
-		setRend(out, cur, cell.Rend)
-		out.WriteString(cell.String())
+		buf = moveTo(buf, cur, y, x)
+		buf = setRend(buf, cur, cell.Rend)
+		buf = append(buf, cell.String()...)
 		w := 1
 		if cell.Wide {
 			w = 2
@@ -176,20 +252,30 @@ func paintRow(out *bytes.Buffer, cur *frameState, y int, lastRow, row *Row, widt
 			x += w
 		}
 	}
+	return buf
 }
 
-func moveTo(out *bytes.Buffer, cur *frameState, row, col int) {
+// appendMove emits an absolute cursor move to (row, col), 0-based.
+func appendMove(buf []byte, row, col int) []byte {
+	buf = append(buf, "\x1b["...)
+	buf = strconv.AppendUint(buf, uint64(row+1), 10)
+	buf = append(buf, ';')
+	buf = strconv.AppendUint(buf, uint64(col+1), 10)
+	return append(buf, 'H')
+}
+
+func moveTo(buf []byte, cur *frameState, row, col int) []byte {
 	if !cur.colInvalid && cur.row == row && cur.col == col {
-		return
+		return buf
 	}
-	fmt.Fprintf(out, "\x1b[%d;%dH", row+1, col+1)
 	cur.row, cur.col, cur.colInvalid = row, col, false
+	return appendMove(buf, row, col)
 }
 
-func setRend(out *bytes.Buffer, cur *frameState, r Renditions) {
+func setRend(buf []byte, cur *frameState, r Renditions) []byte {
 	if cur.rend == r {
-		return
+		return buf
 	}
-	out.WriteString(r.ANSIString())
 	cur.rend = r
+	return r.appendANSI(buf)
 }

@@ -22,6 +22,13 @@ func NewEmulator(w, h int) *Emulator {
 	return &Emulator{fb: NewFramebuffer(w, h)}
 }
 
+// NewEmulatorWithFramebuffer returns an emulator interpreting onto an
+// existing screen state, without allocating a blank one first. State-sync
+// clones use it so a snapshot costs no full-screen allocation.
+func NewEmulatorWithFramebuffer(fb *Framebuffer) *Emulator {
+	return &Emulator{fb: fb}
+}
+
 // Framebuffer exposes the live screen state.
 func (e *Emulator) Framebuffer() *Framebuffer { return e.fb }
 
@@ -65,21 +72,22 @@ func (e *Emulator) print(r rune) {
 		if !ds.NextPrintWraps && col > 0 {
 			col--
 		}
-		if col > 0 && fb.Cell(row, col).Contents == "" && fb.Cell(row, col-1).Wide {
+		if col > 0 && fb.Peek(row, col).Contents == "" && fb.Peek(row, col-1).Wide {
 			col--
 		}
-		c := fb.Cell(row, col)
-		if c.Contents != "" {
+		if fb.Peek(row, col).Contents != "" {
+			c := fb.Cell(row, col)
 			c.Contents += string(r)
-			fb.Row(row).touch()
+			fb.writableRow(row).touch()
 		}
 		return
 	}
 
 	// Deferred autowrap.
 	if ds.NextPrintWraps && ds.AutoWrapMode {
-		fb.Row(ds.CursorRow).Cells[fb.W-1].wrap = true
-		fb.Row(ds.CursorRow).touch()
+		wr := fb.writableRow(ds.CursorRow)
+		wr.Cells[fb.W-1].wrap = true
+		wr.touch()
 		ds.CursorCol = 0
 		ds.NextPrintWraps = false
 		e.lineFeed()
@@ -88,8 +96,9 @@ func (e *Emulator) print(r rune) {
 	// A wide character that cannot fit in the last column wraps early.
 	if width == 2 && ds.CursorCol == fb.W-1 {
 		if ds.AutoWrapMode {
-			fb.Row(ds.CursorRow).Cells[fb.W-1].wrap = true
-			fb.Row(ds.CursorRow).touch()
+			wr := fb.writableRow(ds.CursorRow)
+			wr.Cells[fb.W-1].wrap = true
+			wr.touch()
 			ds.CursorCol = 0
 			e.lineFeed()
 		} else {
@@ -107,12 +116,12 @@ func (e *Emulator) print(r rune) {
 	row, col := ds.CursorRow, ds.CursorCol
 	// Overwriting the continuation half of a wide character destroys the
 	// leader too.
-	if col > 0 && fb.Cell(row, col-1).Wide {
+	if col > 0 && fb.Peek(row, col-1).Wide {
 		lead := fb.Cell(row, col-1)
 		lead.Reset(lead.Rend)
 	}
 	c := fb.Cell(row, col)
-	c.Contents = string(r)
+	c.Contents = runeContents(r)
 	c.Rend = ds.Rend
 	c.Wide = width == 2
 	c.wrap = false
@@ -120,7 +129,7 @@ func (e *Emulator) print(r rune) {
 		fb.Cell(row, col+1).Reset(ds.Rend)
 	}
 	fb.normalizeWide(row)
-	fb.Row(row).touch()
+	fb.writableRow(row).touch()
 
 	if col+width >= fb.W {
 		ds.CursorCol = fb.W - 1
@@ -177,13 +186,14 @@ func (e *Emulator) escDispatch(inter []byte, final byte) {
 	if len(inter) == 1 && inter[0] == '#' {
 		if final == '8' { // DECALN
 			for r := 0; r < fb.H; r++ {
+				row := fb.writableRow(r)
 				for c := 0; c < fb.W; c++ {
-					cell := fb.Cell(r, c)
+					cell := &row.Cells[c]
 					cell.Contents = "E"
 					cell.Rend = SGRReset
 					cell.Wide = false
 				}
-				fb.Row(r).touch()
+				row.touch()
 			}
 			fb.MoveCursor(0, 0)
 		}
@@ -353,7 +363,7 @@ func (e *Emulator) repeatLast(n int) {
 	} else {
 		return
 	}
-	contents := fb.Cell(fb.DS.CursorRow, col).Contents
+	contents := fb.Peek(fb.DS.CursorRow, col).Contents
 	if contents == "" {
 		return
 	}

@@ -1,19 +1,35 @@
 package terminal
 
+import "sync/atomic"
+
 // Row is one screen line. Its generation number changes on every
 // modification and is preserved across clones, so two rows with equal gen
 // are guaranteed identical — the renderer uses this to detect scrolls and
 // skip unchanged lines without comparing cells.
+//
+// Rows are copy-on-write: Framebuffer.Clone shares *Row pointers between
+// the original and the snapshot, marking each row shared. A shared row is
+// immutable from then on — every mutation path first materializes a
+// private copy via Framebuffer.writableRow — so snapshots are O(height)
+// pointer copies instead of O(width×height) cell copies, which is what
+// makes the SSP sender's per-send state history cheap.
 type Row struct {
 	Cells []Cell
 	gen   uint64
+	// shared marks a row reachable from more than one framebuffer (or
+	// from a framebuffer and the scrollback of another). Once set it is
+	// never cleared on this Row: a framebuffer that wants to write
+	// replaces its pointer with a private copy instead.
+	shared bool
 }
 
-var rowGenCounter uint64
+// rowGenCounter is global so generations stay unique across every
+// framebuffer in the process; atomic because independent sessions (and
+// parallel tests/benchmarks) emulate concurrently.
+var rowGenCounter atomic.Uint64
 
 func nextGen() uint64 {
-	rowGenCounter++
-	return rowGenCounter
+	return rowGenCounter.Add(1)
 }
 
 func newRow(width int, bg Renditions) *Row {
@@ -34,6 +50,7 @@ func (r *Row) Touch() { r.touch() }
 // touch marks the row modified.
 func (r *Row) touch() { r.gen = nextGen() }
 
+// clone deep-copies the row; the copy is private (not shared).
 func (r *Row) clone() *Row {
 	nr := &Row{Cells: make([]Cell, len(r.Cells)), gen: r.gen}
 	copy(nr.Cells, r.Cells)
@@ -41,7 +58,7 @@ func (r *Row) clone() *Row {
 }
 
 func (r *Row) equal(o *Row) bool {
-	if r.gen == o.gen {
+	if r == o || r.gen == o.gen {
 		return true
 	}
 	if len(r.Cells) != len(o.Cells) {
@@ -143,7 +160,12 @@ func NewFramebuffer(w, h int) *Framebuffer {
 	return f
 }
 
-// Clone deep-copies the framebuffer; row generations are preserved.
+// Clone snapshots the framebuffer in O(height): the grid is shared
+// copy-on-write (both copies' rows become immutable-once-shared, and
+// either side materializes a private row before writing), so the SSP
+// sender's per-send snapshot costs pointer copies, not cell copies. Row
+// generations are preserved, which keeps generation-based scroll
+// detection and row skipping working across snapshots.
 // Scrollback is carried over as a shallow copy: scrolled-off rows are
 // never mutated again, and the state-sync receiver reconstructs each new
 // state from a clone of the previous one, so history accumulates across
@@ -156,7 +178,8 @@ func (f *Framebuffer) Clone() *Framebuffer {
 	nf.DS.Tabs = append([]bool(nil), f.DS.Tabs...)
 	nf.rows = make([]*Row, len(f.rows))
 	for i, r := range f.rows {
-		nf.rows[i] = r.clone()
+		r.shared = true
+		nf.rows[i] = r
 	}
 	nf.scrollback = append([]*Row(nil), f.scrollback...)
 	return nf
@@ -184,11 +207,33 @@ func (f *Framebuffer) Equal(o *Framebuffer) bool {
 	return true
 }
 
-// Row returns row i (0-based).
-func (f *Framebuffer) Row(i int) *Row { return f.rows[i] }
+// writableRow returns row i, first materializing a private copy if the
+// row is shared with a snapshot. Every mutation of row contents must go
+// through it (directly or via Row/Cell) to preserve the copy-on-write
+// invariant that shared rows are immutable.
+func (f *Framebuffer) writableRow(i int) *Row {
+	r := f.rows[i]
+	if r.shared {
+		r = r.clone()
+		f.rows[i] = r
+	}
+	return r
+}
 
-// Cell returns the cell at (row, col).
+// Row returns row i (0-based), materialized for writing: callers (the
+// overlay engine, for instance) mutate cells through it and then Touch it.
+// Read-only callers use Peek instead to avoid the copy.
+func (f *Framebuffer) Row(i int) *Row { return f.writableRow(i) }
+
+// Cell returns the cell at (row, col), materialized for writing.
 func (f *Framebuffer) Cell(row, col int) *Cell {
+	return &f.writableRow(row).Cells[col]
+}
+
+// Peek returns the cell at (row, col) for reading only: it never
+// materializes a shared row, so it is cheap and must not be written
+// through.
+func (f *Framebuffer) Peek(row, col int) *Cell {
 	return &f.rows[row].Cells[col]
 }
 
@@ -222,16 +267,16 @@ func (f *Framebuffer) MoveCursor(row, col int) {
 }
 
 // touchCursorRow marks the cursor's row modified.
-func (f *Framebuffer) touchCursorRow() { f.rows[f.DS.CursorRow].touch() }
+func (f *Framebuffer) touchCursorRow() { f.writableRow(f.DS.CursorRow).touch() }
 
 // eraseCells blanks cols [from, to) of row with the current background.
 func (f *Framebuffer) eraseCells(row, from, to int) {
-	r := f.rows[row]
 	from = clamp(from, 0, f.W)
 	to = clamp(to, 0, f.W)
 	if from >= to {
 		return
 	}
+	r := f.writableRow(row)
 	for i := from; i < to; i++ {
 		r.Cells[i].Reset(f.DS.Rend)
 	}
@@ -246,7 +291,7 @@ func (f *Framebuffer) eraseCells(row, from, to int) {
 // repaint of the leader deterministically regenerate the continuation, so
 // screen diffs always converge.
 func (f *Framebuffer) normalizeWide(row int) {
-	r := f.rows[row]
+	r := f.writableRow(row)
 	for col := 0; col < f.W; col++ {
 		c := &r.Cells[col]
 		if !c.Wide {
@@ -367,7 +412,7 @@ func (f *Framebuffer) InsertCells(n int) {
 	if n <= 0 {
 		return
 	}
-	r := f.rows[row]
+	r := f.writableRow(row)
 	copy(r.Cells[col+n:], r.Cells[col:f.W-n])
 	for i := col; i < col+n; i++ {
 		r.Cells[i].Reset(f.DS.Rend)
@@ -386,7 +431,7 @@ func (f *Framebuffer) DeleteCells(n int) {
 	if n <= 0 {
 		return
 	}
-	r := f.rows[row]
+	r := f.writableRow(row)
 	copy(r.Cells[col:], r.Cells[col+n:])
 	for i := f.W - n; i < f.W; i++ {
 		r.Cells[i].Reset(f.DS.Rend)

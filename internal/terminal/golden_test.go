@@ -1,0 +1,181 @@
+package terminal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden frame corpora")
+
+// frameScenario is a deterministic recorded terminal session. The golden
+// test drives it through the sender's snapshot/diff cycle and pins the
+// exact bytes NewFrame produces, so optimizations to the diff pipeline
+// can prove they are byte-identical refactors.
+type frameScenario struct {
+	name string
+	w, h int
+	// steps are host-output chunks; one frame is cut after each.
+	steps []string
+}
+
+func typingSteps() []string {
+	var steps []string
+	steps = append(steps, "$ ")
+	for _, r := range "echo hello world" {
+		steps = append(steps, string(r))
+	}
+	steps = append(steps, "\r\nhello world\r\n$ ")
+	return steps
+}
+
+func scrollFloodSteps() []string {
+	var steps []string
+	for i := 0; i < 40; i++ {
+		chunk := ""
+		for j := 0; j < 3; j++ {
+			chunk += fmt.Sprintf("line %d: the quick brown fox jumps over the lazy dog\r\n", i*3+j)
+		}
+		steps = append(steps, chunk)
+	}
+	return steps
+}
+
+func interleavedScrollSteps() []string {
+	// Scrolls mixed with in-place edits above the scroll point, so scroll
+	// detection has to out-vote rows that changed.
+	var steps []string
+	for i := 0; i < 12; i++ {
+		steps = append(steps,
+			fmt.Sprintf("\x1b[1;1Hstatus: tick %d\x1b[24;1H", i),
+			fmt.Sprintf("appended row %d\r\n", i),
+			fmt.Sprintf("\x1b[2;5Hgauge=%d\x1b[24;1H", i*7),
+		)
+	}
+	return steps
+}
+
+func goldenScenarios() []frameScenario {
+	return []frameScenario{
+		{name: "typing", w: 80, h: 24, steps: typingSteps()},
+		{name: "scroll-flood", w: 80, h: 24, steps: scrollFloodSteps()},
+		{name: "interleaved-scroll", w: 80, h: 24, steps: interleavedScrollSteps()},
+		{name: "editor", w: 80, h: 24, steps: []string{
+			"\x1b[2J\x1b[H-- VISUAL --",
+			"\x1b[5;10HHello, editor!",
+			"\x1b[1;31mred\x1b[0m \x1b[1;4;32mbold-under-green\x1b[0m",
+			"\x1b[3;20r\x1b[3;1Hregion top\r\nsecond line",
+			"\x1b[10S",
+			"\x1b[5;1H\x1b[2L\x1b[7;1H\x1b[1M",
+			"\x1b[8;4H\x1b[4@wxyz\x1b[3P",
+			"\x1b[r\x1b[18;1Hdone\x1b[K\x1b[1J",
+		}},
+		{name: "wide-combining", w: 40, h: 8, steps: []string{
+			"中文字符测试",
+			"\r\nabcéf",
+			"\r\n\x1b[36m🙂🙃\x1b[0m tail",
+			"\x1b[1;39H№",      // print near last column
+			"\x1b[2;39H宽",      // wide char at margin wraps early
+			"\x1b[3;1H\x1b[1P", // delete through wide pair
+		}},
+		{name: "modes-title-bell", w: 80, h: 24, steps: []string{
+			"\x1b]2;session one\a",
+			"\x07\x07",
+			"\x1b[?5h\x1b[?1h\x1b[?2004h",
+			"text under modes",
+			"\x1b[?5l\x1b[?1l\x1b[?2004l",
+			"\x1b]0;session two\a\x07",
+			"\x1b[?25l hidden cursor \x1b[?25h",
+		}},
+		{name: "colors-256-truecolor", w: 80, h: 12, steps: []string{
+			"\x1b[38;5;196mpalette red\x1b[0m",
+			"\r\n\x1b[48;5;21mblue bg\x1b[0m",
+			"\r\n\x1b[38;2;10;200;30mtruecolor\x1b[0m plain",
+			"\r\n\x1b[7;38;5;250;48;2;4;5;6minverse mix\x1b[0m",
+		}},
+		{name: "tabs-rep-decaln", w: 80, h: 10, steps: []string{
+			"a\tb\tc\td",
+			"\r\x1b[3g\x1b[1;20H\x1bH\x1b[1;40H\x1bH\r",
+			"x\ty\tz",
+			"\r\nQ\x1b[5b",
+			"\x1b#8",
+			"\x1b[2J\x1b[Hafter alignment",
+		}},
+		{name: "wrap-and-erase", w: 20, h: 6, steps: []string{
+			strings.Repeat("0123456789", 5),
+			"\x1b[3;1H\x1b[0Kkept",
+			"\x1b[2;10H\x1b[1K",
+			"\x1b[1;1H\x1b[0J",
+		}},
+	}
+}
+
+func hashFrame(frame []byte) string {
+	sum := sha256.Sum256(frame)
+	return fmt.Sprintf("%d %s", len(frame), hex.EncodeToString(sum[:]))
+}
+
+// runScenario reproduces the sender's discipline: snapshot (Clone) after
+// every frame and diff the live screen against the previous snapshot.
+func runScenario(t *testing.T, sc frameScenario) []string {
+	t.Helper()
+	emu := NewEmulator(sc.w, sc.h)
+	var lines []string
+
+	// Initial full repaint (what a freshly connected client receives).
+	lines = append(lines, hashFrame(NewFrame(false, nil, emu.Framebuffer())))
+	prev := emu.Framebuffer().Clone()
+
+	for i, chunk := range sc.steps {
+		emu.WriteString(chunk)
+		frame := NewFrame(true, prev, emu.Framebuffer())
+		lines = append(lines, hashFrame(frame))
+
+		// The frame must round-trip: applying it to an emulator holding the
+		// previous state reproduces the live screen exactly.
+		replay := NewEmulatorWithFramebuffer(prev)
+		replay.Write(frame)
+		if !replay.Framebuffer().Equal(emu.Framebuffer()) {
+			t.Fatalf("%s step %d: frame does not round-trip", sc.name, i)
+		}
+
+		prev = emu.Framebuffer().Clone()
+	}
+
+	// A terminating full repaint of the final screen.
+	lines = append(lines, hashFrame(NewFrame(false, nil, emu.Framebuffer())))
+	return lines
+}
+
+// TestNewFrameGoldenCorpus pins the exact bytes of the diff pipeline on a
+// recorded scenario corpus. Regenerate with `go test -run Golden -update`
+// only when an intentional output change is being made.
+func TestNewFrameGoldenCorpus(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			got := strings.Join(runScenario(t, sc), "\n") + "\n"
+			path := filepath.Join("testdata", "golden", sc.name+".frames")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("frame bytes diverged from golden corpus %s", path)
+			}
+		})
+	}
+}

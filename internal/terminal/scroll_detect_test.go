@@ -1,0 +1,121 @@
+package terminal
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// detectScrollOracle is the seed implementation's O(H²) exhaustive scan
+// (with its degenerate `bestMatches > 0` clause dropped: bestK > 0 already
+// implies at least one match, and the half-the-survivors threshold is
+// never satisfiable by zero matches for k < H). The O(H) rewrite must
+// agree with it on every input.
+func detectScrollOracle(last, f *Framebuffer) int {
+	bestK, bestMatches := 0, 0
+	for k := 1; k < f.H; k++ {
+		m := 0
+		for i := 0; i+k < f.H; i++ {
+			if f.rows[i].gen == last.rows[i+k].gen {
+				m++
+			}
+		}
+		if m > bestMatches {
+			bestMatches, bestK = m, k
+		}
+	}
+	if bestK > 0 && bestMatches >= (f.H-bestK+1)/2 {
+		return bestK
+	}
+	return 0
+}
+
+func checkScrollAgreement(t *testing.T, label string, last, f *Framebuffer) {
+	t.Helper()
+	var fw FrameWriter
+	got := fw.detectScroll(last, f)
+	want := detectScrollOracle(last, f)
+	if got != want {
+		t.Errorf("%s: detectScroll=%d, oracle=%d", label, got, want)
+	}
+}
+
+// TestDetectScrollMatchesOracle drives both implementations over screens
+// with scrolls interleaved with unrelated row changes — the case where
+// scroll votes have to win against modified rows.
+func TestDetectScrollMatchesOracle(t *testing.T) {
+	newScreen := func() *Emulator {
+		emu := NewEmulator(40, 16)
+		for i := 0; i < 15; i++ {
+			emu.WriteString(fmt.Sprintf("content row %d\r\n", i))
+		}
+		return emu
+	}
+
+	t.Run("pure-scroll", func(t *testing.T) {
+		for k := 1; k <= 15; k++ {
+			emu := newScreen()
+			last := emu.Framebuffer().Clone()
+			for i := 0; i < k; i++ {
+				emu.WriteString(fmt.Sprintf("\x1b[16;1Hnew line %d\n", i))
+			}
+			checkScrollAgreement(t, fmt.Sprintf("scroll by %d", k), last, emu.Framebuffer())
+		}
+	})
+
+	t.Run("no-change", func(t *testing.T) {
+		emu := newScreen()
+		last := emu.Framebuffer().Clone()
+		checkScrollAgreement(t, "identical screens", last, emu.Framebuffer())
+	})
+
+	t.Run("interleaved-changes", func(t *testing.T) {
+		for changed := 0; changed <= 16; changed += 2 {
+			emu := newScreen()
+			last := emu.Framebuffer().Clone()
+			// Scroll by 3, then overwrite `changed` surviving rows so the
+			// vote threshold is exercised on both sides of the boundary.
+			emu.WriteString("\x1b[16;1H\n\n\n")
+			for i := 0; i < changed && i < 13; i++ {
+				emu.WriteString(fmt.Sprintf("\x1b[%d;1Hedited %d", i+1, i))
+			}
+			checkScrollAgreement(t, fmt.Sprintf("scroll 3 with %d edits", changed), last, emu.Framebuffer())
+		}
+	})
+
+	t.Run("full-rewrite", func(t *testing.T) {
+		emu := newScreen()
+		last := emu.Framebuffer().Clone()
+		emu.WriteString("\x1b[2J\x1b[H")
+		for i := 0; i < 15; i++ {
+			emu.WriteString(fmt.Sprintf("totally new %d\r\n", i))
+		}
+		checkScrollAgreement(t, "full rewrite", last, emu.Framebuffer())
+	})
+
+	t.Run("randomized", func(t *testing.T) {
+		for seed := int64(0); seed < 50; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			emu := newScreen()
+			last := emu.Framebuffer().Clone()
+			// Random mixture of scrolls and row edits.
+			for i, n := 0, rng.Intn(20); i < n; i++ {
+				if rng.Intn(2) == 0 {
+					emu.WriteString("\x1b[16;1H\n")
+				} else {
+					emu.WriteString(fmt.Sprintf("\x1b[%d;1Hr%d", rng.Intn(16)+1, i))
+				}
+			}
+			checkScrollAgreement(t, fmt.Sprintf("seed %d", seed), last, emu.Framebuffer())
+		}
+	})
+
+	t.Run("region-scroll", func(t *testing.T) {
+		// A scroll inside a margin region moves only part of the screen;
+		// both implementations must agree on whether that wins the vote.
+		emu := newScreen()
+		last := emu.Framebuffer().Clone()
+		emu.WriteString("\x1b[4;12r\x1b[3S\x1b[r")
+		checkScrollAgreement(t, "region scroll", last, emu.Framebuffer())
+	})
+}

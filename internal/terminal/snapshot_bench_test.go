@@ -1,0 +1,130 @@
+package terminal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// These benchmarks model the SSP sender's per-tick hot path on an 80×24
+// screen: mutate the live emulator, diff it against the previous snapshot
+// with a long-lived FrameWriter (as the statesync layer does), and take a
+// new snapshot (Framebuffer.Clone) for the sent-state history. They are
+// the repo's perf regression guard for the copy-on-write snapshot /
+// zero-allocation diff work.
+
+func prefilledEmulator(w, h int) *Emulator {
+	emu := NewEmulator(w, h)
+	for i := 0; i < h-1; i++ {
+		emu.WriteString(fmt.Sprintf("%2d: the quick brown fox jumps over the lazy dog\r\n", i))
+	}
+	emu.WriteString("$ ")
+	return emu
+}
+
+// BenchmarkSnapshotDiffTyping is the paper's dominant interactive
+// workload: one keystroke per send interval.
+func BenchmarkSnapshotDiffTyping(b *testing.B) {
+	emu := prefilledEmulator(80, 24)
+	prev := emu.Framebuffer().Clone()
+	keys := []byte("kernel make -j8 && ./run --fast ")
+	reset := []byte("\r$ \x1b[K")
+	var fw FrameWriter
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emu.Write(keys[i%len(keys) : i%len(keys)+1])
+		if i%len(keys) == len(keys)-1 {
+			emu.Write(reset)
+		}
+		buf = fw.AppendFrame(buf[:0], true, prev, emu.Framebuffer())
+		prev = emu.Framebuffer().Clone()
+	}
+	benchSink = buf
+}
+
+// BenchmarkSnapshotDiffScrollFlood is the "cat a big file" workload: every
+// tick scrolls the screen by several lines.
+func BenchmarkSnapshotDiffScrollFlood(b *testing.B) {
+	emu := prefilledEmulator(80, 24)
+	prev := emu.Framebuffer().Clone()
+	lines := make([][]byte, 16)
+	for i := range lines {
+		lines[i] = []byte(fmt.Sprintf("flood line %d: lorem ipsum dolor sit amet consectetur\r\n", i))
+	}
+	var fw FrameWriter
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4; j++ {
+			emu.Write(lines[(i*4+j)%len(lines)])
+		}
+		buf = fw.AppendFrame(buf[:0], true, prev, emu.Framebuffer())
+		prev = emu.Framebuffer().Clone()
+	}
+	benchSink = buf
+}
+
+// BenchmarkSnapshotDiffFullRepaint measures a fresh client attach: the
+// whole screen painted from blank.
+func BenchmarkSnapshotDiffFullRepaint(b *testing.B) {
+	emu := prefilledEmulator(80, 24)
+	var fw FrameWriter
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = fw.AppendFrame(buf[:0], false, nil, emu.Framebuffer())
+	}
+	benchSink = buf
+}
+
+// BenchmarkSnapshotDiffResize alternates window sizes, forcing the
+// size-change full-repaint path plus the grid reshape.
+func BenchmarkSnapshotDiffResize(b *testing.B) {
+	emu := prefilledEmulator(80, 24)
+	var fw FrameWriter
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			emu.Resize(100, 30)
+		} else {
+			emu.Resize(80, 24)
+		}
+		buf = fw.AppendFrame(buf[:0], false, nil, emu.Framebuffer())
+	}
+	benchSink = buf
+}
+
+// BenchmarkSnapshotClone isolates the per-send snapshot cost.
+func BenchmarkSnapshotClone(b *testing.B) {
+	emu := prefilledEmulator(80, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchCloneSink = emu.Framebuffer().Clone()
+	}
+}
+
+// BenchmarkSnapshotEqualIdle isolates the sender's idle-tick comparison:
+// the live state against an identical snapshot (calculateTimers performs
+// up to three of these per tick).
+func BenchmarkSnapshotEqualIdle(b *testing.B) {
+	emu := prefilledEmulator(80, 24)
+	snap := emu.Framebuffer().Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !emu.Framebuffer().Equal(snap) {
+			b.Fatal("states diverged")
+		}
+	}
+}
+
+var (
+	benchSink      []byte
+	benchCloneSink *Framebuffer
+)

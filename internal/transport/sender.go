@@ -94,6 +94,11 @@ type Sender[T State[T]] struct {
 	pendingDataAck bool
 	ackNum         uint64 // newest remote state num, echoed in instructions
 
+	// diffBuf is reused across ticks for DiffFrom output; the diff is
+	// consumed (copied into wire fragments) before the tick returns, so
+	// the buffer never escapes.
+	diffBuf []byte
+
 	shutdown bool
 
 	stats SenderStats
@@ -261,7 +266,8 @@ func (s *Sender[T]) tick() {
 		return
 	}
 
-	diff := s.currentState.DiffFrom(s.sentStates[s.assumedIdx].state)
+	s.diffBuf = s.currentState.AppendDiff(s.diffBuf[:0], s.sentStates[s.assumedIdx].state)
+	diff := s.diffBuf
 	if len(diff) == 0 {
 		if ackDue {
 			s.sendEmptyAck(now)

@@ -40,6 +40,13 @@ type State[T any] interface {
 	// this state. The transport treats it as opaque bytes.
 	DiffFrom(source T) []byte
 
+	// AppendDiff appends the same diff DiffFrom returns to buf (which may
+	// be nil) and returns the extended buffer. The sender reuses one
+	// buffer across ticks so the per-frame diff costs no allocations; the
+	// transport never retains the returned slice past the tick that
+	// produced it.
+	AppendDiff(buf []byte, source T) []byte
+
 	// Apply mutates the state by applying a diff produced by DiffFrom.
 	Apply(diff []byte) error
 

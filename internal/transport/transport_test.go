@@ -30,11 +30,15 @@ func (s *textState) Clone() *textState { return &textState{data: bytes.Clone(s.d
 func (s *textState) Equal(o *textState) bool { return bytes.Equal(s.data, o.data) }
 
 func (s *textState) DiffFrom(src *textState) []byte {
+	return s.AppendDiff(nil, src)
+}
+
+func (s *textState) AppendDiff(buf []byte, src *textState) []byte {
 	if len(src.data) > len(s.data) || !bytes.Equal(s.data[:len(src.data)], src.data) {
 		// Source is not a prefix (cannot happen in SSP's usage); resend all.
-		return bytes.Clone(s.data)
+		return append(buf, s.data...)
 	}
-	return bytes.Clone(s.data[len(src.data):])
+	return append(buf, s.data[len(src.data):]...)
 }
 
 func (s *textState) Apply(diff []byte) error {
