@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON document on stdout, so CI can publish a BENCH_<sha>.json artifact
+// per commit and the performance trajectory (snapshot/diff costs, the
+// many-session daemon numbers) is recorded rather than scrolled away.
+//
+// Usage:
+//
+//	go test -run XXX_NONE -bench . -benchtime 1x ./... | benchjson -sha "$GITHUB_SHA" > BENCH_$GITHUB_SHA.json
+//
+// Every benchmark line becomes one record with its primary ns/op plus any
+// extra `value unit` metric pairs (B/op, allocs/op, custom ReportMetric
+// units). Non-benchmark lines are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Record is one benchmark result.
+type Record struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document is the artifact schema.
+type Document struct {
+	SHA        string   `json:"sha,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CreatedAt  string   `json:"created_at"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	sha := flag.String("sha", os.Getenv("GITHUB_SHA"), "commit SHA recorded in the artifact")
+	flag.Parse()
+
+	doc := Document{
+		SHA:       *sha,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "pkg: ") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		}
+		if rec, ok := parseBenchLine(line); ok {
+			rec.Package = pkg
+			doc.Benchmarks = append(doc.Benchmarks, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine handles "BenchmarkName-8  10  123 ns/op  4 B/op  1 allocs/op
+// 56.0 custom/op" lines, tolerating any number of metric pairs.
+func parseBenchLine(line string) (Record, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Record{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(fields)-2)/2),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	return rec, true
+}

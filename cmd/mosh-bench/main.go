@@ -9,6 +9,8 @@
 //	mosh-bench -exp singapore  # MIT–Singapore wired path table
 //	mosh-bench -exp loss       # 29%-loss netem table (predictions off)
 //	mosh-bench -exp ablations  # design-choice ablations
+//	mosh-bench -exp manysession -sessions 1000
+//	                           # sessiond scaling: N sessions, one socket
 //
 // -keys N sets the keystrokes per user (default: the paper-scale 1664,
 // ≈10k total across six users).
@@ -28,9 +30,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2|fig3|lte|singapore|loss|ablations|all")
+	exp := flag.String("exp", "all", "experiment: fig2|fig3|lte|singapore|loss|ablations|manysession|all")
 	keys := flag.Int("keys", 1664, "keystrokes per user (6 users)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	sessions := flag.Int("sessions", 1000, "concurrent sessions for -exp manysession")
 	flag.Parse()
 
 	cfg := bench.Config{KeystrokesPerUser: *keys, Seed: *seed}
@@ -67,6 +70,18 @@ func main() {
 		fmt.Printf("paper: SSH 0.416 s / 16.8 s / 52.2 s; Mosh (no predictions) 0.222 s / 0.329 s / 1.63 s\n")
 	})
 	run("ablations", runAblations)
+	// The many-session scaling run is explicit-only (not part of "all"):
+	// 1000 full client stacks is a different cost class than the paper
+	// reproduction.
+	if *exp == "manysession" {
+		start := time.Now()
+		res := bench.RunManySession(bench.ManySessionOptions{
+			Sessions: *sessions,
+			Seed:     cfg.Seed,
+		})
+		fmt.Println(bench.FormatManySession(res))
+		fmt.Fprintf(os.Stderr, "[manysession done in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
 }
 
 // runAblations sweeps the design choices DESIGN.md calls out.

@@ -5,7 +5,11 @@
 //
 // Usage (after starting mosh-server):
 //
-//	mosh-client -to 127.0.0.1:60001 -key <key printed by the server>
+//	mosh-client -to 127.0.0.1:60001 -key <key> -session <id>
+//
+// -key and -session come from the server's "MOSH CONNECT port key id"
+// line; -session selects this session on the server's multiplexed socket
+// (its daemon runs many sessions behind one UDP port).
 //
 // stdin is consumed unbuffered when the terminal allows it; under a
 // line-buffered terminal, whole lines are sent at once (the protocol and
@@ -24,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netem"
+	"repro/internal/network"
 	"repro/internal/overlay"
 	"repro/internal/simclock"
 	"repro/internal/sspcrypto"
@@ -33,11 +38,19 @@ import (
 func main() {
 	to := flag.String("to", "127.0.0.1:60001", "server host:port")
 	keyStr := flag.String("key", "", "session key printed by mosh-server")
+	session := flag.Uint64("session", 0, "session id printed by mosh-server (0 = plain single-session wire format)")
 	predict := flag.String("predict", "adaptive", "speculative echo: adaptive|always|never")
 	flag.Parse()
 
 	if *keyStr == "" {
 		log.Fatal("missing -key (printed by mosh-server)")
+	}
+	if *session == 0 {
+		// The bundled mosh-server always multiplexes; plain-format packets
+		// are dropped by its envelope demux with no diagnostic, so make
+		// the likely mistake loud.
+		fmt.Fprintln(os.Stderr, "warning: -session 0 speaks the plain single-session wire format; "+
+			"the bundled mosh-server requires the session id from its MOSH CONNECT line")
 	}
 	key, err := sspcrypto.KeyFromBase64(*keyStr)
 	if err != nil {
@@ -65,10 +78,18 @@ func main() {
 		client *core.Client
 		shown  *terminal.Framebuffer
 	)
+	var env *network.Envelope
+	if *session != 0 {
+		env = &network.Envelope{ID: *session}
+	}
 	client, err = core.NewClient(core.ClientConfig{
 		Key:         key,
 		Clock:       simclock.Real{},
 		Predictions: pref,
+		Envelope:    env,
+		// conn.Write hands the datagram to the kernel before returning,
+		// so wire buffers are recycled.
+		RecycleWire: true,
 		Emit: func(wire []byte) {
 			conn.Write(wire)
 		},

@@ -1,131 +1,188 @@
-// Command mosh-server is the server side of a real (UDP) Mosh session. It
-// binds a high UDP port, prints the session key for out-of-band bootstrap
-// (MOSH CONNECT port key — the paper's SSH-launched script would carry
-// this to the client), and serves a built-in demo shell. A production
-// deployment would attach a pty instead of the demo application; the
-// session, terminal and protocol layers are identical.
+// Command mosh-server is the server side of real (UDP) Mosh sessions. It
+// runs on internal/sessiond: one daemon, one UDP socket, up to -sessions
+// concurrent users demultiplexed by the cleartext session-ID envelope. At
+// startup it issues every session slot and prints one bootstrap line per
+// slot (the paper's SSH-launched script would carry these to the clients):
+//
+//	MOSH CONNECT <port> <key> <session-id>
+//
+// Each serves a built-in demo application; a production deployment would
+// attach ptys instead — the session, terminal and protocol layers are
+// identical.
 //
 // Usage:
 //
-//	mosh-server [-port 60001] [-demo shell|editor|mail]
+//	mosh-server [-port 60001] [-sessions 64] [-demo shell|editor|mail]
+//	            [-idle 12h] [-debug 127.0.0.1:6060]
 //
-// Then run: mosh-client -to <host>:<port> -key <key>
+// Then, per printed line: mosh-client -to <host>:<port> -key <key> -session <id>
+//
+// -debug serves the daemon's expvar metrics (sessions live, packets and
+// bytes in/out, evictions, dispatch-queue depth) at /debug/vars.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"sync"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/host"
 	"repro/internal/netem"
+	"repro/internal/sessiond"
 	"repro/internal/simclock"
-	"repro/internal/sspcrypto"
 )
 
 func main() {
 	port := flag.Int("port", 60001, "UDP port to listen on")
+	sessions := flag.Int("sessions", 64, "session capacity (all issued at startup)")
 	demo := flag.String("demo", "shell", "demo application: shell|editor|mail")
+	idle := flag.Duration("idle", sessiond.DefaultIdleTimeout, "evict sessions idle this long (0 or negative = never)")
+	debug := flag.String("debug", "", "serve expvar metrics on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
-	key, err := sspcrypto.NewRandomKey()
-	if err != nil {
-		log.Fatal(err)
-	}
 	conn, err := net.ListenUDP("udp", &net.UDPAddr{Port: *port})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("MOSH CONNECT %d %s\n", *port, key.Base64())
 
-	var app host.App
-	switch *demo {
-	case "editor":
-		app = host.NewEditor(time.Now().UnixNano(), 80)
-	case "mail":
-		app = host.NewMailReader(time.Now().UnixNano())
-	default:
-		app = host.NewShell(time.Now().UnixNano())
+	newApp := func(id uint64) host.App {
+		seed := time.Now().UnixNano() + int64(id)
+		switch *demo {
+		case "editor":
+			return host.NewEditor(seed, 80)
+		case "mail":
+			return host.NewMailReader(seed)
+		default:
+			return host.NewShell(seed)
+		}
 	}
 
-	var (
-		mu         sync.Mutex
-		server     *core.Server
-		clientAddr *net.UDPAddr
-	)
-
-	server, err = core.NewServer(core.ServerConfig{
-		Key:   key,
-		Clock: simclock.Real{},
-		Emit: func(wire []byte) {
-			if clientAddr != nil {
-				conn.WriteToUDP(wire, clientAddr)
-			}
-		},
-		HostInput: func(data []byte) {
-			out, delay := app.Input(data)
-			if len(out) > 0 {
-				go func() {
-					time.Sleep(delay)
-					mu.Lock()
-					server.HostOutput(out)
-					mu.Unlock()
-				}()
-			}
-		},
+	if *idle == 0 {
+		// The daemon treats 0 as "use the default"; at the flag surface a
+		// plain reading of -idle 0 is "never evict".
+		*idle = -1
+	}
+	d, err := sessiond.New(sessiond.Config{
+		Clock:       simclock.Real{},
+		NewApp:      newApp,
+		Capacity:    *sessions,
+		IdleTimeout: *idle,
+		// The socket adapter's WriteTo copies into the kernel before
+		// returning, so per-session wire buffers are recycled.
+		RecycleWire: true,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	mu.Lock()
-	server.HostOutput(app.Start())
-	mu.Unlock()
-
-	// Timer-driven ticks.
-	go func() {
-		for {
-			mu.Lock()
-			server.Tick()
-			wait := server.WaitTime()
-			mu.Unlock()
-			if wait < time.Millisecond {
-				wait = time.Millisecond
-			}
-			time.Sleep(wait)
-		}
-	}()
-
-	buf := make([]byte, 2048)
-	for {
-		n, src, err := conn.ReadFromUDP(buf)
+	for i := 0; i < *sessions; i++ {
+		s, err := d.OpenSession()
 		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("MOSH CONNECT %d %s %d\n", *port, s.Key().Base64(), s.ID)
+	}
+
+	if *debug != "" {
+		d.Metrics().Publish("sessiond")
+		go func() {
+			// expvar auto-registers /debug/vars on the default mux.
+			log.Println(http.ListenAndServe(*debug, nil))
+		}()
+	}
+
+	log.Fatal(d.Serve(newUDPAdapter(conn)))
+}
+
+// udpAdapter bridges *net.UDPConn to sessiond.PacketConn. The stack tracks
+// peers as netem.Addr (a 32-bit host plus port); the adapter remembers the
+// real UDP address behind each compressed one so replies — including
+// post-roam replies — reach the true socket address. Only IPv4 sources are
+// accepted: the (host, port) → netem.Addr mapping is then injective, so
+// this pre-authentication table cannot be poisoned to redirect another
+// peer's replies (a spoofed datagram from a victim's own address writes
+// the identical entry). IPv6 needs a wider address type in internal/netem
+// first (ROADMAP).
+type udpAdapter struct {
+	conn *net.UDPConn
+	mu   sync.RWMutex
+	real map[netem.Addr]*net.UDPAddr
+}
+
+func newUDPAdapter(conn *net.UDPConn) *udpAdapter {
+	return &udpAdapter{conn: conn, real: make(map[netem.Addr]*net.UDPAddr)}
+}
+
+// maxAddrCache bounds the compressed→real address map. Entries are written
+// before any authentication runs, so a spoofed-source flood could otherwise
+// grow it without limit. On overflow the cache resets; live peers re-teach
+// their entry with their next datagram (at worst one heartbeat interval of
+// undeliverable replies).
+const maxAddrCache = 1 << 16
+
+func (u *udpAdapter) ReadFrom(buf []byte) (int, netem.Addr, error) {
+	for {
+		n, src, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			// One client's ICMP port-unreachable (or similar transient
+			// error) must not tear down every other session on the
+			// socket; only a closed socket ends the daemon.
+			if errors.Is(err, net.ErrClosed) {
+				return 0, netem.Addr{}, err
+			}
 			fmt.Fprintln(os.Stderr, "read:", err)
 			continue
 		}
-		wire := append([]byte(nil), buf[:n]...)
-		mu.Lock()
-		// The datagram layer owns roaming; we mirror its reply target to
-		// a real socket address.
-		if err := server.Receive(wire, udpToAddr(src)); err == nil {
-			clientAddr = src
+		a, ok := compressUDPAddr(src)
+		if !ok {
+			continue // non-IPv4 source: unsupported, see type comment
 		}
-		mu.Unlock()
+		// Steady state is all read-locks: the entry only changes when a
+		// peer is new or roamed, so the reader does not serialize the
+		// session workers' concurrent WriteTo calls on the write lock.
+		u.mu.RLock()
+		known := u.real[a]
+		u.mu.RUnlock()
+		if known == nil || !known.IP.Equal(src.IP) || known.Port != src.Port {
+			u.mu.Lock()
+			if len(u.real) >= maxAddrCache {
+				u.real = make(map[netem.Addr]*net.UDPAddr, 1024)
+			}
+			u.real[a] = src
+			u.mu.Unlock()
+		}
+		return n, a, nil
 	}
 }
 
-// udpToAddr compresses a UDP source into the emulated-address form the
-// datagram layer tracks roaming with.
-func udpToAddr(a *net.UDPAddr) netem.Addr {
-	ip := a.IP.To4()
-	var host uint32
-	if ip != nil {
-		host = uint32(ip[0])<<24 | uint32(ip[1])<<16 | uint32(ip[2])<<8 | uint32(ip[3])
+// Close unblocks ReadFrom so sessiond.Daemon.Close can end Serve.
+func (u *udpAdapter) Close() error { return u.conn.Close() }
+
+func (u *udpAdapter) WriteTo(wire []byte, dst netem.Addr) error {
+	u.mu.RLock()
+	real := u.real[dst]
+	u.mu.RUnlock()
+	if real == nil {
+		return nil // never heard from this address; nothing to reply to
 	}
-	return netem.Addr{Host: host, Port: uint16(a.Port)}
+	_, err := u.conn.WriteToUDP(wire, real)
+	return err
+}
+
+// compressUDPAddr maps an IPv4 UDP source into the emulated-address form
+// the datagram layer tracks roaming with; the mapping is injective. Non-
+// IPv4 sources report ok=false.
+func compressUDPAddr(a *net.UDPAddr) (netem.Addr, bool) {
+	ip4 := a.IP.To4()
+	if ip4 == nil {
+		return netem.Addr{}, false
+	}
+	hostBits := uint32(ip4[0])<<24 | uint32(ip4[1])<<16 | uint32(ip4[2])<<8 | uint32(ip4[3])
+	return netem.Addr{Host: hostBits, Port: uint16(a.Port)}, true
 }

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/netem"
+	"repro/internal/network"
+	"repro/internal/overlay"
+	"repro/internal/sessiond"
+	"repro/internal/simclock"
+)
+
+// ManySessionOptions configures the multi-session load generator: N
+// simulated Mosh clients, each behind its own emulated link, all served by
+// one sessiond daemon on one socket, in deterministic virtual time.
+type ManySessionOptions struct {
+	// Sessions is the number of concurrent sessions (default 100).
+	Sessions int
+	// Keystrokes per session (default 20, capped at 60 so the echo stays
+	// on the prompt line and visibility checking is exact).
+	Keystrokes int
+	// TypeInterval is each user's inter-keystroke gap (default 150 ms,
+	// phase-shifted per session so the load spreads).
+	TypeInterval time.Duration
+	// Params shapes every client's link (default: 2 ms LAN).
+	Params netem.LinkParams
+	// Seed drives link randomness and the per-session shell applications.
+	Seed int64
+}
+
+// ManySessionResult aggregates the run.
+type ManySessionResult struct {
+	Sessions   int
+	Keystrokes int // per session
+	// Samples holds one keystroke→visible-echo latency per delivered
+	// keystroke, across all sessions.
+	Samples []Sample
+	// Lost counts keystrokes whose echo never became visible (should be 0
+	// on a loss-free link).
+	Lost int
+	// Elapsed is the virtual time from first keystroke to convergence.
+	Elapsed time.Duration
+	// Wall is the real time the simulation took (sim efficiency).
+	Wall time.Duration
+	// PacketsIn/Out, BytesIn/Out are daemon-side aggregate wire counters
+	// over Elapsed.
+	PacketsIn, PacketsOut int64
+	BytesIn, BytesOut     int64
+	// QueueDrops counts dispatch-queue overflow drops (0 in sim mode).
+	QueueDrops int64
+}
+
+// shellPromptLen is where the first echoed character lands on the prompt
+// row of host.NewShell's screen.
+const shellPromptLen = len("user@remote:~$ ")
+
+// RunManySession drives Sessions simulated clients through one in-process
+// sessiond daemon and measures per-keystroke visible latency plus
+// aggregate daemon throughput. Everything runs in virtual time on one
+// scheduler, so results are exactly reproducible from the seed.
+func RunManySession(opt ManySessionOptions) ManySessionResult {
+	if opt.Sessions <= 0 {
+		opt.Sessions = 100
+	}
+	if opt.Keystrokes <= 0 {
+		opt.Keystrokes = 20
+	}
+	if opt.Keystrokes > 60 {
+		opt.Keystrokes = 60
+	}
+	if opt.TypeInterval <= 0 {
+		opt.TypeInterval = 150 * time.Millisecond
+	}
+	if opt.Params == (netem.LinkParams{}) {
+		opt.Params = netem.LinkParams{Delay: 2 * time.Millisecond, Overhead: 28}
+	}
+
+	wallStart := time.Now()
+	sched := simclock.NewScheduler(benchEpoch)
+	nw := netem.NewNetwork(sched)
+	daemonAddr := netem.Addr{Host: 0xFFFF, Port: 60001}
+	paths := make(map[netem.Addr]*netem.Path, opt.Sessions)
+
+	d, err := sessiond.New(sessiond.Config{
+		Clock: sched,
+		Send: func(dst netem.Addr, wire []byte) {
+			if p := paths[dst]; p != nil {
+				p.Down.Send(netem.Packet{Src: daemonAddr, Dst: dst, Payload: wire})
+			}
+		},
+		NewApp:      func(id uint64) host.App { return host.NewShell(opt.Seed + int64(id)) },
+		IdleTimeout: -1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	wakeDaemon := d.Pump(sched)
+	nw.Attach(daemonAddr, func(p netem.Packet) {
+		d.HandlePacket(p.Payload, p.Src)
+		wakeDaemon()
+	})
+
+	type pendingKey struct {
+		col  int
+		char byte
+		at   time.Time
+	}
+	type loadClient struct {
+		cl      *core.Client
+		wake    func()
+		pending []pendingKey
+		typed   int
+	}
+	clients := make([]*loadClient, opt.Sessions)
+	res := ManySessionResult{Sessions: opt.Sessions, Keystrokes: opt.Keystrokes}
+
+	for i := 0; i < opt.Sessions; i++ {
+		sess, err := d.OpenSession()
+		if err != nil {
+			panic(err)
+		}
+		addr := netem.Addr{Host: uint32(1 + i), Port: uint16(1000 + i%60000)}
+		path := netem.NewPath(nw, opt.Params, opt.Seed+int64(i)*7919)
+		paths[addr] = path
+		lc := &loadClient{}
+		lc.cl, err = core.NewClient(core.ClientConfig{
+			Key:         sess.Key(),
+			Clock:       sched,
+			Envelope:    &network.Envelope{ID: sess.ID},
+			Predictions: overlay.Never,
+			Emit: func(wire []byte) {
+				path.Up.Send(netem.Packet{Src: addr, Dst: daemonAddr, Payload: wire})
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		lc.wake = core.Pump(sched, lc.cl)
+		clients[i] = lc
+		nw.Attach(addr, func(p netem.Packet) {
+			lc.cl.Receive(p.Payload, p.Src)
+			// Visibility check: a keystroke's echo is the cell the shell
+			// echoes it into on the prompt row.
+			now := sched.Now()
+			fb := lc.cl.ServerState()
+			for len(lc.pending) > 0 {
+				k := lc.pending[0]
+				if k.col >= fb.W || fb.Peek(0, k.col).Contents != string(rune(k.char)) {
+					break
+				}
+				res.Samples = append(res.Samples, Sample{Latency: now.Sub(k.at)})
+				lc.pending = lc.pending[1:]
+			}
+			lc.wake()
+		})
+	}
+
+	// Connection warmup: clients introduce themselves, RTT estimators
+	// settle, before the measured window opens.
+	sched.RunFor(2 * time.Second)
+	m := d.Metrics()
+	packetsIn0, packetsOut0 := m.PacketsIn.Value(), m.PacketsOut.Value()
+	bytesIn0, bytesOut0 := m.BytesIn.Value(), m.BytesOut.Value()
+	queueDrops0 := m.DropsQueueFull.Value()
+	start := sched.Now()
+
+	// Schedule every user's typing, phase-shifted so keystrokes spread
+	// evenly across the interval instead of arriving in lockstep.
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	for i, lc := range clients {
+		lc := lc
+		phase := opt.TypeInterval * time.Duration(i) / time.Duration(opt.Sessions)
+		var typeNext func()
+		typeNext = func() {
+			if lc.typed >= opt.Keystrokes {
+				return
+			}
+			ch := letters[lc.typed%len(letters)]
+			lc.pending = append(lc.pending, pendingKey{
+				col:  shellPromptLen + lc.typed,
+				char: ch,
+				at:   sched.Now(),
+			})
+			lc.typed++
+			lc.cl.UserBytes([]byte{ch})
+			lc.wake()
+			sched.After(opt.TypeInterval, typeNext)
+		}
+		sched.At(start.Add(phase), typeNext)
+	}
+
+	// Run through the typing period plus a generous drain for retransmits.
+	typing := opt.TypeInterval * time.Duration(opt.Keystrokes)
+	sched.RunFor(typing + 10*time.Second)
+	for _, lc := range clients {
+		res.Lost += len(lc.pending)
+	}
+
+	res.Elapsed = sched.Now().Sub(start)
+	res.Wall = time.Since(wallStart)
+	res.PacketsIn = m.PacketsIn.Value() - packetsIn0
+	res.PacketsOut = m.PacketsOut.Value() - packetsOut0
+	res.BytesIn = m.BytesIn.Value() - bytesIn0
+	res.BytesOut = m.BytesOut.Value() - bytesOut0
+	res.QueueDrops = m.DropsQueueFull.Value() - queueDrops0
+	return res
+}
+
+// FormatManySession renders the load generator's report: aggregate
+// throughput through the single daemon socket plus keystroke latency
+// percentiles across every session.
+func FormatManySession(r ManySessionResult) string {
+	var b strings.Builder
+	secs := r.Elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	fmt.Fprintf(&b, "many-session load: %d sessions × %d keystrokes over one daemon socket\n",
+		r.Sessions, r.Keystrokes)
+	fmt.Fprintf(&b, "  throughput: %7.0f pkts/s in, %7.0f pkts/s out, %8.1f KB/s in, %8.1f KB/s out (virtual)\n",
+		float64(r.PacketsIn)/secs, float64(r.PacketsOut)/secs,
+		float64(r.BytesIn)/secs/1024, float64(r.BytesOut)/secs/1024)
+	st := Summarize(r.Samples)
+	fmt.Fprintf(&b, "  keystroke latency: n=%d p50=%v p90=%v p99=%v max=%v lost=%d\n",
+		st.N, Percentile(r.Samples, 50), Percentile(r.Samples, 90),
+		Percentile(r.Samples, 99), Percentile(r.Samples, 100), r.Lost)
+	fmt.Fprintf(&b, "  sim: %v virtual in %v wall (%.1fx real time)",
+		r.Elapsed.Round(time.Millisecond), r.Wall.Round(time.Millisecond),
+		r.Elapsed.Seconds()/max(r.Wall.Seconds(), 1e-9))
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// TestManySessionLoad1000 is the scaling demonstration from the roadmap:
+// one sessiond daemon serving 1000 concurrent sessions on one socket in
+// simulation, with the load generator's full report (aggregate throughput
+// plus keystroke latency percentiles) printed to the test log.
+func TestManySessionLoad1000(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-session simulation")
+	}
+	res := RunManySession(ManySessionOptions{
+		Sessions:     1000,
+		Keystrokes:   8,
+		TypeInterval: 200 * time.Millisecond,
+		Seed:         1,
+	})
+	t.Logf("\n%s", FormatManySession(res))
+	if got := len(res.Samples); got != 1000*8 {
+		t.Fatalf("delivered %d keystroke samples, want %d (lost=%d)", got, 1000*8, res.Lost)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("%d keystrokes never became visible on a loss-free link", res.Lost)
+	}
+	st := Summarize(res.Samples)
+	// 2 ms link, 8 ms collection interval, millisecond host think time: the
+	// median must sit in the low tens of milliseconds, far under one RTT of
+	// slack; a scheduling or demux bug at this scale shows up as a blowout.
+	if st.Median <= 0 || st.Median > 100*time.Millisecond {
+		t.Fatalf("median keystroke latency = %v at 1000 sessions; demux or timer heap misbehaving", st.Median)
+	}
+	if res.PacketsIn == 0 || res.PacketsOut == 0 {
+		t.Fatal("no aggregate traffic measured")
+	}
+}
+
+func TestManySessionLossRecovery(t *testing.T) {
+	// A lossy link must not strand keystrokes: SSP retransmits until every
+	// echo lands.
+	res := RunManySession(ManySessionOptions{
+		Sessions:     50,
+		Keystrokes:   6,
+		TypeInterval: 100 * time.Millisecond,
+		Params:       netem.LinkParams{Delay: 5 * time.Millisecond, LossProb: 0.10, Overhead: 28},
+		Seed:         3,
+	})
+	if res.Lost != 0 {
+		t.Fatalf("%d keystrokes lost despite SSP retransmission", res.Lost)
+	}
+	if got := len(res.Samples); got != 50*6 {
+		t.Fatalf("delivered %d samples, want %d", got, 50*6)
+	}
+}
+
+// BenchmarkManySession feeds the per-commit perf artifact: virtual-time
+// cost of a 64-session daemon serving a short typing burst.
+func BenchmarkManySession(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := RunManySession(ManySessionOptions{
+			Sessions:     64,
+			Keystrokes:   5,
+			TypeInterval: 100 * time.Millisecond,
+			Seed:         int64(i + 1),
+		})
+		if res.Lost != 0 {
+			b.Fatalf("lost %d keystrokes", res.Lost)
+		}
+		b.ReportMetric(float64(res.PacketsIn+res.PacketsOut), "wirepkts/op")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/netem"
+	"repro/internal/network"
 	"repro/internal/overlay"
 	"repro/internal/simclock"
 	"repro/internal/sspcrypto"
@@ -43,11 +44,17 @@ type ServerConfig struct {
 	Timing *transport.Timing
 	// MinRTO/MaxRTO pass through to the datagram layer.
 	MinRTO, MaxRTO time.Duration
+	// Envelope enables the sessiond session-ID envelope (nil = plain
+	// single-session wire format).
+	Envelope *network.Envelope
 	// EchoAckTimeout overrides the 50 ms echo timeout (0 = default).
 	// The ablation benches sweep it.
 	EchoAckTimeout time.Duration
 	// Emit transmits one sealed datagram toward the client.
 	Emit func(wire []byte)
+	// RecycleWire declares Emit non-retaining so wire buffers are reused
+	// (see transport.Config.RecycleWire).
+	RecycleWire bool
 	// HostInput delivers decoded user keystrokes to the host application
 	// (a pty in production, a scripted application model in benches).
 	HostInput func(data []byte)
@@ -91,9 +98,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Timing:        cfg.Timing,
 		MinRTO:        cfg.MinRTO,
 		MaxRTO:        cfg.MaxRTO,
+		Envelope:      cfg.Envelope,
 		LocalInitial:  statesync.NewComplete(cfg.Width, cfg.Height),
 		RemoteInitial: statesync.NewUserStream(),
 		Emit:          cfg.Emit,
+		RecycleWire:   cfg.RecycleWire,
 	})
 	if err != nil {
 		return nil, err
@@ -196,10 +205,16 @@ type ClientConfig struct {
 	Timing *transport.Timing
 	// MinRTO/MaxRTO pass through to the datagram layer.
 	MinRTO, MaxRTO time.Duration
+	// Envelope enables the sessiond session-ID envelope (nil = plain
+	// single-session wire format).
+	Envelope *network.Envelope
 	// Predictions selects the speculative-echo display policy.
 	Predictions overlay.DisplayPreference
 	// Emit transmits one sealed datagram toward the server.
 	Emit func(wire []byte)
+	// RecycleWire declares Emit non-retaining so wire buffers are reused
+	// (see transport.Config.RecycleWire).
+	RecycleWire bool
 }
 
 // Client is the Mosh client endpoint: it records user input into the
@@ -227,9 +242,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		Timing:        cfg.Timing,
 		MinRTO:        cfg.MinRTO,
 		MaxRTO:        cfg.MaxRTO,
+		Envelope:      cfg.Envelope,
 		LocalInitial:  statesync.NewUserStream(),
 		RemoteInitial: statesync.NewComplete(cfg.Width, cfg.Height),
 		Emit:          cfg.Emit,
+		RecycleWire:   cfg.RecycleWire,
 	})
 	if err != nil {
 		return nil, err

@@ -49,7 +49,40 @@ const tsNone = 0xFFFF
 var (
 	ErrOldPacket    = errors.New("network: stale or replayed sequence number")
 	ErrOwnDirection = errors.New("network: packet from our own direction")
+	ErrEnvelope     = errors.New("network: missing or mismatched session envelope")
 )
+
+// Session-ID envelope. A multiplexing daemon (internal/sessiond) runs many
+// independent SSP sessions behind one socket by prepending a cleartext
+// 64-bit big-endian session ID to every datagram. The ID is routing
+// metadata only: authenticity still comes from each session's AES-OCB key,
+// so a spoofed or corrupted ID merely selects a session whose key fails to
+// open the packet. Without an Envelope the wire format is byte-identical
+// to single-session SSP.
+
+// EnvelopeLen is the byte length of the session-ID envelope.
+const EnvelopeLen = 8
+
+// Envelope configures the session-ID header on a Connection.
+type Envelope struct {
+	// ID is this session's 64-bit identifier on the shared socket.
+	ID uint64
+}
+
+// AppendEnvelope appends the 8-byte envelope for session id to dst.
+func AppendEnvelope(dst []byte, id uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, id)
+}
+
+// ParseEnvelope splits an enveloped datagram into its session ID and the
+// inner SSP packet. The daemon uses it to demultiplex before any
+// cryptography runs.
+func ParseEnvelope(wire []byte) (id uint64, inner []byte, err error) {
+	if len(wire) < EnvelopeLen {
+		return 0, nil, ErrEnvelope
+	}
+	return binary.BigEndian.Uint64(wire), wire[EnvelopeLen:], nil
+}
 
 // Config parameterizes a Connection.
 type Config struct {
@@ -63,6 +96,11 @@ type Config struct {
 	// the defaults. MinRTO is an ablation knob (the paper argues 50 ms
 	// against TCP's 1 s floor).
 	MinRTO, MaxRTO time.Duration
+	// Envelope, when non-nil, prepends the cleartext session-ID header to
+	// outgoing packets and requires (and strips) a matching one on
+	// incoming packets — the sessiond multiplexer's wire format. Nil keeps
+	// the single-session format byte-identical.
+	Envelope *Envelope
 }
 
 // Connection is one end of an SSP datagram-layer association. It is a pure
@@ -94,6 +132,10 @@ type Connection struct {
 	remoteAddr    netem.Addr
 	haveRemote    bool
 	remoteChanges int // times the peer's address changed (roaming events)
+
+	// ptBuf is scratch for assembling the timestamped plaintext; it is
+	// consumed by sealing before NewPacket returns, so reuse is safe.
+	ptBuf []byte
 }
 
 // NewConnection builds a datagram-layer endpoint.
@@ -138,8 +180,16 @@ func timestamp16(t time.Time) uint16 { return uint16(t.UnixMilli()) }
 // NewPacket seals payload into a wire datagram, embedding the current
 // 16-bit millisecond timestamp and, if one is pending, a timestamp reply
 // adjusted by how long we held it (so delayed acks do not inflate the
-// peer's RTT estimate — §2.2 change 2).
+// peer's RTT estimate — §2.2 change 2). When an Envelope is configured,
+// the datagram is prefixed with the cleartext session ID.
 func (c *Connection) NewPacket(payload []byte) ([]byte, error) {
+	return c.AppendPacket(nil, payload)
+}
+
+// AppendPacket is NewPacket appending the wire datagram to dst; the
+// transport sender passes recycled buffers through it so steady-state
+// sending does not allocate per datagram.
+func (c *Connection) AppendPacket(dst, payload []byte) ([]byte, error) {
 	now := c.cfg.Clock.Now()
 	reply := uint16(tsNone)
 	if c.savedTimestamp >= 0 {
@@ -147,13 +197,17 @@ func (c *Connection) NewPacket(payload []byte) ([]byte, error) {
 		reply = uint16(uint32(c.savedTimestamp) + uint32(hold))
 		c.savedTimestamp = -1
 	}
-	pt := make([]byte, 4+len(payload))
+	pt := append(c.ptBuf[:0], 0, 0, 0, 0)
 	binary.BigEndian.PutUint16(pt[0:], timestamp16(now))
 	binary.BigEndian.PutUint16(pt[2:], reply)
-	copy(pt[4:], payload)
+	pt = append(pt, payload...)
+	c.ptBuf = pt[:0]
 	seq := c.nextSeq
 	c.nextSeq++
-	wire, err := c.session.Encrypt(c.cfg.Direction, seq, pt)
+	if c.cfg.Envelope != nil {
+		dst = AppendEnvelope(dst, c.cfg.Envelope.ID)
+	}
+	wire, err := c.session.SealAppend(dst, c.cfg.Direction, seq, pt)
 	if err != nil {
 		return nil, fmt.Errorf("network: sealing packet: %w", err)
 	}
@@ -166,6 +220,16 @@ func (c *Connection) NewPacket(payload []byte) ([]byte, error) {
 // On the server, an authentic packet with the newest sequence number makes
 // src the new reply target, implementing roaming.
 func (c *Connection) Receive(wire []byte, src netem.Addr) ([]byte, error) {
+	if c.cfg.Envelope != nil {
+		id, inner, err := ParseEnvelope(wire)
+		if err != nil {
+			return nil, err
+		}
+		if id != c.cfg.Envelope.ID {
+			return nil, ErrEnvelope
+		}
+		wire = inner
+	}
 	dir, seq, pt, err := c.session.Decrypt(wire)
 	if err != nil {
 		return nil, err
@@ -275,5 +339,12 @@ func (c *Connection) LastHeard() (time.Time, bool) { return c.lastHeard, c.heard
 func (c *Connection) HasPendingTimestampReply() bool { return c.savedTimestamp >= 0 }
 
 // Overhead is the total per-packet byte overhead added by this layer
-// (sequence header, AEAD tag, timestamps).
-func (c *Connection) Overhead() int { return c.session.Overhead() + 4 }
+// (sequence header, AEAD tag, timestamps, and the session envelope when
+// one is configured).
+func (c *Connection) Overhead() int {
+	n := c.session.Overhead() + 4
+	if c.cfg.Envelope != nil {
+		n += EnvelopeLen
+	}
+	return n
+}

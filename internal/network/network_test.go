@@ -243,3 +243,92 @@ func TestRequiresClock(t *testing.T) {
 		t.Fatal("NewConnection accepted nil clock")
 	}
 }
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	clk := simclock.NewManual(t0)
+	key := sspcrypto.Key{9, 9, 9}
+	env := &Envelope{ID: 0xfeedface12345678}
+	client, err := NewConnection(Config{Direction: sspcrypto.ToServer, Key: key, Clock: clk, Envelope: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewConnection(Config{Direction: sspcrypto.ToClient, Key: key, Clock: clk, Envelope: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := client.NewPacket([]byte("keys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, inner, err := ParseEnvelope(wire)
+	if err != nil || id != env.ID {
+		t.Fatalf("ParseEnvelope: id=%#x err=%v", id, err)
+	}
+	if len(inner) != len(wire)-EnvelopeLen {
+		t.Fatalf("inner length %d", len(inner))
+	}
+	got, err := server.Receive(wire, netem.Addr{Host: 1, Port: 2})
+	if err != nil || string(got) != "keys" {
+		t.Fatalf("Receive: %q, %v", got, err)
+	}
+	if server.Overhead() != client.Overhead() || server.Overhead() != len(wire)-len("keys") {
+		t.Fatalf("Overhead %d does not match wire expansion %d", server.Overhead(), len(wire)-len("keys"))
+	}
+}
+
+func TestEnvelopeMismatchRejected(t *testing.T) {
+	clk := simclock.NewManual(t0)
+	key := sspcrypto.Key{9, 9, 9}
+	client, err := NewConnection(Config{Direction: sspcrypto.ToServer, Key: key, Clock: clk, Envelope: &Envelope{ID: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewConnection(Config{Direction: sspcrypto.ToClient, Key: key, Clock: clk, Envelope: &Envelope{ID: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := client.NewPacket([]byte("keys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Receive(wire, netem.Addr{}); err != ErrEnvelope {
+		t.Fatalf("mismatched envelope: err=%v, want ErrEnvelope", err)
+	}
+	if _, err := server.Receive(wire[:EnvelopeLen-1], netem.Addr{}); err != ErrEnvelope {
+		t.Fatalf("truncated envelope: err=%v, want ErrEnvelope", err)
+	}
+}
+
+func TestNoEnvelopeWireFormatUnchanged(t *testing.T) {
+	// A session without an Envelope must produce bytes identical to what it
+	// produced before the envelope hook existed: header+ciphertext only,
+	// and an enveloped peer must not accept them as enveloped.
+	clk := simclock.NewManual(t0)
+	client, server := pair(t, clk)
+	wire, err := client.NewPacket([]byte("keys"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != client.Overhead()+len("keys") {
+		t.Fatalf("wire length %d, want %d", len(wire), client.Overhead()+len("keys"))
+	}
+	if got, err := server.Receive(wire, netem.Addr{}); err != nil || string(got) != "keys" {
+		t.Fatalf("Receive: %q, %v", got, err)
+	}
+	// And an enveloped peer must not accept the plain format: the first 8
+	// ciphertext bytes read as a (wrong) session ID.
+	envServer, err := NewConnection(Config{
+		Direction: sspcrypto.ToClient, Key: sspcrypto.Key{9, 9, 9}, Clock: clk,
+		Envelope: &Envelope{ID: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire2, err := client.NewPacket([]byte("more"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := envServer.Receive(wire2, netem.Addr{}); err == nil {
+		t.Fatal("enveloped endpoint accepted plain-format wire")
+	}
+}

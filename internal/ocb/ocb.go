@@ -38,6 +38,14 @@ type ocb struct {
 	lstar   [blockSize]byte
 	ldollar [blockSize]byte
 	l       [maxL][blockSize]byte
+
+	// Per-call scratch blocks. Slices of these cross the cipher.Block
+	// interface, which would force stack copies to escape on every packet;
+	// keeping them on the struct makes sealing and opening allocation-free.
+	// The tradeoff is that this AEAD is not safe for concurrent use —
+	// matching the documented contract of sspcrypto.Session, whose
+	// endpoints each own one.
+	tmp, pad, tag, ktop, nbuf, off [blockSize]byte
 }
 
 // New returns an OCB3 AEAD (12-byte nonce, 16-byte tag) wrapping block,
@@ -75,36 +83,38 @@ func xorBlock(dst, a, b []byte) {
 func (o *ocb) NonceSize() int { return NonceSize }
 func (o *ocb) Overhead() int  { return TagSize }
 
-// initialOffset derives Offset_0 from the nonce per RFC 7253 §4.2.
-func (o *ocb) initialOffset(nonce []byte) [blockSize]byte {
-	var n [blockSize]byte
+// initialOffset derives Offset_0 from the nonce per RFC 7253 §4.2. The
+// result is written into o.off (struct scratch, like every block that
+// crosses the cipher.Block interface).
+func (o *ocb) initialOffset(nonce []byte) {
+	n := &o.nbuf
+	*n = [blockSize]byte{}
 	// Nonce = num2str(TAGLEN mod 128, 7) || zeros || 1 || N.
 	// TAGLEN = 128, so the leading 7 bits are zero.
 	n[blockSize-1-len(nonce)] |= 1
 	copy(n[blockSize-len(nonce):], nonce)
 	bottom := int(n[blockSize-1] & 0x3F)
 	n[blockSize-1] &= 0xC0
-	var ktop [blockSize]byte
+	ktop := &o.ktop
 	o.block.Encrypt(ktop[:], n[:])
 	var stretch [blockSize + 8]byte
 	copy(stretch[:blockSize], ktop[:])
 	for i := 0; i < 8; i++ {
 		stretch[blockSize+i] = ktop[i] ^ ktop[i+1]
 	}
-	var offset [blockSize]byte
 	byteShift, bitShift := bottom/8, uint(bottom%8)
 	for i := 0; i < blockSize; i++ {
-		offset[i] = stretch[i+byteShift] << bitShift
+		o.off[i] = stretch[i+byteShift] << bitShift
 		if bitShift > 0 {
-			offset[i] |= stretch[i+byteShift+1] >> (8 - bitShift)
+			o.off[i] |= stretch[i+byteShift+1] >> (8 - bitShift)
 		}
 	}
-	return offset
 }
 
 // hash computes the HASH(K, A) value over the associated data.
 func (o *ocb) hash(ad []byte) [blockSize]byte {
-	var sum, offset, tmp [blockSize]byte
+	var sum, offset [blockSize]byte
+	tmp := &o.tmp
 	i := 1
 	for len(ad) >= blockSize {
 		xorBlock(offset[:], offset[:], o.l[bits.TrailingZeros(uint(i))][:])
@@ -133,8 +143,9 @@ func (o *ocb) Seal(dst, nonce, plaintext, additionalData []byte) []byte {
 		panic("ocb: incorrect nonce length")
 	}
 	ret, out := sliceForAppend(dst, len(plaintext)+TagSize)
-	offset := o.initialOffset(nonce)
-	var checksum, tmp [blockSize]byte
+	o.initialOffset(nonce)
+	offset, tmp := &o.off, &o.tmp
+	var checksum [blockSize]byte
 	i := 1
 	p := plaintext
 	for len(p) >= blockSize {
@@ -149,7 +160,7 @@ func (o *ocb) Seal(dst, nonce, plaintext, additionalData []byte) []byte {
 	}
 	if len(p) > 0 {
 		xorBlock(offset[:], offset[:], o.lstar[:])
-		var pad [blockSize]byte
+		pad := &o.pad
 		o.block.Encrypt(pad[:], offset[:])
 		for j := range p {
 			out[j] = p[j] ^ pad[j]
@@ -160,7 +171,7 @@ func (o *ocb) Seal(dst, nonce, plaintext, additionalData []byte) []byte {
 		}
 		out = out[len(p):]
 	}
-	var tag [blockSize]byte
+	tag := &o.tag
 	xorBlock(tag[:], checksum[:], offset[:])
 	xorBlock(tag[:], tag[:], o.ldollar[:])
 	o.block.Encrypt(tag[:], tag[:])
@@ -182,8 +193,9 @@ func (o *ocb) Open(dst, nonce, ciphertext, additionalData []byte) ([]byte, error
 	body := ciphertext[:len(ciphertext)-TagSize]
 	expectedTag := ciphertext[len(ciphertext)-TagSize:]
 	ret, out := sliceForAppend(dst, len(body))
-	offset := o.initialOffset(nonce)
-	var checksum, tmp [blockSize]byte
+	o.initialOffset(nonce)
+	offset, tmp := &o.off, &o.tmp
+	var checksum [blockSize]byte
 	i := 1
 	c := body
 	outp := out
@@ -199,7 +211,7 @@ func (o *ocb) Open(dst, nonce, ciphertext, additionalData []byte) ([]byte, error
 	}
 	if len(c) > 0 {
 		xorBlock(offset[:], offset[:], o.lstar[:])
-		var pad [blockSize]byte
+		pad := &o.pad
 		o.block.Encrypt(pad[:], offset[:])
 		for j := range c {
 			outp[j] = c[j] ^ pad[j]
@@ -209,7 +221,7 @@ func (o *ocb) Open(dst, nonce, ciphertext, additionalData []byte) ([]byte, error
 			checksum[j] ^= outp[j]
 		}
 	}
-	var tag [blockSize]byte
+	tag := &o.tag
 	xorBlock(tag[:], checksum[:], offset[:])
 	xorBlock(tag[:], tag[:], o.ldollar[:])
 	o.block.Encrypt(tag[:], tag[:])

@@ -1,0 +1,66 @@
+package sessiond
+
+import (
+	"expvar"
+	"fmt"
+)
+
+// Metrics counts the daemon's activity. All fields are safe for concurrent
+// update; tests read them directly and production publishes them through
+// the expvar registry (and so over any net/http debug listener).
+type Metrics struct {
+	SessionsLive    expvar.Int // currently registered sessions
+	SessionsOpened  expvar.Int // cumulative OpenSession successes
+	SessionsEvicted expvar.Int // sessions removed by idle eviction
+	SessionsClosed  expvar.Int // sessions removed by explicit close
+
+	PacketsIn  expvar.Int // datagrams offered to the daemon
+	BytesIn    expvar.Int
+	PacketsOut expvar.Int // datagrams emitted by all sessions
+	BytesOut   expvar.Int
+
+	DropsBadEnvelope    expvar.Int // datagrams without a parseable envelope
+	DropsUnknownSession expvar.Int // envelope named no live session
+	DropsAuth           expvar.Int // per-session receive failures (forged, stale, replayed)
+	DropsQueueFull      expvar.Int // async dispatch refused by a full session inbox
+
+	DispatchQueueDepth expvar.Int // packets currently queued to session workers
+	RoamingEvents      expvar.Int // authentic source-address changes observed
+}
+
+// Publish registers every counter with the process-wide expvar registry
+// under prefix (e.g. "sessiond.sessions_live"). Call it at most once per
+// process per prefix — expvar panics on duplicate names.
+func (m *Metrics) Publish(prefix string) {
+	for _, v := range []struct {
+		name string
+		v    expvar.Var
+	}{
+		{"sessions_live", &m.SessionsLive},
+		{"sessions_opened", &m.SessionsOpened},
+		{"sessions_evicted", &m.SessionsEvicted},
+		{"sessions_closed", &m.SessionsClosed},
+		{"packets_in", &m.PacketsIn},
+		{"bytes_in", &m.BytesIn},
+		{"packets_out", &m.PacketsOut},
+		{"bytes_out", &m.BytesOut},
+		{"drops_bad_envelope", &m.DropsBadEnvelope},
+		{"drops_unknown_session", &m.DropsUnknownSession},
+		{"drops_auth", &m.DropsAuth},
+		{"drops_queue_full", &m.DropsQueueFull},
+		{"dispatch_queue_depth", &m.DispatchQueueDepth},
+		{"roaming_events", &m.RoamingEvents},
+	} {
+		expvar.Publish(prefix+"."+v.name, v.v)
+	}
+}
+
+// String renders a one-line summary for logs and the load harness.
+func (m *Metrics) String() string {
+	return fmt.Sprintf(
+		"sessions=%d (opened=%d evicted=%d) in=%d pkts/%d B out=%d pkts/%d B drops[env=%d unk=%d auth=%d queue=%d] roams=%d",
+		m.SessionsLive.Value(), m.SessionsOpened.Value(), m.SessionsEvicted.Value(),
+		m.PacketsIn.Value(), m.BytesIn.Value(), m.PacketsOut.Value(), m.BytesOut.Value(),
+		m.DropsBadEnvelope.Value(), m.DropsUnknownSession.Value(), m.DropsAuth.Value(),
+		m.DropsQueueFull.Value(), m.RoamingEvents.Value())
+}

@@ -1,0 +1,155 @@
+package sessiond_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/netem"
+	"repro/internal/network"
+	"repro/internal/overlay"
+	"repro/internal/sessiond"
+	"repro/internal/simclock"
+	"repro/internal/terminal"
+)
+
+// TestDaemon200ConcurrentSessions runs 200 real-time sessions concurrently
+// over one daemon "socket" (the concurrent Dispatch path with per-session
+// workers and the shared tick loop), with 200 client goroutines hammering
+// it. Every session's converged screen must render byte-identically to a
+// plain single-session SSP baseline running the same application and
+// keystrokes. Run with -race: this is the daemon's concurrency proof.
+func TestDaemon200ConcurrentSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time concurrency test")
+	}
+	const (
+		nSessions = 200
+		nProfiles = 8
+	)
+	script := func(profile uint64) string { return fmt.Sprintf("make -j %d\r", profile) }
+
+	// Baselines: one single-session virtual-time run per distinct
+	// application profile.
+	expect := make([][]byte, nProfiles)
+	for p := uint64(0); p < nProfiles; p++ {
+		expect[p] = expectedSingleSessionFrame(t, int64(p), script(p))
+	}
+
+	// The in-memory "socket": the daemon sends to a client address, the
+	// conduit routes to that client's downlink channel. The route table is
+	// fully populated before any traffic flows and never mutated after, so
+	// the concurrent session workers can read it without a lock.
+	routes := make(map[netem.Addr]chan []byte, nSessions)
+	daemonSrc := netem.Addr{Host: 9999, Port: 60001}
+
+	d, err := sessiond.New(sessiond.Config{
+		Clock:  simclock.Real{},
+		NewApp: func(id uint64) host.App { return host.NewShell(int64(id % nProfiles)) },
+		Send: func(dst netem.Addr, wire []byte) {
+			if ch, ok := routes[dst]; ok {
+				select {
+				case ch <- wire:
+				default: // full downlink models a drop-tail queue; SSP recovers
+				}
+			}
+		},
+		IdleTimeout: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	defer d.Close()
+
+	sessions := make([]*sessiond.Session, nSessions)
+	addrs := make([]netem.Addr, nSessions)
+	for i := 0; i < nSessions; i++ {
+		s, err := d.OpenSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+		addrs[i] = netem.Addr{Host: uint32(10 + i), Port: uint16(7000 + i%1000)}
+		routes[addrs[i]] = make(chan []byte, 512)
+	}
+
+	runClient := func(i int) error {
+		s := sessions[i]
+		down := routes[addrs[i]]
+		var cl *core.Client
+		cl, err := core.NewClient(core.ClientConfig{
+			Key:         s.Key(),
+			Clock:       simclock.Real{},
+			Envelope:    &network.Envelope{ID: s.ID},
+			Predictions: overlay.Never,
+			Emit: func(wire []byte) {
+				d.Dispatch(wire, addrs[i])
+			},
+		})
+		if err != nil {
+			return err
+		}
+		for _, b := range []byte(script(s.ID % nProfiles)) {
+			cl.UserBytes([]byte{b})
+		}
+		cl.Tick()
+		want := expect[s.ID%nProfiles]
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			if got := terminal.NewFrame(false, nil, cl.ServerState()); bytes.Equal(got, want) {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				got := terminal.NewFrame(false, nil, cl.ServerState())
+				return fmt.Errorf("session %d (profile %d) never matched baseline;\n got %q\nwant %q",
+					s.ID, s.ID%nProfiles, got, want)
+			}
+			wait := cl.WaitTime()
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+			if wait > 20*time.Millisecond {
+				wait = 20 * time.Millisecond
+			}
+			select {
+			case wire := <-down:
+				cl.Receive(wire, daemonSrc)
+			case <-time.After(wait):
+				cl.Tick()
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, nSessions)
+	for i := 0; i < nSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = runClient(i)
+		}(i)
+	}
+	wg.Wait()
+	failed := 0
+	for i, err := range errs {
+		if err != nil {
+			failed++
+			if failed <= 3 {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}
+	}
+	if failed > 0 {
+		t.Fatalf("%d/%d sessions failed to match the single-session baseline", failed, nSessions)
+	}
+	m := d.Metrics()
+	if got := m.SessionsLive.Value(); got != nSessions {
+		t.Fatalf("SessionsLive = %d, want %d", got, nSessions)
+	}
+	t.Logf("daemon metrics: %s", m)
+}

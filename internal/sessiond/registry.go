@@ -1,0 +1,233 @@
+package sessiond
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/netem"
+	"repro/internal/network"
+	"repro/internal/sspcrypto"
+)
+
+// shardCount splits the session map so concurrent packet dispatch does not
+// serialize on one lock. Power of two; the low bits of the session ID pick
+// the shard (IDs are sequential, so consecutive sessions land on different
+// shards).
+const shardCount = 64
+
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[uint64]*Session
+}
+
+// registry is the daemon's sharded session table.
+type registry struct {
+	shards [shardCount]shard
+}
+
+func newRegistry() *registry {
+	r := &registry{}
+	for i := range r.shards {
+		r.shards[i].sessions = make(map[uint64]*Session)
+	}
+	return r
+}
+
+func (r *registry) shardFor(id uint64) *shard { return &r.shards[id&(shardCount-1)] }
+
+func (r *registry) lookup(id uint64) *Session {
+	sh := r.shardFor(id)
+	sh.mu.RLock()
+	s := sh.sessions[id]
+	sh.mu.RUnlock()
+	return s
+}
+
+func (r *registry) insert(s *Session) {
+	sh := r.shardFor(s.ID)
+	sh.mu.Lock()
+	sh.sessions[s.ID] = s
+	sh.mu.Unlock()
+}
+
+func (r *registry) delete(id uint64) {
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	delete(sh.sessions, id)
+	sh.mu.Unlock()
+}
+
+// each calls f on every live session (snapshot per shard; f runs without
+// shard locks held).
+func (r *registry) each(f func(*Session)) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		snapshot := make([]*Session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			snapshot = append(snapshot, s)
+		}
+		sh.mu.RUnlock()
+		for _, s := range snapshot {
+			f(s)
+		}
+	}
+}
+
+// timedOutput is one pending host-application write, delayed to model the
+// application's think time (host.App.Input returns a delay).
+type timedOutput struct {
+	at   time.Time
+	data []byte
+}
+
+// Session is one SSP session multiplexed on the daemon's socket. Its state
+// machine (core.Server, host app, pending output) is guarded by mu; the
+// heap bookkeeping (deadline, heapIdx) is guarded by the daemon's timer
+// heap lock.
+type Session struct {
+	// ID is the cleartext envelope identifier on the shared socket.
+	ID uint64
+
+	d   *Daemon
+	key sspcrypto.Key
+
+	mu         sync.Mutex
+	srv        *core.Server
+	app        host.App
+	pendingOut []timedOutput
+	lastActive time.Time
+	closed     bool
+
+	// Async dispatch (Serve mode): the reader pushes packets to inbox and
+	// a per-session worker goroutine drains it. closedFlag mirrors closed
+	// for lock-free reads on the dispatch path.
+	inbox      chan inPacket
+	workerOnce sync.Once
+	done       chan struct{}
+	closedFlag atomic.Bool
+
+	// lastArmed is the deadline currently in the timer heap for this
+	// session (zero when the entry was popped); guarded by mu. rearmLocked
+	// skips the heap lock when the deadline is unchanged.
+	lastArmed time.Time
+
+	// Timer-heap entry, guarded by the daemon's timerHeap lock.
+	deadline time.Time
+	heapIdx  int
+}
+
+type inPacket struct {
+	wire []byte
+	src  netem.Addr
+}
+
+// Key returns the session's pre-shared key for out-of-band bootstrap (the
+// daemon's analogue of mosh-server's "MOSH CONNECT port key" line).
+func (s *Session) Key() sspcrypto.Key { return s.key }
+
+// Do runs f with the session locked, giving tests and embedders serialized
+// access to the underlying server endpoint.
+func (s *Session) Do(f func(srv *core.Server)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(s.srv)
+}
+
+// ErrCapacity is returned by OpenSession when the daemon is full.
+var ErrCapacity = errors.New("sessiond: session capacity reached")
+
+// OpenSession issues a new session: a fresh random key, the next session
+// ID, a server endpoint configured with the envelope, and (when the daemon
+// has an application factory) a freshly started host application. The
+// returned session is live immediately; hand its ID and Key to the client
+// out of band.
+func (d *Daemon) OpenSession() (*Session, error) {
+	d.openMu.Lock()
+	defer d.openMu.Unlock()
+	if d.cfg.Capacity > 0 && int(d.metrics.SessionsLive.Value()) >= d.cfg.Capacity {
+		return nil, ErrCapacity
+	}
+	key, err := sspcrypto.NewRandomKey()
+	if err != nil {
+		return nil, err
+	}
+	id := d.nextID.Add(1)
+	s := &Session{
+		ID:      id,
+		d:       d,
+		key:     key,
+		heapIdx: -1,
+		done:    make(chan struct{}),
+		inbox:   make(chan inPacket, d.inboxDepth()),
+	}
+	srv, err := core.NewServer(core.ServerConfig{
+		Key:         key,
+		Clock:       d.cfg.Clock,
+		Width:       d.cfg.Width,
+		Height:      d.cfg.Height,
+		Timing:      d.cfg.Timing,
+		MinRTO:      d.cfg.MinRTO,
+		MaxRTO:      d.cfg.MaxRTO,
+		Envelope:    &network.Envelope{ID: id},
+		RecycleWire: d.cfg.RecycleWire,
+		Emit:        func(wire []byte) { s.emit(wire) },
+		HostInput:   func(data []byte) { s.hostInput(data) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.srv = srv
+	// The daemon's terminals keep no local scrollback: the client
+	// reconstructs its own history from scroll diffs, and at thousands of
+	// sessions the dead rows would dominate memory. This also lets the
+	// framebuffer recycle scrolled-off rows (terminal row pooling).
+	srv.Terminal().Framebuffer().SetScrollbackLimit(-1)
+	now := d.cfg.Clock.Now()
+	s.lastActive = now
+	if d.cfg.NewApp != nil {
+		s.app = d.cfg.NewApp(id)
+		if out := s.app.Start(); len(out) > 0 {
+			s.mu.Lock()
+			srv.HostOutput(out)
+			s.mu.Unlock()
+		}
+	}
+	d.reg.insert(s)
+	d.metrics.SessionsLive.Add(1)
+	d.metrics.SessionsOpened.Add(1)
+	s.mu.Lock()
+	s.rearmLocked(now)
+	s.mu.Unlock()
+	return s, nil
+}
+
+// CloseSession removes a session explicitly (user logout, admin action).
+func (d *Daemon) CloseSession(id uint64) {
+	s := d.reg.lookup(id)
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.removeLocked(&d.metrics.SessionsClosed)
+	s.mu.Unlock()
+}
+
+// removeLocked takes the session out of the daemon: registry, timer heap,
+// worker. Caller holds s.mu; counter is the metric to credit.
+func (s *Session) removeLocked(counter interface{ Add(int64) }) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.closedFlag.Store(true)
+	close(s.done)
+	s.d.reg.delete(s.ID)
+	s.d.timers.remove(s)
+	s.d.metrics.SessionsLive.Add(-1)
+	counter.Add(1)
+}

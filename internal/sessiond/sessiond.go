@@ -1,0 +1,483 @@
+// Package sessiond is the multi-session SSP daemon: it runs N independent
+// Mosh sessions behind one UDP socket, where the paper's design (§2.2)
+// binds one session to one port. Each datagram carries a cleartext 64-bit
+// session-ID envelope (see internal/network); the ID is pure routing —
+// authenticity still comes from each session's own AES-OCB key, so a
+// spoofed ID merely selects a session whose key rejects the packet.
+//
+// The daemon owns three things:
+//
+//   - a sharded session registry with key issuance, idle eviction, and
+//     per-session roaming (each session's replies follow the latest
+//     authentic source address of that session, independently);
+//   - an event loop: packets are demultiplexed by envelope and dispatched
+//     to per-session workers over channels, while sender ticks and delayed
+//     host output are driven from a single next-deadline timer heap rather
+//     than a timer goroutine per session;
+//   - a metrics surface (sessions live, packets/bytes in/out, evictions,
+//     dispatch-queue depth) publishable via expvar.
+//
+// Two driving modes share all of that machinery. Production (cmd/mosh-server)
+// calls Serve with a real socket: a reader loop feeds Dispatch and a tick
+// goroutine sleeps on the heap minimum. Simulation (internal/bench's
+// many-session load generator, tests) drives the same daemon synchronously
+// in virtual time via HandlePacket + Pump, keeping experiments exactly
+// reproducible.
+package sessiond
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/netem"
+	"repro/internal/network"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+// DefaultIdleTimeout evicts sessions that have heard nothing authentic for
+// this long. Mosh sessions are deliberately long-lived (roaming clients go
+// silent for hours), so the default is generous; a negative Config value
+// disables eviction entirely.
+const DefaultIdleTimeout = 12 * time.Hour
+
+// minTickInterval floors the per-session rearm delay so a hot session
+// cannot spin the tick loop.
+const minTickInterval = time.Millisecond
+
+// Config parameterizes a Daemon.
+type Config struct {
+	// Clock drives all timing: simclock.Real{} under Serve,
+	// a *simclock.Scheduler under Pump/HandlePacket simulation.
+	Clock simclock.Clock
+	// Send transmits one enveloped wire datagram to dst. It may be nil
+	// when the daemon is driven via Serve (which sends on the served
+	// socket). It is called with the owning session's lock held and must
+	// not call back into the daemon.
+	Send func(dst netem.Addr, wire []byte)
+	// NewApp builds the host application behind session id (a pty stand-in:
+	// shell, editor, mail reader). Nil means sessions have no application
+	// and the embedder feeds output through Session.Do.
+	NewApp func(id uint64) host.App
+	// Capacity bounds live sessions; 0 means unlimited.
+	Capacity int
+	// IdleTimeout evicts sessions silent this long (0 = DefaultIdleTimeout,
+	// negative = never evict).
+	IdleTimeout time.Duration
+	// Width, Height size each session's terminal (default 80×24).
+	Width, Height int
+	// Timing overrides SSP transport timing (nil = paper defaults).
+	Timing *transport.Timing
+	// MinRTO/MaxRTO pass through to the datagram layer.
+	MinRTO, MaxRTO time.Duration
+	// RecycleWire declares Send non-retaining (synchronous socket write),
+	// enabling per-session wire-buffer reuse. Must stay false when Send
+	// hands buffers to something that holds them (netem links in flight).
+	RecycleWire bool
+	// InboxDepth bounds each session's async dispatch queue (Serve mode;
+	// default 128). Overflow drops the datagram — SSP retransmits.
+	InboxDepth int
+}
+
+// PacketConn is the socket surface Serve drives: a blocking read and a
+// send, in the address terms the rest of the stack uses. cmd/mosh-server
+// adapts *net.UDPConn to it.
+type PacketConn interface {
+	// ReadFrom blocks for one datagram, copying it into buf.
+	ReadFrom(buf []byte) (n int, src netem.Addr, err error)
+	// WriteTo transmits one datagram, consuming wire before returning.
+	WriteTo(wire []byte, dst netem.Addr) error
+}
+
+// Daemon multiplexes many SSP sessions over one socket.
+type Daemon struct {
+	cfg     Config
+	reg     *registry
+	timers  *timerHeap
+	metrics Metrics
+	nextID  atomic.Uint64
+	send    func(dst netem.Addr, wire []byte)
+
+	// openMu serializes OpenSession's capacity check against its insert so
+	// concurrent opens cannot over-admit.
+	openMu sync.Mutex
+
+	// servePC remembers the connection Serve runs on so Close can unblock
+	// its pending read.
+	servePC atomic.Pointer[PacketConn]
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	stop      chan struct{}
+}
+
+// New builds a daemon. Clock is required.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("sessiond: Config.Clock is required")
+	}
+	if cfg.Width == 0 {
+		cfg.Width = 80
+	}
+	if cfg.Height == 0 {
+		cfg.Height = 24
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.InboxDepth <= 0 {
+		cfg.InboxDepth = 128
+	}
+	d := &Daemon{
+		cfg:    cfg,
+		reg:    newRegistry(),
+		timers: newTimerHeap(),
+		send:   cfg.Send,
+		stop:   make(chan struct{}),
+	}
+	return d, nil
+}
+
+// Metrics exposes the daemon's counters.
+func (d *Daemon) Metrics() *Metrics { return &d.metrics }
+
+// SessionsLive reports the number of registered sessions.
+func (d *Daemon) SessionsLive() int { return int(d.metrics.SessionsLive.Value()) }
+
+// Lookup returns the live session with the given ID, or nil.
+func (d *Daemon) Lookup(id uint64) *Session { return d.reg.lookup(id) }
+
+func (d *Daemon) inboxDepth() int { return d.cfg.InboxDepth }
+
+// ---- Synchronous driving (simulation, tests) ----
+
+// HandlePacket demultiplexes and processes one datagram synchronously:
+// envelope parse, registry lookup, session receive, replies emitted via
+// Send before it returns. This is the virtual-time entry point.
+func (d *Daemon) HandlePacket(wire []byte, src netem.Addr) {
+	s := d.route(wire)
+	if s == nil {
+		return
+	}
+	s.handle(wire, src)
+}
+
+// route accounts an arriving datagram and resolves its session.
+func (d *Daemon) route(wire []byte) *Session {
+	d.metrics.PacketsIn.Add(1)
+	d.metrics.BytesIn.Add(int64(len(wire)))
+	id, _, err := network.ParseEnvelope(wire)
+	if err != nil {
+		d.metrics.DropsBadEnvelope.Add(1)
+		return nil
+	}
+	s := d.reg.lookup(id)
+	if s == nil {
+		d.metrics.DropsUnknownSession.Add(1)
+		return nil
+	}
+	return s
+}
+
+// TickDue runs every session whose deadline has arrived. The sim driver
+// calls it from Pump; the async tick loop calls it from its sleeper.
+func (d *Daemon) TickDue() {
+	now := d.cfg.Clock.Now()
+	for _, s := range d.timers.popDue(now) {
+		s.tick()
+	}
+}
+
+// NextDeadline reports the earliest pending session deadline.
+func (d *Daemon) NextDeadline() (time.Time, bool) { return d.timers.next() }
+
+// Pump attaches the daemon to a simulation scheduler with a
+// self-rescheduling timer (the virtual-time analogue of the Serve tick
+// loop) and returns a wake function to call after delivering packets.
+func (d *Daemon) Pump(sched *simclock.Scheduler) (wake func()) {
+	var pump func()
+	timer := sched.NewTimer(func() { pump() })
+	pump = func() {
+		d.TickDue()
+		if at, ok := d.NextDeadline(); ok {
+			timer.Reset(at)
+		}
+	}
+	sched.After(0, pump)
+	return pump
+}
+
+// ---- Asynchronous driving (production) ----
+
+// Start launches the next-deadline tick loop. It is called implicitly by
+// Serve and is idempotent. Requires a real clock.
+func (d *Daemon) Start() {
+	d.startOnce.Do(func() { go d.tickLoop() })
+}
+
+// tickLoop sleeps until the earliest session deadline and ticks every due
+// session — one goroutine for the whole daemon, woken early whenever a new
+// minimum is armed.
+func (d *Daemon) tickLoop() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		var sleeve <-chan time.Time
+		if at, ok := d.timers.next(); ok {
+			dur := at.Sub(d.cfg.Clock.Now())
+			if dur < 0 {
+				dur = 0
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(dur)
+			sleeve = timer.C
+		}
+		select {
+		case <-d.stop:
+			return
+		case <-d.timers.wake:
+			// New earliest deadline; recompute the sleep.
+		case <-sleeve:
+			d.TickDue()
+		}
+	}
+}
+
+// Dispatch routes one datagram to its session's worker queue. The reader
+// loop calls it; tests drive it directly to exercise the concurrent path.
+// The wire buffer is retained until the worker processes it.
+func (d *Daemon) Dispatch(wire []byte, src netem.Addr) {
+	s := d.route(wire)
+	if s == nil {
+		return
+	}
+	s.workerOnce.Do(func() { go s.worker() })
+	select {
+	case s.inbox <- inPacket{wire: wire, src: src}:
+		d.metrics.DispatchQueueDepth.Add(1)
+		// If the session was removed while we enqueued, its worker may
+		// already have done its final drain; compensate so the queue-depth
+		// gauge cannot leak a phantom entry.
+		if s.closedFlag.Load() {
+			select {
+			case <-s.inbox:
+				d.metrics.DispatchQueueDepth.Add(-1)
+			default:
+			}
+		}
+	default:
+		// Backpressure: drop and let SSP's retransmission recover. A slow
+		// session must not stall the shared reader.
+		d.metrics.DropsQueueFull.Add(1)
+	}
+}
+
+// Serve runs the daemon over pc: a reader loop feeding Dispatch plus the
+// tick loop. It returns when the socket read fails (socket closed) or the
+// daemon is closed. When Config.Send is nil, replies go out via pc.WriteTo.
+func (d *Daemon) Serve(pc PacketConn) error {
+	if d.send == nil {
+		d.send = func(dst netem.Addr, wire []byte) { pc.WriteTo(wire, dst) }
+	}
+	d.servePC.Store(&pc)
+	d.Start()
+	buf := make([]byte, 64<<10)
+	for {
+		n, src, err := pc.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-d.stop:
+				return nil
+			default:
+				return err
+			}
+		}
+		select {
+		case <-d.stop:
+			return nil
+		default:
+		}
+		wire := append([]byte(nil), buf[:n]...)
+		d.Dispatch(wire, src)
+	}
+}
+
+// Close stops the tick loop, removes every session, and — when the served
+// connection supports Close — unblocks Serve's pending read so it returns.
+func (d *Daemon) Close() {
+	d.closeOnce.Do(func() { close(d.stop) })
+	if pcp := d.servePC.Load(); pcp != nil {
+		if closer, ok := (*pcp).(interface{ Close() error }); ok {
+			closer.Close()
+		}
+	}
+	d.reg.each(func(s *Session) {
+		s.mu.Lock()
+		s.removeLocked(&d.metrics.SessionsClosed)
+		s.mu.Unlock()
+	})
+}
+
+// ---- Per-session machinery ----
+
+// worker drains one session's inbox (Serve mode).
+func (s *Session) worker() {
+	for {
+		select {
+		case <-s.done:
+			// Drain anything still queued so the dispatch-queue gauge
+			// does not leak the remainder when a session is removed.
+			for {
+				select {
+				case <-s.inbox:
+					s.d.metrics.DispatchQueueDepth.Add(-1)
+				default:
+					return
+				}
+			}
+		case p := <-s.inbox:
+			s.d.metrics.DispatchQueueDepth.Add(-1)
+			s.handle(p.wire, p.src)
+		}
+	}
+}
+
+// handle processes one datagram for this session, emitting any replies.
+func (s *Session) handle(wire []byte, src netem.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.d.metrics.DropsUnknownSession.Add(1)
+		return
+	}
+	now := s.d.cfg.Clock.Now()
+	roamsBefore := s.srv.Transport().Connection().RemoteAddrChanges()
+	if err := s.srv.Receive(wire, src); err != nil {
+		// Forged, replayed, stale or malformed: normal network noise at
+		// this layer; the envelope got it here but the key said no.
+		s.d.metrics.DropsAuth.Add(1)
+	} else {
+		s.lastActive = now
+		if roams := s.srv.Transport().Connection().RemoteAddrChanges(); roams > roamsBefore {
+			s.d.metrics.RoamingEvents.Add(int64(roams - roamsBefore))
+		}
+	}
+	s.flushHostOutputLocked(now)
+	s.rearmLocked(now)
+}
+
+// tick advances timers for this session: due host output, the transport's
+// sender timing, and the idle-eviction check.
+func (s *Session) tick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	now := s.d.cfg.Clock.Now()
+	// The tick loop popped this session's heap entry; whatever deadline
+	// was armed is gone, so the rearm below must not dedup against it.
+	s.lastArmed = time.Time{}
+	s.flushHostOutputLocked(now)
+	s.srv.Tick()
+	// Idle eviction applies only to sessions a client has actually used:
+	// a pre-issued slot whose MOSH CONNECT line nobody has redeemed yet
+	// waits indefinitely, like a listening mosh-server does.
+	if idle := s.d.cfg.IdleTimeout; idle > 0 && now.Sub(s.lastActive) >= idle {
+		if _, heard := s.srv.Transport().Connection().LastHeard(); heard {
+			s.removeLocked(&s.d.metrics.SessionsEvicted)
+			return
+		}
+	}
+	s.rearmLocked(now)
+}
+
+// hostInput feeds decoded user keystrokes to the host application and
+// queues its (delayed) response. Called by core.Server during Receive,
+// with s.mu held.
+func (s *Session) hostInput(data []byte) {
+	if s.app == nil {
+		return
+	}
+	out, delay := s.app.Input(data)
+	if len(out) == 0 {
+		return
+	}
+	at := s.d.cfg.Clock.Now().Add(delay)
+	// Host responses are serialized in input order, like a real pty.
+	if n := len(s.pendingOut); n > 0 && at.Before(s.pendingOut[n-1].at) {
+		at = s.pendingOut[n-1].at
+	}
+	s.pendingOut = append(s.pendingOut, timedOutput{at: at, data: out})
+}
+
+// flushHostOutputLocked writes every due host response to the terminal.
+func (s *Session) flushHostOutputLocked(now time.Time) {
+	n := 0
+	for n < len(s.pendingOut) && !s.pendingOut[n].at.After(now) {
+		s.srv.HostOutput(s.pendingOut[n].data)
+		n++
+	}
+	if n > 0 {
+		s.pendingOut = append(s.pendingOut[:0], s.pendingOut[n:]...)
+	}
+}
+
+// rearmLocked recomputes this session's single heap deadline: the earliest
+// of the transport's wait time, the next pending host response, and (for
+// sessions a client has used) the idle-eviction horizon. The result is
+// floored at minTickInterval ahead of now so a stale deadline can never
+// spin the tick loop.
+func (s *Session) rearmLocked(now time.Time) {
+	wait := s.srv.WaitTime()
+	if wait < minTickInterval {
+		wait = minTickInterval
+	}
+	at := now.Add(wait)
+	if len(s.pendingOut) > 0 && s.pendingOut[0].at.Before(at) {
+		at = s.pendingOut[0].at
+	}
+	if idle := s.d.cfg.IdleTimeout; idle > 0 {
+		if _, heard := s.srv.Transport().Connection().LastHeard(); heard {
+			if idleAt := s.lastActive.Add(idle); idleAt.Before(at) {
+				at = idleAt
+			}
+		}
+	}
+	if floor := now.Add(minTickInterval); at.Before(floor) {
+		at = floor
+	}
+	// Steady-state receives often leave the deadline where it was; skip
+	// the shared heap lock when nothing moved so packet handling across
+	// sessions does not serialize on it.
+	if at.Equal(s.lastArmed) {
+		return
+	}
+	s.d.timers.arm(s, at)
+	s.lastArmed = at
+}
+
+// emit transmits one sealed, enveloped datagram to the session's current
+// reply target. Called by the transport with s.mu held. Roaming is fully
+// per-session: the target is this session's datagram-layer address, which
+// follows its latest authentic source independently of every other
+// session on the socket.
+func (s *Session) emit(wire []byte) {
+	dst, ok := s.srv.Transport().Connection().RemoteAddr()
+	if !ok {
+		return // no authentic client packet yet: nowhere to send
+	}
+	s.d.metrics.PacketsOut.Add(1)
+	s.d.metrics.BytesOut.Add(int64(len(wire)))
+	if s.d.send != nil {
+		s.d.send(dst, wire)
+	}
+}

@@ -97,6 +97,9 @@ var (
 // safe for concurrent use; each endpoint owns one.
 type Session struct {
 	aead cipher.AEAD
+	// nonce is scratch space reused across packets; the nonce contents are
+	// fully rewritten from the header each call.
+	nonce [12]byte
 }
 
 // NewSession builds a session from a key.
@@ -116,16 +119,22 @@ func NewSession(key Key) (*Session, error) {
 // 16-byte authenticator.
 func (s *Session) Overhead() int { return 8 + s.aead.Overhead() }
 
-func nonceFor(header uint64) []byte {
-	n := make([]byte, 12)
-	binary.BigEndian.PutUint64(n[4:], header)
-	return n
+func (s *Session) nonceFor(header uint64) []byte {
+	binary.BigEndian.PutUint64(s.nonce[4:], header)
+	return s.nonce[:]
 }
 
 // Encrypt seals plaintext as a wire packet: an 8-byte big-endian header
 // (direction bit | sequence number) followed by the OCB ciphertext+tag.
 // The header doubles as the nonce and is authenticated as associated data.
 func (s *Session) Encrypt(dir Direction, seq uint64, plaintext []byte) ([]byte, error) {
+	return s.SealAppend(nil, dir, seq, plaintext)
+}
+
+// SealAppend is Encrypt appending the sealed packet to dst, so callers that
+// recycle wire buffers (the transport sender's fragment pool) avoid a fresh
+// allocation per datagram.
+func (s *Session) SealAppend(dst []byte, dir Direction, seq uint64, plaintext []byte) ([]byte, error) {
 	if seq > MaxSeq {
 		return nil, ErrSeqRange
 	}
@@ -133,9 +142,10 @@ func (s *Session) Encrypt(dir Direction, seq uint64, plaintext []byte) ([]byte, 
 	if dir == ToClient {
 		header |= directionBit
 	}
-	out := make([]byte, 8, 8+len(plaintext)+s.aead.Overhead())
-	binary.BigEndian.PutUint64(out, header)
-	return s.aead.Seal(out, nonceFor(header), plaintext, out[:8]), nil
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint64(dst[start:], header)
+	return s.aead.Seal(dst, s.nonceFor(header), plaintext, dst[start:start+8]), nil
 }
 
 // Decrypt opens a wire packet, returning its direction, sequence number
@@ -149,7 +159,7 @@ func (s *Session) Decrypt(packet []byte) (Direction, uint64, []byte, error) {
 	if header&directionBit != 0 {
 		dir = ToClient
 	}
-	pt, err := s.aead.Open(nil, nonceFor(header), packet[8:], packet[:8])
+	pt, err := s.aead.Open(nil, s.nonceFor(header), packet[8:], packet[:8])
 	if err != nil {
 		return 0, 0, nil, ErrAuth
 	}

@@ -133,6 +133,14 @@ type Framebuffer struct {
 	// from Clone and Equal (it is not synchronized).
 	scrollback    []*Row
 	scrollbackMax int
+
+	// freeRows is a free list of discarded rows available for reuse when a
+	// scroll vacates lines. Only rows this framebuffer exclusively owns
+	// enter it: never shared rows (a snapshot may still read them) and
+	// never rows that passed through scrollback (a clone's scrollback
+	// slice may still reference them). It is deliberately not carried over
+	// by Clone. See recycleRow.
+	freeRows []*Row
 }
 
 // DefaultScrollbackLimit bounds the local history.
@@ -346,7 +354,9 @@ func (f *Framebuffer) EraseInDisplay(mode int) {
 }
 
 // Scroll moves the scrolling region up by n lines (down when n < 0),
-// filling vacated lines with the current background.
+// filling vacated lines with the current background. Vacated lines reuse
+// rows from the free list when the scroll discarded any this framebuffer
+// exclusively owns, so scroll floods stop allocating per line.
 func (f *Framebuffer) Scroll(n int) {
 	top, bot := f.DS.ScrollTop, f.DS.ScrollBottom
 	height := bot - top + 1
@@ -359,23 +369,60 @@ func (f *Framebuffer) Scroll(n int) {
 	switch {
 	case n > 0:
 		// Lines leaving the top of a full-width scroll enter the local
-		// scrollback history.
+		// scrollback history; when history is disabled they are simply
+		// discarded and can be recycled.
 		if top == 0 {
 			for i := 0; i < n; i++ {
-				f.pushScrollback(f.rows[i])
+				if !f.pushScrollback(f.rows[i]) {
+					f.recycleRow(f.rows[i])
+				}
+			}
+		} else {
+			for i := top; i < top+n; i++ {
+				f.recycleRow(f.rows[i])
 			}
 		}
 		copy(f.rows[top:], f.rows[top+n:bot+1])
 		for i := bot - n + 1; i <= bot; i++ {
-			f.rows[i] = newRow(f.W, f.DS.Rend)
+			f.rows[i] = f.newRowPooled(f.DS.Rend)
 		}
 	case n < 0:
 		n = -n
+		for i := bot - n + 1; i <= bot; i++ {
+			f.recycleRow(f.rows[i])
+		}
 		copy(f.rows[top+n:bot+1], f.rows[top:])
 		for i := top; i < top+n; i++ {
-			f.rows[i] = newRow(f.W, f.DS.Rend)
+			f.rows[i] = f.newRowPooled(f.DS.Rend)
 		}
 	}
+}
+
+// recycleRow offers a discarded row to the free list. Shared rows are
+// refused (a snapshot or scrollback still reads them), as are rows of the
+// wrong width; the list is bounded by the screen height.
+func (f *Framebuffer) recycleRow(r *Row) {
+	if r.shared || len(r.Cells) != f.W || len(f.freeRows) >= f.H {
+		return
+	}
+	f.freeRows = append(f.freeRows, r)
+}
+
+// newRowPooled returns a blank row with background bg, reusing a recycled
+// row when one is available.
+func (f *Framebuffer) newRowPooled(bg Renditions) *Row {
+	n := len(f.freeRows)
+	if n == 0 {
+		return newRow(f.W, bg)
+	}
+	r := f.freeRows[n-1]
+	f.freeRows[n-1] = nil
+	f.freeRows = f.freeRows[:n-1]
+	for i := range r.Cells {
+		r.Cells[i].Reset(bg)
+	}
+	r.gen = nextGen()
+	return r
 }
 
 // InsertLines implements IL at the cursor row (within the scroll region).
@@ -466,6 +513,7 @@ func (f *Framebuffer) Resize(w, h int) {
 		rows[i] = r
 	}
 	f.rows = rows
+	f.freeRows = nil // pooled rows have the old width
 	f.W, f.H = w, h
 	f.DS.Tabs = defaultTabs(w)
 	f.DS.ScrollTop = 0
@@ -549,18 +597,24 @@ func (f *Framebuffer) PrevTab(col int) int {
 // Ring increments the synchronized bell counter.
 func (f *Framebuffer) Ring() { f.BellCount++ }
 
-func (f *Framebuffer) pushScrollback(r *Row) {
+// pushScrollback offers a row leaving the top of the screen to the local
+// history. It reports whether the row was stored; a false return means the
+// caller still owns the row (history disabled) and may recycle it. Rows
+// evicted from a full history are NOT returned for reuse: a clone's
+// scrollback slice may still reference them.
+func (f *Framebuffer) pushScrollback(r *Row) bool {
 	max := f.scrollbackMax
 	if max == 0 {
 		max = DefaultScrollbackLimit
 	}
 	if max < 0 {
-		return // history disabled
+		return false // history disabled
 	}
 	f.scrollback = append(f.scrollback, r)
 	if len(f.scrollback) > max {
 		f.scrollback = append(f.scrollback[:0], f.scrollback[len(f.scrollback)-max:]...)
 	}
+	return true
 }
 
 // SetScrollbackLimit bounds the local history; negative disables and

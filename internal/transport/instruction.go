@@ -33,10 +33,9 @@ var (
 	ErrVersion = errors.New("transport: unsupported protocol version")
 )
 
-// marshal encodes the instruction: version byte, four uvarints, then the
-// raw diff to the end of the buffer.
-func (inst *Instruction) marshal() []byte {
-	buf := make([]byte, 0, 1+4*binary.MaxVarintLen64+len(inst.Diff))
+// appendMarshal encodes the instruction onto buf: version byte, four
+// uvarints, then the raw diff to the end of the buffer.
+func (inst *Instruction) appendMarshal(buf []byte) []byte {
 	buf = append(buf, inst.ProtocolVersion)
 	buf = binary.AppendUvarint(buf, inst.OldNum)
 	buf = binary.AppendUvarint(buf, inst.NewNum)
@@ -44,6 +43,11 @@ func (inst *Instruction) marshal() []byte {
 	buf = binary.AppendUvarint(buf, inst.ThrowawayNum)
 	buf = append(buf, inst.Diff...)
 	return buf
+}
+
+// marshal encodes the instruction into a fresh buffer.
+func (inst *Instruction) marshal() []byte {
+	return inst.appendMarshal(make([]byte, 0, 1+4*binary.MaxVarintLen64+len(inst.Diff)))
 }
 
 // unmarshalInstruction decodes a buffer produced by marshal.
@@ -83,20 +87,22 @@ const (
 	maxDecompressed = 16 << 20
 )
 
-// encodeInstruction marshals and, when profitable, compresses.
+// encodeInstruction marshals and, when profitable, compresses, into a
+// fresh buffer. The sender's hot path goes through fragmenter.encode,
+// which reuses scratch buffers instead.
 func encodeInstruction(inst *Instruction) []byte {
-	raw := inst.marshal()
-	if len(raw) >= compressThreshold {
-		var z bytes.Buffer
-		z.WriteByte(encodingZlib)
-		w := zlib.NewWriter(&z)
-		w.Write(raw)
-		w.Close()
-		if z.Len() < len(raw)+1 {
-			return z.Bytes()
-		}
-	}
-	return append([]byte{encodingRaw}, raw...)
+	var fr fragmenter
+	return fr.encode(inst)
+}
+
+// appendWriter adapts an append-grown byte slice to io.Writer so the
+// fragmenter's pooled zlib writer can deflate straight into reusable
+// scratch without a bytes.Buffer per instruction.
+type appendWriter struct{ buf *[]byte }
+
+func (w appendWriter) Write(p []byte) (int, error) {
+	*w.buf = append(*w.buf, p...)
+	return len(p), nil
 }
 
 // decodeInstruction reverses encodeInstruction.
@@ -144,16 +150,21 @@ type fragment struct {
 	contents []byte
 }
 
-func (f *fragment) marshal() []byte {
-	buf := make([]byte, fragmentHeaderLen+len(f.contents))
-	binary.BigEndian.PutUint64(buf, f.id)
+// appendMarshal encodes the fragment onto dst.
+func (f *fragment) appendMarshal(dst []byte) []byte {
+	var hdr [fragmentHeaderLen]byte
+	binary.BigEndian.PutUint64(hdr[:], f.id)
 	num := f.num
 	if f.final {
 		num |= finalFragmentBit
 	}
-	binary.BigEndian.PutUint16(buf[8:], num)
-	copy(buf[fragmentHeaderLen:], f.contents)
-	return buf
+	binary.BigEndian.PutUint16(hdr[8:], num)
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.contents...)
+}
+
+func (f *fragment) marshal() []byte {
+	return f.appendMarshal(make([]byte, 0, fragmentHeaderLen+len(f.contents)))
 }
 
 func unmarshalFragment(b []byte) (*fragment, error) {
@@ -169,27 +180,61 @@ func unmarshalFragment(b []byte) (*fragment, error) {
 	}, nil
 }
 
-// fragmenter splits instructions for transmission.
+// fragmenter splits instructions for transmission. Its scratch buffers are
+// reused across calls: fragments returned by makeFragments (and their
+// contents) are valid only until the next call, which is all the sender
+// needs — each instruction's fragments are sealed and emitted before the
+// next instruction exists.
 type fragmenter struct {
 	nextID uint64
+
+	rawBuf    []byte     // marshalled instruction scratch
+	encBuf    []byte     // encoded (flag + raw/deflate) payload scratch
+	fragStore []fragment // fragment structs, reused
+	fragPtrs  []*fragment
+	zw        *zlib.Writer
+}
+
+// encode marshals and, when profitable, compresses the instruction into
+// the fragmenter's reusable scratch. The returned slice aliases encBuf.
+func (fr *fragmenter) encode(inst *Instruction) []byte {
+	fr.rawBuf = inst.appendMarshal(fr.rawBuf[:0])
+	raw := fr.rawBuf
+	if len(raw) >= compressThreshold {
+		fr.encBuf = append(fr.encBuf[:0], encodingZlib)
+		aw := appendWriter{&fr.encBuf}
+		if fr.zw == nil {
+			fr.zw = zlib.NewWriter(aw)
+		} else {
+			fr.zw.Reset(aw)
+		}
+		fr.zw.Write(raw)
+		fr.zw.Close()
+		if len(fr.encBuf) < len(raw)+1 {
+			return fr.encBuf
+		}
+	}
+	fr.encBuf = append(append(fr.encBuf[:0], encodingRaw), raw...)
+	return fr.encBuf
 }
 
 // makeFragments splits the marshalled instruction into fragments whose
-// contents are at most mtu bytes each.
+// contents are at most mtu bytes each. The result aliases the fragmenter's
+// scratch and is invalidated by the next call.
 func (fr *fragmenter) makeFragments(inst *Instruction, mtu int) []*fragment {
 	if mtu < 1 {
 		mtu = 1
 	}
-	payload := encodeInstruction(inst)
+	payload := fr.encode(inst)
 	id := fr.nextID
 	fr.nextID++
-	var frags []*fragment
+	fr.fragStore = fr.fragStore[:0]
 	for num := 0; ; num++ {
 		n := len(payload)
 		if n > mtu {
 			n = mtu
 		}
-		frags = append(frags, &fragment{
+		fr.fragStore = append(fr.fragStore, fragment{
 			id:       id,
 			num:      uint16(num),
 			final:    n == len(payload),
@@ -200,7 +245,11 @@ func (fr *fragmenter) makeFragments(inst *Instruction, mtu int) []*fragment {
 			break
 		}
 	}
-	return frags
+	fr.fragPtrs = fr.fragPtrs[:0]
+	for i := range fr.fragStore {
+		fr.fragPtrs = append(fr.fragPtrs, &fr.fragStore[i])
+	}
+	return fr.fragPtrs
 }
 
 // assembly reassembles fragments into instructions. It holds at most one

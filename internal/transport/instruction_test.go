@@ -134,9 +134,21 @@ func TestFragmentReassemblyOutOfOrder(t *testing.T) {
 	}
 }
 
+// copyFragments deep-copies makeFragments output so a test can hold it
+// across a later makeFragments call (which reuses the scratch buffers).
+func copyFragments(frags []*fragment) []*fragment {
+	out := make([]*fragment, len(frags))
+	for i, f := range frags {
+		c := *f
+		c.contents = append([]byte(nil), f.contents...)
+		out[i] = &c
+	}
+	return out
+}
+
 func TestNewerInstructionAbandonsOlder(t *testing.T) {
 	var fr fragmenter
-	old := fr.makeFragments(instOfSize(3000), 1000)
+	old := copyFragments(fr.makeFragments(instOfSize(3000), 1000))
 	fresh := fr.makeFragments(instOfSize(50), 1000)
 	var a assembly
 	if inst, _ := a.add(old[0]); inst != nil {

@@ -99,10 +99,26 @@ type Sender[T State[T]] struct {
 	// the buffer never escapes.
 	diffBuf []byte
 
+	// fragBuf is scratch for marshalling one fragment; it is consumed by
+	// sealing (copied into the wire datagram) before the next fragment is
+	// marshalled.
+	fragBuf []byte
+
+	// recycleWire enables reuse of emitted wire buffers. Only safe when
+	// the Emit callback fully consumes the datagram before returning (a
+	// UDP write); simulation embedders retain payloads in flight and must
+	// leave it off.
+	recycleWire bool
+	wirePool    [][]byte
+
 	shutdown bool
 
 	stats SenderStats
 }
+
+// maxWirePool bounds the recycled wire-buffer list; an instruction rarely
+// spans more fragments than this in steady state.
+const maxWirePool = 8
 
 // newSender builds a sender for the live object current, whose initial
 // contents both sides agree is state number 0.
@@ -352,10 +368,13 @@ func (s *Sender[T]) addSentState(now time.Time, num uint64) {
 }
 
 // sendInstruction fragments, seals and transmits one instruction, and
-// pushes the heartbeat deadline out.
+// pushes the heartbeat deadline out. Marshal and encode scratch is reused
+// across datagrams; the sealed wire buffer itself is recycled only when
+// the embedder has declared Emit non-retaining (RecycleWire).
 func (s *Sender[T]) sendInstruction(now time.Time, inst *Instruction) {
 	for _, f := range s.frag.makeFragments(inst, s.timing.MTU) {
-		wire, err := s.conn.NewPacket(f.marshal())
+		s.fragBuf = f.appendMarshal(s.fragBuf[:0])
+		wire, err := s.conn.AppendPacket(s.takeWireBuf(len(s.fragBuf)), s.fragBuf)
 		if err != nil {
 			return // sequence space exhausted; session is dead
 		}
@@ -363,6 +382,21 @@ func (s *Sender[T]) sendInstruction(now time.Time, inst *Instruction) {
 		if s.emit != nil {
 			s.emit(wire)
 		}
+		if s.recycleWire && len(s.wirePool) < maxWirePool {
+			s.wirePool = append(s.wirePool, wire)
+		}
 	}
 	s.nextAckTime = now.Add(s.timing.HeartbeatInterval)
+}
+
+// takeWireBuf returns an empty buffer for one wire datagram: a recycled
+// one when available, else a fresh buffer sized for the payload plus the
+// datagram layer's overhead.
+func (s *Sender[T]) takeWireBuf(payloadLen int) []byte {
+	if n := len(s.wirePool); n > 0 {
+		b := s.wirePool[n-1]
+		s.wirePool = s.wirePool[:n-1]
+		return b[:0]
+	}
+	return make([]byte, 0, payloadLen+s.conn.Overhead())
 }

@@ -39,6 +39,9 @@ type Config[L State[L], R State[R]] struct {
 	Timing *Timing
 	// MinRTO/MaxRTO pass through to the datagram layer (ablation knobs).
 	MinRTO, MaxRTO time.Duration
+	// Envelope enables the sessiond session-ID envelope on every datagram
+	// (nil = single-session wire format).
+	Envelope *network.Envelope
 	// LocalInitial is the live local object (state number 0 as currently
 	// constituted); the application keeps mutating it in place.
 	LocalInitial L
@@ -46,6 +49,12 @@ type Config[L State[L], R State[R]] struct {
 	RemoteInitial R
 	// Emit transmits one sealed wire datagram.
 	Emit func(wire []byte)
+	// RecycleWire declares that Emit fully consumes each datagram before
+	// returning (for example a blocking UDP write), letting the sender
+	// reuse wire buffers instead of allocating one per datagram. Leave it
+	// off when Emit retains the buffer (internal/netem keeps payloads in
+	// flight).
+	RecycleWire bool
 }
 
 // New builds a Transport endpoint.
@@ -56,6 +65,7 @@ func New[L State[L], R State[R]](cfg Config[L, R]) (*Transport[L, R], error) {
 		Clock:     cfg.Clock,
 		MinRTO:    cfg.MinRTO,
 		MaxRTO:    cfg.MaxRTO,
+		Envelope:  cfg.Envelope,
 	})
 	if err != nil {
 		return nil, err
@@ -66,6 +76,7 @@ func New[L State[L], R State[R]](cfg Config[L, R]) (*Transport[L, R], error) {
 	}
 	s := newSender[L](conn, cfg.Clock, timing, cfg.LocalInitial)
 	s.emit = cfg.Emit
+	s.recycleWire = cfg.RecycleWire
 	return &Transport[L, R]{
 		conn:     conn,
 		clock:    cfg.Clock,

@@ -413,3 +413,78 @@ func TestCustomCollectionInterval(t *testing.T) {
 		t.Fatalf("sent after %v, want >= 100ms collection interval", wait)
 	}
 }
+
+func TestSendPathAllocationFreeWhenRecycled(t *testing.T) {
+	// With RecycleWire (Emit consumes before returning), the steady-state
+	// heartbeat path — marshal, encode, fragment, seal — must not allocate:
+	// every buffer is pooled through the fragmenter and AppendPacket.
+	clk := simclock.NewManual(t0)
+	tr, err := New(Config[*textState, *textState]{
+		Direction:     sspcrypto.ToServer,
+		Key:           sspcrypto.Key{1},
+		Clock:         clk,
+		LocalInitial:  newText(),
+		RemoteInitial: newText(),
+		Emit:          func([]byte) {},
+		RecycleWire:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timing := DefaultTiming()
+	// Warm up the pools with a few sends.
+	for i := 0; i < 4; i++ {
+		clk.Advance(timing.HeartbeatInterval + time.Millisecond)
+		tr.Tick()
+	}
+	sent := tr.Sender().Stats().EmptyAcks
+	allocs := testing.AllocsPerRun(200, func() {
+		clk.Advance(timing.HeartbeatInterval + time.Millisecond)
+		tr.Tick()
+	})
+	if got := tr.Sender().Stats().EmptyAcks; got <= sent {
+		t.Fatalf("no heartbeats sent during the measurement (stats %+v)", tr.Sender().Stats())
+	}
+	if allocs > 0 {
+		t.Fatalf("steady-state heartbeat send allocates %.1f times per packet, want 0", allocs)
+	}
+}
+
+func TestDataSendPathAllocationsBounded(t *testing.T) {
+	// The data path additionally clones the local object into the sent
+	// history (inherent to SSP); everything else is pooled, so the per-send
+	// allocation count must stay small and flat.
+	clk := simclock.NewManual(t0)
+	tr, err := New(Config[*textState, *textState]{
+		Direction:     sspcrypto.ToServer,
+		Key:           sspcrypto.Key{1},
+		Clock:         clk,
+		LocalInitial:  newText(),
+		RemoteInitial: newText(),
+		Emit:          func([]byte) {},
+		RecycleWire:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timing := DefaultTiming()
+	for i := 0; i < 4; i++ {
+		tr.CurrentState().Append([]byte("x"))
+		clk.Advance(timing.SendIntervalMax + timing.CollectionInterval)
+		tr.Tick()
+	}
+	sent := tr.Sender().Stats().Instructions
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.CurrentState().Append([]byte("x"))
+		clk.Advance(timing.SendIntervalMax + timing.CollectionInterval)
+		tr.Tick()
+	})
+	if got := tr.Sender().Stats().Instructions; got <= sent {
+		t.Fatalf("no instructions sent during the measurement")
+	}
+	// One clone of the (growing) local object plus sent-state bookkeeping;
+	// the wire path itself contributes nothing.
+	if allocs > 4 {
+		t.Fatalf("steady-state data send allocates %.1f times per packet, want <= 4", allocs)
+	}
+}
