@@ -11,6 +11,9 @@
 //	mosh-bench -exp ablations  # design-choice ablations
 //	mosh-bench -exp manysession -sessions 1000
 //	                           # sessiond scaling: N sessions, one socket
+//	mosh-bench -exp manysession -sessions 999 -mixed
+//	                           # heterogeneous cohorts: shell / CJK editor /
+//	                           # deep-scrollback log tail
 //
 // -keys N sets the keystrokes per user (default: the paper-scale 1664,
 // ≈10k total across six users).
@@ -34,6 +37,7 @@ func main() {
 	keys := flag.Int("keys", 1664, "keystrokes per user (6 users)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	sessions := flag.Int("sessions", 1000, "concurrent sessions for -exp manysession")
+	mixed := flag.Bool("mixed", false, "mixed cohorts for -exp manysession: shell (latency-measured) / CJK-emoji editor / deep-scrollback log tail")
 	flag.Parse()
 
 	cfg := bench.Config{KeystrokesPerUser: *keys, Seed: *seed}
@@ -78,6 +82,7 @@ func main() {
 		res := bench.RunManySession(bench.ManySessionOptions{
 			Sessions: *sessions,
 			Seed:     cfg.Seed,
+			Mixed:    *mixed,
 		})
 		fmt.Println(bench.FormatManySession(res))
 		fmt.Fprintf(os.Stderr, "[manysession done in %v]\n\n", time.Since(start).Round(time.Millisecond))

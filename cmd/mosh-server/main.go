@@ -90,7 +90,10 @@ func main() {
 	}
 
 	if *debug != "" {
-		d.Metrics().Publish("sessiond")
+		// Counters plus resident screen-state gauges (interned graphemes,
+		// pooled rows, shared scrollback rows): memory-per-session is
+		// observable at /debug/vars under load.
+		d.PublishExpvar("sessiond")
 		go func() {
 			// expvar auto-registers /debug/vars on the default mux.
 			log.Println(http.ListenAndServe(*debug, nil))

@@ -30,12 +30,26 @@ type ManySessionOptions struct {
 	Params netem.LinkParams
 	// Seed drives link randomness and the per-session shell applications.
 	Seed int64
+	// Mixed runs heterogeneous workload cohorts instead of uniform shell
+	// typing: sessions rotate through shell (keystroke latency measured on
+	// the echo), CJK/emoji editor (unicode-heavy screens exercising the
+	// grapheme intern table), and log-tail (deep client-side scrollback
+	// from continuous scrolling). Latency samples come from the shell
+	// cohort; the other cohorts contribute realistic screen-state load.
+	Mixed bool
 }
 
 // ManySessionResult aggregates the run.
 type ManySessionResult struct {
 	Sessions   int
 	Keystrokes int // per session
+	// Shells/Editors/Pagers are the cohort sizes (Sessions/0/0 for the
+	// uniform run).
+	Shells, Editors, Pagers int
+	// PagerScrollbackMin is the shallowest client-side history across the
+	// pager cohort at the end of the run — proof the cohort actually
+	// exercised deep scrollback (0 when the cohort is empty).
+	PagerScrollbackMin int
 	// Samples holds one keystroke→visible-echo latency per delivered
 	// keystroke, across all sessions.
 	Samples []Sample
@@ -85,6 +99,20 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 	daemonAddr := netem.Addr{Host: 0xFFFF, Port: 60001}
 	paths := make(map[netem.Addr]*netem.Path, opt.Sessions)
 
+	// Cohort assignment: session IDs are issued sequentially from 1 in
+	// OpenSession order, so client i holds session ID i+1.
+	const (
+		cohortShell = iota
+		cohortEditor
+		cohortPager
+	)
+	cohortOf := func(i int) int {
+		if !opt.Mixed {
+			return cohortShell
+		}
+		return i % 3
+	}
+
 	d, err := sessiond.New(sessiond.Config{
 		Clock: sched,
 		Send: func(dst netem.Addr, wire []byte) {
@@ -92,7 +120,16 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 				p.Down.Send(netem.Packet{Src: daemonAddr, Dst: dst, Payload: wire})
 			}
 		},
-		NewApp:      func(id uint64) host.App { return host.NewShell(opt.Seed + int64(id)) },
+		NewApp: func(id uint64) host.App {
+			switch cohortOf(int(id) - 1) {
+			case cohortEditor:
+				return host.NewUnicodeEditor(opt.Seed+int64(id), 80)
+			case cohortPager:
+				return host.NewLogTail(opt.Seed + int64(id))
+			default:
+				return host.NewShell(opt.Seed + int64(id))
+			}
+		},
 		IdleTimeout: -1,
 	})
 	if err != nil {
@@ -114,11 +151,20 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		wake    func()
 		pending []pendingKey
 		typed   int
+		cohort  int
 	}
 	clients := make([]*loadClient, opt.Sessions)
 	res := ManySessionResult{Sessions: opt.Sessions, Keystrokes: opt.Keystrokes}
 
 	for i := 0; i < opt.Sessions; i++ {
+		switch cohortOf(i) {
+		case cohortEditor:
+			res.Editors++
+		case cohortPager:
+			res.Pagers++
+		default:
+			res.Shells++
+		}
 		sess, err := d.OpenSession()
 		if err != nil {
 			panic(err)
@@ -126,7 +172,7 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		addr := netem.Addr{Host: uint32(1 + i), Port: uint16(1000 + i%60000)}
 		path := netem.NewPath(nw, opt.Params, opt.Seed+int64(i)*7919)
 		paths[addr] = path
-		lc := &loadClient{}
+		lc := &loadClient{cohort: cohortOf(i)}
 		lc.cl, err = core.NewClient(core.ClientConfig{
 			Key:         sess.Key(),
 			Clock:       sched,
@@ -143,13 +189,14 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		clients[i] = lc
 		nw.Attach(addr, func(p netem.Packet) {
 			lc.cl.Receive(p.Payload, p.Src)
-			// Visibility check: a keystroke's echo is the cell the shell
-			// echoes it into on the prompt row.
+			// Visibility check (shell cohort only — its echo position is
+			// exact): a keystroke's echo is the cell the shell echoes it
+			// into on the prompt row.
 			now := sched.Now()
 			fb := lc.cl.ServerState()
 			for len(lc.pending) > 0 {
 				k := lc.pending[0]
-				if k.col >= fb.W || fb.Peek(0, k.col).Contents != string(rune(k.char)) {
+				if k.col >= fb.W || fb.Peek(0, k.col).ContentsString() != string(rune(k.char)) {
 					break
 				}
 				res.Samples = append(res.Samples, Sample{Latency: now.Sub(k.at)})
@@ -180,11 +227,16 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 				return
 			}
 			ch := letters[lc.typed%len(letters)]
-			lc.pending = append(lc.pending, pendingKey{
-				col:  shellPromptLen + lc.typed,
-				char: ch,
-				at:   sched.Now(),
-			})
+			if lc.cohort == cohortPager {
+				ch = ' ' // hold the pager on space
+			}
+			if lc.cohort == cohortShell {
+				lc.pending = append(lc.pending, pendingKey{
+					col:  shellPromptLen + lc.typed,
+					char: ch,
+					at:   sched.Now(),
+				})
+			}
 			lc.typed++
 			lc.cl.UserBytes([]byte{ch})
 			lc.wake()
@@ -198,6 +250,11 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 	sched.RunFor(typing + 10*time.Second)
 	for _, lc := range clients {
 		res.Lost += len(lc.pending)
+		if lc.cohort == cohortPager {
+			if depth := lc.cl.ServerState().ScrollbackLines(); res.PagerScrollbackMin == 0 || depth < res.PagerScrollbackMin {
+				res.PagerScrollbackMin = depth
+			}
+		}
 	}
 
 	res.Elapsed = sched.Now().Sub(start)
@@ -219,8 +276,13 @@ func FormatManySession(r ManySessionResult) string {
 	if secs <= 0 {
 		secs = 1
 	}
-	fmt.Fprintf(&b, "many-session load: %d sessions × %d keystrokes over one daemon socket\n",
-		r.Sessions, r.Keystrokes)
+	if r.Editors > 0 || r.Pagers > 0 {
+		fmt.Fprintf(&b, "many-session load: %d sessions (%d shell / %d cjk-editor / %d log-tail) × %d keystrokes over one daemon socket\n",
+			r.Sessions, r.Shells, r.Editors, r.Pagers, r.Keystrokes)
+	} else {
+		fmt.Fprintf(&b, "many-session load: %d sessions × %d keystrokes over one daemon socket\n",
+			r.Sessions, r.Keystrokes)
+	}
 	fmt.Fprintf(&b, "  throughput: %7.0f pkts/s in, %7.0f pkts/s out, %8.1f KB/s in, %8.1f KB/s out (virtual)\n",
 		float64(r.PacketsIn)/secs, float64(r.PacketsOut)/secs,
 		float64(r.BytesIn)/secs/1024, float64(r.BytesOut)/secs/1024)

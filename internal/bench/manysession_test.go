@@ -58,6 +58,58 @@ func TestManySessionLossRecovery(t *testing.T) {
 	}
 }
 
+// TestManySessionMixedCohorts runs the heterogeneous workload: shells
+// (latency-measured), CJK/emoji editors (intern-table load), and log
+// tails (deep client scrollback) sharing one daemon socket. The shell
+// cohort's echoes must all land, and the pager cohort must actually have
+// built deep scrollback on its clients.
+func TestManySessionMixedCohorts(t *testing.T) {
+	res := RunManySession(ManySessionOptions{
+		Sessions:     60,
+		Keystrokes:   10,
+		TypeInterval: 150 * time.Millisecond,
+		Seed:         7,
+		Mixed:        true,
+	})
+	if res.Shells != 20 || res.Editors != 20 || res.Pagers != 20 {
+		t.Fatalf("cohorts = %d/%d/%d, want 20/20/20", res.Shells, res.Editors, res.Pagers)
+	}
+	if got := len(res.Samples); got != res.Shells*10 {
+		t.Fatalf("delivered %d shell samples, want %d (lost=%d)", got, res.Shells*10, res.Lost)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("%d shell keystrokes never became visible on a loss-free link", res.Lost)
+	}
+	if res.PacketsOut == 0 {
+		t.Fatal("no aggregate traffic measured")
+	}
+	// The pager cohort must have actually built deep client-side history:
+	// 10 keystrokes × 3-5 log lines each on a 24-high screen scrolls well
+	// past a screenful on every pager client.
+	if res.PagerScrollbackMin <= 24 {
+		t.Fatalf("pager cohort min scrollback = %d lines, want > one screen", res.PagerScrollbackMin)
+	}
+	t.Logf("\n%s", FormatManySession(res))
+}
+
+// BenchmarkManySessionMixed feeds the per-commit perf artifact with the
+// heterogeneous cohort run (unicode + deep-scrollback screen-state load).
+func BenchmarkManySessionMixed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := RunManySession(ManySessionOptions{
+			Sessions:     63,
+			Keystrokes:   5,
+			TypeInterval: 100 * time.Millisecond,
+			Seed:         int64(i + 1),
+			Mixed:        true,
+		})
+		if res.Lost != 0 {
+			b.Fatalf("lost %d keystrokes", res.Lost)
+		}
+		b.ReportMetric(float64(res.PacketsIn+res.PacketsOut), "wirepkts/op")
+	}
+}
+
 // BenchmarkManySession feeds the per-commit perf artifact: virtual-time
 // cost of a 64-session daemon serving a short typing burst.
 func BenchmarkManySession(b *testing.B) {

@@ -376,8 +376,8 @@ func TestDisplayIsACopy(t *testing.T) {
 	ss := newSession(t, netem.LinkParams{Delay: 10 * time.Millisecond}, overlay.Never)
 	ss.run(time.Second)
 	d := ss.client.Display()
-	d.Cell(0, 0).Contents = "X"
-	if ss.client.ServerState().Cell(0, 0).Contents == "X" {
+	d.Cell(0, 0).SetContents("X")
+	if ss.client.ServerState().Cell(0, 0).ContentsString() == "X" {
 		t.Fatal("Display returned the live state, not a copy")
 	}
 }

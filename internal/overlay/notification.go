@@ -90,9 +90,9 @@ func (n *NotificationEngine) Apply(fb *terminal.Framebuffer) {
 	for col := 0; col < fb.W; col++ {
 		c := fb.Cell(0, col)
 		if col < len(text) {
-			c.Contents = string(text[col])
+			c.SetRune(rune(text[col]))
 		} else {
-			c.Contents = " "
+			c.SetRune(' ')
 		}
 		c.Rend = rend
 		c.Wide = false

@@ -15,9 +15,9 @@ func TestNoBannerWhileHealthy(t *testing.T) {
 	n.ServerHeard()
 	clk.Advance(3 * time.Second)
 	fb := terminal.NewFramebuffer(40, 5)
-	fb.Cell(0, 0).Contents = "x"
+	fb.Cell(0, 0).SetContents("x")
 	n.Apply(fb)
-	if fb.Cell(0, 0).Contents != "x" {
+	if fb.Cell(0, 0).ContentsString() != "x" {
 		t.Fatal("banner painted while connection healthy")
 	}
 }

@@ -383,11 +383,9 @@ func (e *Engine) predictEcho(seq uint64, rec *InputRecord, r rune, fb *terminal.
 	cell.expirationFrame = e.localFrameSent + 1
 	cell.predictionTime = now
 	cell.inputSeq = seq
-	cell.replacement = terminal.Cell{
-		Contents: string(r),
-		Rend:     fb.DS.Rend,
-		Wide:     width == 2,
-	}
+	repl := terminal.Cell{Rend: fb.DS.Rend, Wide: width == 2}
+	repl.SetRune(r)
+	cell.replacement = repl
 	e.stats.Predicted++
 	rec.Outcome = OutcomePending
 

@@ -56,7 +56,7 @@ func TestFirstEpochIsTentative(t *testing.T) {
 	v := newEnv(Adaptive)
 	v.typeByte('h')
 	d := display(v)
-	if d.Cell(0, 0).Contents == "h" {
+	if d.Cell(0, 0).ContentsString() == "h" {
 		t.Fatal("unconfirmed first-epoch prediction was displayed")
 	}
 }
@@ -69,16 +69,16 @@ func TestEpochConfirmationDisplaysPredictions(t *testing.T) {
 	// Server confirms the first keystroke only.
 	v.serverEchoes("h", s1)
 	d := display(v)
-	if got := d.Cell(0, 1).Contents; got != "e" {
+	if got := d.Cell(0, 1).ContentsString(); got != "e" {
 		t.Fatalf("cell(0,1) = %q; epoch confirmation should display later predictions", got)
 	}
-	if got := d.Cell(0, 2).Contents; got != "y" {
+	if got := d.Cell(0, 2).ContentsString(); got != "y" {
 		t.Fatalf("cell(0,2) = %q", got)
 	}
 	// And future keystrokes in the same epoch display immediately.
 	v.typeByte('!')
 	d = display(v)
-	if got := d.Cell(0, 3).Contents; got != "!" {
+	if got := d.Cell(0, 3).ContentsString(); got != "!" {
 		t.Fatalf("cell(0,3) = %q; same-epoch prediction should show instantly", got)
 	}
 }
@@ -100,13 +100,13 @@ func TestMispredictionRepairs(t *testing.T) {
 	s1 := v.typeByte('x')
 	v.serverEchoes("x", s1) // confident now
 	s2 := v.typeByte('y')   // predicted 'y' at (0,1), displayed
-	if got := display(v).Cell(0, 1).Contents; got != "y" {
+	if got := display(v).Cell(0, 1).ContentsString(); got != "y" {
 		t.Fatalf("prediction not displayed: %q", got)
 	}
 	// Server actually printed 'Z' there (host did something different).
 	v.serverEchoes("Z", s2)
 	d := display(v)
-	if got := d.Cell(0, 1).Contents; got != "Z" {
+	if got := d.Cell(0, 1).ContentsString(); got != "Z" {
 		t.Fatalf("cell(0,1) = %q after repair, want server's Z", got)
 	}
 	if v.e.Stats().Incorrect == 0 {
@@ -121,7 +121,7 @@ func TestWrongTentativePredictionKillsEpochQuietly(t *testing.T) {
 	v.e.SetLocalFrameLateAcked(s1)
 	v.e.Cull(v.fb)
 	d := display(v)
-	if d.Cell(0, 0).Contents == "q" {
+	if d.Cell(0, 0).ContentsString() == "q" {
 		t.Fatal("killed prediction still displayed")
 	}
 	if v.e.Stats().EpochsKilled == 0 {
@@ -129,7 +129,7 @@ func TestWrongTentativePredictionKillsEpochQuietly(t *testing.T) {
 	}
 	// Confidence was never granted, so future predictions stay hidden.
 	v.typeByte('r')
-	if display(v).Cell(0, 1).Contents == "r" {
+	if display(v).Cell(0, 1).ContentsString() == "r" {
 		t.Fatal("post-kill prediction displayed without confirmation")
 	}
 }
@@ -149,7 +149,7 @@ func TestControlCharactersEndEpoch(t *testing.T) {
 	d := display(v)
 	found := false
 	for col := 0; col < d.W; col++ {
-		if d.Cell(0, col).Contents == "c" {
+		if d.Cell(0, col).ContentsString() == "c" {
 			found = true
 		}
 	}
@@ -177,7 +177,7 @@ func TestBackspacePrediction(t *testing.T) {
 	// Cursor is at col 2; backspace should predict erasing col 1.
 	v.typeByte(0x7f)
 	d := display(v)
-	if got := d.Cell(0, 1).Contents; got == "b" {
+	if got := d.Cell(0, 1).ContentsString(); got == "b" {
 		t.Fatalf("backspace prediction did not erase: %q", got)
 	}
 	if d.DS.CursorCol != 1 {
@@ -190,7 +190,7 @@ func TestNeverPreferenceDisablesEngine(t *testing.T) {
 	s1 := v.typeByte('a')
 	v.serverEchoes("a", s1)
 	v.typeByte('b')
-	if display(v).Cell(0, 1).Contents == "b" {
+	if display(v).Cell(0, 1).ContentsString() == "b" {
 		t.Fatal("Never preference displayed a prediction")
 	}
 	if v.e.Stats().Predicted != 0 {
@@ -204,7 +204,7 @@ func TestAdaptiveHidesOnFastConnection(t *testing.T) {
 	s1 := v.typeByte('a')
 	v.serverEchoes("a", s1)
 	v.typeByte('b')
-	if display(v).Cell(0, 1).Contents == "b" {
+	if display(v).Cell(0, 1).ContentsString() == "b" {
 		t.Fatal("fast connection should not display predictions")
 	}
 }
@@ -215,7 +215,7 @@ func TestAlwaysPreferenceShowsAfterConfirmation(t *testing.T) {
 	s1 := v.typeByte('a')
 	v.serverEchoes("a", s1)
 	v.typeByte('b')
-	if display(v).Cell(0, 1).Contents != "b" {
+	if display(v).Cell(0, 1).ContentsString() != "b" {
 		t.Fatal("Always preference should display despite fast connection")
 	}
 }
@@ -242,7 +242,7 @@ func TestNoUnderlineOnModerateLatency(t *testing.T) {
 	v.serverEchoes("a", s1)
 	v.typeByte('b')
 	d := display(v)
-	if d.Cell(0, 1).Contents != "b" {
+	if d.Cell(0, 1).ContentsString() != "b" {
 		t.Fatal("prediction should display")
 	}
 	if d.Cell(0, 1).Rend.Underline {
@@ -303,7 +303,7 @@ func TestResizeResetsPredictions(t *testing.T) {
 	v.e.Cull(v.emu.Framebuffer())
 	d := v.emu.Framebuffer().Clone()
 	v.e.Apply(d)
-	if d.Cell(0, 1).Contents == "b" {
+	if d.Cell(0, 1).ContentsString() == "b" {
 		t.Fatal("prediction survived a resize")
 	}
 }
@@ -336,7 +336,7 @@ func TestUTF8KeystrokePrediction(t *testing.T) {
 	v.e.NewUserInput(v.seq, []byte("é"), v.fb)
 	v.e.SetLocalFrameSent(v.seq)
 	d := display(v)
-	if got := d.Cell(0, 1).Contents; got != "é" {
+	if got := d.Cell(0, 1).ContentsString(); got != "é" {
 		t.Fatalf("cell(0,1) = %q, want é", got)
 	}
 	// é split into two single-byte events (raw tty read).
@@ -346,7 +346,7 @@ func TestUTF8KeystrokePrediction(t *testing.T) {
 	v.seq++
 	v.e.NewUserInput(v.seq, raw[1:], v.fb)
 	d = display(v)
-	if got := d.Cell(0, 2).Contents; got != "ü" {
+	if got := d.Cell(0, 2).ContentsString(); got != "ü" {
 		t.Fatalf("cell(0,2) = %q, want ü (split UTF-8)", got)
 	}
 }

@@ -3,6 +3,8 @@ package sessiond
 import (
 	"expvar"
 	"fmt"
+
+	"repro/internal/terminal"
 )
 
 // Metrics counts the daemon's activity. All fields are safe for concurrent
@@ -53,6 +55,63 @@ func (m *Metrics) Publish(prefix string) {
 	} {
 		expvar.Publish(prefix+"."+v.name, v.v)
 	}
+}
+
+// ScreenStateStats aggregates the resident screen-state footprint across
+// every live session: how much terminal memory the daemon actually holds
+// and how much of it is shared or recycled. Together with the process-wide
+// interned-grapheme count it makes memory-per-session observable under
+// load.
+type ScreenStateStats struct {
+	// Sessions sampled (live at collection time).
+	Sessions int
+	// ScreenRows is the summed grid height; SharedScreenRows counts grid
+	// rows currently shared copy-on-write with a sender snapshot.
+	ScreenRows, SharedScreenRows int
+	// PooledRows counts recycled rows waiting on per-session free lists.
+	PooledRows int
+	// ScrollbackRows is the summed visible history; ScrollbackArenaRows
+	// counts shared-arena entries kept alive (retained for structural
+	// sharing with snapshots, ≥ ScrollbackRows until compaction).
+	ScrollbackRows, ScrollbackArenaRows int
+}
+
+// ScreenStateStats samples every live session's framebuffer footprint.
+// It takes each session's lock briefly; intended for metric scrapes.
+func (d *Daemon) ScreenStateStats() ScreenStateStats {
+	var st ScreenStateStats
+	d.reg.each(func(s *Session) {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		m := s.srv.Terminal().Framebuffer().MemStats()
+		s.mu.Unlock()
+		st.Sessions++
+		st.ScreenRows += m.ScreenRows
+		st.SharedScreenRows += m.SharedScreenRows
+		st.PooledRows += m.PooledRows
+		st.ScrollbackRows += m.ScrollbackRows
+		st.ScrollbackArenaRows += m.ScrollbackArenaRows
+	})
+	return st
+}
+
+// PublishExpvar registers the daemon's counters plus resident screen-state
+// gauges with the process-wide expvar registry under prefix. The
+// screen-state gauge walks every session at scrape time (one sweep per
+// render, sessions locked briefly); interned_graphemes is the process-wide
+// grapheme table size. Call at most once per process per prefix — expvar
+// panics on duplicate names.
+func (d *Daemon) PublishExpvar(prefix string) {
+	d.metrics.Publish(prefix)
+	expvar.Publish(prefix+".interned_graphemes", expvar.Func(func() any {
+		return terminal.InternedGraphemes()
+	}))
+	expvar.Publish(prefix+".screen_state", expvar.Func(func() any {
+		return d.ScreenStateStats()
+	}))
 }
 
 // String renders a one-line summary for logs and the load harness.

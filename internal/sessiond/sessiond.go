@@ -69,6 +69,14 @@ type Config struct {
 	IdleTimeout time.Duration
 	// Width, Height size each session's terminal (default 80×24).
 	Width, Height int
+	// Scrollback is the per-session server-side history depth in lines.
+	// Zero or negative keeps the daemon default: history disabled — the
+	// client rebuilds its own history from scroll diffs, scrolled-off rows
+	// recycle through the row pool, and at thousands of sessions the dead
+	// rows would otherwise dominate memory. With the structurally-shared
+	// scrollback a positive depth is affordable when an embedder wants
+	// server-side history (e.g. for session handoff or auditing).
+	Scrollback int
 	// Timing overrides SSP transport timing (nil = paper defaults).
 	Timing *transport.Timing
 	// MinRTO/MaxRTO pass through to the datagram layer.

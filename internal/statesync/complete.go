@@ -19,7 +19,24 @@ type Complete struct {
 	// sender diffs from its live object, so the scratch warms up there
 	// and every subsequent frame renders without heap allocations.
 	fw terminal.FrameWriter
+	// pool is the snapshot free list shared by this Complete and every
+	// clone derived from it (lazily created on first Clone). The transport
+	// sender recycles retired snapshots (transport.Recycler), Clone reuses
+	// their storage via Framebuffer.CloneInto, and the steady-state
+	// snapshot churn of a session allocates nothing. Like the rest of the
+	// state machinery it is single-owner: a Complete family lives on one
+	// goroutine.
+	pool *snapshotPool
 }
+
+// snapshotPool recycles retired snapshot Completes within one session.
+type snapshotPool struct {
+	free []*Complete
+}
+
+// maxPooledSnapshots bounds the free list; the sender's steady state
+// retires about as many snapshots per tick as it takes.
+const maxPooledSnapshots = 4
 
 // NewComplete returns a blank terminal state of the given size.
 func NewComplete(w, h int) *Complete {
@@ -50,10 +67,35 @@ func (c *Complete) EchoAck() uint64 { return c.emu.Framebuffer().EchoAck }
 
 // Clone implements transport.State. The screen snapshot is copy-on-write
 // (terminal.Framebuffer.Clone), so cloning costs O(height) regardless of
-// how much of the screen is populated. Parser state is not cloned: every
-// diff is a self-contained byte string, so a fresh parser is equivalent.
+// how much of the screen is populated — and when a recycled snapshot is
+// available its storage is reused outright (Framebuffer.CloneInto), so the
+// steady state costs no allocations either. Parser state is not cloned:
+// every diff is a self-contained byte string, so a fresh parser is
+// equivalent.
 func (c *Complete) Clone() *Complete {
-	return &Complete{emu: terminal.NewEmulatorWithFramebuffer(c.emu.Framebuffer().Clone())}
+	if c.pool == nil {
+		c.pool = &snapshotPool{}
+	}
+	if n := len(c.pool.free); n > 0 {
+		d := c.pool.free[n-1]
+		c.pool.free[n-1] = nil
+		c.pool.free = c.pool.free[:n-1]
+		d.emu.SetFramebuffer(c.emu.Framebuffer().CloneInto(d.emu.Framebuffer()))
+		return d
+	}
+	return &Complete{
+		emu:  terminal.NewEmulatorWithFramebuffer(c.emu.Framebuffer().Clone()),
+		pool: c.pool,
+	}
+}
+
+// Recycle implements transport.Recycler: the sender hands back snapshots
+// it has dropped from its history, and Clone reuses their storage.
+func (c *Complete) Recycle() {
+	if c.pool == nil || len(c.pool.free) >= maxPooledSnapshots {
+		return
+	}
+	c.pool.free = append(c.pool.free, c)
 }
 
 // Equal implements transport.State.

@@ -1,0 +1,87 @@
+package statesync
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSnapshotPoolReuse pins the recycle contract: a snapshot handed back
+// through Recycle is reissued by the next Clone with its storage reused,
+// and the reissued snapshot matches the live state exactly.
+func TestSnapshotPoolReuse(t *testing.T) {
+	live := NewComplete(40, 10)
+	for i := 0; i < 30; i++ {
+		live.Terminal().WriteString(fmt.Sprintf("line %d of session output\r\n", i))
+	}
+
+	snap := live.Clone()
+	if !snap.Equal(live) {
+		t.Fatal("clone differs from live state")
+	}
+	live.Terminal().WriteString("more output\r\n")
+	snap.Recycle()
+
+	snap2 := live.Clone()
+	if snap2 != snap {
+		t.Fatal("Clone did not reuse the recycled snapshot")
+	}
+	if !snap2.Equal(live) {
+		t.Fatal("reissued snapshot differs from live state")
+	}
+
+	// Stale content from its previous life must be gone.
+	if got := snap2.Framebuffer().Text(9); got != live.Framebuffer().Text(9) {
+		t.Fatalf("reissued snapshot shows stale row: %q", got)
+	}
+
+	// A resize retires the shell gracefully: Clone falls back to fresh
+	// storage instead of reusing mismatched dimensions.
+	snap2.Recycle()
+	live.Terminal().Resize(60, 20)
+	snap3 := live.Clone()
+	if fb := snap3.Framebuffer(); fb.W != 60 || fb.H != 20 {
+		t.Fatalf("post-resize clone is %dx%d, want 60x20", fb.W, fb.H)
+	}
+	if !snap3.Equal(live) {
+		t.Fatal("post-resize clone differs from live state")
+	}
+}
+
+// TestSnapshotPoolBounded keeps Recycle from hoarding: beyond the pool cap
+// the shells are simply dropped for the garbage collector.
+func TestSnapshotPoolBounded(t *testing.T) {
+	live := NewComplete(10, 4)
+	var snaps []*Complete
+	for i := 0; i < 10; i++ {
+		snaps = append(snaps, live.Clone())
+	}
+	for _, s := range snaps {
+		s.Recycle()
+	}
+	if n := len(live.pool.free); n > maxPooledSnapshots {
+		t.Fatalf("pool holds %d shells, cap is %d", n, maxPooledSnapshots)
+	}
+}
+
+// TestSteadyStateTickZeroAllocWithScrollback is the end-to-end guard for
+// the sender's per-tick snapshot path on a deep-scroll session: with the
+// snapshot pool warm, clone + recycle costs nothing even with a full
+// 1000-line history attached.
+func TestSteadyStateTickZeroAllocWithScrollback(t *testing.T) {
+	live := NewComplete(80, 24)
+	for i := 0; i < 1100; i++ {
+		live.Terminal().WriteString(fmt.Sprintf("scrolled line %d\r\n", i))
+	}
+	// Warm the pool the way the sender does: take snapshots, retire them.
+	a, b := live.Clone(), live.Clone()
+	a.Recycle()
+	b.Recycle()
+	prev := live.Clone()
+	if avg := testing.AllocsPerRun(200, func() {
+		next := live.Clone()
+		prev.Recycle()
+		prev = next
+	}); avg != 0 {
+		t.Errorf("steady-state pooled snapshot allocates %v per run, want 0", avg)
+	}
+}

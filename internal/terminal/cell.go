@@ -5,16 +5,35 @@
 // minimal byte string transforming one screen state into another — the
 // "logical diff" SSP ships from server to client.
 //
+// # Memory model
+//
+// The cell is the data structure every layer above iterates over millions
+// of times per second, so it is engineered as a compact pointer-free value
+// type:
+//
+//   - Cell contents are a packed uint32: blank, an inline single rune
+//     (ASCII, CJK, emoji — the overwhelming majority), or an index into a
+//     process-wide append-only grapheme intern table holding multi-rune
+//     combining clusters (see intern.go). Printing never allocates in
+//     steady state, cell equality is an integer compare, and rows contain
+//     no pointers for the garbage collector to trace.
+//   - Framebuffer.Clone is copy-on-write: it shares *Row pointers and
+//     marks them shared. Rows are immutable once shared — every mutation
+//     path first materializes a private copy (writableRow) — so a snapshot
+//     costs O(height), not O(width×height). CloneInto additionally reuses
+//     a retired snapshot's storage, making the sender's steady-state
+//     snapshot fully allocation-free.
+//   - Scrollback is structurally shared: clones reference the same
+//     append-only history arena through (offset, length) windows, so a
+//     snapshot carries deep scrollback in O(1) instead of copying the
+//     up-to-1000-entry pointer slice (see scrollHistory in framebuffer.go).
+//
 // # Snapshot and diff performance
 //
 // The SSP sender snapshots the screen on every send and diffs the live
 // screen against a retained snapshot on every tick, so both operations are
 // engineered off the row-generation numbers Framebuffer maintains:
 //
-//   - Framebuffer.Clone is copy-on-write: it shares *Row pointers and
-//     marks them shared. Rows are immutable once shared — every mutation
-//     path first materializes a private copy (writableRow) — so a snapshot
-//     costs O(height), not O(width×height).
 //   - FrameWriter renders diffs with reusable scratch and appends into a
 //     caller-owned buffer; with a long-lived writer (one per sender) the
 //     steady-state diff path performs zero heap allocations. NewFrame is
@@ -24,7 +43,10 @@
 //     changed.
 package terminal
 
-import "strconv"
+import (
+	"strconv"
+	"unicode/utf8"
+)
 
 // Color encodes a cell color: the zero value is the terminal default;
 // values 1..256 are the 256-color palette entries 0..255; RGB truecolor
@@ -132,11 +154,15 @@ func appendColor(buf []byte, base int, c Color) []byte {
 	return buf
 }
 
-// Cell is one character cell of the screen.
+// Cell is one character cell of the screen: a compact, pointer-free value
+// type (the diff, snapshot and prediction layers compare and copy cells
+// millions of times per second).
 type Cell struct {
-	// Contents is the cell's grapheme: a base character plus any
-	// combining characters, UTF-8 encoded. Empty means blank.
-	Contents string
+	// content is the packed grapheme word: blank, an inline rune, or a
+	// grapheme intern table index (see intern.go). Mutate it only through
+	// SetRune/SetContents (or the emulator's print path) so inline/interned
+	// canonicalization — which cell equality relies on — is preserved.
+	content uint32
 	// Rend is the graphic rendition the cell was printed with.
 	Rend Renditions
 	// Wide marks the leading half of a double-width character; the cell
@@ -147,28 +173,50 @@ type Cell struct {
 	wrap bool
 }
 
+// packedSpace is the content word of an explicitly printed space, which
+// renders identically to a blank cell.
+const packedSpace = uint32(' ')
+
 // Reset clears the cell to a blank with the given background.
 func (c *Cell) Reset(bg Renditions) {
 	*c = Cell{Rend: Renditions{Bg: bg.Bg}}
 }
 
+// ContentsString returns the cell's grapheme: a base character plus any
+// combining characters, UTF-8 encoded. Empty means blank. (This is the
+// read side of the old exported Contents field.)
+func (c *Cell) ContentsString() string { return contentString(c.content) }
+
+// SetContents replaces the cell's grapheme with an arbitrary string,
+// interning multi-rune clusters. Empty means blank.
+func (c *Cell) SetContents(s string) { c.content = internContents(s) }
+
+// SetRune replaces the cell's grapheme with a single rune — the
+// allocation-free fast path for every plain printed character.
+func (c *Cell) SetRune(r rune) { c.content = packRune(r) }
+
+// ContentsEmpty reports whether the cell is blank (the old
+// Contents == "" test), without materializing a string.
+func (c *Cell) ContentsEmpty() bool { return c.content == 0 }
+
 // IsBlank reports whether the cell shows nothing (empty or space with no
 // distinguishing rendition).
 func (c *Cell) IsBlank() bool {
-	return (c.Contents == "" || c.Contents == " ") && !c.Wide &&
+	return (c.content == 0 || c.content == packedSpace) && !c.Wide &&
 		c.Rend == Renditions{Bg: c.Rend.Bg} && c.Rend.Bg == ColorDefault
 }
 
-// Equal reports whether two cells render identically. The soft-wrap flag
+// Equal reports whether two cells render identically — one integer
+// compare per field, thanks to canonical interning. The soft-wrap flag
 // is deliberately excluded: it is invisible, and screen diffs (which use
 // absolute cursor positioning) cannot reproduce it on the remote side.
 func (c *Cell) Equal(o *Cell) bool {
-	cc, oc := c.Contents, o.Contents
-	if cc == " " {
-		cc = ""
+	cc, oc := c.content, o.content
+	if cc == packedSpace {
+		cc = 0
 	}
-	if oc == " " {
-		oc = ""
+	if oc == packedSpace {
+		oc = 0
 	}
 	return cc == oc && c.Rend == o.Rend && c.Wide == o.Wide
 }
@@ -178,24 +226,30 @@ func (c *Cell) Wrapped() bool { return c.wrap }
 
 // String renders the cell's visible contents (space when blank).
 func (c *Cell) String() string {
-	if c.Contents == "" {
+	if c.content == 0 {
 		return " "
 	}
-	return c.Contents
+	return contentString(c.content)
 }
 
-// asciiContents interns the single-character strings for printable ASCII,
-// the overwhelming majority of what hosts emit. Sharing them keeps the
-// print hot path from allocating a one-byte string per keystroke.
-const asciiContents = " !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~"
+// appendContents appends the cell's visible bytes to buf (space when
+// blank): the renderer's zero-allocation emission path.
+func (c *Cell) appendContents(buf []byte) []byte {
+	return appendContent(buf, c.content)
+}
 
-// runeContents returns string(r) without allocating for printable ASCII.
-func runeContents(r rune) string {
-	if r >= 0x20 && r < 0x7f {
-		i := int(r) - 0x20
-		return asciiContents[i : i+1]
+// leadRune returns the cell's base character (0 when blank); REP and the
+// prediction engine use it.
+func (c *Cell) leadRune() rune {
+	switch {
+	case c.content == 0:
+		return 0
+	case c.content&graphemeBit == 0:
+		return rune(c.content)
+	default:
+		r, _ := utf8.DecodeRuneInString(graphemes.lookup(c.content))
+		return r
 	}
-	return string(r)
 }
 
 // RuneWidth reports the number of terminal columns r occupies: 0 for

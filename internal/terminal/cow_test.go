@@ -77,7 +77,7 @@ func randomOps(rng *rand.Rand, emu *Emulator, n int) {
 		case 12:
 			emu.WriteString(fmt.Sprintf("\x1b[%d;%dr", rng.Intn(10)+1, rng.Intn(14)+11))
 		case 13:
-			fb.Cell(rng.Intn(fb.H), rng.Intn(fb.W)).Contents = "Z"
+			fb.Cell(rng.Intn(fb.H), rng.Intn(fb.W)).SetContents("Z")
 			fb.Row(rng.Intn(fb.H)).Touch()
 		}
 	}
@@ -127,8 +127,8 @@ func TestCloneIndependenceBothWays(t *testing.T) {
 	cloneOracle := takeOracle(clone)
 
 	// Write through every public mutation surface of the clone.
-	clone.Cell(0, 0).Contents = "X"
-	clone.Row(1).Cells[0].Contents = "Y"
+	clone.Cell(0, 0).SetContents("X")
+	clone.Row(1).Cells[0].SetContents("Y")
 	clone.Row(1).Touch()
 	clone.EraseInLine(2)
 	clone.Scroll(1)
@@ -139,7 +139,7 @@ func TestCloneIndependenceBothWays(t *testing.T) {
 	clone2Oracle := takeOracle(clone2)
 	emu.WriteString("\x1b[2;1Hoverwritten entirely")
 	emu.Framebuffer().Scroll(2)
-	emu.Framebuffer().Cell(3, 3).Contents = "Q"
+	emu.Framebuffer().Cell(3, 3).SetContents("Q")
 	clone2Oracle.verify(t, clone2, "clone after original writes")
 	_ = cloneOracle
 }

@@ -231,13 +231,13 @@ func paintRow(buf []byte, cur *frameState, y int, lastRow, row *Row, width int) 
 		}
 		// A differing continuation cell of a wide character cannot be
 		// painted directly; repaint its leader, which regenerates it.
-		if cell.Contents == "" && x > 0 && row.Cells[x-1].Wide {
+		if cell.ContentsEmpty() && x > 0 && row.Cells[x-1].Wide {
 			x--
 			cell = &row.Cells[x]
 		}
 		buf = moveTo(buf, cur, y, x)
 		buf = setRend(buf, cur, cell.Rend)
-		buf = append(buf, cell.String()...)
+		buf = cell.appendContents(buf)
 		w := 1
 		if cell.Wide {
 			w = 2

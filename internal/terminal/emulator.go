@@ -67,17 +67,19 @@ func (e *Emulator) print(r rune) {
 	width := RuneWidth(r)
 
 	if width == 0 {
-		// Combining character: attach to the previously printed cell.
+		// Combining character: attach to the previously printed cell. The
+		// append goes through the grapheme intern table's combine cache, so
+		// the steady state allocates nothing.
 		row, col := ds.CursorRow, ds.CursorCol
 		if !ds.NextPrintWraps && col > 0 {
 			col--
 		}
-		if col > 0 && fb.Peek(row, col).Contents == "" && fb.Peek(row, col-1).Wide {
+		if col > 0 && fb.Peek(row, col).ContentsEmpty() && fb.Peek(row, col-1).Wide {
 			col--
 		}
-		if fb.Peek(row, col).Contents != "" {
+		if !fb.Peek(row, col).ContentsEmpty() {
 			c := fb.Cell(row, col)
-			c.Contents += string(r)
+			c.content = graphemes.appendRune(c.content, r)
 			fb.writableRow(row).touch()
 		}
 		return
@@ -121,7 +123,7 @@ func (e *Emulator) print(r rune) {
 		lead.Reset(lead.Rend)
 	}
 	c := fb.Cell(row, col)
-	c.Contents = runeContents(r)
+	c.SetRune(r)
 	c.Rend = ds.Rend
 	c.Wide = width == 2
 	c.wrap = false
@@ -189,7 +191,7 @@ func (e *Emulator) escDispatch(inter []byte, final byte) {
 				row := fb.writableRow(r)
 				for c := 0; c < fb.W; c++ {
 					cell := &row.Cells[c]
-					cell.Contents = "E"
+					cell.SetRune('E')
 					cell.Rend = SGRReset
 					cell.Wide = false
 				}
@@ -363,11 +365,10 @@ func (e *Emulator) repeatLast(n int) {
 	} else {
 		return
 	}
-	contents := fb.Peek(fb.DS.CursorRow, col).Contents
-	if contents == "" {
+	r := fb.Peek(fb.DS.CursorRow, col).leadRune()
+	if r == 0 {
 		return
 	}
-	r := []rune(contents)[0]
 	if n > fb.W {
 		n = fb.W
 	}

@@ -302,10 +302,10 @@ func TestUTF8AndWideChars(t *testing.T) {
 	e.WriteString("\r\n日本")
 	cursor(t, e, 1, 4)
 	c := e.Framebuffer().Cell(1, 0)
-	if !c.Wide || c.Contents != "日" {
+	if !c.Wide || c.ContentsString() != "日" {
 		t.Fatalf("wide cell = %+v", c)
 	}
-	if e.Framebuffer().Cell(1, 1).Contents != "" {
+	if e.Framebuffer().Cell(1, 1).ContentsString() != "" {
 		t.Fatal("continuation cell not blank")
 	}
 }
@@ -315,7 +315,7 @@ func TestWideCharWrapsEarly(t *testing.T) {
 	e.WriteString("abcd日")
 	rowText(t, e, 0, "abcd")
 	c := e.Framebuffer().Cell(1, 0)
-	if c.Contents != "日" {
+	if c.ContentsString() != "日" {
 		t.Fatalf("wide char did not wrap: row1=%q", e.Framebuffer().Text(1))
 	}
 }
@@ -324,8 +324,8 @@ func TestCombiningCharacters(t *testing.T) {
 	e := emu(10, 3)
 	e.WriteString("éx") // e + combining acute
 	c := e.Framebuffer().Cell(0, 0)
-	if c.Contents != "é" {
-		t.Fatalf("cell contents = %q", c.Contents)
+	if c.ContentsString() != "é" {
+		t.Fatalf("cell contents = %q", c.ContentsString())
 	}
 	cursor(t, e, 0, 2)
 }

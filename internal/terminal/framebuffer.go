@@ -126,19 +126,25 @@ type Framebuffer struct {
 	// (50 ms), so their effects ought to be visible in this frame.
 	EchoAck uint64
 
-	// scrollback holds lines scrolled off the top of the screen, oldest
+	// Scrollback holds lines scrolled off the top of the screen, oldest
 	// first. It is local state — the paper lists scrollback browsing as
 	// future work, and by construction the client's copy fills up
 	// naturally as it applies the server's scroll diffs. It is excluded
-	// from Clone and Equal (it is not synchronized).
-	scrollback    []*Row
+	// from Equal (it is not synchronized).
+	//
+	// The history is structurally shared: sb points at an append-only
+	// arena, and this framebuffer's visible window is sb.rows[sbOff:sbLen].
+	// Clone copies the three words instead of the up-to-1000-entry pointer
+	// slice. See pushScrollback for the sharing and compaction rules.
+	sb            *scrollHistory
+	sbOff, sbLen  int
 	scrollbackMax int
 
 	// freeRows is a free list of discarded rows available for reuse when a
 	// scroll vacates lines. Only rows this framebuffer exclusively owns
 	// enter it: never shared rows (a snapshot may still read them) and
-	// never rows that passed through scrollback (a clone's scrollback
-	// slice may still reference them). It is deliberately not carried over
+	// never rows that passed through scrollback (a clone's history window
+	// may still reference them). It is deliberately not carried over
 	// by Clone. See recycleRow.
 	freeRows []*Row
 }
@@ -174,23 +180,42 @@ func NewFramebuffer(w, h int) *Framebuffer {
 // sender's per-send snapshot costs pointer copies, not cell copies. Row
 // generations are preserved, which keeps generation-based scroll
 // detection and row skipping working across snapshots.
-// Scrollback is carried over as a shallow copy: scrolled-off rows are
-// never mutated again, and the state-sync receiver reconstructs each new
-// state from a clone of the previous one, so history accumulates across
-// the chain.
+// Scrollback is carried over structurally: the clone references the same
+// append-only history arena through its own (offset, length) window —
+// scrolled-off rows are never mutated, and the state-sync receiver
+// reconstructs each new state from a clone of the previous one, so
+// history accumulates across the chain without ever being copied.
 func (f *Framebuffer) Clone() *Framebuffer {
-	nf := &Framebuffer{
-		W: f.W, H: f.H, DS: f.DS, Title: f.Title, BellCount: f.BellCount, EchoAck: f.EchoAck,
-		scrollbackMax: f.scrollbackMax,
-	}
-	nf.DS.Tabs = append([]bool(nil), f.DS.Tabs...)
+	nf := &Framebuffer{}
 	nf.rows = make([]*Row, len(f.rows))
+	nf.DS.Tabs = make([]bool, len(f.DS.Tabs))
+	return f.CloneInto(nf)
+}
+
+// CloneInto is Clone reusing dst's storage (its rows slice and tab table)
+// when the dimensions still match, falling back to a fresh Clone when they
+// do not. The statesync layer feeds retired snapshots back through it, so
+// the sender's steady-state snapshot performs no allocations at all. dst
+// must not be the receiver of any outstanding references the caller still
+// cares about; it returns the clone (dst itself, or a fresh framebuffer
+// after a size change).
+func (f *Framebuffer) CloneInto(dst *Framebuffer) *Framebuffer {
+	if dst == nil || dst == f || len(dst.rows) != len(f.rows) || len(dst.DS.Tabs) != len(f.DS.Tabs) {
+		return f.Clone()
+	}
+	rows, tabs := dst.rows, dst.DS.Tabs
+	*dst = Framebuffer{
+		W: f.W, H: f.H, DS: f.DS, Title: f.Title, BellCount: f.BellCount, EchoAck: f.EchoAck,
+		sb: f.sb, sbOff: f.sbOff, sbLen: f.sbLen, scrollbackMax: f.scrollbackMax,
+	}
+	copy(tabs, f.DS.Tabs)
+	dst.DS.Tabs = tabs
 	for i, r := range f.rows {
 		r.shared = true
-		nf.rows[i] = r
+		rows[i] = r
 	}
-	nf.scrollback = append([]*Row(nil), f.scrollback...)
-	return nf
+	dst.rows = rows
+	return dst
 }
 
 // Equal reports whether two framebuffers render identically and carry the
@@ -250,7 +275,7 @@ func (f *Framebuffer) Peek(row, col int) *Cell {
 func (f *Framebuffer) Text(i int) string {
 	var s []byte
 	for c := range f.rows[i].Cells {
-		s = append(s, f.rows[i].Cells[c].String()...)
+		s = f.rows[i].Cells[c].appendContents(s)
 	}
 	return string(s)
 }
@@ -556,8 +581,13 @@ func (f *Framebuffer) RestoreCursor() {
 }
 
 // Reset implements RIS: back to the power-on state at the current size.
+// The scrollback *limit* survives — it is embedder configuration (sessiond
+// disables history per session; see SetScrollbackLimit), not screen state
+// — while the history itself is discarded like the rest of the screen.
 func (f *Framebuffer) Reset() {
+	max := f.scrollbackMax
 	*f = *NewFramebuffer(f.W, f.H)
+	f.scrollbackMax = max
 }
 
 // SetTab sets a tab stop at the cursor column.
@@ -597,47 +627,121 @@ func (f *Framebuffer) PrevTab(col int) int {
 // Ring increments the synchronized bell counter.
 func (f *Framebuffer) Ring() { f.BellCount++ }
 
+// scrollHistory is a shared, append-only scrollback arena. A framebuffer
+// and its clones all point at the same arena; each sees its own window
+// rows[sbOff:sbLen], so cloning deep history costs three word copies.
+// Rows in the arena are never mutated (they left the screen for good),
+// and arena entries below every window's sbLen are never overwritten —
+// only the framebuffer sitting at the arena tip (sbLen == len(rows)) may
+// append; anyone else forks first. That makes divergent clone chains
+// (retransmit reconstruction applying different diffs to clones of the
+// same state) safe: the second writer pays one O(window) copy.
+type scrollHistory struct {
+	rows []*Row
+}
+
+// effectiveScrollbackMax resolves the configured limit (0 = default,
+// negative = disabled).
+func (f *Framebuffer) effectiveScrollbackMax() int {
+	if f.scrollbackMax == 0 {
+		return DefaultScrollbackLimit
+	}
+	return f.scrollbackMax
+}
+
 // pushScrollback offers a row leaving the top of the screen to the local
 // history. It reports whether the row was stored; a false return means the
 // caller still owns the row (history disabled) and may recycle it. Rows
-// evicted from a full history are NOT returned for reuse: a clone's
-// scrollback slice may still reference them.
+// trimmed from a full history are NOT returned for reuse: a clone's
+// window may still reference them.
 func (f *Framebuffer) pushScrollback(r *Row) bool {
-	max := f.scrollbackMax
-	if max == 0 {
-		max = DefaultScrollbackLimit
-	}
+	max := f.effectiveScrollbackMax()
 	if max < 0 {
 		return false // history disabled
 	}
-	f.scrollback = append(f.scrollback, r)
-	if len(f.scrollback) > max {
-		f.scrollback = append(f.scrollback[:0], f.scrollback[len(f.scrollback)-max:]...)
+	if f.sb == nil {
+		f.sb = &scrollHistory{}
+	}
+	// Fork when a sibling clone already extended the arena past our window
+	// (we are not at the tip), or when the arena holds ≥max entries dead to
+	// us (amortized compaction: one O(≤max) copy per max pushes, after
+	// which appends run in place until the fresh arena's capacity is used).
+	if f.sbLen != len(f.sb.rows) || f.sbOff >= max {
+		f.forkScrollback(max)
+	}
+	f.sb.rows = append(f.sb.rows, r)
+	f.sbLen++
+	if f.sbLen-f.sbOff > max {
+		f.sbOff++ // trim by window advance; the arena row stays for clones
 	}
 	return true
+}
+
+// forkScrollback moves this framebuffer onto a private arena holding just
+// its visible window, with room to grow.
+func (f *Framebuffer) forkScrollback(max int) {
+	vis := f.sb.rows[f.sbOff:f.sbLen]
+	ns := &scrollHistory{rows: make([]*Row, len(vis), len(vis)+max)}
+	copy(ns.rows, vis)
+	f.sb = ns
+	f.sbOff = 0
+	f.sbLen = len(ns.rows)
 }
 
 // SetScrollbackLimit bounds the local history; negative disables and
 // discards it.
 func (f *Framebuffer) SetScrollbackLimit(n int) {
 	f.scrollbackMax = n
-	if n < 0 {
-		f.scrollback = nil
-		return
-	}
-	if len(f.scrollback) > n {
-		f.scrollback = append(f.scrollback[:0], f.scrollback[len(f.scrollback)-n:]...)
+	switch {
+	case n < 0:
+		f.sb = nil
+		f.sbOff, f.sbLen = 0, 0
+	case f.sbLen-f.sbOff > n:
+		f.sbOff = f.sbLen - n
 	}
 }
 
 // ScrollbackLines reports how many history lines are held.
-func (f *Framebuffer) ScrollbackLines() int { return len(f.scrollback) }
+func (f *Framebuffer) ScrollbackLines() int { return f.sbLen - f.sbOff }
 
 // ScrollbackText returns history line i (0 = oldest).
 func (f *Framebuffer) ScrollbackText(i int) string {
+	row := f.sb.rows[f.sbOff+i]
 	var s []byte
-	for c := range f.scrollback[i].Cells {
-		s = append(s, f.scrollback[i].Cells[c].String()...)
+	for c := range row.Cells {
+		s = row.Cells[c].appendContents(s)
 	}
 	return string(s)
+}
+
+// MemStats reports this framebuffer's resident screen-state footprint for
+// observability (sessiond exports the aggregate over all sessions).
+type MemStats struct {
+	// ScreenRows is the grid height; SharedScreenRows counts grid rows
+	// currently shared copy-on-write with a snapshot.
+	ScreenRows, SharedScreenRows int
+	// PooledRows counts recycled rows waiting on the free list.
+	PooledRows int
+	// ScrollbackRows is the visible history window; ScrollbackArenaRows
+	// counts the shared arena entries kept alive through this framebuffer
+	// (≥ ScrollbackRows until compaction forks the window away).
+	ScrollbackRows, ScrollbackArenaRows int
+}
+
+// MemStats returns the current footprint counters.
+func (f *Framebuffer) MemStats() MemStats {
+	m := MemStats{
+		ScreenRows:     len(f.rows),
+		PooledRows:     len(f.freeRows),
+		ScrollbackRows: f.sbLen - f.sbOff,
+	}
+	for _, r := range f.rows {
+		if r.shared {
+			m.SharedScreenRows++
+		}
+	}
+	if f.sb != nil {
+		m.ScrollbackArenaRows = len(f.sb.rows)
+	}
+	return m
 }

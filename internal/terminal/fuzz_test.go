@@ -43,8 +43,8 @@ func TestEmulatorFuzzNeverPanicsAndKeepsInvariants(t *testing.T) {
 					if c == fb.W-1 {
 						t.Fatalf("iter %d: wide leader in last column (%d,%d)", iter, r, c)
 					}
-					if fb.Cell(r, c+1).Contents != "" {
-						t.Fatalf("iter %d: wide continuation at (%d,%d) holds %q", iter, r, c+1, fb.Cell(r, c+1).Contents)
+					if fb.Cell(r, c+1).ContentsString() != "" {
+						t.Fatalf("iter %d: wide continuation at (%d,%d) holds %q", iter, r, c+1, fb.Cell(r, c+1).ContentsString())
 					}
 				}
 			}

@@ -8,11 +8,10 @@ import (
 // fillRow writes distinguishable junk into row i so reuse bugs surface as
 // visible content.
 func fillRow(f *Framebuffer, i int, tag byte) {
-	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
-	k := int(tag % 26)
 	r := f.Row(i)
 	for c := range r.Cells {
-		r.Cells[c] = Cell{Contents: letters[k : k+1], Rend: Renditions{Bold: true}}
+		r.Cells[c] = Cell{Rend: Renditions{Bold: true}}
+		r.Cells[c].SetRune(rune('A' + tag%26))
 	}
 	r.Touch()
 }

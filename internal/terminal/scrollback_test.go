@@ -1,0 +1,281 @@
+package terminal
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// scrollLines writes n numbered lines, scrolling the screen up n times.
+func scrollLines(emu *Emulator, tag string, n int) {
+	for i := 0; i < n; i++ {
+		emu.WriteString(fmt.Sprintf("%s line %d\r\n", tag, i))
+	}
+}
+
+// scrollbackOracle deep-copies a framebuffer's visible history text.
+func scrollbackOracle(fb *Framebuffer) []string {
+	out := make([]string, fb.ScrollbackLines())
+	for i := range out {
+		out[i] = fb.ScrollbackText(i)
+	}
+	return out
+}
+
+func requireScrollback(t *testing.T, fb *Framebuffer, want []string, label string) {
+	t.Helper()
+	if fb.ScrollbackLines() != len(want) {
+		t.Fatalf("%s: %d history lines, want %d", label, fb.ScrollbackLines(), len(want))
+	}
+	for i := range want {
+		if got := fb.ScrollbackText(i); got != want[i] {
+			t.Fatalf("%s: history line %d = %q, want %q", label, i, got, want[i])
+		}
+	}
+}
+
+// TestScrollbackSnapshotIsolation proves the structural sharing is
+// invisible: a clone's history window never moves, no matter how much the
+// live side keeps scrolling (appends, trims, compaction forks).
+func TestScrollbackSnapshotIsolation(t *testing.T) {
+	emu := NewEmulator(40, 6)
+	emu.Framebuffer().SetScrollbackLimit(20)
+	scrollLines(emu, "base", 30) // history full and already trimmed
+
+	snap := emu.Framebuffer().Clone()
+	want := scrollbackOracle(snap)
+	if len(want) != 20 {
+		t.Fatalf("history = %d lines, want 20", len(want))
+	}
+
+	// Push far enough to force trims and several compaction forks.
+	scrollLines(emu, "after", 100)
+	requireScrollback(t, snap, want, "snapshot after live scrolling")
+
+	// And the live side accumulated normally.
+	live := emu.Framebuffer()
+	if live.ScrollbackLines() != 20 {
+		t.Fatalf("live history = %d lines, want 20", live.ScrollbackLines())
+	}
+	if got := live.ScrollbackText(19); got == want[19] {
+		t.Fatalf("live history did not advance past snapshot: %q", got)
+	}
+}
+
+// TestScrollbackDivergentClones exercises the receiver's reconstruction
+// pattern: two clones of the same state each scroll independently; both
+// histories must evolve correctly with no cross-corruption (the second
+// writer forks off the shared arena tip).
+func TestScrollbackDivergentClones(t *testing.T) {
+	emu := NewEmulator(30, 5)
+	scrollLines(emu, "common", 10)
+	base := emu.Framebuffer()
+
+	a := NewEmulatorWithFramebuffer(base.Clone())
+	b := NewEmulatorWithFramebuffer(base.Clone())
+	baseOracle := scrollbackOracle(base)
+
+	scrollLines(a, "branch-a", 7)
+	scrollLines(b, "branch-b", 4)
+
+	// Ground truth: fresh emulators replaying each full stream without any
+	// structural sharing.
+	replay := func(tag string, n int) []string {
+		o := NewEmulator(30, 5)
+		scrollLines(o, "common", 10)
+		scrollLines(o, tag, n)
+		return scrollbackOracle(o.Framebuffer())
+	}
+	requireScrollback(t, a.Framebuffer(), replay("branch-a", 7), "branch A")
+	requireScrollback(t, b.Framebuffer(), replay("branch-b", 4), "branch B")
+	requireScrollback(t, base, baseOracle, "shared base")
+}
+
+// TestScrollbackSharingProperty is the randomized version: a chain of
+// clones scrolling random amounts, every retained snapshot checked against
+// a deep-copy oracle taken at its creation.
+func TestScrollbackSharingProperty(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		emu := NewEmulator(25, 4)
+		emu.Framebuffer().SetScrollbackLimit(15)
+
+		type snap struct {
+			fb     *Framebuffer
+			oracle []string
+		}
+		var snaps []snap
+		for step := 0; step < 60; step++ {
+			scrollLines(emu, fmt.Sprintf("s%d", step), 1+rng.Intn(5))
+			if rng.Intn(3) == 0 {
+				fb := emu.Framebuffer().Clone()
+				snaps = append(snaps, snap{fb: fb, oracle: scrollbackOracle(fb)})
+				if rng.Intn(4) == 0 {
+					// Occasionally continue from a clone (receiver-style
+					// divergence from a retained state).
+					emu = NewEmulatorWithFramebuffer(fb.Clone())
+				}
+			}
+			if len(snaps) > 8 {
+				snaps = snaps[1:]
+			}
+		}
+		for i, s := range snaps {
+			requireScrollback(t, s.fb, s.oracle, fmt.Sprintf("seed %d snapshot %d", seed, i))
+		}
+	}
+}
+
+// TestScrollbackLimitChanges pins SetScrollbackLimit semantics on the
+// shared representation: shrink trims the oldest lines, negative discards.
+func TestScrollbackLimitChanges(t *testing.T) {
+	emu := NewEmulator(20, 4)
+	scrollLines(emu, "x", 15)
+	fb := emu.Framebuffer()
+	if fb.ScrollbackLines() != 12 { // 15 lines on a 4-high screen: 12 scrolled off
+		t.Fatalf("history = %d, want 12", fb.ScrollbackLines())
+	}
+	keep := scrollbackOracle(fb)[7:] // the newest 5
+	fb.SetScrollbackLimit(5)
+	requireScrollback(t, fb, keep, "after shrink to 5")
+
+	scrollLines(emu, "y", 3)
+	if fb.ScrollbackLines() != 5 {
+		t.Fatalf("history = %d after more scrolling, want 5", fb.ScrollbackLines())
+	}
+
+	fb.SetScrollbackLimit(-1)
+	if fb.ScrollbackLines() != 0 {
+		t.Fatal("negative limit did not discard history")
+	}
+}
+
+// TestResetPreservesScrollbackLimit pins RIS semantics: ESC c discards the
+// history but keeps the configured limit — a sessiond session with history
+// disabled must not silently re-enable the 1000-line default when a user
+// runs `reset`.
+func TestResetPreservesScrollbackLimit(t *testing.T) {
+	emu := NewEmulator(20, 4)
+	emu.Framebuffer().SetScrollbackLimit(-1)
+	scrollLines(emu, "pre", 10)
+	emu.WriteString("\x1bc") // RIS
+	scrollLines(emu, "post", 10)
+	if got := emu.Framebuffer().ScrollbackLines(); got != 0 {
+		t.Fatalf("history re-enabled by RIS: %d lines retained", got)
+	}
+
+	emu2 := NewEmulator(20, 4)
+	emu2.Framebuffer().SetScrollbackLimit(5)
+	scrollLines(emu2, "pre", 10)
+	emu2.WriteString("\x1bc")
+	if got := emu2.Framebuffer().ScrollbackLines(); got != 0 {
+		t.Fatalf("RIS kept %d history lines, want 0", got)
+	}
+	scrollLines(emu2, "post", 20)
+	if got := emu2.Framebuffer().ScrollbackLines(); got != 5 {
+		t.Fatalf("custom limit lost across RIS: %d lines retained, want 5", got)
+	}
+}
+
+// TestScrollbackArenaBounded proves compaction keeps the shared arena from
+// growing without bound when the live screen scrolls forever.
+func TestScrollbackArenaBounded(t *testing.T) {
+	emu := NewEmulator(20, 4)
+	emu.Framebuffer().SetScrollbackLimit(50)
+	scrollLines(emu, "z", 5000)
+	m := emu.Framebuffer().MemStats()
+	if m.ScrollbackRows != 50 {
+		t.Fatalf("visible history = %d, want 50", m.ScrollbackRows)
+	}
+	if m.ScrollbackArenaRows > 2*50 {
+		t.Fatalf("arena holds %d rows after 5000 scrolls, want ≤ 100", m.ScrollbackArenaRows)
+	}
+}
+
+// TestCloneIntoMatchesClone proves the storage-reusing clone is
+// observationally identical to a fresh Clone, including scrollback and
+// copy-on-write independence afterwards.
+func TestCloneIntoMatchesClone(t *testing.T) {
+	emu := NewEmulator(30, 6)
+	scrollLines(emu, "pre", 12)
+	emu.WriteString("\x1b[1;31mcolored\x1b[0m prompt$ ")
+	live := emu.Framebuffer()
+
+	// A retired shell with matching dimensions (arbitrary stale content).
+	shell := NewFramebuffer(30, 6)
+	shell.SetScrollbackLimit(123)
+	NewEmulatorWithFramebuffer(shell).WriteString("stale junk\r\nmore junk")
+
+	got := live.CloneInto(shell)
+	if got != shell {
+		t.Fatal("CloneInto did not reuse the matching shell")
+	}
+	if !got.Equal(live) {
+		t.Fatal("CloneInto result differs from live state")
+	}
+	requireScrollback(t, got, scrollbackOracle(live), "CloneInto scrollback")
+
+	// Independence both ways, exactly like Clone.
+	oracle := takeOracle(got)
+	emu.WriteString("\r\nnew live output after snapshot")
+	oracle.verify(t, got, "CloneInto snapshot after live writes")
+
+	// Dimension mismatch falls back to a fresh clone.
+	small := NewFramebuffer(10, 3)
+	got2 := live.CloneInto(small)
+	if got2 == small {
+		t.Fatal("CloneInto reused a mismatched shell")
+	}
+	if !got2.Equal(live) {
+		t.Fatal("fallback clone differs from live state")
+	}
+}
+
+// TestCloneWithDeepScrollbackCheapAlloc bounds Clone cost with a full
+// history: sharing means the clone allocates the same three fixed-size
+// blocks a scrollback-free clone does — nothing scales with history depth.
+func TestCloneWithDeepScrollbackCheapAlloc(t *testing.T) {
+	emu := deepScrollbackEmulator(80, 24)
+	var sink *Framebuffer
+	avg := testing.AllocsPerRun(100, func() {
+		sink = emu.Framebuffer().Clone()
+	})
+	if avg > 3 {
+		t.Errorf("deep-scrollback Clone allocates %v per run, want <= 3 (shell only)", avg)
+	}
+	_ = sink
+}
+
+// TestCloneIntoDeepScrollbackZeroAlloc is the headline guard: with shell
+// reuse (what the statesync snapshot pool does), snapshotting a
+// framebuffer carrying a full 1000-line history allocates nothing.
+func TestCloneIntoDeepScrollbackZeroAlloc(t *testing.T) {
+	emu := deepScrollbackEmulator(80, 24)
+	live := emu.Framebuffer()
+	shells := [2]*Framebuffer{live.Clone(), live.Clone()}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		shells[i&1] = live.CloneInto(shells[i&1])
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("deep-scrollback CloneInto allocates %v per run, want 0", avg)
+	}
+}
+
+// TestScrollbackPushSteadyStateCheap guards the amortized push cost: a
+// scrolling tick with full history must not copy the window per line
+// (the old per-push O(max) trim). Row allocation per vacated line remains
+// (history retains the old rows), so the bound is a handful of allocs.
+func TestScrollbackPushSteadyStateCheap(t *testing.T) {
+	emu := deepScrollbackEmulator(80, 24)
+	avg := testing.AllocsPerRun(500, func() {
+		emu.WriteString("steady scroll line\r\n")
+	})
+	// newRow (2 allocs: Row + cells) per scrolled line, plus the amortized
+	// arena growth/compaction share. The old representation copied the
+	// 1000-entry window every push on top of this.
+	if avg > 4 {
+		t.Errorf("deep-scrollback scroll line costs %v allocs, want <= 4", avg)
+	}
+}

@@ -1,0 +1,138 @@
+package terminal
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// These benchmarks are the unicode-heavy and deep-scrollback companions to
+// the ASCII snapshot/diff suite: the workloads the packed interned cell
+// model and the structurally-shared scrollback exist for. They use only
+// the public emulator/diff API, so they measure any cell representation.
+
+// cjkEditorLines is an "editor" screenful in the CJK/emoji/combining mix a
+// real compose session produces: wide ideographs, emoji, and accented
+// text built from combining marks.
+func cjkEditorLines() [][]byte {
+	var lines [][]byte
+	for i := 0; i < 16; i++ {
+		lines = append(lines, []byte(fmt.Sprintf(
+			"第%d行: 端末は状態を同期する 🙂 café déjà vu 終端\r\n", i)))
+	}
+	return lines
+}
+
+// BenchmarkSnapshotDiffCJKEditor is the sender tick under a CJK/emoji
+// editor flood: every tick writes unicode-heavy lines, diffs against the
+// previous snapshot, and takes a new snapshot.
+func BenchmarkSnapshotDiffCJKEditor(b *testing.B) {
+	emu := prefilledEmulator(80, 24)
+	prev := emu.Framebuffer().Clone()
+	lines := cjkEditorLines()
+	var fw FrameWriter
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4; j++ {
+			emu.Write(lines[(i*4+j)%len(lines)])
+		}
+		buf = fw.AppendFrame(buf[:0], true, prev, emu.Framebuffer())
+		prev = emu.Framebuffer().Clone()
+	}
+	benchSink = buf
+}
+
+// BenchmarkPrintCJKFlood isolates the emulator print path on pure wide
+// ideographs (no diffing): the per-cell cost of non-ASCII contents.
+func BenchmarkPrintCJKFlood(b *testing.B) {
+	emu := NewEmulator(80, 24)
+	emu.Framebuffer().SetScrollbackLimit(-1)
+	line := []byte(strings.Repeat("漢字書込測定中", 5) + "\r\n")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emu.Write(line)
+	}
+}
+
+// BenchmarkPrintCombiningFlood isolates the combining-mark attach path:
+// every printed grapheme is a base letter plus two combining accents, so
+// each cell's contents is a multi-rune cluster.
+func BenchmarkPrintCombiningFlood(b *testing.B) {
+	emu := NewEmulator(80, 24)
+	emu.Framebuffer().SetScrollbackLimit(-1)
+	var sb strings.Builder
+	for i := 0; i < 20; i++ {
+		sb.WriteString(string(rune('a'+i%26)) + "́̈")
+	}
+	sb.WriteString("\r\n")
+	line := []byte(sb.String())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emu.Write(line)
+	}
+}
+
+// deepScrollbackEmulator returns an emulator whose framebuffer holds a
+// full scrollback history (the pager/compile-log steady state).
+func deepScrollbackEmulator(w, h int) *Emulator {
+	emu := NewEmulator(w, h)
+	for i := 0; i < DefaultScrollbackLimit+h; i++ {
+		emu.WriteString(fmt.Sprintf("log line %4d: object compiled without warnings\r\n", i))
+	}
+	return emu
+}
+
+// BenchmarkSnapshotCloneDeepScrollback isolates the per-send snapshot cost
+// once the scrollback is full — the dominant remaining clone cost before
+// scrollback sharing.
+func BenchmarkSnapshotCloneDeepScrollback(b *testing.B) {
+	emu := deepScrollbackEmulator(80, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchCloneSink = emu.Framebuffer().Clone()
+	}
+}
+
+// BenchmarkSnapshotCloneIntoDeepScrollback is the pooled-snapshot path the
+// statesync layer actually runs (retired shells reused via CloneInto): a
+// full-history snapshot at zero allocations.
+func BenchmarkSnapshotCloneIntoDeepScrollback(b *testing.B) {
+	emu := deepScrollbackEmulator(80, 24)
+	live := emu.Framebuffer()
+	shells := [2]*Framebuffer{live.Clone(), live.Clone()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shells[i&1] = live.CloneInto(shells[i&1])
+	}
+	benchCloneSink = shells[0]
+}
+
+// BenchmarkSnapshotDiffPagerScrollback is the full sender tick of a
+// deep-scroll "pager" session with history enabled: scroll several lines,
+// diff, snapshot — every tick both pushes scrollback and clones it.
+func BenchmarkSnapshotDiffPagerScrollback(b *testing.B) {
+	emu := deepScrollbackEmulator(80, 24)
+	prev := emu.Framebuffer().Clone()
+	lines := make([][]byte, 8)
+	for i := range lines {
+		lines[i] = []byte(fmt.Sprintf("pager line %d: section text with explanatory words\r\n", i))
+	}
+	var fw FrameWriter
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4; j++ {
+			emu.Write(lines[(i*4+j)%len(lines)])
+		}
+		buf = fw.AppendFrame(buf[:0], true, prev, emu.Framebuffer())
+		prev = emu.Framebuffer().Clone()
+	}
+	benchSink = buf
+}

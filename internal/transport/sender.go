@@ -203,7 +203,9 @@ func (s *Sender[T]) updateAssumedReceiverState(now time.Time) {
 // processAcknowledgmentThrough handles an incoming AckNum: all history at
 // or before the acknowledged state collapses into a new baseline, and the
 // shared prefix is subtracted from every retained state (garbage collection
-// for append-only objects).
+// for append-only objects). Dropped snapshots are recycled back to the
+// state implementation, which keeps the snapshot churn of a long-lived
+// session allocation-free.
 func (s *Sender[T]) processAcknowledgmentThrough(ack uint64) {
 	idx := -1
 	for i := range s.sentStates {
@@ -215,12 +217,16 @@ func (s *Sender[T]) processAcknowledgmentThrough(ack uint64) {
 	if idx <= 0 {
 		return // unknown (stale or bogus) ack, or already the baseline
 	}
+	for i := 0; i < idx; i++ {
+		recycle(s.sentStates[i].state)
+	}
 	s.sentStates = s.sentStates[idx:]
 	base := s.front().state.Clone()
 	s.currentState.Subtract(base)
 	for i := range s.sentStates {
 		s.sentStates[i].state.Subtract(base)
 	}
+	recycle(base)
 }
 
 // calculateTimers recomputes the ack and send deadlines from the current
@@ -360,8 +366,16 @@ func (s *Sender[T]) addSentState(now time.Time, num uint64) {
 		// Cull from the middle: keep the baseline, recent states and the
 		// newest.
 		mid := len(s.sentStates) / 2
+		if mid == s.assumedIdx {
+			// Never cull the assumed receiver state: the diff the caller
+			// just computed is against it, and the instruction about to go
+			// out stamps its number as OldNum. (mid+1 stays interior:
+			// mid ≤ len/2 and the newest entry sits at len-1 ≥ mid+2.)
+			mid++
+		}
+		recycle(s.sentStates[mid].state)
 		s.sentStates = append(s.sentStates[:mid], s.sentStates[mid+1:]...)
-		if s.assumedIdx >= mid && s.assumedIdx > 0 {
+		if s.assumedIdx > mid {
 			s.assumedIdx--
 		}
 	}

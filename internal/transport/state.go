@@ -56,3 +56,24 @@ type State[T any] interface {
 	// stream; screen states implement it as a no-op).
 	Subtract(other T)
 }
+
+// Recycler is an optional State capability: the sender calls Recycle on a
+// retained snapshot it is dropping for good (an acknowledged baseline, a
+// culled history entry), and on the scratch clones it creates during
+// acknowledgment processing. An implementation may feed the object's
+// storage back to its Clone path — statesync.Complete reuses the whole
+// framebuffer shell, which is what makes the sender's steady-state
+// snapshot allocation-free. Implementations must tolerate Recycle being
+// the last call ever made on the object; the transport never touches a
+// state after recycling it.
+type Recycler interface {
+	Recycle()
+}
+
+// recycle hands a dropped state back to its implementation, when the
+// implementation wants it.
+func recycle[T State[T]](st T) {
+	if r, ok := any(st).(Recycler); ok {
+		r.Recycle()
+	}
+}
