@@ -14,6 +14,11 @@
 //	mosh-bench -exp manysession -sessions 999 -mixed
 //	                           # heterogeneous cohorts: shell / CJK editor /
 //	                           # deep-scrollback log tail
+//	mosh-bench -exp manysession -sessions 500 -mixed -restart -roam -lossy
+//	                           # torture mode: daemon killed and restored
+//	                           # from its journal mid-run (resumption
+//	                           # latency percentiles), a third of clients
+//	                           # roaming, lossy non-shell cohorts
 //
 // -keys N sets the keystrokes per user (default: the paper-scale 1664,
 // ≈10k total across six users).
@@ -38,6 +43,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	sessions := flag.Int("sessions", 1000, "concurrent sessions for -exp manysession")
 	mixed := flag.Bool("mixed", false, "mixed cohorts for -exp manysession: shell (latency-measured) / CJK-emoji editor / deep-scrollback log tail")
+	restart := flag.Bool("restart", false, "manysession: kill the daemon mid-run and restore it from its journal; report resumption latency percentiles")
+	roam := flag.Bool("roam", false, "manysession: a third of the sessions change source address mid-run")
+	lossy := flag.Bool("lossy", false, "manysession: per-cohort lossy links (editor 1%, log-tail 3%)")
 	flag.Parse()
 
 	cfg := bench.Config{KeystrokesPerUser: *keys, Seed: *seed}
@@ -80,9 +88,12 @@ func main() {
 	if *exp == "manysession" {
 		start := time.Now()
 		res := bench.RunManySession(bench.ManySessionOptions{
-			Sessions: *sessions,
-			Seed:     cfg.Seed,
-			Mixed:    *mixed,
+			Sessions:     *sessions,
+			Seed:         cfg.Seed,
+			Mixed:        *mixed,
+			Restart:      *restart,
+			Roam:         *roam,
+			LossyCohorts: *lossy,
 		})
 		fmt.Println(bench.FormatManySession(res))
 		fmt.Fprintf(os.Stderr, "[manysession done in %v]\n\n", time.Since(start).Round(time.Millisecond))

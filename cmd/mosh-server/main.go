@@ -14,11 +14,20 @@
 //
 //	mosh-server [-port 60001] [-sessions 64] [-demo shell|editor|mail]
 //	            [-idle 12h] [-debug 127.0.0.1:6060]
+//	            [-state-dir /var/lib/moshd] [-journal 10s]
 //
 // Then, per printed line: mosh-client -to <host>:<port> -key <key> -session <id>
 //
 // -debug serves the daemon's expvar metrics (sessions live, packets and
 // bytes in/out, evictions, dispatch-queue depth) at /debug/vars.
+//
+// -state-dir enables crash-safe session resumption: the daemon journals
+// every session's durable core there (periodically, per -journal, and on
+// SIGINT/SIGTERM), and on start restores journaled sessions, printing one
+// "MOSH RESUME <port> <key> <id>" line per revived session. Clients keep
+// their existing key and session ID; their next datagram authenticates and
+// the daemon fast-forwards them with a fresh full-screen diff — a restart
+// is just another form of packet loss.
 package main
 
 import (
@@ -29,7 +38,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/host"
@@ -44,6 +55,8 @@ func main() {
 	demo := flag.String("demo", "shell", "demo application: shell|editor|mail")
 	idle := flag.Duration("idle", sessiond.DefaultIdleTimeout, "evict sessions idle this long (0 or negative = never)")
 	debug := flag.String("debug", "", "serve expvar metrics on this address (e.g. 127.0.0.1:6060)")
+	stateDir := flag.String("state-dir", "", "journal sessions here and restore them on start (crash-safe resumption)")
+	journal := flag.Duration("journal", sessiond.DefaultJournalInterval, "journal flush cadence with -state-dir")
 	flag.Parse()
 
 	conn, err := net.ListenUDP("udp", &net.UDPAddr{Port: *port})
@@ -75,19 +88,42 @@ func main() {
 		IdleTimeout: *idle,
 		// The socket adapter's WriteTo copies into the kernel before
 		// returning, so per-session wire buffers are recycled.
-		RecycleWire: true,
+		RecycleWire:     true,
+		StateDir:        *stateDir,
+		JournalInterval: *journal,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	for i := 0; i < *sessions; i++ {
+	// Sessions restored from the journal keep their keys and IDs; their
+	// clients resume without re-bootstrapping. Newly issued slots fill the
+	// remaining capacity.
+	restored := d.Metrics().SessionsRestored.Value()
+	if restored > 0 {
+		for _, s := range d.Sessions() {
+			fmt.Printf("MOSH RESUME %d %s %d\n", *port, s.Key().Base64(), s.ID)
+		}
+	}
+	for i := int64(0); i < int64(*sessions)-restored; i++ {
 		s, err := d.OpenSession()
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("MOSH CONNECT %d %s %d\n", *port, s.Key().Base64(), s.ID)
 	}
+
+	// A clean shutdown flushes the journal so every session survives the
+	// next start; the kill--9 case is what the reservation ceilings and
+	// the periodic flush protect.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		// Close flushes the journal and unblocks Serve's read, which then
+		// returns nil for a clean exit.
+		d.Close()
+	}()
 
 	if *debug != "" {
 		// Counters plus resident screen-state gauges (interned graphemes,
@@ -100,7 +136,9 @@ func main() {
 		}()
 	}
 
-	log.Fatal(d.Serve(newUDPAdapter(conn)))
+	if err := d.Serve(newUDPAdapter(conn)); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // udpAdapter bridges *net.UDPConn to sessiond.PacketConn. The stack tracks

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -37,6 +38,20 @@ type ManySessionOptions struct {
 	// from continuous scrolling). Latency samples come from the shell
 	// cohort; the other cohorts contribute realistic screen-state load.
 	Mixed bool
+	// Roam makes a third of the sessions change their source address
+	// mid-run (60% through the typing window), exercising per-session
+	// roaming under full multiplexer load.
+	Roam bool
+	// LossyCohorts degrades the non-shell cohorts' links (editor 1%,
+	// log-tail 3% i.i.d. loss; with Mixed off, every third/fifth session
+	// plays those roles). The shell cohort's links stay clean so the
+	// latency percentiles stay attributable.
+	LossyCohorts bool
+	// Restart kills the daemon mid-run (journal flush on Close), restores
+	// it from the journal after a short outage with every host application
+	// transplanted, and reports per-session resumption latency: restore
+	// instant → first post-restart state accepted by that client.
+	Restart bool
 }
 
 // ManySessionResult aggregates the run.
@@ -61,11 +76,20 @@ type ManySessionResult struct {
 	// Wall is the real time the simulation took (sim efficiency).
 	Wall time.Duration
 	// PacketsIn/Out, BytesIn/Out are daemon-side aggregate wire counters
-	// over Elapsed.
+	// over Elapsed (summed across a restart).
 	PacketsIn, PacketsOut int64
 	BytesIn, BytesOut     int64
 	// QueueDrops counts dispatch-queue overflow drops (0 in sim mode).
 	QueueDrops int64
+	// Roams counts authentic source-address changes the daemon observed.
+	Roams int64
+	// Restarted reports whether the restart scenario ran; Restored is how
+	// many sessions the second daemon revived from the journal, and
+	// ResumeSamples holds one restore→first-new-state latency per session
+	// that resumed within the run.
+	Restarted     bool
+	Restored      int64
+	ResumeSamples []Sample
 }
 
 // shellPromptLen is where the first echoed character lands on the prompt
@@ -113,7 +137,10 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		return i % 3
 	}
 
-	d, err := sessiond.New(sessiond.Config{
+	// Host applications live outside the daemon so a restart can transplant
+	// them, like ptys surviving a frontend restart.
+	apps := make(map[uint64]host.App, opt.Sessions)
+	cfg := sessiond.Config{
 		Clock: sched,
 		Send: func(dst netem.Addr, wire []byte) {
 			if p := paths[dst]; p != nil {
@@ -121,22 +148,37 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 			}
 		},
 		NewApp: func(id uint64) host.App {
+			var a host.App
 			switch cohortOf(int(id) - 1) {
 			case cohortEditor:
-				return host.NewUnicodeEditor(opt.Seed+int64(id), 80)
+				a = host.NewUnicodeEditor(opt.Seed+int64(id), 80)
 			case cohortPager:
-				return host.NewLogTail(opt.Seed + int64(id))
+				a = host.NewLogTail(opt.Seed + int64(id))
 			default:
-				return host.NewShell(opt.Seed + int64(id))
+				a = host.NewShell(opt.Seed + int64(id))
 			}
+			apps[id] = a
+			return a
 		},
+		RestoreApp:  func(id uint64) host.App { return apps[id] },
 		IdleTimeout: -1,
-	})
+	}
+	if opt.Restart {
+		stateDir, err := os.MkdirTemp("", "mosh-bench-journal-")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(stateDir)
+		cfg.StateDir = stateDir
+	}
+	d, err := sessiond.New(cfg)
 	if err != nil {
 		panic(err)
 	}
 	wakeDaemon := d.Pump(sched)
 	nw.Attach(daemonAddr, func(p netem.Packet) {
+		// d and wakeDaemon are rebound when the restart scenario swaps in
+		// the restored daemon; in-flight packets follow automatically.
 		d.HandlePacket(p.Payload, p.Src)
 		wakeDaemon()
 	})
@@ -152,9 +194,31 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		pending []pendingKey
 		typed   int
 		cohort  int
+		addr    netem.Addr
+		path    *netem.Path
+		// Resumption-latency tracking (restart scenario): preNum is the
+		// newest server state at restore time; the first state beyond it
+		// is the resume repaint.
+		preNum   uint64
+		resumeAt time.Time
+		receive  func(p netem.Packet)
 	}
 	clients := make([]*loadClient, opt.Sessions)
 	res := ManySessionResult{Sessions: opt.Sessions, Keystrokes: opt.Keystrokes}
+
+	// cohortParams degrades the non-shell cohorts' links when requested.
+	cohortParams := func(cohort int) netem.LinkParams {
+		p := opt.Params
+		if opt.LossyCohorts {
+			switch cohort {
+			case cohortEditor:
+				p.LossProb += 0.01
+			case cohortPager:
+				p.LossProb += 0.03
+			}
+		}
+		return p
+	}
 
 	for i := 0; i < opt.Sessions; i++ {
 		switch cohortOf(i) {
@@ -169,17 +233,17 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		if err != nil {
 			panic(err)
 		}
-		addr := netem.Addr{Host: uint32(1 + i), Port: uint16(1000 + i%60000)}
-		path := netem.NewPath(nw, opt.Params, opt.Seed+int64(i)*7919)
-		paths[addr] = path
 		lc := &loadClient{cohort: cohortOf(i)}
+		lc.addr = netem.Addr{Host: uint32(1 + i), Port: uint16(1000 + i%60000)}
+		lc.path = netem.NewPath(nw, cohortParams(lc.cohort), opt.Seed+int64(i)*7919)
+		paths[lc.addr] = lc.path
 		lc.cl, err = core.NewClient(core.ClientConfig{
 			Key:         sess.Key(),
 			Clock:       sched,
 			Envelope:    &network.Envelope{ID: sess.ID},
 			Predictions: overlay.Never,
 			Emit: func(wire []byte) {
-				path.Up.Send(netem.Packet{Src: addr, Dst: daemonAddr, Payload: wire})
+				lc.path.Up.Send(netem.Packet{Src: lc.addr, Dst: daemonAddr, Payload: wire})
 			},
 		})
 		if err != nil {
@@ -187,12 +251,16 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		}
 		lc.wake = core.Pump(sched, lc.cl)
 		clients[i] = lc
-		nw.Attach(addr, func(p netem.Packet) {
+		receive := func(p netem.Packet) {
 			lc.cl.Receive(p.Payload, p.Src)
+			now := sched.Now()
+			if !lc.resumeAt.IsZero() && lc.cl.Transport().RemoteStateNum() > lc.preNum {
+				res.ResumeSamples = append(res.ResumeSamples, Sample{Latency: now.Sub(lc.resumeAt)})
+				lc.resumeAt = time.Time{}
+			}
 			// Visibility check (shell cohort only — its echo position is
 			// exact): a keystroke's echo is the cell the shell echoes it
 			// into on the prompt row.
-			now := sched.Now()
 			fb := lc.cl.ServerState()
 			for len(lc.pending) > 0 {
 				k := lc.pending[0]
@@ -203,16 +271,34 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 				lc.pending = lc.pending[1:]
 			}
 			lc.wake()
-		})
+		}
+		lc.receive = receive
+		nw.Attach(lc.addr, receive)
 	}
 
 	// Connection warmup: clients introduce themselves, RTT estimators
 	// settle, before the measured window opens.
 	sched.RunFor(2 * time.Second)
+	// Wire counters accumulate across a daemon restart: harvest folds the
+	// current daemon's deltas into the result and rebases.
 	m := d.Metrics()
 	packetsIn0, packetsOut0 := m.PacketsIn.Value(), m.PacketsOut.Value()
 	bytesIn0, bytesOut0 := m.BytesIn.Value(), m.BytesOut.Value()
-	queueDrops0 := m.DropsQueueFull.Value()
+	queueDrops0, roams0 := m.DropsQueueFull.Value(), m.RoamingEvents.Value()
+	harvest := func() {
+		res.PacketsIn += m.PacketsIn.Value() - packetsIn0
+		res.PacketsOut += m.PacketsOut.Value() - packetsOut0
+		res.BytesIn += m.BytesIn.Value() - bytesIn0
+		res.BytesOut += m.BytesOut.Value() - bytesOut0
+		res.QueueDrops += m.DropsQueueFull.Value() - queueDrops0
+		res.Roams += m.RoamingEvents.Value() - roams0
+	}
+	rebase := func() {
+		m = d.Metrics()
+		packetsIn0, packetsOut0 = m.PacketsIn.Value(), m.PacketsOut.Value()
+		bytesIn0, bytesOut0 = m.BytesIn.Value(), m.BytesOut.Value()
+		queueDrops0, roams0 = m.DropsQueueFull.Value(), m.RoamingEvents.Value()
+	}
 	start := sched.Now()
 
 	// Schedule every user's typing, phase-shifted so keystrokes spread
@@ -245,8 +331,66 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		sched.At(start.Add(phase), typeNext)
 	}
 
-	// Run through the typing period plus a generous drain for retransmits.
 	typing := opt.TypeInterval * time.Duration(opt.Keystrokes)
+	const outage = 300 * time.Millisecond
+	killAt := start.Add(typing / 2)
+
+	if opt.Restart {
+		// Kill the daemon mid-run (on-shutdown journal flush included) and
+		// restore it after a short outage, transplanting the applications.
+		sched.At(killAt, func() {
+			harvest()
+			d.Close()
+		})
+		sched.At(killAt.Add(outage), func() {
+			nd, err := sessiond.New(cfg)
+			if err != nil {
+				panic(err)
+			}
+			res.Restarted = true
+			res.Restored = nd.Metrics().SessionsRestored.Value()
+			d = nd
+			wakeDaemon = d.Pump(sched)
+			rebase()
+			now := sched.Now()
+			for _, lc := range clients {
+				lc.preNum = lc.cl.Transport().RemoteStateNum()
+				lc.resumeAt = now
+			}
+		})
+	}
+
+	if opt.Roam {
+		// A third of the sessions change network address 60% through the
+		// typing window — floored past the restore instant when Restart is
+		// also enabled, so roaming always exercises the restored daemon
+		// (not the outage) however short the typing window is.
+		roamAt := start.Add(typing * 3 / 5)
+		if opt.Restart {
+			if floor := killAt.Add(outage + 200*time.Millisecond); roamAt.Before(floor) {
+				roamAt = floor
+			}
+		}
+		sched.At(roamAt, func() {
+			for i, lc := range clients {
+				if i%3 != 0 {
+					continue
+				}
+				nw.Detach(lc.addr)
+				delete(paths, lc.addr)
+				lc.addr = netem.Addr{Host: uint32(1<<20 + i), Port: uint16(2000 + i%60000)}
+				lc.path = netem.NewPath(nw, cohortParams(lc.cohort), opt.Seed+int64(i)*104729)
+				paths[lc.addr] = lc.path
+				nw.Attach(lc.addr, lc.receive)
+				// Speak from the new address promptly so the daemon
+				// re-learns the reply target, like a real roaming client.
+				lc.cl.Tick()
+				lc.wake()
+			}
+		})
+	}
+
+	// Run through the typing period plus a generous drain for retransmits.
 	sched.RunFor(typing + 10*time.Second)
 	for _, lc := range clients {
 		res.Lost += len(lc.pending)
@@ -259,11 +403,7 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 
 	res.Elapsed = sched.Now().Sub(start)
 	res.Wall = time.Since(wallStart)
-	res.PacketsIn = m.PacketsIn.Value() - packetsIn0
-	res.PacketsOut = m.PacketsOut.Value() - packetsOut0
-	res.BytesIn = m.BytesIn.Value() - bytesIn0
-	res.BytesOut = m.BytesOut.Value() - bytesOut0
-	res.QueueDrops = m.DropsQueueFull.Value() - queueDrops0
+	harvest()
 	return res
 }
 
@@ -290,6 +430,16 @@ func FormatManySession(r ManySessionResult) string {
 	fmt.Fprintf(&b, "  keystroke latency: n=%d p50=%v p90=%v p99=%v max=%v lost=%d\n",
 		st.N, Percentile(r.Samples, 50), Percentile(r.Samples, 90),
 		Percentile(r.Samples, 99), Percentile(r.Samples, 100), r.Lost)
+	if r.Roams > 0 {
+		fmt.Fprintf(&b, "  roaming: %d authentic address changes observed\n", r.Roams)
+	}
+	if r.Restarted {
+		rs := Summarize(r.ResumeSamples)
+		fmt.Fprintf(&b, "  restart: %d/%d sessions restored from the journal; resumption latency n=%d p50=%v p90=%v p99=%v max=%v\n",
+			r.Restored, r.Sessions, rs.N,
+			Percentile(r.ResumeSamples, 50), Percentile(r.ResumeSamples, 90),
+			Percentile(r.ResumeSamples, 99), Percentile(r.ResumeSamples, 100))
+	}
 	fmt.Fprintf(&b, "  sim: %v virtual in %v wall (%.1fx real time)",
 		r.Elapsed.Round(time.Millisecond), r.Wall.Round(time.Millisecond),
 		r.Elapsed.Seconds()/max(r.Wall.Seconds(), 1e-9))

@@ -92,6 +92,52 @@ func TestManySessionMixedCohorts(t *testing.T) {
 	t.Logf("\n%s", FormatManySession(res))
 }
 
+// TestManySessionRestartRoamLoss is the load generator's torture mode:
+// mixed cohorts on per-cohort lossy links, the daemon killed and restored
+// from its journal mid-run, and a third of the clients roaming afterwards.
+// Every session must resume (resumption latency measured per session),
+// every shell keystroke must eventually echo, and roaming must actually
+// have been observed by the restored daemon.
+func TestManySessionRestartRoamLoss(t *testing.T) {
+	res := RunManySession(ManySessionOptions{
+		Sessions:     45,
+		Keystrokes:   12,
+		TypeInterval: 150 * time.Millisecond,
+		Seed:         11,
+		Mixed:        true,
+		Restart:      true,
+		Roam:         true,
+		LossyCohorts: true,
+	})
+	t.Logf("\n%s", FormatManySession(res))
+	if !res.Restarted {
+		t.Fatal("restart scenario did not run")
+	}
+	if res.Restored != int64(res.Sessions) {
+		t.Fatalf("restored %d/%d sessions from the journal", res.Restored, res.Sessions)
+	}
+	// Every session must have accepted a post-restart state (the resume
+	// repaint or a newer frame) — a stranded client shows up here.
+	if got := len(res.ResumeSamples); got != res.Sessions {
+		t.Fatalf("resumption latency samples = %d, want %d (stranded clients)", got, res.Sessions)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("%d shell keystrokes never became visible across the restart", res.Lost)
+	}
+	if got := len(res.Samples); got != res.Shells*12 {
+		t.Fatalf("delivered %d shell samples, want %d", got, res.Shells*12)
+	}
+	if res.Roams == 0 {
+		t.Fatal("no roaming events observed by the daemon")
+	}
+	rs := Summarize(res.ResumeSamples)
+	// Resumption is bounded by the heartbeat/retransmission machinery, not
+	// by operator action: the whole fleet must be back within seconds.
+	if rs.N > 0 && Percentile(res.ResumeSamples, 99) > 10*time.Second {
+		t.Fatalf("p99 resumption latency %v is not operational", Percentile(res.ResumeSamples, 99))
+	}
+}
+
 // BenchmarkManySessionMixed feeds the per-commit perf artifact with the
 // heterogeneous cohort run (unicode + deep-scrollback screen-state load).
 func BenchmarkManySessionMixed(b *testing.B) {

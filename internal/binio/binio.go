@@ -1,0 +1,74 @@
+// Package binio provides the bounds-checked binary reader shared by the
+// persistence codecs (terminal screen snapshots, sessiond session
+// journals). Both decode untrusted bytes from disk, so every primitive
+// validates against the remaining input and reports failure instead of
+// panicking; hardening fixes land here once instead of diverging across
+// hand-rolled copies.
+package binio
+
+import "encoding/binary"
+
+// Reader consumes a byte slice front to back. The zero value reads from
+// an empty input; all methods are total (no panics on any input).
+type Reader struct {
+	b []byte
+}
+
+// NewReader returns a reader over data (which is not copied).
+func NewReader(data []byte) Reader { return Reader{b: data} }
+
+// Rest returns the unconsumed remainder.
+func (r *Reader) Rest() []byte { return r.b }
+
+// Len reports how many bytes remain.
+func (r *Reader) Len() int { return len(r.b) }
+
+// Uvarint reads one unsigned varint.
+func (r *Reader) Uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, false
+	}
+	r.b = r.b[n:]
+	return v, true
+}
+
+// BoundedUvarint reads one unsigned varint and rejects values above max.
+func (r *Reader) BoundedUvarint(max uint64) (uint64, bool) {
+	v, ok := r.Uvarint()
+	if !ok || v > max {
+		return 0, false
+	}
+	return v, true
+}
+
+// Varint reads one signed varint.
+func (r *Reader) Varint() (int64, bool) {
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		return 0, false
+	}
+	r.b = r.b[n:]
+	return v, true
+}
+
+// Byte reads one byte.
+func (r *Reader) Byte() (byte, bool) {
+	if len(r.b) < 1 {
+		return 0, false
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, true
+}
+
+// Bytes reads n bytes (aliasing the input, not copying). Negative n or
+// insufficient input fails.
+func (r *Reader) Bytes(n int) ([]byte, bool) {
+	if n < 0 || len(r.b) < n {
+		return nil, false
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v, true
+}

@@ -60,6 +60,36 @@ type ServerConfig struct {
 	HostInput func(data []byte)
 	// OnResize reports window-size changes (to forward to the pty).
 	OnResize func(w, h int)
+	// Resume, when non-nil, restores the endpoint from a session-journal
+	// snapshot instead of starting a fresh session (sessiond restart).
+	Resume *ServerResume
+}
+
+// ServerResume carries the durable core of a server endpoint across a
+// process restart. All counters must come from a journal whose reservation
+// rules guarantee they exceed anything the dead process put on the wire
+// (see internal/sessiond's journal writer).
+type ServerResume struct {
+	// Current is the restored live screen state.
+	Current *statesync.Complete
+	// Baseline is the agreed initial screen (state number 0: blank, at the
+	// session's original dimensions) the resume repaint diffs from.
+	Baseline *statesync.Complete
+	// Stream is the restored user-input stream, positioned at the persisted
+	// event count; its events were already delivered to the application.
+	Stream *statesync.UserStream
+	// SendNumFloor is the reserved state number for the first post-restore
+	// screen state.
+	SendNumFloor uint64
+	// RecvNum is the newest client state number the dead process received.
+	RecvNum uint64
+	// NextSeq and ExpectedSeq restore the datagram-layer counters.
+	NextSeq, ExpectedSeq uint64
+	// RemoteAddr optionally seeds the reply target so heartbeats and the
+	// resume repaint flow before the client next speaks.
+	RemoteAddr *netem.Addr
+	// Heard marks that the dead process had heard authentic client traffic.
+	Heard bool
 }
 
 type echoEntry struct {
@@ -91,7 +121,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Height == 0 {
 		cfg.Height = 24
 	}
-	tr, err := transport.New(transport.Config[*statesync.Complete, *statesync.UserStream]{
+	trCfg := transport.Config[*statesync.Complete, *statesync.UserStream]{
 		Direction:     sspcrypto.ToClient,
 		Key:           cfg.Key,
 		Clock:         cfg.Clock,
@@ -103,11 +133,31 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		RemoteInitial: statesync.NewUserStream(),
 		Emit:          cfg.Emit,
 		RecycleWire:   cfg.RecycleWire,
-	})
+	}
+	if rs := cfg.Resume; rs != nil {
+		trCfg.LocalInitial = rs.Current
+		trCfg.LocalBaseline = rs.Baseline
+		trCfg.RemoteInitial = rs.Stream
+		trCfg.Resume = &transport.Resume{
+			SendNumFloor: rs.SendNumFloor,
+			RecvNum:      rs.RecvNum,
+			NextSeq:      rs.NextSeq,
+			ExpectedSeq:  rs.ExpectedSeq,
+			RemoteAddr:   rs.RemoteAddr,
+			Heard:        rs.Heard,
+		}
+	}
+	tr, err := transport.New(trCfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, tr: tr}, nil
+	s := &Server{cfg: cfg, tr: tr}
+	if rs := cfg.Resume; rs != nil {
+		// The restored stream's events were delivered by the previous
+		// incarnation; delivery resumes after its persisted size.
+		s.processedEvents = rs.Stream.Size()
+	}
+	return s, nil
 }
 
 // Transport exposes the SSP endpoint (stats, RTT, roaming target).

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/overlay"
+	"repro/internal/terminal"
+)
+
+// Regression tests for the Latest() escape audit that unlocked
+// receiver-side snapshot recycling: the client's reconstructed screen is
+// rebuilt state by state with retired history recycled underneath, so
+// (a) every in-turn read must keep yielding the authoritative screen, and
+// (b) a *Clone* taken from ServerState must stay byte-stable forever even
+// as the receiver churns and reuses retired storage (copy-on-write).
+
+// TestReceiverRecyclingMatchesServerUnderScrollFlood drives a scroll-heavy
+// session — constant state churn, deep retirement, pooled snapshot reuse
+// on the receive path — and checks the client's screen against the
+// server's authoritative terminal after convergence, plus the stability of
+// retained clones taken at every step along the way.
+func TestReceiverRecyclingMatchesServerUnderScrollFlood(t *testing.T) {
+	ss := newSession(t, netem.LinkParams{Delay: 10 * time.Millisecond}, overlay.Never)
+	lines := 0
+	ss.hostScript = func(data []byte) {
+		// Every keystroke triggers a multi-line repaint plus scrolling
+		// output, like a pager under continuous load.
+		out := []byte("\r\n")
+		for i := 0; i < 6; i++ {
+			lines++
+			out = append(out, []byte("flood line with some cells and content\r\n")...)
+		}
+		ss.sched.After(2*time.Millisecond, func() {
+			ss.server.HostOutput(out)
+			ss.wakeServer()
+		})
+	}
+	ss.run(time.Second)
+
+	type retained struct {
+		fb    *terminal.Framebuffer
+		bytes string
+	}
+	var held []retained
+	for k := 0; k < 30; k++ {
+		ss.client.TypeRune('j')
+		ss.wakeClient()
+		ss.run(120 * time.Millisecond)
+		// Retain a CoW clone of the current reconstructed screen, exactly
+		// what Display() hands the renderer. Recycling retired receiver
+		// states must never mutate it.
+		fb := ss.client.ServerState().Clone()
+		held = append(held, retained{fb: fb, bytes: string(fb.AppendSnapshot(nil))})
+	}
+	ss.run(3 * time.Second)
+
+	if !ss.client.ServerState().Equal(ss.server.Terminal().Framebuffer()) {
+		t.Fatal("client screen diverged from the server under receiver recycling")
+	}
+	for i, h := range held {
+		if got := string(h.fb.AppendSnapshot(nil)); got != h.bytes {
+			t.Fatalf("retained clone %d mutated after later receives (recycled storage leaked)", i)
+		}
+	}
+	if lines == 0 {
+		t.Fatal("host script never ran")
+	}
+}

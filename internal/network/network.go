@@ -50,6 +50,11 @@ var (
 	ErrOldPacket    = errors.New("network: stale or replayed sequence number")
 	ErrOwnDirection = errors.New("network: packet from our own direction")
 	ErrEnvelope     = errors.New("network: missing or mismatched session envelope")
+	// ErrSeqExhausted reports that the outgoing sequence number has reached
+	// the durable reservation ceiling (see SetSeqCeiling). The packet is not
+	// sent; SSP treats the suppression as ordinary loss and the embedder is
+	// expected to extend the reservation (flush its journal) promptly.
+	ErrSeqExhausted = errors.New("network: sequence reservation exhausted")
 )
 
 // Session-ID envelope. A multiplexing daemon (internal/sessiond) runs many
@@ -101,6 +106,39 @@ type Config struct {
 	// incoming packets — the sessiond multiplexer's wire format. Nil keeps
 	// the single-session format byte-identical.
 	Envelope *Envelope
+	// Resume, when non-nil, restores the connection's durable counters
+	// from a persisted snapshot instead of starting at zero (a sessiond
+	// restart). See Resume for the crash-safety contract.
+	Resume *Resume
+}
+
+// Resume restores a Connection across a process restart. NextSeq must be a
+// previously journaled reservation ceiling (every nonce the dead process
+// could have sealed is strictly below it — see SetSeqCeiling), so the
+// (key, direction, sequence) nonce is never reused. ExpectedSeq restores
+// the replay floor for the incoming direction as of the journal flush:
+// packets accepted before that flush stay rejected. Packets the dead
+// process accepted AFTER its last flush can each be replayed once against
+// the restored endpoint — the live floor cannot be reconstructed, and
+// over-bumping it would deafen the connection to its genuine peer forever.
+// The layers above keep that window harmless for state (instructions are
+// idempotent by state number and user-input diffs by event index); its
+// real residue is that a replayed packet can transiently re-aim the
+// roaming reply target until the genuine peer's next datagram (higher
+// sequence number) re-learns the address.
+type Resume struct {
+	// NextSeq seeds the outgoing sequence counter.
+	NextSeq uint64
+	// ExpectedSeq seeds the lowest acceptable incoming sequence number.
+	ExpectedSeq uint64
+	// RemoteAddr, when non-nil, seeds the reply target so the restored
+	// server can resume sending (heartbeats, the resume repaint) before
+	// the client speaks. Roaming re-learns it from authentic traffic.
+	RemoteAddr *netem.Addr
+	// Heard marks that the dead process had heard authentic traffic; the
+	// restored connection treats the restart instant as the last-heard
+	// time so retransmission stays active.
+	Heard bool
 }
 
 // Connection is one end of an SSP datagram-layer association. It is a pure
@@ -111,6 +149,12 @@ type Connection struct {
 
 	nextSeq     uint64 // sequence number of the next outgoing packet
 	expectedSeq uint64 // lowest acceptable incoming sequence number
+
+	// seqCeiling bounds nextSeq for crash safety: packets with seq >=
+	// seqCeiling are refused (ErrSeqExhausted) until the embedder journals
+	// a higher reservation and raises the ceiling. 0 means unlimited (no
+	// persistence configured).
+	seqCeiling uint64
 
 	// Timestamp bookkeeping for RTT measurement. savedTimestamp is the
 	// most recently received remote timestamp, echoed back (adjusted for
@@ -153,11 +197,24 @@ func NewConnection(cfg Config) (*Connection, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Connection{
+	c := &Connection{
 		cfg:            cfg,
 		session:        sess,
 		savedTimestamp: -1,
-	}, nil
+	}
+	if rs := cfg.Resume; rs != nil {
+		c.nextSeq = rs.NextSeq
+		c.expectedSeq = rs.ExpectedSeq
+		if rs.RemoteAddr != nil {
+			c.remoteAddr = *rs.RemoteAddr
+			c.haveRemote = true
+		}
+		if rs.Heard {
+			c.heardOnce = true
+			c.lastHeard = cfg.Clock.Now()
+		}
+	}
+	return c, nil
 }
 
 // SetRemoteAddr fixes the peer address (used by the client at dial time).
@@ -175,6 +232,37 @@ func (c *Connection) RemoteAddrChanges() int { return c.remoteChanges }
 // NextSeq reports the sequence number the next outgoing packet will carry.
 func (c *Connection) NextSeq() uint64 { return c.nextSeq }
 
+// ExpectedSeq reports the lowest incoming sequence number Receive will
+// accept (the replay floor a persistence layer must journal).
+func (c *Connection) ExpectedSeq() uint64 { return c.expectedSeq }
+
+// SetSeqCeiling installs the durable nonce-reservation ceiling: AppendPacket
+// refuses to seal a packet whose sequence number is not strictly below it.
+//
+// Crash-safety protocol (two-phase): the journal writer records the
+// proposed ceiling (NextSeq + reserve) in its snapshot FIRST, and only
+// after the snapshot is durably renamed does it raise the live ceiling
+// here. A crash at any point therefore restores a NextSeq that is >= every
+// ceiling the dead process ever sent under, so no (key, direction,
+// sequence) nonce is ever sealed twice.
+func (c *Connection) SetSeqCeiling(ceiling uint64) { c.seqCeiling = ceiling }
+
+// SeqCeiling reports the current reservation ceiling (0 = unlimited).
+func (c *Connection) SeqCeiling() uint64 { return c.seqCeiling }
+
+// SeqRemaining reports how many packets may still be sealed under the
+// current reservation; the embedder flushes its journal before this runs
+// out. Unlimited when no ceiling is set.
+func (c *Connection) SeqRemaining() uint64 {
+	if c.seqCeiling == 0 {
+		return sspcrypto.MaxSeq - c.nextSeq
+	}
+	if c.nextSeq >= c.seqCeiling {
+		return 0
+	}
+	return c.seqCeiling - c.nextSeq
+}
+
 func timestamp16(t time.Time) uint16 { return uint16(t.UnixMilli()) }
 
 // NewPacket seals payload into a wire datagram, embedding the current
@@ -190,6 +278,9 @@ func (c *Connection) NewPacket(payload []byte) ([]byte, error) {
 // transport sender passes recycled buffers through it so steady-state
 // sending does not allocate per datagram.
 func (c *Connection) AppendPacket(dst, payload []byte) ([]byte, error) {
+	if c.seqCeiling != 0 && c.nextSeq >= c.seqCeiling {
+		return nil, ErrSeqExhausted
+	}
 	now := c.cfg.Clock.Now()
 	reply := uint16(tsNone)
 	if c.savedTimestamp >= 0 {

@@ -1,0 +1,393 @@
+package sessiond
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/network"
+	"repro/internal/sspcrypto"
+	"repro/internal/statesync"
+)
+
+// This file implements the daemon's crash-safe persistence: a periodic +
+// on-shutdown journal writer with atomic rename, and the boot path that
+// restores journaled sessions so a reconnecting client's next datagram
+// authenticates and resumes — a restart becomes just another form of
+// packet loss.
+//
+// # Nonce safety (the two-phase reservation)
+//
+// Each flush records, per session, a reservation ceiling for the outgoing
+// sequence numbers (AES-OCB nonces) and state numbers: the live counter
+// plus Config.SeqReserve. Sessions never send past their *currently
+// applied* ceiling, and a new ceiling is applied only after the journal
+// that records it has been durably renamed into place. A crash at any
+// point therefore restores counters at least as high as anything the dead
+// process could have put on the wire: no nonce, and no state number, is
+// ever used twice across a restart. A session that exhausts its
+// reservation between flushes simply suppresses sends (SSP loss) and
+// requests an early flush.
+
+// DefaultJournalInterval is the periodic flush cadence.
+const DefaultJournalInterval = 10 * time.Second
+
+// DefaultSeqReserve is the per-flush counter reservation: how many
+// datagrams (and minted states) a session may produce between flushes
+// before sends are suppressed pending the next flush.
+const DefaultSeqReserve = 1 << 16
+
+// journalFileName is the snapshot inside Config.StateDir; the .tmp sibling
+// is the atomic-rename staging file.
+const journalFileName = "sessions.journal"
+
+// journal is the daemon's persistence state. All buffers are reused across
+// flushes, so the steady-state encode path allocates nothing.
+type journal struct {
+	path, tmpPath string
+	interval      time.Duration
+	reserve       uint64
+
+	// arena accumulates the encoded session records back to back;
+	// offs[i] delimits record i. fileBuf assembles the whole journal
+	// file. records is the reusable [][]byte view handed to appendJournal.
+	arena   []byte
+	offs    []int
+	fileBuf []byte
+	records [][]byte
+
+	// pending is the two-phase ceiling list: applied to the live sessions
+	// only after the rename is durable.
+	pending []pendingCeiling
+
+	// sessScratch reuses the per-flush collection of live sessions.
+	sessScratch []*Session
+}
+
+type pendingCeiling struct {
+	s       *Session
+	seqCeil uint64
+	numCeil uint64
+}
+
+func newJournal(dir string, interval time.Duration, reserve uint64) *journal {
+	return &journal{
+		path:     filepath.Join(dir, journalFileName),
+		tmpPath:  filepath.Join(dir, "."+journalFileName+".tmp"),
+		interval: interval,
+		reserve:  reserve,
+	}
+}
+
+// snapshotSessionLocked fills sn from s. Caller holds s.mu. The returned
+// ceilings are the proposed (journal-recorded) reservations; they are NOT
+// applied to the session here — see FlushJournal's two-phase apply.
+func (s *Session) snapshotSessionLocked(sn *sessionSnapshot, reserve uint64) (seqCeil, numCeil uint64) {
+	tr := s.srv.Transport()
+	conn := tr.Connection()
+	seqCeil = conn.NextSeq() + reserve
+	if seqCeil > sspcrypto.MaxSeq+1 {
+		seqCeil = sspcrypto.MaxSeq + 1
+	}
+	numCeil = tr.Sender().NumHighWater() + reserve
+	*sn = sessionSnapshot{
+		ID:           s.ID,
+		Key:          s.key,
+		OrigW:        s.origW,
+		OrigH:        s.origH,
+		NextSeq:      seqCeil,
+		ExpectedSeq:  conn.ExpectedSeq(),
+		NextStateNum: numCeil,
+		RecvNum:      tr.RemoteStateNum(),
+		StreamSize:   tr.RemoteState().Size(),
+		LastActive:   s.lastActive,
+		PendingOut:   s.pendingOut,
+		FB:           s.srv.Terminal().Framebuffer(),
+	}
+	if addr, ok := conn.RemoteAddr(); ok {
+		sn.HaveRemote = true
+		sn.Remote = addr
+	}
+	_, sn.Heard = conn.LastHeard()
+	return seqCeil, numCeil
+}
+
+// FlushJournal writes a snapshot of every live session to the state
+// directory (atomic rename) and then raises each session's send-counter
+// ceilings to the recorded reservations. It is a no-op error when the
+// daemon has no Config.StateDir. Safe to call from any goroutine; flushes
+// are serialized by the journal itself being confined to one caller at a
+// time via the daemon's flush path (journal loop, Close, tests).
+func (d *Daemon) FlushJournal() error {
+	return d.flushJournal(false)
+}
+
+// flushJournal implements FlushJournal. final marks Close's shutdown
+// flush: once the daemon is closing, every other flush is refused so a
+// queued periodic flush can never run after Close removed the sessions
+// and overwrite the final snapshot with an empty journal.
+func (d *Daemon) flushJournal(final bool) error {
+	j := d.journal
+	if j == nil {
+		return errors.New("sessiond: no StateDir configured")
+	}
+	d.flushMu.Lock()
+	defer d.flushMu.Unlock()
+	if d.closing.Load() && !final {
+		return nil
+	}
+
+	// Collect live sessions in ID order (deterministic record order).
+	sessions := j.sessScratch[:0]
+	d.reg.each(func(s *Session) { sessions = append(sessions, s) })
+	sort.Slice(sessions, func(a, b int) bool { return sessions[a].ID < sessions[b].ID })
+	j.sessScratch = sessions
+
+	j.arena = j.arena[:0]
+	j.offs = j.offs[:0]
+	j.pending = j.pending[:0]
+	var sn sessionSnapshot
+	for _, s := range sessions {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			continue
+		}
+		seqCeil, numCeil := s.snapshotSessionLocked(&sn, j.reserve)
+		j.arena = appendSessionSnapshot(j.arena, &sn)
+		s.mu.Unlock()
+		j.offs = append(j.offs, len(j.arena))
+		j.pending = append(j.pending, pendingCeiling{s: s, seqCeil: seqCeil, numCeil: numCeil})
+	}
+
+	j.records = j.records[:0]
+	start := 0
+	for _, end := range j.offs {
+		j.records = append(j.records, j.arena[start:end])
+		start = end
+	}
+	hdr := journalHeader{NextID: d.nextID.Load(), FlushedAt: d.cfg.Clock.Now()}
+	j.fileBuf = appendJournal(j.fileBuf[:0], hdr, j.records)
+
+	if err := writeFileAtomic(j.tmpPath, j.path, j.fileBuf); err != nil {
+		d.metrics.JournalErrors.Add(1)
+		return fmt.Errorf("sessiond: journal flush: %w", err)
+	}
+
+	// Phase two: the reservations are durable; raise the live ceilings.
+	for _, p := range j.pending {
+		p.s.mu.Lock()
+		if !p.s.closed {
+			tr := p.s.srv.Transport()
+			tr.Connection().SetSeqCeiling(p.seqCeil)
+			tr.Sender().SetNumCeiling(p.numCeil)
+		}
+		p.s.mu.Unlock()
+	}
+	d.metrics.JournalFlushes.Add(1)
+	d.metrics.JournalBytes.Add(int64(len(j.fileBuf)))
+	// Release the session pointers the scratch arrays hold (to their full
+	// capacity — earlier, larger flushes left entries beyond the current
+	// length), so evicted sessions' screens are collectable between
+	// flushes instead of being pinned until the session count grows back.
+	full := j.sessScratch[:cap(j.sessScratch)]
+	clear(full)
+	j.sessScratch = full[:0]
+	fullPending := j.pending[:cap(j.pending)]
+	clear(fullPending)
+	j.pending = fullPending[:0]
+	return nil
+}
+
+// writeFileAtomic writes data to tmp, fsyncs it, renames it over path, and
+// fsyncs the directory so the rename itself is durable.
+func writeFileAtomic(tmp, path string, data []byte) error {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync() // best effort; not all filesystems support it
+		dir.Close()
+	}
+	return nil
+}
+
+// requestFlush asks the journal loop for an early flush (low reservation
+// headroom, a freshly opened session). Non-blocking; coalesces.
+func (d *Daemon) requestFlush() {
+	select {
+	case d.flushReq <- struct{}{}:
+	default:
+	}
+}
+
+// maybeRequestFlushLocked triggers an early flush when a session is
+// consuming its counter reservation faster than the periodic cadence
+// refreshes it. Caller holds s.mu.
+func (s *Session) maybeRequestFlushLocked() {
+	j := s.d.journal
+	if j == nil {
+		return
+	}
+	low := j.reserve / 4
+	tr := s.srv.Transport()
+	if tr.Connection().SeqRemaining() <= low || tr.Sender().NumRemaining() <= low {
+		s.d.requestFlush()
+	}
+}
+
+// journalLoop is the async flush driver (Serve mode): periodic cadence
+// plus on-demand requests. Simulation embedders call FlushJournal
+// directly in virtual time instead.
+func (d *Daemon) journalLoop() {
+	t := time.NewTicker(d.journal.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+		case <-d.flushReq:
+		}
+		d.FlushJournal() // error already counted in metrics
+	}
+}
+
+// restoreFromJournal loads the state directory's journal (if present) and
+// revives every non-stale session. Called from New before any traffic.
+func (d *Daemon) restoreFromJournal() error {
+	data, err := os.ReadFile(d.journal.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("sessiond: reading journal: %w", err)
+	}
+	hdr, snaps, bad, err := decodeJournal(data)
+	if err != nil {
+		return fmt.Errorf("sessiond: %w", err)
+	}
+	d.metrics.JournalBadRecords.Add(int64(bad))
+	now := d.cfg.Clock.Now()
+	maxID := hdr.NextID
+	for _, sn := range snaps {
+		// Boot-time eviction of stale snapshots: a session that was idle
+		// past the eviction horizon when the daemon died would have been
+		// evicted had it kept running; don't resurrect it. Pre-issued
+		// slots nobody ever redeemed wait indefinitely, as live ones do.
+		if idle := d.cfg.IdleTimeout; idle > 0 && sn.Heard && now.Sub(sn.LastActive) >= idle {
+			d.metrics.SnapshotsStale.Add(1)
+			continue
+		}
+		if _, err := d.restoreSession(sn); err != nil {
+			return fmt.Errorf("sessiond: restoring session %d: %w", sn.ID, err)
+		}
+		if sn.ID > maxID {
+			maxID = sn.ID
+		}
+	}
+	d.nextID.Store(maxID)
+	return nil
+}
+
+// restoreSession revives one journaled session: restored screen and input
+// stream, reserved counters, and — per SSP semantics — a fresh diff
+// baseline of state 0, so the first frame to the surviving client is a
+// full repaint it applies against its pristine initial state.
+func (d *Daemon) restoreSession(sn *sessionSnapshot) (*Session, error) {
+	if d.reg.lookup(sn.ID) != nil {
+		return nil, fmt.Errorf("duplicate session id %d", sn.ID)
+	}
+	s := &Session{
+		ID:      sn.ID,
+		d:       d,
+		key:     sn.Key,
+		origW:   sn.OrigW,
+		origH:   sn.OrigH,
+		heapIdx: -1,
+		done:    make(chan struct{}),
+		inbox:   make(chan inPacket, d.inboxDepth()),
+	}
+	var raddr *netem.Addr
+	if sn.HaveRemote {
+		addr := sn.Remote
+		raddr = &addr
+	}
+	srv, err := core.NewServer(core.ServerConfig{
+		Key:         sn.Key,
+		Clock:       d.cfg.Clock,
+		Width:       sn.OrigW,
+		Height:      sn.OrigH,
+		Timing:      d.cfg.Timing,
+		MinRTO:      d.cfg.MinRTO,
+		MaxRTO:      d.cfg.MaxRTO,
+		Envelope:    &network.Envelope{ID: sn.ID},
+		RecycleWire: d.cfg.RecycleWire,
+		Emit:        func(wire []byte) { s.emit(wire) },
+		HostInput:   func(data []byte) { s.hostInput(data) },
+		Resume: &core.ServerResume{
+			Current:      statesync.NewCompleteWithFramebuffer(sn.FB),
+			Baseline:     statesync.NewComplete(sn.OrigW, sn.OrigH),
+			Stream:       statesync.RestoreUserStream(sn.StreamSize),
+			SendNumFloor: sn.NextStateNum,
+			RecvNum:      sn.RecvNum,
+			NextSeq:      sn.NextSeq,
+			ExpectedSeq:  sn.ExpectedSeq,
+			RemoteAddr:   raddr,
+			Heard:        sn.Heard,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.srv = srv
+	// Zero headroom until the post-restore flush records fresh
+	// reservations; nothing is sent under the restored ceilings.
+	srv.Transport().Connection().SetSeqCeiling(sn.NextSeq)
+	srv.Transport().Sender().SetNumCeiling(sn.NextStateNum)
+	s.lastActive = sn.LastActive
+	// Host output the dead process had queued but not yet interpreted
+	// flushes at (or immediately after) its original due time.
+	s.pendingOut = sn.PendingOut
+	// Reattach the host application. RestoreApp models an application that
+	// survived the restart (a pty held open across a frontend restart, the
+	// torture tests' transplanted apps); falling back to NewApp gives the
+	// session a fresh application behind its restored screen. Start() is
+	// never replayed — the restored screen already reflects history.
+	if d.cfg.RestoreApp != nil {
+		s.app = d.cfg.RestoreApp(s.ID)
+	} else if d.cfg.NewApp != nil {
+		s.app = d.cfg.NewApp(s.ID)
+	}
+	d.reg.insert(s)
+	d.metrics.SessionsLive.Add(1)
+	d.metrics.SessionsRestored.Add(1)
+	s.mu.Lock()
+	s.rearmLocked(d.cfg.Clock.Now())
+	s.mu.Unlock()
+	return s, nil
+}

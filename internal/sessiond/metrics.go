@@ -28,6 +28,13 @@ type Metrics struct {
 
 	DispatchQueueDepth expvar.Int // packets currently queued to session workers
 	RoamingEvents      expvar.Int // authentic source-address changes observed
+
+	SessionsRestored  expvar.Int // sessions revived from the journal at boot
+	SnapshotsStale    expvar.Int // journal records evicted at boot (idle past the horizon)
+	JournalFlushes    expvar.Int // successful journal writes
+	JournalBytes      expvar.Int // cumulative journal bytes written
+	JournalErrors     expvar.Int // failed journal writes (reservations not extended)
+	JournalBadRecords expvar.Int // journal records skipped for CRC/decode failure
 }
 
 // Publish registers every counter with the process-wide expvar registry
@@ -52,6 +59,12 @@ func (m *Metrics) Publish(prefix string) {
 		{"drops_queue_full", &m.DropsQueueFull},
 		{"dispatch_queue_depth", &m.DispatchQueueDepth},
 		{"roaming_events", &m.RoamingEvents},
+		{"sessions_restored", &m.SessionsRestored},
+		{"snapshots_stale", &m.SnapshotsStale},
+		{"journal_flushes", &m.JournalFlushes},
+		{"journal_bytes", &m.JournalBytes},
+		{"journal_errors", &m.JournalErrors},
+		{"journal_bad_records", &m.JournalBadRecords},
 	} {
 		expvar.Publish(prefix+"."+v.name, v.v)
 	}

@@ -1,0 +1,236 @@
+package sessiond_test
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netem"
+	"repro/internal/network"
+	"repro/internal/overlay"
+	"repro/internal/sessiond"
+	"repro/internal/simclock"
+	"repro/internal/sspcrypto"
+)
+
+// TestNoncePropertyAcrossCrashPoints is the crash-point property test for
+// the two-phase counter reservation: for EVERY prefix of journal flushes,
+// restoring from that prefix's journal yields per-session counters that
+// strictly exceed every nonce (and state number) the live daemon had put
+// on the wire at any moment while that journal was the newest durable one.
+// A crash anywhere in the timeline therefore can never reseal a nonce.
+//
+// The test deliberately starves the reservation (SeqReserve far below the
+// traffic volume) so the ceiling actually binds between flushes: sends are
+// suppressed rather than ever crossing the journaled reservation.
+func TestNoncePropertyAcrossCrashPoints(t *testing.T) {
+	const (
+		nSessions = 3
+		reserve   = 64
+		nFlushes  = 8
+	)
+	sched := simclock.NewScheduler(epoch)
+	nw := netem.NewNetwork(sched)
+	daemonAddr := netem.Addr{Host: 0xCAFE, Port: 60001}
+	paths := make(map[netem.Addr]*netem.Path)
+
+	// cumMax tracks, per session, the highest server→client sequence
+	// number (nonce) observed on the wire so far.
+	cumMax := make(map[uint64]uint64)
+	dir := t.TempDir()
+	cfg := sessiond.Config{
+		Clock: sched,
+		Send: func(dst netem.Addr, wire []byte) {
+			id, inner, err := network.ParseEnvelope(wire)
+			if err != nil || len(inner) < 8 {
+				t.Fatalf("unparseable daemon datagram: %v", err)
+			}
+			seq := binary.BigEndian.Uint64(inner[:8]) & sspcrypto.MaxSeq
+			if seq > cumMax[id] {
+				cumMax[id] = seq
+			}
+			if p := paths[dst]; p != nil {
+				p.Down.Send(netem.Packet{Src: daemonAddr, Dst: dst, Payload: wire})
+			}
+		},
+		NewApp:      shellApp,
+		IdleTimeout: -1,
+		StateDir:    dir,
+		SeqReserve:  reserve,
+	}
+	d, err := sessiond.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wake := d.Pump(sched)
+	nw.Attach(daemonAddr, func(p netem.Packet) {
+		d.HandlePacket(p.Payload, p.Src)
+		wake()
+	})
+
+	type cl struct {
+		c  *core.Client
+		id uint64
+		w  func()
+	}
+	var clients []*cl
+	for i := 0; i < nSessions; i++ {
+		sess, err := d.OpenSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := netem.Addr{Host: uint32(500 + i), Port: 9000}
+		path := netem.NewPath(nw, lan(), int64(31+i))
+		paths[addr] = path
+		c := &cl{id: sess.ID}
+		c.c, err = core.NewClient(core.ClientConfig{
+			Key:         sess.Key(),
+			Clock:       sched,
+			Envelope:    &network.Envelope{ID: sess.ID},
+			Predictions: overlay.Never,
+			Emit: func(wire []byte) {
+				path.Up.Send(netem.Packet{Src: addr, Dst: daemonAddr, Payload: wire})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.w = core.Pump(sched, c.c)
+		cc := c
+		nw.Attach(addr, func(p netem.Packet) {
+			cc.c.Receive(p.Payload, p.Src)
+			cc.w()
+		})
+		clients = append(clients, c)
+	}
+
+	liveCounters := func() (seqHW, numHW map[uint64]uint64) {
+		seqHW, numHW = make(map[uint64]uint64), make(map[uint64]uint64)
+		for _, c := range clients {
+			sess := d.Lookup(c.id)
+			sess.Do(func(srv *core.Server) {
+				seqHW[c.id] = srv.Transport().Connection().NextSeq()
+				numHW[c.id] = srv.Transport().Sender().NumHighWater()
+			})
+		}
+		return seqHW, numHW
+	}
+
+	// Timeline: type with ENTER floods (heavy frame traffic), flushing the
+	// journal every so often and copying the durable file after each flush.
+	journalPath := filepath.Join(dir, "sessions.journal")
+	var snapshots [][]byte
+	var liveSeqAtFlush, liveNumAtFlush []map[uint64]uint64
+	var wireMaxAtFlush []map[uint64]uint64
+	snapWireMax := func() map[uint64]uint64 {
+		m := make(map[uint64]uint64, len(cumMax))
+		for k, v := range cumMax {
+			m[k] = v
+		}
+		return m
+	}
+	for f := 0; f < nFlushes; f++ {
+		for k := 0; k < 6; k++ {
+			for _, c := range clients {
+				c.c.UserBytes([]byte{'\r'})
+				c.w()
+			}
+			sched.RunFor(130 * time.Millisecond)
+		}
+		// Sample the live high-water marks and the wire maxima just before
+		// the flush completes: every send while the PREVIOUS journal was
+		// newest-durable is bounded by these.
+		seqHW, numHW := liveCounters()
+		liveSeqAtFlush = append(liveSeqAtFlush, seqHW)
+		liveNumAtFlush = append(liveNumAtFlush, numHW)
+		wireMaxAtFlush = append(wireMaxAtFlush, snapWireMax())
+		if err := d.FlushJournal(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(journalPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapshots = append(snapshots, append([]byte(nil), data...))
+	}
+
+	// Starvation phase: keep typing with no flush at all, so the last
+	// reservation binds. Suppression — not overshoot — must be the result.
+	for k := 0; k < 120; k++ {
+		for _, c := range clients {
+			c.c.UserBytes([]byte{'\r'})
+			c.w()
+		}
+		sched.RunFor(60 * time.Millisecond)
+	}
+	finalSeq, finalNum := liveCounters()
+	finalWire := snapWireMax()
+	suppressed := 0
+	remainingZero := false
+	for _, c := range clients {
+		d.Lookup(c.id).Do(func(srv *core.Server) {
+			suppressed += srv.Transport().Sender().Stats().Suppressed
+			if srv.Transport().Connection().SeqRemaining() == 0 {
+				remainingZero = true
+			}
+		})
+	}
+	if suppressed == 0 || !remainingZero {
+		t.Fatalf("starvation phase did not bind the reservation (suppressed=%d remainingZero=%v)", suppressed, remainingZero)
+	}
+
+	// restoredCounters restores a daemon from journal snapshot i (in a
+	// scratch directory) and reads each session's restored counters.
+	restoredCounters := func(snap []byte) (seq, num map[uint64]uint64) {
+		rdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(rdir, "sessions.journal"), snap, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		rcfg := cfg
+		rcfg.StateDir = rdir
+		rcfg.Send = func(netem.Addr, []byte) {}
+		rd, err := sessiond.New(rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rd.Close()
+		seq, num = make(map[uint64]uint64), make(map[uint64]uint64)
+		for _, c := range clients {
+			sess := rd.Lookup(c.id)
+			if sess == nil {
+				t.Fatalf("session %d missing from restored snapshot", c.id)
+			}
+			sess.Do(func(srv *core.Server) {
+				seq[c.id] = srv.Transport().Connection().NextSeq()
+				num[c.id] = srv.Transport().Sender().NumHighWater()
+			})
+		}
+		return seq, num
+	}
+
+	// The property, for every crash point: while journal i was the newest
+	// durable one (from its completion until journal i+1 completed — or
+	// forever, for the last), every wire nonce and every live counter
+	// stayed strictly below / at most journal i's restored values.
+	for i, snap := range snapshots {
+		rseq, rnum := restoredCounters(snap)
+		boundSeq, boundNum, boundWire := finalSeq, finalNum, finalWire
+		if i+1 < len(snapshots) {
+			boundSeq, boundNum, boundWire = liveSeqAtFlush[i+1], liveNumAtFlush[i+1], wireMaxAtFlush[i+1]
+		}
+		for _, c := range clients {
+			if w, ok := boundWire[c.id]; ok && rseq[c.id] <= w {
+				t.Errorf("flush %d session %d: restored NextSeq %d does not exceed wire nonce %d", i, c.id, rseq[c.id], w)
+			}
+			if rseq[c.id] < boundSeq[c.id] {
+				t.Errorf("flush %d session %d: restored NextSeq %d below live next-seq %d", i, c.id, rseq[c.id], boundSeq[c.id])
+			}
+			if rnum[c.id] < boundNum[c.id] {
+				t.Errorf("flush %d session %d: restored state-num floor %d below live high water %d", i, c.id, rnum[c.id], boundNum[c.id])
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package sessiond
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"repro/internal/binio"
+	"repro/internal/netem"
+	"repro/internal/sspcrypto"
+	"repro/internal/terminal"
+)
+
+// This file defines the versioned binary codec for session snapshots and
+// the journal file that aggregates them — the durable core that lets a
+// sessiond restart resume every session instead of stranding its clients.
+//
+// A snapshot holds exactly what SSP needs to treat the restart as packet
+// loss: the session key and ID, the per-direction counter reservations
+// (outgoing sequence/nonce ceiling, state-number ceiling, incoming replay
+// floor), the newest client state number and delivered-event count, a
+// remote-address hint, the session's original terminal dimensions (the
+// fresh-baseline diff target), and the serialized screen — plus the
+// scrollback window when server-side history is enabled.
+//
+// Decode is hardened: every length is validated against the remaining
+// input and hard bounds, every record carries a CRC, and any inconsistency
+// returns an error — corrupted, truncated, or version-skewed journals can
+// never panic the daemon.
+
+// Journal file layout: header (magic, version, daemon fields), then
+// sessionCount length-prefixed snapshot records, each followed by a CRC32
+// (Castagnoli) of its bytes.
+const (
+	journalMagic   = "MOSHJRNL"
+	journalVersion = 1
+
+	// snapshotVersion tags each session record independently of the file
+	// header, so individual records can evolve.
+	snapshotVersion = 1
+
+	// maxSnapshotLen bounds one session record; a corrupted length can
+	// never force a huge allocation.
+	maxSnapshotLen = 16 << 20
+)
+
+// ErrBadJournal reports a corrupted, truncated, or version-skewed journal
+// or session snapshot.
+var ErrBadJournal = errors.New("sessiond: malformed session journal")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// sessionSnapshot is the durable core of one session.
+type sessionSnapshot struct {
+	ID  uint64
+	Key sspcrypto.Key
+
+	// OrigW, OrigH are the session's dimensions at creation: the blank
+	// baseline (state 0) the resume repaint diffs from, which must match
+	// the client's pristine initial state exactly.
+	OrigW, OrigH int
+
+	// NextSeq is the outgoing nonce reservation ceiling: strictly above
+	// every sequence number the recording incarnation could seal.
+	NextSeq uint64
+	// ExpectedSeq is the incoming replay floor at flush time.
+	ExpectedSeq uint64
+	// NextStateNum is the state-number reservation ceiling (same two-phase
+	// rule as NextSeq).
+	NextStateNum uint64
+	// RecvNum is the newest client state number received.
+	RecvNum uint64
+	// StreamSize is the user-input stream's global event count: everything
+	// at or below it was delivered to the application.
+	StreamSize uint64
+
+	// Remote address hint for immediate post-restore sending.
+	HaveRemote bool
+	Remote     netem.Addr
+	// Heard marks that authentic client traffic had arrived.
+	Heard bool
+	// LastActive is the session's idle-eviction clock, for boot-time
+	// eviction of stale snapshots.
+	LastActive time.Time
+
+	// PendingOut carries host output that was queued (application think
+	// time) but not yet interpreted at flush time, so a restart drops no
+	// bytes between the application and the terminal.
+	PendingOut []timedOutput
+
+	// FB is the serialized screen (and scrollback window, when enabled).
+	FB *terminal.Framebuffer
+}
+
+// Bounds for PendingOut decode.
+const (
+	maxPendingOut      = 1 << 12
+	maxPendingOutBytes = 1 << 20
+)
+
+// appendSessionSnapshot encodes one snapshot record (without the length
+// prefix or CRC the journal wraps around it). With a warmed buffer the
+// steady-state encode performs no heap allocations.
+func appendSessionSnapshot(buf []byte, sn *sessionSnapshot) []byte {
+	buf = append(buf, snapshotVersion)
+	buf = binary.AppendUvarint(buf, sn.ID)
+	buf = append(buf, sn.Key[:]...)
+	buf = binary.AppendUvarint(buf, uint64(sn.OrigW))
+	buf = binary.AppendUvarint(buf, uint64(sn.OrigH))
+	buf = binary.AppendUvarint(buf, sn.NextSeq)
+	buf = binary.AppendUvarint(buf, sn.ExpectedSeq)
+	buf = binary.AppendUvarint(buf, sn.NextStateNum)
+	buf = binary.AppendUvarint(buf, sn.RecvNum)
+	buf = binary.AppendUvarint(buf, sn.StreamSize)
+	var fl byte
+	if sn.HaveRemote {
+		fl |= 1
+	}
+	if sn.Heard {
+		fl |= 2
+	}
+	buf = append(buf, fl)
+	buf = binary.AppendUvarint(buf, uint64(sn.Remote.Host))
+	buf = binary.AppendUvarint(buf, uint64(sn.Remote.Port))
+	buf = binary.AppendVarint(buf, sn.LastActive.UnixNano())
+	buf = binary.AppendUvarint(buf, uint64(len(sn.PendingOut)))
+	for _, po := range sn.PendingOut {
+		buf = binary.AppendVarint(buf, po.at.UnixNano())
+		buf = binary.AppendUvarint(buf, uint64(len(po.data)))
+		buf = append(buf, po.data...)
+	}
+	return sn.FB.AppendSnapshot(buf)
+}
+
+// decodeSessionSnapshot reverses appendSessionSnapshot. It never panics on
+// malformed input and requires the record to be fully consumed.
+func decodeSessionSnapshot(data []byte) (*sessionSnapshot, error) {
+	r := binio.NewReader(data)
+	ver, ok := r.Byte()
+	if !ok {
+		return nil, ErrBadJournal
+	}
+	if ver != snapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d", ErrBadJournal, ver)
+	}
+	sn := &sessionSnapshot{}
+	if sn.ID, ok = r.Uvarint(); !ok {
+		return nil, ErrBadJournal
+	}
+	rawKey, ok := r.Bytes(sspcrypto.KeySize)
+	if !ok {
+		return nil, ErrBadJournal
+	}
+	key, err := sspcrypto.KeyFromBytes(rawKey)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadJournal, err)
+	}
+	sn.Key = key
+	w, ok := r.BoundedUvarint(1 << 12)
+	if !ok || w < 1 {
+		return nil, ErrBadJournal
+	}
+	h, ok := r.BoundedUvarint(1 << 12)
+	if !ok || h < 1 {
+		return nil, ErrBadJournal
+	}
+	sn.OrigW, sn.OrigH = int(w), int(h)
+	for _, dst := range []*uint64{&sn.NextSeq, &sn.ExpectedSeq, &sn.NextStateNum, &sn.RecvNum, &sn.StreamSize} {
+		if *dst, ok = r.Uvarint(); !ok {
+			return nil, ErrBadJournal
+		}
+	}
+	fl, ok := r.Byte()
+	if !ok {
+		return nil, ErrBadJournal
+	}
+	sn.HaveRemote = fl&1 != 0
+	sn.Heard = fl&2 != 0
+	host, ok := r.BoundedUvarint(uint64(^uint32(0)))
+	if !ok {
+		return nil, ErrBadJournal
+	}
+	port, ok := r.BoundedUvarint(uint64(^uint16(0)))
+	if !ok {
+		return nil, ErrBadJournal
+	}
+	sn.Remote = netem.Addr{Host: uint32(host), Port: uint16(port)}
+	nanos, ok := r.Varint()
+	if !ok {
+		return nil, ErrBadJournal
+	}
+	sn.LastActive = time.Unix(0, nanos)
+	poCount, ok := r.BoundedUvarint(maxPendingOut)
+	if !ok {
+		return nil, ErrBadJournal
+	}
+	for i := uint64(0); i < poCount; i++ {
+		at, ok := r.Varint()
+		if !ok {
+			return nil, ErrBadJournal
+		}
+		dlen, ok := r.BoundedUvarint(maxPendingOutBytes)
+		if !ok {
+			return nil, ErrBadJournal
+		}
+		data, ok := r.Bytes(int(dlen))
+		if !ok {
+			return nil, ErrBadJournal
+		}
+		sn.PendingOut = append(sn.PendingOut, timedOutput{
+			at:   time.Unix(0, at),
+			data: append([]byte(nil), data...),
+		})
+	}
+	fb, rest, err := terminal.DecodeSnapshot(r.Rest())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadJournal, err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadJournal, len(rest))
+	}
+	sn.FB = fb
+	return sn, nil
+}
+
+// journalHeader is the daemon-level state a journal carries besides the
+// per-session records.
+type journalHeader struct {
+	// NextID resumes session-ID issuance so post-restart OpenSession calls
+	// never collide with restored sessions.
+	NextID uint64
+	// FlushedAt stamps the snapshot (diagnostics; eviction uses each
+	// session's own LastActive).
+	FlushedAt time.Time
+}
+
+// appendJournal encodes a complete journal file: header (CRC-protected)
+// plus one wrapped record per snapshot, in the order given.
+func appendJournal(buf []byte, hdr journalHeader, records [][]byte) []byte {
+	start := len(buf)
+	buf = append(buf, journalMagic...)
+	buf = binary.AppendUvarint(buf, journalVersion)
+	buf = binary.AppendUvarint(buf, hdr.NextID)
+	buf = binary.AppendVarint(buf, hdr.FlushedAt.UnixNano())
+	buf = binary.AppendUvarint(buf, uint64(len(records)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[start:], crcTable))
+	for _, rec := range records {
+		buf = binary.AppendUvarint(buf, uint64(len(rec)))
+		buf = append(buf, rec...)
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(rec, crcTable))
+	}
+	return buf
+}
+
+// decodeJournal parses a journal file. Records that fail their CRC or
+// their own decode are skipped, and a truncated or garbled record section
+// abandons only the remainder — both reported via badRecords — so one
+// corrupted session (or a torn tail) cannot strand every other. Only
+// header corruption fails the whole load: the header's CRC covers the
+// session count and the NextID issuance floor, which must be trusted
+// before any session is revived.
+func decodeJournal(data []byte) (hdr journalHeader, snaps []*sessionSnapshot, badRecords int, err error) {
+	r := binio.NewReader(data)
+	magic, ok := r.Bytes(len(journalMagic))
+	if !ok || string(magic) != journalMagic {
+		return hdr, nil, 0, fmt.Errorf("%w: bad magic", ErrBadJournal)
+	}
+	ver, ok := r.Uvarint()
+	if !ok {
+		return hdr, nil, 0, ErrBadJournal
+	}
+	if ver != journalVersion {
+		return hdr, nil, 0, fmt.Errorf("%w: journal version %d", ErrBadJournal, ver)
+	}
+	if hdr.NextID, ok = r.Uvarint(); !ok {
+		return hdr, nil, 0, ErrBadJournal
+	}
+	nanos, ok := r.Varint()
+	if !ok {
+		return hdr, nil, 0, ErrBadJournal
+	}
+	hdr.FlushedAt = time.Unix(0, nanos)
+	count, ok := r.BoundedUvarint(1 << 20)
+	if !ok {
+		return hdr, nil, 0, ErrBadJournal
+	}
+	hdrLen := len(data) - r.Len()
+	sum, ok := r.Bytes(4)
+	if !ok || binary.LittleEndian.Uint32(sum) != crc32.Checksum(data[:hdrLen], crcTable) {
+		return hdr, nil, 0, fmt.Errorf("%w: header checksum", ErrBadJournal)
+	}
+	for i := uint64(0); i < count; i++ {
+		rlen, lenOK := r.Uvarint()
+		rec, recOK := r.Bytes(int(rlen))
+		sum, sumOK := r.Bytes(4)
+		if !lenOK || rlen > maxSnapshotLen || !recOK || !sumOK {
+			// Torn tail: the record framing itself is gone, so nothing
+			// after this point can be located. Count the remainder as bad
+			// and keep what already verified.
+			badRecords += int(count - i)
+			return hdr, snaps, badRecords, nil
+		}
+		if binary.LittleEndian.Uint32(sum) != crc32.Checksum(rec, crcTable) {
+			badRecords++
+			continue
+		}
+		sn, err := decodeSessionSnapshot(rec)
+		if err != nil {
+			badRecords++
+			continue
+		}
+		snaps = append(snaps, sn)
+	}
+	if r.Len() != 0 {
+		badRecords++ // trailing garbage past the CRC-verified count
+	}
+	return hdr, snaps, badRecords, nil
+}

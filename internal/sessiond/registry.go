@@ -96,6 +96,12 @@ type Session struct {
 	d   *Daemon
 	key sspcrypto.Key
 
+	// origW, origH are the terminal dimensions at session creation,
+	// preserved across restarts: the blank state-0 baseline both sides
+	// fall back to after a daemon restart must match the client's
+	// pristine initial screen exactly, even if the session resized since.
+	origW, origH int
+
 	mu         sync.Mutex
 	srv        *core.Server
 	app        host.App
@@ -161,6 +167,8 @@ func (d *Daemon) OpenSession() (*Session, error) {
 		ID:      id,
 		d:       d,
 		key:     key,
+		origW:   d.cfg.Width,
+		origH:   d.cfg.Height,
 		heapIdx: -1,
 		done:    make(chan struct{}),
 		inbox:   make(chan inPacket, d.inboxDepth()),
@@ -202,6 +210,16 @@ func (d *Daemon) OpenSession() (*Session, error) {
 			srv.HostOutput(out)
 			s.mu.Unlock()
 		}
+	}
+	if d.journal != nil {
+		// A brand-new session has no journal record yet; cap its counters
+		// at one reservation so that, if the daemon dies before the next
+		// flush, the session's absence from the journal is the only loss
+		// (nothing it sent can collide with a future restore). The flush
+		// request gets it journaled promptly.
+		srv.Transport().Connection().SetSeqCeiling(d.cfg.SeqReserve)
+		srv.Transport().Sender().SetNumCeiling(d.cfg.SeqReserve)
+		d.requestFlush()
 	}
 	d.reg.insert(s)
 	d.metrics.SessionsLive.Add(1)

@@ -27,6 +27,9 @@ package sessiond
 
 import (
 	"errors"
+	"fmt"
+	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -88,6 +91,27 @@ type Config struct {
 	// InboxDepth bounds each session's async dispatch queue (Serve mode;
 	// default 128). Overflow drops the datagram — SSP retransmits.
 	InboxDepth int
+
+	// StateDir enables crash-safe session persistence: the daemon journals
+	// every session's durable core there (periodically and on Close, with
+	// atomic rename) and New restores journaled sessions on boot, so a
+	// restart is just another form of packet loss to the clients. Empty
+	// disables persistence entirely.
+	StateDir string
+	// JournalInterval is the periodic flush cadence in Serve mode
+	// (default DefaultJournalInterval). Simulation embedders drive
+	// FlushJournal explicitly instead.
+	JournalInterval time.Duration
+	// SeqReserve is the per-flush counter reservation (default
+	// DefaultSeqReserve): how many datagrams/states a session may emit
+	// between flushes. Larger values flush less often under load; smaller
+	// values bound how much a hard crash can suppress.
+	SeqReserve uint64
+	// RestoreApp reattaches the host application behind a restored session
+	// (an application that survived the restart). When nil, restored
+	// sessions fall back to NewApp — without replaying Start(), since the
+	// restored screen already reflects history.
+	RestoreApp func(id uint64) host.App
 }
 
 // PacketConn is the socket surface Serve drives: a blocking read and a
@@ -113,6 +137,13 @@ type Daemon struct {
 	// concurrent opens cannot over-admit.
 	openMu sync.Mutex
 
+	// journal is the persistence state (nil when Config.StateDir is
+	// empty); flushMu serializes flushes; flushReq coalesces early-flush
+	// requests toward the journal loop.
+	journal  *journal
+	flushMu  sync.Mutex
+	flushReq chan struct{}
+
 	// servePC remembers the connection Serve runs on so Close can unblock
 	// its pending read.
 	servePC atomic.Pointer[PacketConn]
@@ -120,6 +151,13 @@ type Daemon struct {
 	startOnce sync.Once
 	closeOnce sync.Once
 	stop      chan struct{}
+
+	// closing gates packet handling during shutdown: it is set BEFORE the
+	// final journal flush, so no input can be delivered to an application
+	// after the snapshot that a restore will resume from — that ordering
+	// is what makes a clean shutdown exactly-once. Packets arriving in the
+	// window are dropped; SSP retransmits them to the next incarnation.
+	closing atomic.Bool
 }
 
 // New builds a daemon. Clock is required.
@@ -139,12 +177,33 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.InboxDepth <= 0 {
 		cfg.InboxDepth = 128
 	}
+	if cfg.JournalInterval <= 0 {
+		cfg.JournalInterval = DefaultJournalInterval
+	}
+	if cfg.SeqReserve == 0 {
+		cfg.SeqReserve = DefaultSeqReserve
+	}
 	d := &Daemon{
-		cfg:    cfg,
-		reg:    newRegistry(),
-		timers: newTimerHeap(),
-		send:   cfg.Send,
-		stop:   make(chan struct{}),
+		cfg:      cfg,
+		reg:      newRegistry(),
+		timers:   newTimerHeap(),
+		send:     cfg.Send,
+		stop:     make(chan struct{}),
+		flushReq: make(chan struct{}, 1),
+	}
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o700); err != nil {
+			return nil, fmt.Errorf("sessiond: state dir: %w", err)
+		}
+		d.journal = newJournal(cfg.StateDir, cfg.JournalInterval, cfg.SeqReserve)
+		if err := d.restoreFromJournal(); err != nil {
+			return nil, err
+		}
+		// Record the restart state and grant every restored session fresh
+		// reservation headroom before any traffic flows.
+		if err := d.FlushJournal(); err != nil {
+			return nil, err
+		}
 	}
 	return d, nil
 }
@@ -157,6 +216,15 @@ func (d *Daemon) SessionsLive() int { return int(d.metrics.SessionsLive.Value())
 
 // Lookup returns the live session with the given ID, or nil.
 func (d *Daemon) Lookup(id uint64) *Session { return d.reg.lookup(id) }
+
+// Sessions returns the live sessions in ascending ID order (a snapshot;
+// sessions may be removed concurrently).
+func (d *Daemon) Sessions() []*Session {
+	var out []*Session
+	d.reg.each(func(s *Session) { out = append(out, s) })
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
 
 func (d *Daemon) inboxDepth() int { return d.cfg.InboxDepth }
 
@@ -220,10 +288,16 @@ func (d *Daemon) Pump(sched *simclock.Scheduler) (wake func()) {
 
 // ---- Asynchronous driving (production) ----
 
-// Start launches the next-deadline tick loop. It is called implicitly by
-// Serve and is idempotent. Requires a real clock.
+// Start launches the next-deadline tick loop (and, with persistence
+// configured, the journal flush loop). It is called implicitly by Serve
+// and is idempotent. Requires a real clock.
 func (d *Daemon) Start() {
-	d.startOnce.Do(func() { go d.tickLoop() })
+	d.startOnce.Do(func() {
+		go d.tickLoop()
+		if d.journal != nil {
+			go d.journalLoop()
+		}
+	})
 }
 
 // tickLoop sleeps until the earliest session deadline and ticks every due
@@ -318,10 +392,23 @@ func (d *Daemon) Serve(pc PacketConn) error {
 	}
 }
 
-// Close stops the tick loop, removes every session, and — when the served
-// connection supports Close — unblocks Serve's pending read so it returns.
+// Close stops the tick loop, flushes the journal one final time (so a
+// clean shutdown preserves every session for the next incarnation), removes
+// every session, and — when the served connection supports Close —
+// unblocks Serve's pending read so it returns.
 func (d *Daemon) Close() {
-	d.closeOnce.Do(func() { close(d.stop) })
+	d.closeOnce.Do(func() {
+		// Order matters for exactly-once delivery across a clean restart:
+		// stop accepting input first (closing gate + stop channel), THEN
+		// take the final snapshot. Any handle() in flight when the gate
+		// rises holds its session lock and therefore completes before the
+		// flush encodes that session.
+		d.closing.Store(true)
+		close(d.stop)
+		if d.journal != nil {
+			d.flushJournal(true) // on-shutdown flush; errors are in metrics
+		}
+	})
 	if pcp := d.servePC.Load(); pcp != nil {
 		if closer, ok := (*pcp).(interface{ Close() error }); ok {
 			closer.Close()
@@ -362,7 +449,7 @@ func (s *Session) worker() {
 func (s *Session) handle(wire []byte, src netem.Addr) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || s.d.closing.Load() {
 		s.d.metrics.DropsUnknownSession.Add(1)
 		return
 	}
@@ -379,6 +466,7 @@ func (s *Session) handle(wire []byte, src netem.Addr) {
 		}
 	}
 	s.flushHostOutputLocked(now)
+	s.maybeRequestFlushLocked()
 	s.rearmLocked(now)
 }
 
@@ -405,6 +493,7 @@ func (s *Session) tick() {
 			return
 		}
 	}
+	s.maybeRequestFlushLocked()
 	s.rearmLocked(now)
 }
 

@@ -69,6 +69,17 @@ func (k Key) Base64() string {
 	return base64.RawStdEncoding.EncodeToString(k[:])
 }
 
+// KeyFromBytes parses a raw 16-byte key (the session-journal codec stores
+// keys in binary rather than base64).
+func KeyFromBytes(b []byte) (Key, error) {
+	if len(b) != KeySize {
+		return Key{}, fmt.Errorf("sspcrypto: key is %d bytes, want %d", len(b), KeySize)
+	}
+	var k Key
+	copy(k[:], b)
+	return k, nil
+}
+
 // KeyFromBase64 parses a key printed by Base64. Padded input is accepted.
 func KeyFromBase64(s string) (Key, error) {
 	for len(s) > 0 && s[len(s)-1] == '=' {

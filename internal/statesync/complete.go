@@ -43,6 +43,15 @@ func NewComplete(w, h int) *Complete {
 	return &Complete{emu: terminal.NewEmulator(w, h)}
 }
 
+// NewCompleteWithFramebuffer wraps an existing screen state — a framebuffer
+// decoded from a session journal — as the live terminal state. The
+// framebuffer's storage is freshly owned (terminal.DecodeSnapshot allocates
+// everything it returns), so no pooled or shared object leaks across the
+// restore boundary.
+func NewCompleteWithFramebuffer(fb *terminal.Framebuffer) *Complete {
+	return &Complete{emu: terminal.NewEmulatorWithFramebuffer(fb)}
+}
+
 // Terminal exposes the wrapped emulator (the server writes host output to
 // it; the client reads the synchronized screen from it).
 func (c *Complete) Terminal() *terminal.Emulator { return c.emu }

@@ -59,6 +59,13 @@ type UserStream struct {
 // NewUserStream returns an empty stream.
 func NewUserStream() *UserStream { return &UserStream{} }
 
+// RestoreUserStream returns an empty stream positioned at a persisted
+// global size: the restored server's record of how many user events it had
+// received (and delivered to the application) when the journal was
+// flushed. Diffs carry absolute event indices, so a surviving client
+// resynchronizes against it exactly once per event.
+func RestoreUserStream(size uint64) *UserStream { return &UserStream{base: size} }
+
 // PushBytes appends a keystroke event.
 func (u *UserStream) PushBytes(data []byte) {
 	u.events = append(u.events, Event{Type: EventBytes, Data: append([]byte(nil), data...)})
@@ -115,7 +122,12 @@ func (u *UserStream) DiffFrom(src *UserStream) []byte {
 }
 
 // AppendDiff implements transport.State: DiffFrom appended to a caller-
-// reused buffer.
+// reused buffer. The diff leads with the absolute global index of the
+// event before its first one, which makes application idempotent by
+// position — a receiver holding more of the stream than the source simply
+// skips the overlap. That self-verification is what lets a journal-restored
+// server apply a surviving client's diff without holding its numbered
+// source state (see transport.ResumableState).
 func (u *UserStream) AppendDiff(buf []byte, src *UserStream) []byte {
 	srcSize := src.Size()
 	if srcSize > u.Size() {
@@ -125,6 +137,8 @@ func (u *UserStream) AppendDiff(buf []byte, src *UserStream) []byte {
 	if len(newEvents) == 0 {
 		return buf
 	}
+	start := u.Size() - uint64(len(newEvents))
+	buf = binary.AppendUvarint(buf, start)
 	buf = binary.AppendUvarint(buf, uint64(len(newEvents)))
 	for _, e := range newEvents {
 		buf = append(buf, byte(e.Type))
@@ -143,29 +157,81 @@ func (u *UserStream) AppendDiff(buf []byte, src *UserStream) []byte {
 // ErrBadDiff reports a malformed user-stream diff.
 var ErrBadDiff = errors.New("statesync: malformed user stream diff")
 
-// Apply implements transport.State.
+// Apply implements transport.State. Events the stream already holds (the
+// diff's start index plus offset falls at or below Size) are skipped, so
+// overlapping diffs — replays across a daemon restart — are applied
+// exactly once by global index. A diff starting beyond the stream's size
+// is a gap and is refused (it cannot occur between a matched source and
+// target; gaps are only ever bridged by ApplyUnknownBase's proven case).
 func (u *UserStream) Apply(diff []byte) error {
 	if len(diff) == 0 {
 		return nil
 	}
+	start, n := binary.Uvarint(diff)
+	if n <= 0 {
+		return ErrBadDiff
+	}
+	if start > u.Size() {
+		return fmt.Errorf("%w: diff starts at event %d beyond stream size %d", ErrBadDiff, start, u.Size())
+	}
+	return u.applyEvents(start, diff[n:])
+}
+
+// ApplyUnknownBase implements transport.ResumableState: the diff's source
+// state is unknown to this (journal-restored) receiver, but the absolute
+// start index makes application safe whenever the diff overlaps or abuts
+// what we hold. A diff that starts beyond our size is accepted only when
+// ackedSource proves its source state was acknowledged end-to-end — the
+// dead incarnation received (and delivered) every event below the start
+// index, so the restored stream jumps over the gap rather than
+// re-delivering or losing anything; events we hold below the jump were
+// all delivered too (the server delivers on receipt), so discarding them
+// is safe. An unproven gap is unusable: it may cover events the dead
+// process never received, and SSP's fallback to diffing from the acked
+// baseline eventually presents a provable diff instead.
+func (u *UserStream) ApplyUnknownBase(diff []byte, ackedSource bool) (bool, error) {
+	if len(diff) == 0 {
+		return false, nil
+	}
+	start, n := binary.Uvarint(diff)
+	if n <= 0 {
+		return false, ErrBadDiff
+	}
+	if start > u.Size() {
+		if !ackedSource {
+			return false, nil
+		}
+		u.events = u.events[:0]
+		u.base = start
+	}
+	return true, u.applyEvents(start, diff[n:])
+}
+
+// applyEvents decodes the events of a diff starting at global index start,
+// skipping any prefix the stream already holds and appending the rest.
+func (u *UserStream) applyEvents(start uint64, diff []byte) error {
 	count, n := binary.Uvarint(diff)
 	if n <= 0 {
 		return ErrBadDiff
 	}
 	diff = diff[n:]
+	skip := u.Size() - start // events already held; caller ensured start <= Size
 	for i := uint64(0); i < count; i++ {
 		if len(diff) < 1 {
 			return ErrBadDiff
 		}
 		t := EventType(diff[0])
 		diff = diff[1:]
+		var ev Event
 		switch t {
 		case EventBytes:
 			l, n := binary.Uvarint(diff)
 			if n <= 0 || uint64(len(diff[n:])) < l {
 				return ErrBadDiff
 			}
-			u.events = append(u.events, Event{Type: EventBytes, Data: append([]byte(nil), diff[n:n+int(l)]...)})
+			if i >= skip {
+				ev = Event{Type: EventBytes, Data: append([]byte(nil), diff[n:n+int(l)]...)}
+			}
 			diff = diff[n+int(l):]
 		case EventResize:
 			w, n := binary.Uvarint(diff)
@@ -178,9 +244,12 @@ func (u *UserStream) Apply(diff []byte) error {
 				return ErrBadDiff
 			}
 			diff = diff[n2:]
-			u.events = append(u.events, Event{Type: EventResize, W: int(w), H: int(h)})
+			ev = Event{Type: EventResize, W: int(w), H: int(h)}
 		default:
 			return fmt.Errorf("%w: unknown event type %d", ErrBadDiff, t)
+		}
+		if i >= skip {
+			u.events = append(u.events, ev)
 		}
 	}
 	if len(diff) != 0 {

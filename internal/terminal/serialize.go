@@ -1,0 +1,432 @@
+package terminal
+
+import (
+	"encoding/binary"
+	"errors"
+	"unicode/utf8"
+
+	"repro/internal/binio"
+)
+
+// This file implements the compact binary serialization of a Framebuffer —
+// the screen grid, draw state, and (when enabled) the scrollback window —
+// used by internal/sessiond to persist sessions across a daemon restart.
+//
+// The format is versioned and self-delimiting. Cells are run-length encoded
+// (screens are overwhelmingly runs of identical blanks), cell contents are
+// written as raw grapheme bytes and re-interned on load (an intern-table
+// index is process-local and meaningless in the next incarnation), and the
+// scrollback window is rendered out of the shared arena row by row, so the
+// serialized form shares storage with nothing.
+//
+// Encoding is append-only into a caller-owned buffer and performs no heap
+// allocations with a warmed buffer (the journal writer's steady state).
+// Decoding validates every length against the remaining input and hard
+// bounds, so corrupted or truncated input returns ErrBadSnapshot — never a
+// panic or an attacker-sized allocation.
+
+// snapshotVersion identifies the framebuffer serialization format.
+const snapshotVersion = 1
+
+// ErrBadSnapshot reports a corrupted, truncated, or version-skewed
+// framebuffer serialization.
+var ErrBadSnapshot = errors.New("terminal: malformed framebuffer snapshot")
+
+// Defensive bounds on decode: anything beyond these is corruption, not a
+// screen this codebase can produce.
+const (
+	snapMaxDim         = 1 << 12 // columns or rows
+	snapMaxTitle       = 1 << 13
+	snapMaxScrollback  = 1 << 16
+	snapMaxContent     = 1 << 9 // bytes per cell grapheme
+	snapMaxScrollWidth = 1 << 12
+)
+
+// DrawState flag bit assignments (order is part of the format).
+const (
+	snapNextPrintWraps = 1 << iota
+	snapSavedCursorSet
+	snapSavedOriginMode
+	snapInsertMode
+	snapOriginMode
+	snapAutoWrapMode
+	snapCursorVisible
+	snapReverseVideo
+	snapAppCursorKeys
+	snapAppKeypad
+	snapBracketedPaste
+)
+
+// Cell flag bits.
+const (
+	snapCellWide = 1 << iota
+	snapCellWrap
+)
+
+// Rendition flag bits.
+const (
+	snapRendBold = 1 << iota
+	snapRendFaint
+	snapRendItalic
+	snapRendUnderline
+	snapRendBlink
+	snapRendInverse
+	snapRendInvisible
+)
+
+func appendRenditions(buf []byte, r Renditions) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.Fg))
+	buf = binary.AppendUvarint(buf, uint64(r.Bg))
+	var fl byte
+	if r.Bold {
+		fl |= snapRendBold
+	}
+	if r.Faint {
+		fl |= snapRendFaint
+	}
+	if r.Italic {
+		fl |= snapRendItalic
+	}
+	if r.Underline {
+		fl |= snapRendUnderline
+	}
+	if r.Blink {
+		fl |= snapRendBlink
+	}
+	if r.Inverse {
+		fl |= snapRendInverse
+	}
+	if r.Invisible {
+		fl |= snapRendInvisible
+	}
+	return append(buf, fl)
+}
+
+// contentByteLen reports how many bytes appendContentBytes will write for a
+// packed content word (0 for blank).
+func contentByteLen(content uint32) int {
+	switch {
+	case content == 0:
+		return 0
+	case content&graphemeBit == 0:
+		return utf8.RuneLen(rune(content))
+	default:
+		return len(graphemes.lookup(content))
+	}
+}
+
+// appendContentBytes appends the raw grapheme bytes of a content word
+// (nothing for blank — unlike appendContent, which substitutes a space for
+// rendering).
+func appendContentBytes(buf []byte, content uint32) []byte {
+	switch {
+	case content == 0:
+		return buf
+	case content&graphemeBit == 0:
+		return utf8.AppendRune(buf, rune(content))
+	default:
+		return append(buf, graphemes.lookup(content)...)
+	}
+}
+
+func appendCell(buf []byte, c *Cell) []byte {
+	var fl byte
+	if c.Wide {
+		fl |= snapCellWide
+	}
+	if c.wrap {
+		fl |= snapCellWrap
+	}
+	buf = append(buf, fl)
+	buf = binary.AppendUvarint(buf, uint64(contentByteLen(c.content)))
+	buf = appendContentBytes(buf, c.content)
+	return appendRenditions(buf, c.Rend)
+}
+
+// appendRow run-length encodes one row of cells.
+func appendRow(buf []byte, cells []Cell) []byte {
+	for i := 0; i < len(cells); {
+		j := i + 1
+		for j < len(cells) && cells[j] == cells[i] {
+			j++
+		}
+		buf = binary.AppendUvarint(buf, uint64(j-i))
+		buf = appendCell(buf, &cells[i])
+		i = j
+	}
+	return buf
+}
+
+// AppendSnapshot appends a versioned binary serialization of the complete
+// screen state — grid, draw state, title, synchronized counters, and the
+// visible scrollback window — to buf and returns the extended buffer. The
+// result aliases no framebuffer storage; rows shared copy-on-write with
+// snapshots are only read. With a warmed buffer the encode performs no heap
+// allocations.
+func (f *Framebuffer) AppendSnapshot(buf []byte) []byte {
+	buf = append(buf, snapshotVersion)
+	buf = binary.AppendUvarint(buf, uint64(f.W))
+	buf = binary.AppendUvarint(buf, uint64(f.H))
+
+	ds := &f.DS
+	var fl uint64
+	if ds.NextPrintWraps {
+		fl |= snapNextPrintWraps
+	}
+	if ds.savedCursorSet {
+		fl |= snapSavedCursorSet
+	}
+	if ds.SavedOriginMode {
+		fl |= snapSavedOriginMode
+	}
+	if ds.InsertMode {
+		fl |= snapInsertMode
+	}
+	if ds.OriginMode {
+		fl |= snapOriginMode
+	}
+	if ds.AutoWrapMode {
+		fl |= snapAutoWrapMode
+	}
+	if ds.CursorVisible {
+		fl |= snapCursorVisible
+	}
+	if ds.ReverseVideo {
+		fl |= snapReverseVideo
+	}
+	if ds.ApplicationCursorKeys {
+		fl |= snapAppCursorKeys
+	}
+	if ds.ApplicationKeypad {
+		fl |= snapAppKeypad
+	}
+	if ds.BracketedPaste {
+		fl |= snapBracketedPaste
+	}
+	buf = binary.AppendUvarint(buf, fl)
+	buf = binary.AppendUvarint(buf, uint64(ds.CursorRow))
+	buf = binary.AppendUvarint(buf, uint64(ds.CursorCol))
+	buf = binary.AppendUvarint(buf, uint64(ds.ScrollTop))
+	buf = binary.AppendUvarint(buf, uint64(ds.ScrollBottom))
+	buf = binary.AppendUvarint(buf, uint64(ds.SavedCursorRow))
+	buf = binary.AppendUvarint(buf, uint64(ds.SavedCursorCol))
+	buf = appendRenditions(buf, ds.Rend)
+	buf = appendRenditions(buf, ds.SavedRend)
+	// Tab stops as a bitset.
+	for i := 0; i < len(ds.Tabs); i += 8 {
+		var b byte
+		for j := 0; j < 8 && i+j < len(ds.Tabs); j++ {
+			if ds.Tabs[i+j] {
+				b |= 1 << j
+			}
+		}
+		buf = append(buf, b)
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(f.Title)))
+	buf = append(buf, f.Title...)
+	buf = binary.AppendUvarint(buf, f.BellCount)
+	buf = binary.AppendUvarint(buf, f.EchoAck)
+	buf = binary.AppendVarint(buf, int64(f.scrollbackMax))
+
+	for _, r := range f.rows {
+		buf = appendRow(buf, r.Cells)
+	}
+
+	// Scrollback window, oldest first. Rows may predate a resize, so each
+	// carries its own width.
+	buf = binary.AppendUvarint(buf, uint64(f.ScrollbackLines()))
+	for i := f.sbOff; i < f.sbLen; i++ {
+		cells := f.sb.rows[i].Cells
+		buf = binary.AppendUvarint(buf, uint64(len(cells)))
+		buf = appendRow(buf, cells)
+	}
+	return buf
+}
+
+func decodeRenditions(r *binio.Reader) (Renditions, bool) {
+	var rd Renditions
+	fg, ok := r.Uvarint()
+	if !ok || fg > uint64(^uint32(0)) {
+		return rd, false
+	}
+	bg, ok := r.Uvarint()
+	if !ok || bg > uint64(^uint32(0)) {
+		return rd, false
+	}
+	fl, ok := r.Byte()
+	if !ok {
+		return rd, false
+	}
+	rd.Fg = Color(fg)
+	rd.Bg = Color(bg)
+	rd.Bold = fl&snapRendBold != 0
+	rd.Faint = fl&snapRendFaint != 0
+	rd.Italic = fl&snapRendItalic != 0
+	rd.Underline = fl&snapRendUnderline != 0
+	rd.Blink = fl&snapRendBlink != 0
+	rd.Inverse = fl&snapRendInverse != 0
+	rd.Invisible = fl&snapRendInvisible != 0
+	return rd, true
+}
+
+// decodeRow fills cells from RLE runs, re-interning grapheme contents.
+func decodeRow(r *binio.Reader, cells []Cell) bool {
+	for filled := 0; filled < len(cells); {
+		run, ok := r.BoundedUvarint(uint64(len(cells) - filled))
+		if !ok || run == 0 {
+			return false
+		}
+		fl, ok := r.Byte()
+		if !ok {
+			return false
+		}
+		clen, ok := r.BoundedUvarint(snapMaxContent)
+		if !ok {
+			return false
+		}
+		raw, ok := r.Bytes(int(clen))
+		if !ok {
+			return false
+		}
+		rend, ok := decodeRenditions(r)
+		if !ok {
+			return false
+		}
+		var c Cell
+		// Re-intern: the packed word from the previous process is
+		// meaningless here; internContents canonicalizes the raw grapheme
+		// bytes against this process's table.
+		c.content = internContents(string(raw))
+		c.Rend = rend
+		c.Wide = fl&snapCellWide != 0
+		c.wrap = fl&snapCellWrap != 0
+		for i := 0; i < int(run); i++ {
+			cells[filled] = c
+			filled++
+		}
+	}
+	return true
+}
+
+// DecodeSnapshot decodes a serialization produced by AppendSnapshot,
+// returning the restored framebuffer and the unconsumed remainder of data.
+// All storage is freshly allocated; grapheme contents are re-interned into
+// this process's table. Any structural inconsistency returns ErrBadSnapshot.
+func DecodeSnapshot(data []byte) (*Framebuffer, []byte, error) {
+	r := binio.NewReader(data)
+	fail := func() (*Framebuffer, []byte, error) { return nil, nil, ErrBadSnapshot }
+
+	ver, ok := r.Byte()
+	if !ok || ver != snapshotVersion {
+		return fail()
+	}
+	w, ok := r.BoundedUvarint(snapMaxDim)
+	if !ok || w < 1 {
+		return fail()
+	}
+	h, ok := r.BoundedUvarint(snapMaxDim)
+	if !ok || h < 1 {
+		return fail()
+	}
+	f := NewFramebuffer(int(w), int(h))
+	ds := &f.DS
+
+	fl, ok := r.Uvarint()
+	if !ok {
+		return fail()
+	}
+	ds.NextPrintWraps = fl&snapNextPrintWraps != 0
+	ds.savedCursorSet = fl&snapSavedCursorSet != 0
+	ds.SavedOriginMode = fl&snapSavedOriginMode != 0
+	ds.InsertMode = fl&snapInsertMode != 0
+	ds.OriginMode = fl&snapOriginMode != 0
+	ds.AutoWrapMode = fl&snapAutoWrapMode != 0
+	ds.CursorVisible = fl&snapCursorVisible != 0
+	ds.ReverseVideo = fl&snapReverseVideo != 0
+	ds.ApplicationCursorKeys = fl&snapAppCursorKeys != 0
+	ds.ApplicationKeypad = fl&snapAppKeypad != 0
+	ds.BracketedPaste = fl&snapBracketedPaste != 0
+
+	coords := []*int{
+		&ds.CursorRow, &ds.CursorCol, &ds.ScrollTop, &ds.ScrollBottom,
+		&ds.SavedCursorRow, &ds.SavedCursorCol,
+	}
+	for _, dst := range coords {
+		v, ok := r.BoundedUvarint(snapMaxDim)
+		if !ok {
+			return fail()
+		}
+		*dst = int(v)
+	}
+	if ds.CursorRow >= f.H || ds.CursorCol >= f.W ||
+		ds.ScrollTop >= f.H || ds.ScrollBottom >= f.H || ds.ScrollTop > ds.ScrollBottom {
+		return fail()
+	}
+	if ds.Rend, ok = decodeRenditions(&r); !ok {
+		return fail()
+	}
+	if ds.SavedRend, ok = decodeRenditions(&r); !ok {
+		return fail()
+	}
+	tabBytes, ok := r.Bytes((f.W + 7) / 8)
+	if !ok {
+		return fail()
+	}
+	for i := range ds.Tabs {
+		ds.Tabs[i] = tabBytes[i/8]&(1<<(i%8)) != 0
+	}
+
+	tlen, ok := r.BoundedUvarint(snapMaxTitle)
+	if !ok {
+		return fail()
+	}
+	title, ok := r.Bytes(int(tlen))
+	if !ok {
+		return fail()
+	}
+	f.Title = string(title)
+	if f.BellCount, ok = r.Uvarint(); !ok {
+		return fail()
+	}
+	if f.EchoAck, ok = r.Uvarint(); !ok {
+		return fail()
+	}
+	sbMax, ok := r.Varint()
+	if !ok || sbMax > snapMaxScrollback || sbMax < -1 {
+		return fail()
+	}
+	f.scrollbackMax = int(sbMax)
+
+	for i := 0; i < f.H; i++ {
+		if !decodeRow(&r, f.rows[i].Cells) {
+			return fail()
+		}
+		f.rows[i].gen = nextGen()
+	}
+
+	sbCount, ok := r.BoundedUvarint(snapMaxScrollback)
+	if !ok {
+		return fail()
+	}
+	if sbCount > 0 {
+		if f.scrollbackMax < 0 || sbCount > uint64(f.effectiveScrollbackMax()) {
+			return fail()
+		}
+		hist := &scrollHistory{rows: make([]*Row, 0, int(sbCount))}
+		for i := uint64(0); i < sbCount; i++ {
+			width, ok := r.BoundedUvarint(snapMaxScrollWidth)
+			if !ok {
+				return fail()
+			}
+			row := &Row{Cells: make([]Cell, int(width)), gen: nextGen()}
+			if !decodeRow(&r, row.Cells) {
+				return fail()
+			}
+			hist.rows = append(hist.rows, row)
+		}
+		f.sb = hist
+		f.sbOff, f.sbLen = 0, len(hist.rows)
+	}
+	return f, r.Rest(), nil
+}

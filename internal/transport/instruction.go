@@ -9,8 +9,11 @@ import (
 	"io"
 )
 
-// protocolVersion identifies this wire format.
-const protocolVersion = 2
+// protocolVersion identifies this wire format. Version 3 added the
+// absolute-start-index prefix to user-stream diffs (crash-safe session
+// resumption); a version-2 peer's diffs would misparse silently, so the
+// bump makes mixed-version pairs fail loudly with ErrVersion instead.
+const protocolVersion = 3
 
 // Instruction is the transport layer's only message: a self-contained
 // statement that "state NewNum is state OldNum plus this diff", along with

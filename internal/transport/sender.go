@@ -53,6 +53,10 @@ type SenderStats struct {
 	EmptyAcks    int // pure acks and heartbeats
 	Fragments    int // datagrams sent
 	DiffBytes    int64
+	// Suppressed counts sends refused by the durable reservation ceilings
+	// (sequence numbers or state numbers). SSP treats each as loss; the
+	// persistence layer flushes its journal to extend the reservation.
+	Suppressed int
 }
 
 // sentState is one entry in the sender's history of states the receiver
@@ -111,6 +115,16 @@ type Sender[T State[T]] struct {
 	recycleWire bool
 	wirePool    [][]byte
 
+	// numFloor is the journal-restored state-number reservation: the first
+	// state minted after a restart takes at least this number, so it
+	// strictly exceeds every state number any previous incarnation sent
+	// (the receiver's NewNum-based dedup then admits the resume repaint).
+	numFloor uint64
+	// numCeiling bounds minted state numbers for crash safety, with the
+	// same two-phase journal protocol as the datagram layer's sequence
+	// ceiling (network.Connection.SetSeqCeiling). 0 means unlimited.
+	numCeiling uint64
+
 	shutdown bool
 
 	stats SenderStats
@@ -132,6 +146,49 @@ func newSender[T State[T]](conn *network.Connection, clock simclock.Clock, timin
 		sentStates:   []sentState[T]{{num: 0, at: now, state: current.Clone()}},
 		nextAckTime:  now.Add(timing.HeartbeatInterval),
 	}
+}
+
+// newResumedSender builds a sender restored from a journal: current is the
+// restored live object, baseline is the agreed initial state (state number
+// 0, ownership transfers to the sender), and numFloor is the persisted
+// state-number reservation. Because current differs from the baseline, the
+// first tick conveys a full fresh-baseline diff (0 → numFloor) that the
+// receiver applies via its pristine state-0 fallback.
+func newResumedSender[T State[T]](conn *network.Connection, clock simclock.Clock, timing Timing, current, baseline T, numFloor uint64) *Sender[T] {
+	s := newSender(conn, clock, timing, current)
+	recycle(s.sentStates[0].state)
+	s.sentStates[0].state = baseline
+	s.numFloor = numFloor
+	return s
+}
+
+// SetNumCeiling installs the durable state-number reservation ceiling; see
+// network.Connection.SetSeqCeiling for the two-phase crash-safety protocol
+// it participates in. 0 means unlimited.
+func (s *Sender[T]) SetNumCeiling(ceiling uint64) { s.numCeiling = ceiling }
+
+// NumHighWater reports the state-number reservation a journal snapshot must
+// exceed: one past the newest minted number, and never below the restored
+// floor (which may not have minted yet).
+func (s *Sender[T]) NumHighWater() uint64 {
+	hw := s.back().num + 1
+	if hw < s.numFloor {
+		hw = s.numFloor
+	}
+	return hw
+}
+
+// NumRemaining reports how many new states may still be minted under the
+// current reservation (unlimited when no ceiling is set).
+func (s *Sender[T]) NumRemaining() uint64 {
+	if s.numCeiling == 0 {
+		return ^uint64(0)
+	}
+	hw := s.NumHighWater()
+	if hw >= s.numCeiling {
+		return 0
+	}
+	return s.numCeiling - hw
 }
 
 // CurrentState returns the live object the sender synchronizes from.
@@ -344,6 +401,16 @@ func (s *Sender[T]) sendToReceiver(now time.Time, diff []byte) {
 		s.back().at = now
 	} else {
 		newNum = s.back().num + 1
+		if newNum < s.numFloor {
+			newNum = s.numFloor
+		}
+		if s.numCeiling != 0 && newNum >= s.numCeiling {
+			// Reservation exhausted: minting this number could collide
+			// with a post-crash restore. Suppress (SSP sees loss) until
+			// the journal extends the reservation.
+			s.stats.Suppressed++
+			return
+		}
 		s.addSentState(now, newNum)
 	}
 	s.sendInstruction(now, &Instruction{
@@ -390,7 +457,11 @@ func (s *Sender[T]) sendInstruction(now time.Time, inst *Instruction) {
 		s.fragBuf = f.appendMarshal(s.fragBuf[:0])
 		wire, err := s.conn.AppendPacket(s.takeWireBuf(len(s.fragBuf)), s.fragBuf)
 		if err != nil {
-			return // sequence space exhausted; session is dead
+			// Sequence reservation exhausted (recoverable after a journal
+			// flush) or the sequence space itself is gone (session dead).
+			// Either way the datagram is suppressed like loss.
+			s.stats.Suppressed++
+			return
 		}
 		s.stats.Fragments++
 		if s.emit != nil {

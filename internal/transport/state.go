@@ -77,3 +77,26 @@ func recycle[T State[T]](st T) {
 		r.Recycle()
 	}
 }
+
+// ResumableState is an optional State capability for objects whose diffs
+// are self-verifying: they carry enough position information that applying
+// a diff whose source state the receiver does not hold is still exactly
+// correct (or detectably unusable). The user-input stream qualifies — its
+// diffs carry the absolute event index they start at — while screen states
+// do not (a screen diff applied to the wrong base renders garbage).
+//
+// A receiver restored from a journal (Receiver "any base" mode, see
+// transport.Resume) uses this to resynchronize with a sender that still
+// references pre-crash states: the diff is applied to a clone of the
+// newest state, skipping any overlap by index.
+type ResumableState interface {
+	// ApplyUnknownBase applies diff to this state even though this state
+	// is not the diff's source. ackedSource reports that the instruction
+	// proves its source state was acknowledged end-to-end (OldNum equals
+	// ThrowawayNum), which licenses skipping a gap the dead process is
+	// known to have delivered. It returns ok=false when the diff cannot be
+	// applied safely (the caller treats the instruction as unusable and
+	// SSP's fallback-to-acked-base recovers), and a non-nil error only for
+	// malformed input.
+	ApplyUnknownBase(diff []byte, ackedSource bool) (ok bool, err error)
+}

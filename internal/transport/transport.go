@@ -55,10 +55,49 @@ type Config[L State[L], R State[R]] struct {
 	// off when Emit retains the buffer (internal/netem keeps payloads in
 	// flight).
 	RecycleWire bool
+
+	// Resume, when non-nil, restores this endpoint from a journal snapshot
+	// written by a previous incarnation (internal/sessiond's crash-safe
+	// restart). LocalInitial is then the restored live object and
+	// LocalBaseline must be set to the agreed initial state (state number
+	// 0); RemoteInitial is the restored remote object, installed as state
+	// number Resume.RecvNum.
+	Resume *Resume
+	// LocalBaseline is the agreed initial local state; read only when
+	// Resume is non-nil. Ownership transfers to the sender.
+	LocalBaseline L
+}
+
+// Resume restores a Transport endpoint across a process restart. Every
+// counter in it must come from a durable journal whose reservation rules
+// guarantee it exceeds anything the dead process sent (see
+// network.Connection.SetSeqCeiling and Sender.SetNumCeiling).
+type Resume struct {
+	// SendNumFloor is the state-number reservation: the first state minted
+	// after restore takes at least this number.
+	SendNumFloor uint64
+	// RecvNum is the state number the restored remote object is installed
+	// as (the newest remote state the dead process had received).
+	RecvNum uint64
+	// NextSeq and ExpectedSeq restore the datagram layer's counters.
+	NextSeq, ExpectedSeq uint64
+	// RemoteAddr optionally seeds the reply target (see network.Resume).
+	RemoteAddr *netem.Addr
+	// Heard marks that the dead process had heard authentic traffic.
+	Heard bool
 }
 
 // New builds a Transport endpoint.
 func New[L State[L], R State[R]](cfg Config[L, R]) (*Transport[L, R], error) {
+	var netResume *network.Resume
+	if rs := cfg.Resume; rs != nil {
+		netResume = &network.Resume{
+			NextSeq:     rs.NextSeq,
+			ExpectedSeq: rs.ExpectedSeq,
+			RemoteAddr:  rs.RemoteAddr,
+			Heard:       rs.Heard,
+		}
+	}
 	conn, err := network.NewConnection(network.Config{
 		Direction: cfg.Direction,
 		Key:       cfg.Key,
@@ -66,6 +105,7 @@ func New[L State[L], R State[R]](cfg Config[L, R]) (*Transport[L, R], error) {
 		MinRTO:    cfg.MinRTO,
 		MaxRTO:    cfg.MaxRTO,
 		Envelope:  cfg.Envelope,
+		Resume:    netResume,
 	})
 	if err != nil {
 		return nil, err
@@ -74,14 +114,32 @@ func New[L State[L], R State[R]](cfg Config[L, R]) (*Transport[L, R], error) {
 	if cfg.Timing != nil {
 		timing = *cfg.Timing
 	}
-	s := newSender[L](conn, cfg.Clock, timing, cfg.LocalInitial)
+	var s *Sender[L]
+	var r *Receiver[R]
+	if rs := cfg.Resume; rs != nil {
+		s = newResumedSender[L](conn, cfg.Clock, timing, cfg.LocalInitial, cfg.LocalBaseline, rs.SendNumFloor)
+		// Fragment ids only need monotonicity; reusing the sequence
+		// reservation guarantees the restored ids exceed every id the dead
+		// process emitted, so the peer's reassembly never mistakes a
+		// post-restart instruction for a stale fragment.
+		s.frag.nextID = rs.NextSeq
+		// The journal proves receipt through RecvNum; advertising it from
+		// the first post-restore instruction lets a surviving client whose
+		// ack was lost in the crash collapse its history instead of
+		// retransmitting its newest state at every RTO forever.
+		s.ackNum = rs.RecvNum
+		r = newResumedReceiver[R](cfg.RemoteInitial, rs.RecvNum)
+	} else {
+		s = newSender[L](conn, cfg.Clock, timing, cfg.LocalInitial)
+		r = newReceiver[R](cfg.RemoteInitial)
+	}
 	s.emit = cfg.Emit
 	s.recycleWire = cfg.RecycleWire
 	return &Transport[L, R]{
 		conn:     conn,
 		clock:    cfg.Clock,
 		sender:   s,
-		receiver: newReceiver[R](cfg.RemoteInitial),
+		receiver: r,
 	}, nil
 }
 
@@ -94,7 +152,10 @@ func (t *Transport[L, R]) Sender() *Sender[L] { return t.sender }
 // CurrentState returns the live local object.
 func (t *Transport[L, R]) CurrentState() L { return t.sender.currentState }
 
-// RemoteState returns the newest reconstructed remote state (read-only).
+// RemoteState returns the newest reconstructed remote state. Treat it as
+// read-only and do not retain it across the next Receive: the receiver
+// recycles retired history, so a stale reference may observe its storage
+// being reused (Clone before retaining).
 func (t *Transport[L, R]) RemoteState() R { return t.receiver.Latest() }
 
 // RemoteStateNum returns the newest remote state number.
