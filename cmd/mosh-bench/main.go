@@ -19,6 +19,10 @@
 //	                           # from its journal mid-run (resumption
 //	                           # latency percentiles), a third of clients
 //	                           # roaming, lossy non-shell cohorts
+//	mosh-bench -exp manysession -sessions 1000 -unbatched
+//	                           # one-syscall-per-datagram baseline; compare
+//	                           # its "socket io" line against the default
+//	                           # batched pipeline's
 //
 // -keys N sets the keystrokes per user (default: the paper-scale 1664,
 // ≈10k total across six users).
@@ -46,6 +50,7 @@ func main() {
 	restart := flag.Bool("restart", false, "manysession: kill the daemon mid-run and restore it from its journal; report resumption latency percentiles")
 	roam := flag.Bool("roam", false, "manysession: a third of the sessions change source address mid-run")
 	lossy := flag.Bool("lossy", false, "manysession: per-cohort lossy links (editor 1%, log-tail 3%)")
+	unbatched := flag.Bool("unbatched", false, "manysession: one-datagram-per-syscall fallback mode (the baseline the batched pipeline is measured against)")
 	flag.Parse()
 
 	cfg := bench.Config{KeystrokesPerUser: *keys, Seed: *seed}
@@ -94,6 +99,7 @@ func main() {
 			Restart:      *restart,
 			Roam:         *roam,
 			LossyCohorts: *lossy,
+			Unbatched:    *unbatched,
 		})
 		fmt.Println(bench.FormatManySession(res))
 		fmt.Fprintf(os.Stderr, "[manysession done in %v]\n\n", time.Since(start).Round(time.Millisecond))

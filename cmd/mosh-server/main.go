@@ -13,13 +13,19 @@
 // Usage:
 //
 //	mosh-server [-port 60001] [-sessions 64] [-demo shell|editor|mail]
-//	            [-idle 12h] [-debug 127.0.0.1:6060]
+//	            [-idle 12h] [-debug 127.0.0.1:6060] [-batchio=false]
 //	            [-state-dir /var/lib/moshd] [-journal 10s]
 //
 // Then, per printed line: mosh-client -to <host>:<port> -key <key> -session <id>
 //
+// The daemon serves its socket through the batched datagram pipeline
+// (internal/udpbatch): recvmmsg/sendmmsg on Linux move whole batches of
+// datagrams per syscall; -batchio=false forces the portable
+// one-datagram-per-syscall loop instead.
+//
 // -debug serves the daemon's expvar metrics (sessions live, packets and
-// bytes in/out, evictions, dispatch-queue depth) at /debug/vars.
+// bytes in/out, evictions, queue depths, batch-size percentiles, syscalls
+// avoided) at /debug/vars.
 //
 // -state-dir enables crash-safe session resumption: the daemon journals
 // every session's durable core there (periodically, per -journal, and on
@@ -31,7 +37,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -39,14 +44,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/host"
-	"repro/internal/netem"
 	"repro/internal/sessiond"
 	"repro/internal/simclock"
+	"repro/internal/udpbatch"
 )
 
 func main() {
@@ -57,6 +61,7 @@ func main() {
 	debug := flag.String("debug", "", "serve expvar metrics on this address (e.g. 127.0.0.1:6060)")
 	stateDir := flag.String("state-dir", "", "journal sessions here and restore them on start (crash-safe resumption)")
 	journal := flag.Duration("journal", sessiond.DefaultJournalInterval, "journal flush cadence with -state-dir")
+	batchio := flag.Bool("batchio", true, "vectorized socket I/O (recvmmsg/sendmmsg) when the platform supports it; false forces the one-datagram-per-syscall loop")
 	flag.Parse()
 
 	conn, err := net.ListenUDP("udp", &net.UDPAddr{Port: *port})
@@ -86,8 +91,8 @@ func main() {
 		NewApp:      newApp,
 		Capacity:    *sessions,
 		IdleTimeout: *idle,
-		// The socket adapter's WriteTo copies into the kernel before
-		// returning, so per-session wire buffers are recycled.
+		// Egress hands datagrams to the kernel before recycling, so
+		// per-session wire buffers are reused (the ring owns pooled copies).
 		RecycleWire:     true,
 		StateDir:        *stateDir,
 		JournalInterval: *journal,
@@ -136,94 +141,19 @@ func main() {
 		}()
 	}
 
-	if err := d.Serve(newUDPAdapter(conn)); err != nil {
+	// The batch connection handles address translation itself: netem.Addr
+	// is a bijective compression of (IPv4, port), so replies — including
+	// post-roam replies — decompress straight back into socket addresses
+	// with no pre-authentication side table to poison. Non-IPv4 sources
+	// are dropped at the read (IPv6 needs a wider address type in
+	// internal/netem first — ROADMAP).
+	var bc udpbatch.Conn
+	if *batchio {
+		bc = udpbatch.NewUDPConn(conn)
+	} else {
+		bc = udpbatch.NewUDPLoopConn(conn)
+	}
+	if err := d.ServeBatch(bc); err != nil {
 		log.Fatal(err)
 	}
-}
-
-// udpAdapter bridges *net.UDPConn to sessiond.PacketConn. The stack tracks
-// peers as netem.Addr (a 32-bit host plus port); the adapter remembers the
-// real UDP address behind each compressed one so replies — including
-// post-roam replies — reach the true socket address. Only IPv4 sources are
-// accepted: the (host, port) → netem.Addr mapping is then injective, so
-// this pre-authentication table cannot be poisoned to redirect another
-// peer's replies (a spoofed datagram from a victim's own address writes
-// the identical entry). IPv6 needs a wider address type in internal/netem
-// first (ROADMAP).
-type udpAdapter struct {
-	conn *net.UDPConn
-	mu   sync.RWMutex
-	real map[netem.Addr]*net.UDPAddr
-}
-
-func newUDPAdapter(conn *net.UDPConn) *udpAdapter {
-	return &udpAdapter{conn: conn, real: make(map[netem.Addr]*net.UDPAddr)}
-}
-
-// maxAddrCache bounds the compressed→real address map. Entries are written
-// before any authentication runs, so a spoofed-source flood could otherwise
-// grow it without limit. On overflow the cache resets; live peers re-teach
-// their entry with their next datagram (at worst one heartbeat interval of
-// undeliverable replies).
-const maxAddrCache = 1 << 16
-
-func (u *udpAdapter) ReadFrom(buf []byte) (int, netem.Addr, error) {
-	for {
-		n, src, err := u.conn.ReadFromUDP(buf)
-		if err != nil {
-			// One client's ICMP port-unreachable (or similar transient
-			// error) must not tear down every other session on the
-			// socket; only a closed socket ends the daemon.
-			if errors.Is(err, net.ErrClosed) {
-				return 0, netem.Addr{}, err
-			}
-			fmt.Fprintln(os.Stderr, "read:", err)
-			continue
-		}
-		a, ok := compressUDPAddr(src)
-		if !ok {
-			continue // non-IPv4 source: unsupported, see type comment
-		}
-		// Steady state is all read-locks: the entry only changes when a
-		// peer is new or roamed, so the reader does not serialize the
-		// session workers' concurrent WriteTo calls on the write lock.
-		u.mu.RLock()
-		known := u.real[a]
-		u.mu.RUnlock()
-		if known == nil || !known.IP.Equal(src.IP) || known.Port != src.Port {
-			u.mu.Lock()
-			if len(u.real) >= maxAddrCache {
-				u.real = make(map[netem.Addr]*net.UDPAddr, 1024)
-			}
-			u.real[a] = src
-			u.mu.Unlock()
-		}
-		return n, a, nil
-	}
-}
-
-// Close unblocks ReadFrom so sessiond.Daemon.Close can end Serve.
-func (u *udpAdapter) Close() error { return u.conn.Close() }
-
-func (u *udpAdapter) WriteTo(wire []byte, dst netem.Addr) error {
-	u.mu.RLock()
-	real := u.real[dst]
-	u.mu.RUnlock()
-	if real == nil {
-		return nil // never heard from this address; nothing to reply to
-	}
-	_, err := u.conn.WriteToUDP(wire, real)
-	return err
-}
-
-// compressUDPAddr maps an IPv4 UDP source into the emulated-address form
-// the datagram layer tracks roaming with; the mapping is injective. Non-
-// IPv4 sources report ok=false.
-func compressUDPAddr(a *net.UDPAddr) (netem.Addr, bool) {
-	ip4 := a.IP.To4()
-	if ip4 == nil {
-		return netem.Addr{}, false
-	}
-	hostBits := uint32(ip4[0])<<24 | uint32(ip4[1])<<16 | uint32(ip4[2])<<8 | uint32(ip4[3])
-	return netem.Addr{Host: hostBits, Port: uint16(a.Port)}, true
 }

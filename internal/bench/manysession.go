@@ -1,7 +1,10 @@
 package bench
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/fnv"
 	"os"
 	"strings"
 	"time"
@@ -13,6 +16,8 @@ import (
 	"repro/internal/overlay"
 	"repro/internal/sessiond"
 	"repro/internal/simclock"
+	"repro/internal/terminal"
+	"repro/internal/udpbatch"
 )
 
 // ManySessionOptions configures the multi-session load generator: N
@@ -52,6 +57,26 @@ type ManySessionOptions struct {
 	// transplanted, and reports per-session resumption latency: restore
 	// instant → first post-restart state accepted by that client.
 	Restart bool
+	// Unbatched runs the daemon on the one-datagram-per-syscall model (the
+	// portable fallback / pre-batching baseline): ingress is handled one
+	// packet at a time and write accounting is one syscall per datagram.
+	// The default (false) drives the batched pipeline: whole ingress
+	// batches demultiplexed at once, egress flushed through modeled
+	// sendmmsg sweeps. Packet handling instants are identical in both
+	// modes, so the comparison isolates syscall amortization.
+	Unbatched bool
+	// DeliveryQuantum models receive-side interrupt coalescing on the
+	// daemon's ingress path (client→daemon links only): arrivals are
+	// clustered onto quantum boundaries, exactly as a NIC+epoll loop hands
+	// a busy process everything since its last wakeup. It applies to BOTH
+	// modes, so latency percentiles stay directly comparable. Zero takes
+	// the 1 ms default; negative disables coalescing.
+	DeliveryQuantum time.Duration
+	// CaptureFrames records, per session, a running hash of every server
+	// state the client accepts (in order) plus the final rendered screen —
+	// the equivalence test's evidence that batched and unbatched runs
+	// produce byte-identical per-session frame streams.
+	CaptureFrames bool
 }
 
 // ManySessionResult aggregates the run.
@@ -90,6 +115,20 @@ type ManySessionResult struct {
 	Restarted     bool
 	Restored      int64
 	ResumeSamples []Sample
+	// ReadCalls/WriteCalls count daemon-side socket syscalls (modeled:
+	// one per batch in batched mode, one per datagram in unbatched mode);
+	// SyscallsPerPacket = (ReadCalls+WriteCalls)/(PacketsIn+PacketsOut).
+	ReadCalls, WriteCalls int64
+	SyscallsPerPacket     float64
+	// Batch-size distribution observed by the daemon (datagrams moved per
+	// syscall; from the final daemon incarnation on restart runs).
+	ReadBatchP50, ReadBatchP99   int
+	WriteBatchP50, WriteBatchP99 int
+	// FrameHashes (with CaptureFrames) holds one order-sensitive FNV-1a
+	// hash per session over every accepted server state; FinalFrames holds
+	// each session's converged screen render.
+	FrameHashes []uint64
+	FinalFrames [][]byte
 }
 
 // shellPromptLen is where the first echoed character lands on the prompt
@@ -115,6 +154,9 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 	}
 	if opt.Params == (netem.LinkParams{}) {
 		opt.Params = netem.LinkParams{Delay: 2 * time.Millisecond, Overhead: 28}
+	}
+	if opt.DeliveryQuantum == 0 {
+		opt.DeliveryQuantum = time.Millisecond
 	}
 
 	wallStart := time.Now()
@@ -162,6 +204,7 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		},
 		RestoreApp:  func(id uint64) host.App { return apps[id] },
 		IdleTimeout: -1,
+		UnbatchedIO: opt.Unbatched,
 	}
 	if opt.Restart {
 		stateDir, err := os.MkdirTemp("", "mosh-bench-journal-")
@@ -176,10 +219,29 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		panic(err)
 	}
 	wakeDaemon := d.Pump(sched)
-	nw.Attach(daemonAddr, func(p netem.Packet) {
-		// d and wakeDaemon are rebound when the restart scenario swaps in
-		// the restored daemon; in-flight packets follow automatically.
-		d.HandlePacket(p.Payload, p.Src)
+	// The daemon's "socket": a coalescing sink collects every same-instant
+	// arrival (clustered by the ingress links' delivery quantum, the way a
+	// busy reader finds the kernel queue on wakeup) and hands the daemon
+	// the whole batch. The batched mode demultiplexes it in one sweep
+	// (HandleBatch); the unbatched baseline handles the identical packets
+	// at the identical instants one syscall-equivalent at a time, so the
+	// two modes differ only in syscall amortization. d and wakeDaemon are
+	// rebound when the restart scenario swaps in the restored daemon;
+	// in-flight packets follow automatically.
+	var ingressScratch []udpbatch.Message
+	netem.NewBatchSink(nw, daemonAddr, func(pkts []netem.Packet) {
+		if opt.Unbatched {
+			for _, p := range pkts {
+				d.HandlePacket(p.Payload, p.Src)
+			}
+		} else {
+			msgs := ingressScratch[:0]
+			for _, p := range pkts {
+				msgs = append(msgs, udpbatch.Message{Buf: p.Payload, Addr: p.Src})
+			}
+			ingressScratch = msgs[:0]
+			d.HandleBatch(msgs)
+		}
 		wakeDaemon()
 	})
 
@@ -202,6 +264,10 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		preNum   uint64
 		resumeAt time.Time
 		receive  func(p netem.Packet)
+		// Frame-stream capture (CaptureFrames): an order-sensitive hash
+		// over every accepted server state.
+		frameNum  uint64
+		frameHash hash.Hash64
 	}
 	clients := make([]*loadClient, opt.Sessions)
 	res := ManySessionResult{Sessions: opt.Sessions, Keystrokes: opt.Keystrokes}
@@ -219,6 +285,18 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		}
 		return p
 	}
+	// newClientPath builds one client's link pair: the uplink carries the
+	// daemon-side delivery quantum (receive coalescing at the shared
+	// socket), the downlink delivers exactly (clients are one-session
+	// processes; their read syscalls are not what this bench scales).
+	// Seed handling matches netem.NewPath, keeping runs comparable.
+	newClientPath := func(cohort int, seed int64) *netem.Path {
+		up := cohortParams(cohort)
+		if opt.DeliveryQuantum > 0 {
+			up.DeliveryQuantum = opt.DeliveryQuantum
+		}
+		return netem.NewAsymmetricPath(nw, up, cohortParams(cohort), seed)
+	}
 
 	for i := 0; i < opt.Sessions; i++ {
 		switch cohortOf(i) {
@@ -234,8 +312,11 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 			panic(err)
 		}
 		lc := &loadClient{cohort: cohortOf(i)}
+		if opt.CaptureFrames {
+			lc.frameHash = fnv.New64a()
+		}
 		lc.addr = netem.Addr{Host: uint32(1 + i), Port: uint16(1000 + i%60000)}
-		lc.path = netem.NewPath(nw, cohortParams(lc.cohort), opt.Seed+int64(i)*7919)
+		lc.path = newClientPath(lc.cohort, opt.Seed+int64(i)*7919)
 		paths[lc.addr] = lc.path
 		lc.cl, err = core.NewClient(core.ClientConfig{
 			Key:         sess.Key(),
@@ -254,6 +335,15 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		receive := func(p netem.Packet) {
 			lc.cl.Receive(p.Payload, p.Src)
 			now := sched.Now()
+			if lc.frameHash != nil {
+				if num := lc.cl.Transport().RemoteStateNum(); num > lc.frameNum {
+					lc.frameNum = num
+					var numBuf [8]byte
+					binary.BigEndian.PutUint64(numBuf[:], num)
+					lc.frameHash.Write(numBuf[:])
+					lc.frameHash.Write(terminal.NewFrame(false, nil, lc.cl.ServerState()))
+				}
+			}
 			if !lc.resumeAt.IsZero() && lc.cl.Transport().RemoteStateNum() > lc.preNum {
 				res.ResumeSamples = append(res.ResumeSamples, Sample{Latency: now.Sub(lc.resumeAt)})
 				lc.resumeAt = time.Time{}
@@ -285,6 +375,7 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 	packetsIn0, packetsOut0 := m.PacketsIn.Value(), m.PacketsOut.Value()
 	bytesIn0, bytesOut0 := m.BytesIn.Value(), m.BytesOut.Value()
 	queueDrops0, roams0 := m.DropsQueueFull.Value(), m.RoamingEvents.Value()
+	readCalls0, writeCalls0 := m.ReadBatchCalls.Value(), m.WriteBatchCalls.Value()
 	harvest := func() {
 		res.PacketsIn += m.PacketsIn.Value() - packetsIn0
 		res.PacketsOut += m.PacketsOut.Value() - packetsOut0
@@ -292,12 +383,15 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		res.BytesOut += m.BytesOut.Value() - bytesOut0
 		res.QueueDrops += m.DropsQueueFull.Value() - queueDrops0
 		res.Roams += m.RoamingEvents.Value() - roams0
+		res.ReadCalls += m.ReadBatchCalls.Value() - readCalls0
+		res.WriteCalls += m.WriteBatchCalls.Value() - writeCalls0
 	}
 	rebase := func() {
 		m = d.Metrics()
 		packetsIn0, packetsOut0 = m.PacketsIn.Value(), m.PacketsOut.Value()
 		bytesIn0, bytesOut0 = m.BytesIn.Value(), m.BytesOut.Value()
 		queueDrops0, roams0 = m.DropsQueueFull.Value(), m.RoamingEvents.Value()
+		readCalls0, writeCalls0 = m.ReadBatchCalls.Value(), m.WriteBatchCalls.Value()
 	}
 	start := sched.Now()
 
@@ -379,7 +473,7 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 				nw.Detach(lc.addr)
 				delete(paths, lc.addr)
 				lc.addr = netem.Addr{Host: uint32(1<<20 + i), Port: uint16(2000 + i%60000)}
-				lc.path = netem.NewPath(nw, cohortParams(lc.cohort), opt.Seed+int64(i)*104729)
+				lc.path = newClientPath(lc.cohort, opt.Seed+int64(i)*104729)
 				paths[lc.addr] = lc.path
 				nw.Attach(lc.addr, lc.receive)
 				// Speak from the new address promptly so the daemon
@@ -404,6 +498,19 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 	res.Elapsed = sched.Now().Sub(start)
 	res.Wall = time.Since(wallStart)
 	harvest()
+	res.ReadBatchP50 = m.ReadBatchSizes.Quantile(0.50)
+	res.ReadBatchP99 = m.ReadBatchSizes.Quantile(0.99)
+	res.WriteBatchP50 = m.WriteBatchSizes.Quantile(0.50)
+	res.WriteBatchP99 = m.WriteBatchSizes.Quantile(0.99)
+	if pkts := res.PacketsIn + res.PacketsOut; pkts > 0 {
+		res.SyscallsPerPacket = float64(res.ReadCalls+res.WriteCalls) / float64(pkts)
+	}
+	if opt.CaptureFrames {
+		for _, lc := range clients {
+			res.FrameHashes = append(res.FrameHashes, lc.frameHash.Sum64())
+			res.FinalFrames = append(res.FinalFrames, terminal.NewFrame(false, nil, lc.cl.ServerState()))
+		}
+	}
 	return res
 }
 
@@ -426,6 +533,17 @@ func FormatManySession(r ManySessionResult) string {
 	fmt.Fprintf(&b, "  throughput: %7.0f pkts/s in, %7.0f pkts/s out, %8.1f KB/s in, %8.1f KB/s out (virtual)\n",
 		float64(r.PacketsIn)/secs, float64(r.PacketsOut)/secs,
 		float64(r.BytesIn)/secs/1024, float64(r.BytesOut)/secs/1024)
+	if r.ReadCalls+r.WriteCalls > 0 {
+		// The unbatched baseline is exactly 1.0 syscall per datagram by
+		// construction, so the factor below is directly the batching win.
+		factor := 0.0
+		if r.SyscallsPerPacket > 0 {
+			factor = 1 / r.SyscallsPerPacket
+		}
+		fmt.Fprintf(&b, "  socket io: %d read + %d write syscalls for %d pkts → %.3f syscalls/pkt (%.1fx fewer than 1/pkt); batch size read p50/p99 = %d/%d, write p50/p99 = %d/%d\n",
+			r.ReadCalls, r.WriteCalls, r.PacketsIn+r.PacketsOut, r.SyscallsPerPacket, factor,
+			r.ReadBatchP50, r.ReadBatchP99, r.WriteBatchP50, r.WriteBatchP99)
+	}
 	st := Summarize(r.Samples)
 	fmt.Fprintf(&b, "  keystroke latency: n=%d p50=%v p90=%v p99=%v max=%v lost=%d\n",
 		st.N, Percentile(r.Samples, 50), Percentile(r.Samples, 90),

@@ -38,6 +38,17 @@ func TestManySessionLoad1000(t *testing.T) {
 	if res.PacketsIn == 0 || res.PacketsOut == 0 {
 		t.Fatal("no aggregate traffic measured")
 	}
+	// The batched pipeline's acceptance threshold at scale: at 1000
+	// sessions the daemon must spend at least 4x fewer read+write
+	// syscalls per delivered packet than the one-per-datagram baseline
+	// (which is exactly 1.0 by construction).
+	if res.SyscallsPerPacket <= 0 || res.SyscallsPerPacket > 0.25 {
+		t.Fatalf("batched pipeline spent %.3f syscalls/pkt at 1000 sessions, want <= 0.25 (>=4x fewer)",
+			res.SyscallsPerPacket)
+	}
+	if res.ReadBatchP50 < 2 {
+		t.Fatalf("median read batch = %d datagrams/syscall; batching is not engaging", res.ReadBatchP50)
+	}
 }
 
 func TestManySessionLossRecovery(t *testing.T) {

@@ -95,6 +95,15 @@ type LinkParams struct {
 	// AllowReorder permits jitter to reorder packets. When false
 	// (the default), delivery times are monotonized per link.
 	AllowReorder bool
+	// DeliveryQuantum, when positive, rounds every delivery instant up to
+	// the next multiple of the quantum. It models receive-side interrupt
+	// coalescing / reader-wakeup granularity: a real NIC and epoll loop
+	// hand the process everything that arrived since the last wakeup in
+	// one go, which is exactly the clustering that makes recvmmsg pay off.
+	// Packets that would land within the same quantum are delivered at the
+	// same (quantized) instant, where a batch-aware endpoint (BatchSink)
+	// can take them as one batch. Zero keeps exact delivery times.
+	DeliveryQuantum time.Duration
 }
 
 // LinkStats counts what happened to packets offered to a link.
@@ -178,6 +187,13 @@ func (l *Link) Send(p Packet) bool {
 	if l.params.Jitter > 0 {
 		deliverAt = deliverAt.Add(time.Duration(l.rng.Int63n(int64(l.params.Jitter))))
 	}
+	if q := l.params.DeliveryQuantum; q > 0 {
+		// Round up to the next quantum boundary (ceiling preserves per-link
+		// ordering, so it composes with the monotonize step below).
+		if rem := deliverAt.UnixNano() % int64(q); rem > 0 {
+			deliverAt = deliverAt.Add(q - time.Duration(rem))
+		}
+	}
 	if !l.params.AllowReorder && deliverAt.Before(l.lastDelivery) {
 		deliverAt = l.lastDelivery
 	}
@@ -189,6 +205,53 @@ func (l *Link) Send(p Packet) bool {
 		l.net.deliver(p)
 	})
 	return true
+}
+
+// BatchSink is a batch-aware endpoint: it coalesces every packet
+// delivered to its address in the same scheduler instant and hands them
+// to the handler as one slice — the virtual-time analogue of one
+// recvmmsg call draining the socket queue. Combined with
+// LinkParams.DeliveryQuantum (which clusters near-simultaneous arrivals
+// onto shared instants) it lets in-process simulations exercise the same
+// batch ingress code path a production daemon runs on a real socket.
+type BatchSink struct {
+	net     *Network
+	handler func(pkts []Packet)
+	pending []Packet
+	scratch []Packet // drained batch handed to the handler, then recycled
+	armed   bool
+}
+
+// NewBatchSink attaches a coalescing endpoint for a at its network.
+// The batch slice passed to h is reused after h returns; retain copies.
+func NewBatchSink(n *Network, a Addr, h func(pkts []Packet)) *BatchSink {
+	s := &BatchSink{net: n, handler: h}
+	n.Attach(a, s.deliver)
+	return s
+}
+
+func (s *BatchSink) deliver(p Packet) {
+	s.pending = append(s.pending, p)
+	if !s.armed {
+		// All deliveries for this instant were scheduled before now, so an
+		// After(0) event runs behind them (same-instant events fire FIFO)
+		// and the drain sees the complete batch.
+		s.armed = true
+		s.net.sched.After(0, s.drain)
+	}
+}
+
+func (s *BatchSink) drain() {
+	s.armed = false
+	batch := s.pending
+	// Swap buffers before invoking the handler, so packets a re-entrant
+	// same-instant delivery might add are not lost (they start a new
+	// batch) and the handler's slice is stable while it runs.
+	s.pending = s.scratch[:0]
+	s.scratch = batch
+	if len(batch) > 0 {
+		s.handler(batch)
+	}
 }
 
 // Path is a bidirectional link pair between a client side and a server

@@ -256,3 +256,90 @@ func TestProfilesSane(t *testing.T) {
 		t.Error("loss experiment must use the paper's 29% per-direction loss")
 	}
 }
+
+// TestDeliveryQuantumClusters proves quantization rounds delivery
+// instants up to shared boundaries: packets sent a few hundred
+// microseconds apart on distinct links land at the same quantized
+// instant, while exact delivery stays untouched with the quantum off.
+func TestDeliveryQuantumClusters(t *testing.T) {
+	s, n := testNet()
+	dst := Addr{Host: 9, Port: 1}
+	var at []time.Time
+	n.Attach(dst, func(Packet) { at = append(at, s.Now()) })
+	params := LinkParams{Delay: 2 * time.Millisecond, DeliveryQuantum: time.Millisecond}
+	la := NewLink(n, params, 1)
+	lb := NewLink(n, params, 2)
+	s.RunFor(300 * time.Microsecond) // off a boundary: exact deliveries would differ
+	la.Send(Packet{Dst: dst})
+	s.RunFor(300 * time.Microsecond)
+	lb.Send(Packet{Dst: dst})
+	s.Drain(0)
+	if len(at) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(at))
+	}
+	if !at[0].Equal(at[1]) {
+		t.Fatalf("quantized deliveries differ: %v vs %v", at[0], at[1])
+	}
+	if got := at[0]; got.UnixNano()%int64(time.Millisecond) != 0 {
+		t.Fatalf("delivery %v is not on a quantum boundary", got)
+	}
+	if early := t0.Add(2 * time.Millisecond); at[0].Before(early) {
+		t.Fatalf("quantization delivered early: %v before %v", at[0], early)
+	}
+}
+
+// TestDeliveryQuantumKeepsOrder checks per-link monotonicity survives
+// quantization (ceiling is order-preserving, then monotonized).
+func TestDeliveryQuantumKeepsOrder(t *testing.T) {
+	s, n := testNet()
+	dst := Addr{Host: 9, Port: 1}
+	var seq []byte
+	n.Attach(dst, func(p Packet) { seq = append(seq, p.Payload[0]) })
+	l := NewLink(n, LinkParams{Delay: time.Millisecond, Jitter: 3 * time.Millisecond, DeliveryQuantum: 2 * time.Millisecond}, 7)
+	for i := byte(0); i < 20; i++ {
+		l.Send(Packet{Dst: dst, Payload: []byte{i}})
+		s.RunFor(200 * time.Microsecond)
+	}
+	s.Drain(0)
+	if len(seq) != 20 {
+		t.Fatalf("delivered %d/20", len(seq))
+	}
+	for i := range seq {
+		if seq[i] != byte(i) {
+			t.Fatalf("reordered delivery: %v", seq)
+		}
+	}
+}
+
+// TestBatchSinkCoalescesInstant: all packets delivered at one instant
+// arrive as one batch; packets at a later instant start a new batch.
+func TestBatchSinkCoalescesInstant(t *testing.T) {
+	s, n := testNet()
+	dst := Addr{Host: 3, Port: 60001}
+	var batches [][]byte
+	NewBatchSink(n, dst, func(pkts []Packet) {
+		var b []byte
+		for _, p := range pkts {
+			b = append(b, p.Payload[0])
+		}
+		batches = append(batches, b)
+	})
+	params := LinkParams{Delay: 5 * time.Millisecond, DeliveryQuantum: time.Millisecond}
+	for i := byte(0); i < 6; i++ {
+		l := NewLink(n, params, int64(i))
+		l.Send(Packet{Dst: dst, Payload: []byte{i}})
+	}
+	s.RunFor(20 * time.Millisecond)
+	l := NewLink(n, params, 99)
+	l.Send(Packet{Dst: dst, Payload: []byte{42}})
+	s.Drain(0)
+	if len(batches) != 2 {
+		t.Fatalf("got %d batches (%v), want 2", len(batches), batches)
+	}
+	if len(batches[0]) != 6 {
+		t.Fatalf("first batch = %v, want all 6 same-instant packets", batches[0])
+	}
+	if len(batches[1]) != 1 || batches[1][0] != 42 {
+		t.Fatalf("second batch = %v", batches[1])
+	}
+}

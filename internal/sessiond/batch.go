@@ -1,0 +1,531 @@
+package sessiond
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/udpbatch"
+)
+
+// This file is the daemon's batched packet pipeline — the refactor that
+// removes the one-syscall-per-datagram cost from both directions of the
+// serve loop.
+//
+// Ingress: the reader drains whole batches from the socket (one recvmmsg
+// on Linux), demultiplexes each batch once, and delivers each session's
+// datagrams as one run over a single channel send — one worker wakeup and
+// one set of registry lookups per session per batch instead of per packet.
+//
+// Egress: sessions never write to the socket themselves. emit enqueues
+// sealed wire onto a daemon-wide ring; a flusher drains the ring through
+// WriteBatch (one sendmmsg for a whole sweep of sessions), with explicit
+// backpressure (ring full → drop, SSP retransmits) and partial-write
+// handling. In simulation the same ring is flushed synchronously at the
+// end of every HandlePacket/HandleBatch/TickDue, so virtual-time runs
+// exercise the identical code path deterministically.
+
+// inRun is one session's slice of a read batch: consecutive (in arrival
+// order) datagrams for the same session, delivered to the worker as one
+// channel message. Runs and their packet slices are pooled.
+type inRun struct {
+	pkts []inPacket
+	// pooled marks wire buffers drawn from the daemon's read pool (the
+	// ServeBatch path); the worker recycles them after handling. Runs from
+	// Dispatch/HandleBatch carry caller-owned buffers instead.
+	pooled bool
+}
+
+var runPool = sync.Pool{New: func() any { return &inRun{} }}
+
+func getRun(pooled bool) *inRun {
+	r := runPool.Get().(*inRun)
+	r.pooled = pooled
+	return r
+}
+
+// freeRun recycles a run and, for reader-owned buffers, its wire storage.
+func (d *Daemon) freeRun(r *inRun) {
+	if r.pooled {
+		for i := range r.pkts {
+			d.readPool.Put(r.pkts[i].wire)
+		}
+	}
+	for i := range r.pkts {
+		r.pkts[i] = inPacket{}
+	}
+	r.pkts = r.pkts[:0]
+	r.pooled = false
+	runPool.Put(r)
+}
+
+// sessGroup pairs a session with its run while a batch is being
+// demultiplexed.
+type sessGroup struct {
+	s   *Session
+	run *inRun
+}
+
+// groupBatch demultiplexes one read batch into per-session runs,
+// preserving arrival order within each session (SSP is order-sensitive
+// per session and indifferent across sessions). The returned slice is
+// daemon-owned scratch, valid until the next call; the caller consumes
+// every run. Only the single reader (or the single simulation driver)
+// may call it.
+func (d *Daemon) groupBatch(msgs []udpbatch.Message, pooled bool) []sessGroup {
+	// Clear the previous batch's entries first: retained *Session
+	// pointers in the scratch backing would otherwise pin evicted
+	// sessions (and their screen state) until a later batch happened to
+	// overwrite the slot.
+	stale := d.groupScratch[:cap(d.groupScratch)]
+	for i := range stale {
+		stale[i] = sessGroup{}
+	}
+	// Epoch-stamped O(1) group lookup: a session whose groupEpoch matches
+	// this batch already has a slot; anything else starts one. Keeps the
+	// demultiplex O(batch) even when a simulation hands over a very large
+	// same-instant batch spanning hundreds of sessions.
+	d.groupEpoch++
+	epoch := d.groupEpoch
+	groups := d.groupScratch[:0]
+	for i := range msgs {
+		s := d.route(msgs[i].Buf)
+		if s == nil {
+			if pooled {
+				d.readPool.Put(msgs[i].Buf)
+			}
+			continue
+		}
+		if s.groupEpoch != epoch {
+			s.groupEpoch = epoch
+			s.groupIdx = len(groups)
+			groups = append(groups, sessGroup{s: s, run: getRun(pooled)})
+		}
+		g := &groups[s.groupIdx]
+		g.run.pkts = append(g.run.pkts, inPacket{wire: msgs[i].Buf, src: msgs[i].Addr})
+	}
+	d.groupScratch = groups[:0]
+	return groups
+}
+
+// DispatchBatch routes one read batch to the session workers: one channel
+// send per session present in the batch. The reader loop calls it; wire
+// buffers are pool-owned and recycled by the workers after handling.
+func (d *Daemon) DispatchBatch(msgs []udpbatch.Message) {
+	d.dispatchGrouped(msgs, true)
+}
+
+func (d *Daemon) dispatchGrouped(msgs []udpbatch.Message, pooled bool) {
+	groups := d.groupBatch(msgs, pooled)
+	for _, g := range groups {
+		d.deliverRun(g.s, g.run)
+	}
+	clearGroups(groups)
+}
+
+// clearGroups zeroes consumed scratch entries immediately so the *Session
+// pointers cannot pin evicted sessions' screen state through an idle gap
+// until the next batch arrives.
+func clearGroups(groups []sessGroup) {
+	for i := range groups {
+		groups[i] = sessGroup{}
+	}
+}
+
+// deliverRun enqueues one run to a session's worker, dropping it (SSP
+// retransmission recovers) when the session's datagram budget
+// (Config.InboxDepth packets, not runs) is exhausted.
+func (d *Daemon) deliverRun(s *Session, r *inRun) {
+	s.workerOnce.Do(func() { go s.worker() })
+	n := int64(len(r.pkts))
+	// Reserve the session's datagram budget atomically (Dispatch is
+	// documented safe for concurrent use, so a check-then-act pair could
+	// overshoot the bound): CAS in the reservation, give it back on any
+	// failure path. A run larger than the remaining budget is admitted
+	// PARTIALLY — its prefix fits, its tail drops — so an InboxDepth
+	// smaller than one read batch bounds the session without starving it
+	// (whole-run drops would also condemn every coalesced retransmission).
+	var admit int64
+	for {
+		cur := s.queuedPkts.Load()
+		avail := int64(d.inboxDepth()) - cur
+		if avail <= 0 {
+			// Backpressure: a slow session must not stall the shared
+			// reader nor pin more wire memory than the pre-batching
+			// one-packet-per-slot bound allowed.
+			d.metrics.DropsQueueFull.Add(n)
+			d.freeRun(r)
+			return
+		}
+		admit = n
+		if admit > avail {
+			admit = avail
+		}
+		if s.queuedPkts.CompareAndSwap(cur, cur+admit) {
+			break
+		}
+		// CAS contention: budget moved under us — recompute before
+		// committing, so packets are never dropped against a stale limit.
+	}
+	if admit < n {
+		tail := r.pkts[admit:]
+		d.metrics.DropsQueueFull.Add(n - admit)
+		if r.pooled {
+			for i := range tail {
+				d.readPool.Put(tail[i].wire)
+			}
+		}
+		for i := range tail {
+			tail[i] = inPacket{}
+		}
+		r.pkts = r.pkts[:admit]
+		n = admit
+	}
+	select {
+	case s.inbox <- r:
+		d.metrics.DispatchQueueDepth.Add(n)
+		// If the session was removed while we enqueued, its worker may
+		// already have done its final drain; compensate so the queue-depth
+		// gauge cannot leak a phantom entry.
+		if s.closedFlag.Load() {
+			select {
+			case r2 := <-s.inbox:
+				s.queuedPkts.Add(-int64(len(r2.pkts)))
+				d.metrics.DispatchQueueDepth.Add(-int64(len(r2.pkts)))
+				d.freeRun(r2)
+			default:
+			}
+		}
+	default:
+		// The run channel itself filled (only possible under a flood of
+		// single-packet runs): same backpressure, same recovery — and the
+		// reservation goes back.
+		s.queuedPkts.Add(-n)
+		d.metrics.DropsQueueFull.Add(n)
+		d.freeRun(r)
+	}
+}
+
+// HandleBatch is the synchronous batch entry point (virtual-time
+// simulation): it demultiplexes the batch, processes each session's run
+// in order, and flushes the egress ring before returning, so replies are
+// emitted deterministically within the same scheduler instant. Read-side
+// syscall accounting models a vectorized reader draining this batch.
+func (d *Daemon) HandleBatch(msgs []udpbatch.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	readCap := d.readBatchCap()
+	for rem := len(msgs); rem > 0; rem -= readCap {
+		n := rem
+		if n > readCap {
+			n = readCap
+		}
+		d.metrics.ReadBatchCalls.Add(1)
+		d.metrics.ReadBatchSizes.Observe(n)
+	}
+	groups := d.groupBatch(msgs, false)
+	for _, g := range groups {
+		for i := range g.run.pkts {
+			g.s.handle(g.run.pkts[i].wire, g.run.pkts[i].src)
+		}
+		d.freeRun(g.run)
+		// Keep ring occupancy bounded however large the batch: flushing
+		// at the high-water mark mid-batch sends the same datagrams at
+		// the same instant (no behavioral divergence from the unbatched
+		// baseline, which flushes per packet), it only splits the sweep —
+		// so a giant batch can never overflow the ring into drops that
+		// the one-packet-at-a-time path would not have suffered.
+		if d.egress.nearFull() {
+			d.flushEgress()
+		}
+	}
+	clearGroups(groups)
+	d.flushEgress()
+}
+
+// readBatchCap reports how many datagrams one modeled read syscall moves.
+func (d *Daemon) readBatchCap() int {
+	if d.cfg.UnbatchedIO {
+		return 1
+	}
+	return udpbatch.DefaultBatch
+}
+
+// writeBatchCap reports how many datagrams one modeled write syscall
+// moves (the served connection's capability when there is one).
+func (d *Daemon) writeBatchCap() int {
+	if bcp := d.serveConn.Load(); bcp != nil && d.send == nil {
+		return (*bcp).BatchCap()
+	}
+	if d.cfg.UnbatchedIO {
+		return 1
+	}
+	return udpbatch.DefaultBatch
+}
+
+// ---- Egress ring ----
+
+// egressEntry is one sealed, enveloped datagram awaiting transmission.
+type egressEntry struct {
+	dst  netem.Addr
+	wire []byte
+	// pooled marks wire copied into a daemon pool buffer (RecycleWire
+	// mode: the sender reuses its buffer as soon as emit returns, so the
+	// ring must own a copy); the flusher recycles it after the write.
+	pooled bool
+}
+
+// egressRing is a bounded MPSC queue between session workers and the
+// egress flusher. Enqueue is called under session locks and must never
+// block; overflow is reported to the caller, which drops the datagram
+// (backpressure — SSP treats it as loss and retransmits).
+type egressRing struct {
+	mu      sync.Mutex
+	entries []egressEntry
+	head, n int
+	wake    chan struct{}
+}
+
+func newEgressRing(capacity int) *egressRing {
+	return &egressRing{
+		entries: make([]egressEntry, capacity),
+		wake:    make(chan struct{}, 1),
+	}
+}
+
+func (r *egressRing) enqueue(e egressEntry) bool {
+	r.mu.Lock()
+	if r.n == len(r.entries) {
+		r.mu.Unlock()
+		return false
+	}
+	r.entries[(r.head+r.n)%len(r.entries)] = e
+	r.n++
+	r.mu.Unlock()
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// nearFull reports occupancy at or beyond half capacity — the point at
+// which a synchronous driver should flush mid-batch rather than risk
+// overflow drops a per-packet driver would never produce.
+func (r *egressRing) nearFull() bool {
+	r.mu.Lock()
+	full := r.n >= len(r.entries)/2
+	r.mu.Unlock()
+	return full
+}
+
+// drainInto pops up to len(dst) entries in FIFO order.
+func (r *egressRing) drainInto(dst []egressEntry) int {
+	r.mu.Lock()
+	n := r.n
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		idx := (r.head + i) % len(r.entries)
+		dst[i] = r.entries[idx]
+		r.entries[idx] = egressEntry{}
+	}
+	r.head = (r.head + n) % len(r.entries)
+	r.n -= n
+	r.mu.Unlock()
+	return n
+}
+
+// enqueueEgress queues one sealed datagram for batched transmission,
+// copying it into a pool buffer when the sender recycles its own.
+// Called with the emitting session's lock held; never blocks.
+func (d *Daemon) enqueueEgress(dst netem.Addr, wire []byte) {
+	e := egressEntry{dst: dst, wire: wire}
+	if d.cfg.RecycleWire {
+		e.wire = append(d.wirePool.Get(), wire...)
+		e.pooled = true
+	}
+	if !d.egress.enqueue(e) {
+		d.metrics.DropsEgressFull.Add(1)
+		if e.pooled {
+			d.wirePool.Put(e.wire)
+		}
+		return
+	}
+	// PacketsOut/BytesOut are counted in writeOut, per datagram actually
+	// handed to the transport — a later write error must not leave
+	// phantom "sent" traffic in the metrics.
+	d.metrics.EgressQueueDepth.Add(1)
+}
+
+// flushEgress drains the ring completely, transmitting in batches of the
+// write cap. It is safe from both the simulation driver and the async
+// flusher (egressMu serializes whole sweeps); it must not be called with
+// any session lock held.
+func (d *Daemon) flushEgress() {
+	d.egressMu.Lock()
+	defer d.egressMu.Unlock()
+	for {
+		// The write cap can change after the first flush (a connection
+		// attached by Serve/ServeBatch supersedes the pre-serve default);
+		// sizing the sweep to the current cap keeps the write-batch
+		// histogram and syscall accounting honest.
+		if want := d.writeBatchCap(); len(d.egressScratch) != want {
+			d.egressScratch = make([]egressEntry, want)
+		}
+		n := d.egress.drainInto(d.egressScratch)
+		if n == 0 {
+			return
+		}
+		d.metrics.EgressQueueDepth.Add(-int64(n))
+		d.writeOut(d.egressScratch[:n])
+		for i := 0; i < n; i++ {
+			if d.egressScratch[i].pooled {
+				d.wirePool.Put(d.egressScratch[i].wire)
+			}
+			d.egressScratch[i] = egressEntry{}
+		}
+	}
+}
+
+// writeOut transmits one drained sweep: through the embedder's Send in
+// simulation, through the served batch connection in production —
+// honoring WriteBatch's short-batch (retry the remainder) and error
+// (drop the failing datagram, keep going) semantics.
+func (d *Daemon) writeOut(entries []egressEntry) {
+	if d.send != nil {
+		d.metrics.WriteBatchCalls.Add(1)
+		d.metrics.WriteBatchSizes.Observe(len(entries))
+		for i := range entries {
+			d.send(entries[i].dst, entries[i].wire)
+			d.metrics.PacketsOut.Add(1)
+			d.metrics.BytesOut.Add(int64(len(entries[i].wire)))
+		}
+		return
+	}
+	bcp := d.serveConn.Load()
+	if bcp == nil {
+		return // not serving and no Send: nowhere to transmit (metrics-only embedder)
+	}
+	bc := *bcp
+	msgs := d.writeMsgScratch[:0]
+	for i := range entries {
+		msgs = append(msgs, udpbatch.Message{Buf: entries[i].wire, Addr: entries[i].dst})
+	}
+	d.writeMsgScratch = msgs[:0]
+	for off := 0; off < len(msgs); {
+		n, err := bc.WriteBatch(msgs[off:])
+		d.metrics.WriteBatchCalls.Add(1)
+		if n < 0 {
+			n = 0 // defensive: a negative count must not rewind the sweep
+		}
+		if n > 0 {
+			d.metrics.WriteBatchSizes.Observe(n)
+			d.metrics.PacketsOut.Add(int64(n))
+			for i := off; i < off+n; i++ {
+				d.metrics.BytesOut.Add(int64(len(msgs[i].Buf)))
+			}
+		}
+		off += n
+		if err != nil {
+			// msgs[off] is undeliverable (e.g. a transient ICMP-induced
+			// error): drop it and continue with the rest.
+			d.metrics.EgressWriteErrors.Add(1)
+			off++
+			continue
+		}
+		if n == 0 {
+			// No progress and no error: defensive guard against a stuck
+			// implementation; drop the remainder rather than spin.
+			d.metrics.EgressWriteErrors.Add(int64(len(msgs) - off))
+			return
+		}
+	}
+}
+
+// egressLoop is the async flusher: it wakes when sessions enqueue and
+// drains the ring through the socket in batches.
+func (d *Daemon) egressLoop() {
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-d.egress.wake:
+			d.flushEgress()
+		}
+	}
+}
+
+// ServeBatch runs the daemon over a batched connection: the reader loop
+// drains whole batches, demultiplexes them once, and feeds per-session
+// runs to the workers, while the egress flusher writes replies out in
+// batches. It returns when the connection read fails (socket closed) or
+// the daemon is closed.
+func (d *Daemon) ServeBatch(bc udpbatch.Conn) error {
+	d.serveConn.Store(&bc)
+	d.Start()
+	slots := bc.BatchCap()
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > udpbatch.DefaultBatch {
+		slots = udpbatch.DefaultBatch
+	}
+	// A one-datagram loop adapter (legacy Serve: 64 KiB scratch slots)
+	// reuses its read buffer and enqueues an exact-size copy per datagram
+	// — the pre-batching memory profile. The vectorized path hands its
+	// right-sized pooled buffers to the workers zero-copy instead.
+	copyOut := slots == 1
+	msgs := make([]udpbatch.Message, slots)
+	var copyScratch []udpbatch.Message
+	if copyOut {
+		copyScratch = make([]udpbatch.Message, slots)
+	}
+	for {
+		for i := range msgs {
+			if msgs[i].Buf == nil {
+				msgs[i].Buf = d.readPool.Get()
+			}
+		}
+		n, err := bc.ReadBatch(msgs)
+		if err != nil {
+			select {
+			case <-d.stop:
+				return nil
+			default:
+				return err
+			}
+		}
+		select {
+		case <-d.stop:
+			return nil
+		default:
+		}
+		if n == 0 {
+			// Transient-pressure yield (see udpbatch.Conn): back off
+			// briefly instead of spinning failing syscalls at the exact
+			// moment the kernel is short on memory.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		d.metrics.ReadBatchCalls.Add(1)
+		d.metrics.ReadBatchSizes.Observe(n)
+		if copyOut {
+			for i := 0; i < n; i++ {
+				copyScratch[i] = udpbatch.Message{
+					Buf:  append([]byte(nil), msgs[i].Buf...),
+					Addr: msgs[i].Addr,
+				}
+			}
+			d.dispatchGrouped(copyScratch[:n], false)
+			// The oversized read buffers stay here for reuse.
+		} else {
+			d.dispatchGrouped(msgs[:n], true)
+			for i := 0; i < n; i++ {
+				msgs[i].Buf = nil // ownership moved to the runs
+			}
+		}
+	}
+}

@@ -1,0 +1,497 @@
+package sessiond
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/netem"
+	"repro/internal/network"
+	"repro/internal/overlay"
+	"repro/internal/simclock"
+	"repro/internal/udpbatch"
+)
+
+var batchT0 = time.Date(2012, 4, 1, 0, 0, 0, 0, time.UTC)
+
+// envPkt builds a wire datagram carrying just a session envelope plus
+// payload bytes (enough for routing/grouping; it will fail auth if
+// handled, which grouping tests never do).
+func envPkt(id uint64, tag byte) []byte {
+	return append(network.AppendEnvelope(nil, id), tag)
+}
+
+// TestGroupBatchGroupsPerSessionInOrder checks the demultiplexer: one run
+// per session present in the batch, arrival order preserved within each
+// run, unknown sessions dropped and counted.
+func TestGroupBatchGroupsPerSessionInOrder(t *testing.T) {
+	sched := simclock.NewScheduler(batchT0)
+	d, err := New(Config{Clock: sched, IdleTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := d.OpenSession()
+	s2, _ := d.OpenSession()
+	msgs := []udpbatch.Message{
+		{Buf: envPkt(s1.ID, 'a'), Addr: netem.Addr{Host: 1}},
+		{Buf: envPkt(s2.ID, 'x'), Addr: netem.Addr{Host: 2}},
+		{Buf: envPkt(s1.ID, 'b'), Addr: netem.Addr{Host: 1}},
+		{Buf: envPkt(0xdead, '?'), Addr: netem.Addr{Host: 3}}, // unknown session
+		{Buf: envPkt(s1.ID, 'c'), Addr: netem.Addr{Host: 1}},
+		{Buf: envPkt(s2.ID, 'y'), Addr: netem.Addr{Host: 2}},
+	}
+	groups := d.groupBatch(msgs, false)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	tags := func(r *inRun) string {
+		var b []byte
+		for _, p := range r.pkts {
+			b = append(b, p.wire[len(p.wire)-1])
+		}
+		return string(b)
+	}
+	if groups[0].s != s1 || tags(groups[0].run) != "abc" {
+		t.Fatalf("group 0: session %d run %q, want session %d run \"abc\"", groups[0].s.ID, tags(groups[0].run), s1.ID)
+	}
+	if groups[1].s != s2 || tags(groups[1].run) != "xy" {
+		t.Fatalf("group 1: session %d run %q, want session %d run \"xy\"", groups[1].s.ID, tags(groups[1].run), s2.ID)
+	}
+	if got := d.metrics.DropsUnknownSession.Value(); got != 1 {
+		t.Fatalf("DropsUnknownSession = %d, want 1", got)
+	}
+	if got := d.metrics.PacketsIn.Value(); got != 6 {
+		t.Fatalf("PacketsIn = %d, want 6", got)
+	}
+	for _, g := range groups {
+		d.freeRun(g.run)
+	}
+}
+
+// TestEgressRingBackpressure fills the ring past capacity: overflow must
+// be dropped (counted, pooled buffers recycled), never block, and a flush
+// must deliver the accepted prefix in order.
+func TestEgressRingBackpressure(t *testing.T) {
+	sched := simclock.NewScheduler(batchT0)
+	var sent []byte
+	d, err := New(Config{
+		Clock:       sched,
+		IdleTimeout: -1,
+		EgressDepth: 4,
+		Send:        func(dst netem.Addr, wire []byte) { sent = append(sent, wire[0]) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := byte(0); i < 7; i++ {
+		d.enqueueEgress(netem.Addr{Host: 1}, []byte{i})
+	}
+	if got := d.metrics.DropsEgressFull.Value(); got != 3 {
+		t.Fatalf("DropsEgressFull = %d, want 3", got)
+	}
+	if got := d.metrics.EgressQueueDepth.Value(); got != 4 {
+		t.Fatalf("EgressQueueDepth = %d, want 4", got)
+	}
+	if got := d.metrics.PacketsOut.Value(); got != 0 {
+		t.Fatalf("PacketsOut = %d before any flush, want 0 (counted on transmit, not enqueue)", got)
+	}
+	d.flushEgress()
+	if !bytes.Equal(sent, []byte{0, 1, 2, 3}) {
+		t.Fatalf("flushed %v, want FIFO prefix [0 1 2 3]", sent)
+	}
+	if got := d.metrics.PacketsOut.Value(); got != 4 {
+		t.Fatalf("PacketsOut = %d after flush, want 4 (drops must not count as sent)", got)
+	}
+	if got := d.metrics.EgressQueueDepth.Value(); got != 0 {
+		t.Fatalf("EgressQueueDepth after flush = %d, want 0", got)
+	}
+}
+
+// scriptedConn is a batch conn whose WriteBatch follows a script of
+// (consume n, maybe error) steps, recording everything delivered — the
+// partial-write/error-semantics fixture.
+type scriptedConn struct {
+	steps []struct {
+		n   int
+		err error
+	}
+	delivered []byte
+}
+
+func (c *scriptedConn) BatchCap() int                             { return 4 }
+func (c *scriptedConn) ReadBatch([]udpbatch.Message) (int, error) { select {} }
+func (c *scriptedConn) WriteBatch(msgs []udpbatch.Message) (int, error) {
+	step := struct {
+		n   int
+		err error
+	}{n: len(msgs)}
+	if len(c.steps) > 0 {
+		step = c.steps[0]
+		c.steps = c.steps[1:]
+	}
+	if step.n > len(msgs) {
+		step.n = len(msgs)
+	}
+	for i := 0; i < step.n; i++ {
+		c.delivered = append(c.delivered, msgs[i].Buf[0])
+	}
+	return step.n, step.err
+}
+
+// TestWriteOutPartialAndErrorSemantics pins the documented WriteBatch
+// contract end to end through the flusher: a short batch is retried from
+// the remainder, an erroring datagram is dropped (counted) and the rest
+// still goes out.
+func TestWriteOutPartialAndErrorSemantics(t *testing.T) {
+	sched := simclock.NewScheduler(batchT0)
+	d, err := New(Config{Clock: sched, IdleTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := &scriptedConn{}
+	conn.steps = []struct {
+		n   int
+		err error
+	}{
+		{n: 2},                          // partial write: kernel took 2 of 4
+		{n: 1, err: errors.New("icmp")}, // sent 1, next datagram errored
+		{n: 0, err: errors.New("icmp")}, // first datagram of remainder errored
+	}
+	var bc udpbatch.Conn = conn
+	d.serveConn.Store(&bc)
+	for i := byte(10); i < 17; i++ {
+		d.enqueueEgress(netem.Addr{Host: 1}, []byte{i})
+	}
+	d.flushEgress()
+	// 7 enqueued in batches of 4 (conn.BatchCap) → sweep 1 is [10 11 12 13]:
+	// partial 2, then 1+error dropping 13; sweep 2 is [14 15 16]: error drops
+	// 14, then default consumes the rest.
+	want := []byte{10, 11, 12, 15, 16}
+	if !bytes.Equal(conn.delivered, want) {
+		t.Fatalf("delivered %v, want %v", conn.delivered, want)
+	}
+	if got := d.metrics.EgressWriteErrors.Value(); got != 2 {
+		t.Fatalf("EgressWriteErrors = %d, want 2", got)
+	}
+}
+
+// pipeConn is an in-memory bidirectional batch conn for ServeBatch
+// end-to-end tests: reads come from a channel, writes land in one.
+type pipeConn struct {
+	in     chan udpbatch.Message
+	out    chan udpbatch.Message
+	closed chan struct{}
+}
+
+func newPipeConn() *pipeConn {
+	return &pipeConn{
+		in:     make(chan udpbatch.Message, 256),
+		out:    make(chan udpbatch.Message, 256),
+		closed: make(chan struct{}),
+	}
+}
+
+func (p *pipeConn) BatchCap() int { return 8 }
+
+func (p *pipeConn) Close() error {
+	select {
+	case <-p.closed:
+	default:
+		close(p.closed)
+	}
+	return nil
+}
+
+func (p *pipeConn) ReadBatch(msgs []udpbatch.Message) (int, error) {
+	var first udpbatch.Message
+	select {
+	case first = <-p.in:
+	case <-p.closed:
+		return 0, errors.New("closed")
+	}
+	msgs[0].Buf = append(msgs[0].Buf[:0], first.Buf...)
+	msgs[0].Addr = first.Addr
+	n := 1
+	for n < len(msgs) {
+		select {
+		case m := <-p.in:
+			msgs[n].Buf = append(msgs[n].Buf[:0], m.Buf...)
+			msgs[n].Addr = m.Addr
+			n++
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+func (p *pipeConn) WriteBatch(msgs []udpbatch.Message) (int, error) {
+	for i := range msgs {
+		select {
+		case p.out <- udpbatch.Message{Buf: append([]byte(nil), msgs[i].Buf...), Addr: msgs[i].Addr}:
+		case <-p.closed:
+			return i, errors.New("closed")
+		}
+	}
+	return len(msgs), nil
+}
+
+// TestServeBatchEndToEnd drives a real client through ServeBatch over an
+// in-memory batch conn: the full async pipeline — vectorized reader,
+// per-session runs, worker, egress ring, batched flusher — must converge
+// the client to the server screen, with RecycleWire on (pooled egress
+// copies) to exercise buffer recycling under -race.
+func TestServeBatchEndToEnd(t *testing.T) {
+	d, err := New(Config{
+		Clock:       simclock.Real{},
+		IdleTimeout: -1,
+		RecycleWire: true,
+		NewApp:      func(id uint64) host.App { return host.NewShell(int64(id)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	sess, err := d.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := newPipeConn()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- d.ServeBatch(conn) }()
+
+	cl := newTestClient(t, sess, func(wire []byte) {
+		conn.in <- udpbatch.Message{Buf: append([]byte(nil), wire...), Addr: netem.Addr{Host: 42, Port: 7}}
+	})
+	const text = "batchedpipeline"
+	for _, b := range []byte(text) {
+		cl.UserBytes([]byte{b})
+	}
+	cl.Tick()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if sawEcho(cl, text) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never saw the echoed text through the batched pipeline")
+		}
+		select {
+		case m := <-conn.out:
+			cl.Receive(m.Buf, netem.Addr{Host: 9999, Port: 60001})
+		case <-time.After(5 * time.Millisecond):
+			cl.Tick()
+		}
+	}
+	if d.metrics.ReadBatchCalls.Value() == 0 || d.metrics.WriteBatchCalls.Value() == 0 {
+		t.Fatal("batch syscall counters did not move")
+	}
+	if got := d.metrics.ReadBatchSizes.Samples(); got == 0 {
+		t.Fatal("read batch histogram empty")
+	}
+	d.Close()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("ServeBatch returned %v", err)
+	}
+}
+
+// TestInboxBoundCountsDatagrams pins the per-session backpressure
+// contract: Config.InboxDepth bounds queued DATAGRAMS, not runs — a read
+// batch must not multiply a slow session's memory budget by the batch
+// size. The session's worker is wedged by holding the session lock, so
+// deliveries accumulate deterministically.
+func TestInboxBoundCountsDatagrams(t *testing.T) {
+	d, err := New(Config{
+		Clock:       simclock.Real{},
+		IdleTimeout: -1,
+		InboxDepth:  8,
+		Send:        func(netem.Addr, []byte) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	s, err := d.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wedge the worker: it will dequeue at most one run and then block in
+	// handle() on the session lock we hold.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	const runSize = 4
+	deliver := func() {
+		r := getRun(false)
+		for i := 0; i < runSize; i++ {
+			r.pkts = append(r.pkts, inPacket{wire: envPkt(s.ID, byte(i)), src: netem.Addr{Host: 1}})
+		}
+		d.deliverRun(s, r)
+	}
+	deliver()
+	// Give the worker a moment to take the first run (it subtracts from
+	// the budget before blocking on s.mu).
+	deadline := time.Now().Add(2 * time.Second)
+	for s.queuedPkts.Load() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		deliver()
+	}
+	// Budget 8 admits exactly two more 4-packet runs; the remaining three
+	// (12 datagrams) must be dropped, not queued.
+	if got := s.queuedPkts.Load(); got != 8 {
+		t.Fatalf("queued %d datagrams with InboxDepth=8, want 8", got)
+	}
+	if got := d.metrics.DropsQueueFull.Value(); got != 12 {
+		t.Fatalf("DropsQueueFull = %d datagrams, want 12", got)
+	}
+}
+
+// TestInboxBoundAdmitsRunPrefix pins partial admission: a run larger
+// than the remaining budget is truncated, not dropped whole — otherwise
+// an InboxDepth below the read-batch size would starve a busy session
+// forever (its coalesced retransmissions would be condemned too).
+func TestInboxBoundAdmitsRunPrefix(t *testing.T) {
+	d, err := New(Config{
+		Clock:       simclock.Real{},
+		IdleTimeout: -1,
+		InboxDepth:  8,
+		Send:        func(netem.Addr, []byte) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	s, err := d.OpenSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// One run of 12 against a budget of 8: the first 8 datagrams must be
+	// admitted, the 4-packet tail dropped.
+	r := getRun(false)
+	for i := 0; i < 12; i++ {
+		r.pkts = append(r.pkts, inPacket{wire: envPkt(s.ID, byte(i)), src: netem.Addr{Host: 1}})
+	}
+	d.deliverRun(s, r)
+	// The wedged worker may have dequeued the run (subtracting its 8)
+	// before blocking on s.mu; accept either resting state but never a
+	// whole-run drop.
+	if got := d.metrics.DropsQueueFull.Value(); got != 4 {
+		t.Fatalf("DropsQueueFull = %d, want 4 (tail only, prefix admitted)", got)
+	}
+	if got := s.queuedPkts.Load(); got != 0 && got != 8 {
+		t.Fatalf("queuedPkts = %d, want 0 (dequeued) or 8 (queued)", got)
+	}
+}
+
+// TestBatchEgressAllocFree pins the enqueue→flush cycle at zero heap
+// allocations per datagram in steady state, in RecycleWire mode (the
+// real-socket configuration: ring copies into pooled buffers).
+func TestBatchEgressAllocFree(t *testing.T) {
+	sched := simclock.NewScheduler(batchT0)
+	d, err := New(Config{
+		Clock:       sched,
+		IdleTimeout: -1,
+		RecycleWire: true,
+		Send:        func(netem.Addr, []byte) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := bytes.Repeat([]byte{7}, 120)
+	dst := netem.Addr{Host: 3, Port: 4}
+	// Warm the pools and scratch.
+	for i := 0; i < 8; i++ {
+		d.enqueueEgress(dst, wire)
+	}
+	d.flushEgress()
+	allocs := testing.AllocsPerRun(500, func() {
+		for i := 0; i < 8; i++ {
+			d.enqueueEgress(dst, wire)
+		}
+		d.flushEgress()
+	})
+	if allocs != 0 {
+		t.Fatalf("egress enqueue+flush = %.2f allocs per 8-datagram sweep, want 0", allocs)
+	}
+}
+
+// TestBatchGroupDispatchAllocFree pins the read-side demultiplexer at
+// zero allocations per batch in steady state (pool-owned buffers grouped
+// into pooled runs and recycled).
+func TestBatchGroupDispatchAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside sync.Pool; CI runs this guard without -race")
+	}
+	sched := simclock.NewScheduler(batchT0)
+	d, err := New(Config{Clock: sched, IdleTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []uint64
+	for i := 0; i < 4; i++ {
+		s, err := d.OpenSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, s.ID)
+	}
+	msgs := make([]udpbatch.Message, 16)
+	fill := func() {
+		for i := range msgs {
+			buf := d.readPool.Get()
+			buf = network.AppendEnvelope(buf, ids[i%len(ids)])
+			msgs[i].Buf = append(buf, byte(i))
+			msgs[i].Addr = netem.Addr{Host: uint32(i)}
+		}
+	}
+	sweep := func() {
+		for _, g := range d.groupBatch(msgs, true) {
+			d.freeRun(g.run)
+		}
+	}
+	fill()
+	sweep()
+	allocs := testing.AllocsPerRun(500, func() {
+		fill()
+		sweep()
+	})
+	if allocs != 0 {
+		t.Fatalf("group+recycle = %.2f allocs per 16-datagram batch, want 0", allocs)
+	}
+}
+
+// newTestClient builds a real-time SSP client bound to sess.
+func newTestClient(t *testing.T, sess *Session, emit func(wire []byte)) *core.Client {
+	t.Helper()
+	cl, err := core.NewClient(core.ClientConfig{
+		Key:         sess.Key(),
+		Clock:       simclock.Real{},
+		Envelope:    &network.Envelope{ID: sess.ID},
+		Predictions: overlay.Never,
+		Emit:        emit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// sawEcho reports whether the client's reconstructed screen contains text.
+func sawEcho(cl *core.Client, text string) bool {
+	fb := cl.ServerState()
+	var b strings.Builder
+	for r := 0; r < fb.H; r++ {
+		for c := 0; c < fb.W; c++ {
+			b.WriteString(fb.Peek(r, c).String())
+		}
+		b.WriteByte('\n')
+	}
+	return strings.Contains(b.String(), text)
+}

@@ -330,7 +330,7 @@ func (d *Daemon) restoreSession(sn *sessionSnapshot) (*Session, error) {
 		origH:   sn.OrigH,
 		heapIdx: -1,
 		done:    make(chan struct{}),
-		inbox:   make(chan inPacket, d.inboxDepth()),
+		inbox:   make(chan *inRun, d.inboxDepth()),
 	}
 	var raddr *netem.Addr
 	if sn.HaveRemote {

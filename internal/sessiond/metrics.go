@@ -3,9 +3,70 @@ package sessiond
 import (
 	"expvar"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/terminal"
 )
+
+// batchHistBuckets caps the histogram's resolution; batches larger than
+// the last bucket (far beyond any sendmmsg vector this stack issues)
+// accumulate there.
+const batchHistBuckets = 128
+
+// BatchHist is a concurrency-safe fixed-bucket histogram of batch sizes
+// (1..batchHistBuckets datagrams per syscall). It answers the operational
+// question the batched pipeline raises: how many datagrams is one syscall
+// actually moving?
+type BatchHist struct {
+	counts [batchHistBuckets + 1]atomic.Int64
+}
+
+// Observe records one batch of n datagrams.
+func (h *BatchHist) Observe(n int) {
+	if n < 1 {
+		return
+	}
+	if n > batchHistBuckets {
+		n = batchHistBuckets
+	}
+	h.counts[n].Add(1)
+}
+
+// Samples reports how many batches have been observed.
+func (h *BatchHist) Samples() int64 {
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Quantile returns the batch size at quantile q in [0,1] (0 when no
+// samples have been observed).
+func (h *BatchHist) Quantile(q float64) int {
+	total := h.Samples()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total-1))
+	var seen int64
+	for i := 1; i <= batchHistBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			return i
+		}
+	}
+	return batchHistBuckets
+}
+
+// expvarValue renders the histogram's summary for /debug/vars.
+func (h *BatchHist) expvarValue() any {
+	return map[string]int64{
+		"samples": h.Samples(),
+		"p50":     int64(h.Quantile(0.50)),
+		"p99":     int64(h.Quantile(0.99)),
+	}
+}
 
 // Metrics counts the daemon's activity. All fields are safe for concurrent
 // update; tests read them directly and production publishes them through
@@ -28,6 +89,18 @@ type Metrics struct {
 
 	DispatchQueueDepth expvar.Int // packets currently queued to session workers
 	RoamingEvents      expvar.Int // authentic source-address changes observed
+
+	// Batched-pipeline counters. ReadBatchCalls/WriteBatchCalls count
+	// syscalls (real on a served socket, modeled one-per-batch in
+	// simulation); with PacketsIn/PacketsOut they yield syscalls-per-
+	// packet, the number the vectorized pipeline exists to shrink.
+	ReadBatchCalls    expvar.Int
+	WriteBatchCalls   expvar.Int
+	ReadBatchSizes    BatchHist  // datagrams moved per read syscall
+	WriteBatchSizes   BatchHist  // datagrams moved per write syscall
+	EgressQueueDepth  expvar.Int // datagrams waiting on the egress ring
+	DropsEgressFull   expvar.Int // datagrams dropped at a full egress ring (backpressure)
+	EgressWriteErrors expvar.Int // datagrams dropped by a failing socket write
 
 	SessionsRestored  expvar.Int // sessions revived from the journal at boot
 	SnapshotsStale    expvar.Int // journal records evicted at boot (idle past the horizon)
@@ -59,6 +132,11 @@ func (m *Metrics) Publish(prefix string) {
 		{"drops_queue_full", &m.DropsQueueFull},
 		{"dispatch_queue_depth", &m.DispatchQueueDepth},
 		{"roaming_events", &m.RoamingEvents},
+		{"read_batch_calls", &m.ReadBatchCalls},
+		{"write_batch_calls", &m.WriteBatchCalls},
+		{"egress_queue_depth", &m.EgressQueueDepth},
+		{"drops_egress_full", &m.DropsEgressFull},
+		{"egress_write_errors", &m.EgressWriteErrors},
 		{"sessions_restored", &m.SessionsRestored},
 		{"snapshots_stale", &m.SnapshotsStale},
 		{"journal_flushes", &m.JournalFlushes},
@@ -68,6 +146,24 @@ func (m *Metrics) Publish(prefix string) {
 	} {
 		expvar.Publish(prefix+"."+v.name, v.v)
 	}
+	// Batch-size distributions and the syscalls the vectorized pipeline
+	// saved versus a one-datagram-per-syscall loop.
+	expvar.Publish(prefix+".read_batch_size", expvar.Func(m.ReadBatchSizes.expvarValue))
+	expvar.Publish(prefix+".write_batch_size", expvar.Func(m.WriteBatchSizes.expvarValue))
+	expvar.Publish(prefix+".syscalls_avoided", expvar.Func(func() any {
+		return m.SyscallsAvoided()
+	}))
+}
+
+// SyscallsAvoided reports how many read+write syscalls batching has saved
+// so far versus the one-per-datagram baseline.
+func (m *Metrics) SyscallsAvoided() int64 {
+	avoided := (m.PacketsIn.Value() - m.ReadBatchCalls.Value()) +
+		(m.PacketsOut.Value() - m.WriteBatchCalls.Value())
+	if avoided < 0 {
+		return 0
+	}
+	return avoided
 }
 
 // ScreenStateStats aggregates the resident screen-state footprint across

@@ -1,0 +1,7 @@
+//go:build !race
+
+package sessiond
+
+// raceEnabled lets allocation guards skip under the race detector; see
+// race_on_test.go.
+const raceEnabled = false

@@ -109,13 +109,25 @@ type Session struct {
 	lastActive time.Time
 	closed     bool
 
-	// Async dispatch (Serve mode): the reader pushes packets to inbox and
-	// a per-session worker goroutine drains it. closedFlag mirrors closed
-	// for lock-free reads on the dispatch path.
-	inbox      chan inPacket
+	// Async dispatch (Serve mode): the reader pushes per-session runs
+	// (one or more datagrams from a read batch) to inbox and a per-session
+	// worker goroutine drains it — one channel send and one wakeup per
+	// run. queuedPkts counts the DATAGRAMS queued (runs carry several), so
+	// Config.InboxDepth bounds per-session memory in packets exactly as it
+	// did before batching. closedFlag mirrors closed for lock-free reads
+	// on the dispatch path.
+	inbox      chan *inRun
+	queuedPkts atomic.Int64
 	workerOnce sync.Once
 	done       chan struct{}
 	closedFlag atomic.Bool
+
+	// groupEpoch/groupIdx are the batch demultiplexer's O(1) group lookup
+	// (Daemon.groupBatch): when groupEpoch matches the current batch's
+	// epoch, groupIdx is this session's slot in the scratch. Touched only
+	// by the single reader (or sim driver) goroutine — never concurrently.
+	groupEpoch uint64
+	groupIdx   int
 
 	// lastArmed is the deadline currently in the timer heap for this
 	// session (zero when the entry was popped); guarded by mu. rearmLocked
@@ -137,11 +149,14 @@ type inPacket struct {
 func (s *Session) Key() sspcrypto.Key { return s.key }
 
 // Do runs f with the session locked, giving tests and embedders serialized
-// access to the underlying server endpoint.
+// access to the underlying server endpoint. Anything f caused the session
+// to emit is flushed from the egress ring before Do returns, preserving
+// the synchronous-send feel embedders had before the batched pipeline.
 func (s *Session) Do(f func(srv *core.Server)) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	f(s.srv)
+	s.mu.Unlock()
+	s.d.flushEgress()
 }
 
 // ErrCapacity is returned by OpenSession when the daemon is full.
@@ -171,7 +186,7 @@ func (d *Daemon) OpenSession() (*Session, error) {
 		origH:   d.cfg.Height,
 		heapIdx: -1,
 		done:    make(chan struct{}),
-		inbox:   make(chan inPacket, d.inboxDepth()),
+		inbox:   make(chan *inRun, d.inboxDepth()),
 	}
 	srv, err := core.NewServer(core.ServerConfig{
 		Key:         key,

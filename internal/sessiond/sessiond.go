@@ -10,18 +10,23 @@
 //   - a sharded session registry with key issuance, idle eviction, and
 //     per-session roaming (each session's replies follow the latest
 //     authentic source address of that session, independently);
-//   - an event loop: packets are demultiplexed by envelope and dispatched
-//     to per-session workers over channels, while sender ticks and delayed
-//     host output are driven from a single next-deadline timer heap rather
-//     than a timer goroutine per session;
+//   - a batched event loop: whole batches of datagrams are read per
+//     syscall (recvmmsg on Linux — see internal/udpbatch), demultiplexed
+//     by envelope in one sweep, and delivered to per-session workers as
+//     runs (one channel send per session per batch); replies funnel into
+//     a daemon-wide egress ring a flusher drains via sendmmsg. Sender
+//     ticks and delayed host output are driven from a single
+//     next-deadline timer heap rather than a timer goroutine per session;
 //   - a metrics surface (sessions live, packets/bytes in/out, evictions,
 //     dispatch-queue depth) publishable via expvar.
 //
-// Two driving modes share all of that machinery. Production (cmd/mosh-server)
-// calls Serve with a real socket: a reader loop feeds Dispatch and a tick
-// goroutine sleeps on the heap minimum. Simulation (internal/bench's
+// Two driving modes share all of that machinery. Production
+// (cmd/mosh-server) calls ServeBatch with a vectorized socket: a reader
+// loop feeds DispatchBatch, the egress flusher writes batches out, and a
+// tick goroutine sleeps on the heap minimum. Simulation (internal/bench's
 // many-session load generator, tests) drives the same daemon synchronously
-// in virtual time via HandlePacket + Pump, keeping experiments exactly
+// in virtual time via HandleBatch/HandlePacket + Pump — the egress ring is
+// flushed before each entry point returns — keeping experiments exactly
 // reproducible.
 package sessiond
 
@@ -39,6 +44,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/simclock"
 	"repro/internal/transport"
+	"repro/internal/udpbatch"
 )
 
 // DefaultIdleTimeout evicts sessions that have heard nothing authentic for
@@ -57,9 +63,11 @@ type Config struct {
 	// a *simclock.Scheduler under Pump/HandlePacket simulation.
 	Clock simclock.Clock
 	// Send transmits one enveloped wire datagram to dst. It may be nil
-	// when the daemon is driven via Serve (which sends on the served
-	// socket). It is called with the owning session's lock held and must
-	// not call back into the daemon.
+	// when the daemon is driven via Serve/ServeBatch (which send on the
+	// served connection). Datagrams reach it via the egress ring in
+	// batches accounted by the write counters; it runs under the egress
+	// flush lock and MUST NOT call back into the daemon (HandlePacket,
+	// TickDue, Session.Do, …) — doing so self-deadlocks the flusher.
 	Send func(dst netem.Addr, wire []byte)
 	// NewApp builds the host application behind session id (a pty stand-in:
 	// shell, editor, mail reader). Nil means sessions have no application
@@ -88,9 +96,21 @@ type Config struct {
 	// enabling per-session wire-buffer reuse. Must stay false when Send
 	// hands buffers to something that holds them (netem links in flight).
 	RecycleWire bool
-	// InboxDepth bounds each session's async dispatch queue (Serve mode;
-	// default 128). Overflow drops the datagram — SSP retransmits.
+	// InboxDepth bounds each session's async dispatch queue in DATAGRAMS
+	// (Serve mode; default 128) — runs from a read batch are admitted
+	// only while the session is under budget, so per-session queued wire
+	// memory stays bounded exactly as before batching. Overflow drops
+	// the run — SSP retransmits.
 	InboxDepth int
+	// EgressDepth bounds the daemon-wide egress ring in datagrams
+	// (default 4096). Overflow drops the datagram (drops_egress_full) —
+	// backpressure the flusher works off in batches.
+	EgressDepth int
+	// UnbatchedIO models the portable loop fallback in simulation: read
+	// and write syscall accounting is one datagram per call instead of
+	// one batch per call. The packet path itself is identical — this is
+	// the baseline mode the batched pipeline is measured against.
+	UnbatchedIO bool
 
 	// StateDir enables crash-safe session persistence: the daemon journals
 	// every session's durable core there (periodically and on Close, with
@@ -114,9 +134,11 @@ type Config struct {
 	RestoreApp func(id uint64) host.App
 }
 
-// PacketConn is the socket surface Serve drives: a blocking read and a
-// send, in the address terms the rest of the stack uses. cmd/mosh-server
-// adapts *net.UDPConn to it.
+// PacketConn is the legacy one-datagram socket surface: a blocking read
+// and a send, in the address terms the rest of the stack uses. Serve
+// adapts it onto the batched pipeline through udpbatch.NewLoopConn (one
+// datagram per syscall); sockets with vectorized I/O go straight to
+// ServeBatch (cmd/mosh-server uses udpbatch.NewUDPConn).
 type PacketConn interface {
 	// ReadFrom blocks for one datagram, copying it into buf.
 	ReadFrom(buf []byte) (n int, src netem.Addr, err error)
@@ -144,9 +166,23 @@ type Daemon struct {
 	flushMu  sync.Mutex
 	flushReq chan struct{}
 
-	// servePC remembers the connection Serve runs on so Close can unblock
-	// its pending read.
-	servePC atomic.Pointer[PacketConn]
+	// serveConn remembers the batched connection Serve/ServeBatch runs on
+	// so the egress flusher can write to it and Close can unblock its
+	// pending read.
+	serveConn atomic.Pointer[udpbatch.Conn]
+
+	// Batched I/O state: pooled read buffers (ServeBatch), pooled egress
+	// copies (RecycleWire), the daemon-wide egress ring, and the
+	// demultiplexer/flush scratch (single reader / single sim driver;
+	// egressMu serializes flush sweeps).
+	readPool        *udpbatch.Pool
+	wirePool        *udpbatch.Pool
+	egress          *egressRing
+	groupScratch    []sessGroup
+	groupEpoch      uint64
+	egressMu        sync.Mutex
+	egressScratch   []egressEntry
+	writeMsgScratch []udpbatch.Message
 
 	startOnce sync.Once
 	closeOnce sync.Once
@@ -183,6 +219,20 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.SeqReserve == 0 {
 		cfg.SeqReserve = DefaultSeqReserve
 	}
+	if cfg.EgressDepth <= 0 {
+		cfg.EgressDepth = 4096
+	}
+	// Wire-buffer slots must hold any datagram this daemon's transport
+	// can legitimately produce: the configured MTU (fragment contents)
+	// plus headers, envelope, AEAD tag and slack. A truncated read would
+	// fail authentication and, because SSP retransmits the identical
+	// datagram, stall its session forever.
+	bufSize := udpbatch.DefaultBufSize
+	if cfg.Timing != nil && cfg.Timing.MTU > 0 {
+		if need := cfg.Timing.MTU + 512; need > bufSize {
+			bufSize = need
+		}
+	}
 	d := &Daemon{
 		cfg:      cfg,
 		reg:      newRegistry(),
@@ -190,6 +240,9 @@ func New(cfg Config) (*Daemon, error) {
 		send:     cfg.Send,
 		stop:     make(chan struct{}),
 		flushReq: make(chan struct{}, 1),
+		readPool: udpbatch.NewPool(bufSize, 4*udpbatch.DefaultBatch),
+		wirePool: udpbatch.NewPool(bufSize, cfg.EgressDepth),
+		egress:   newEgressRing(cfg.EgressDepth),
 	}
 	if cfg.StateDir != "" {
 		if err := os.MkdirAll(cfg.StateDir, 0o700); err != nil {
@@ -232,13 +285,16 @@ func (d *Daemon) inboxDepth() int { return d.cfg.InboxDepth }
 
 // HandlePacket demultiplexes and processes one datagram synchronously:
 // envelope parse, registry lookup, session receive, replies emitted via
-// Send before it returns. This is the virtual-time entry point.
+// Send before it returns. This is the single-datagram virtual-time entry
+// point (it accounts one read syscall per datagram — the unbatched
+// baseline); batch-aware drivers use HandleBatch.
 func (d *Daemon) HandlePacket(wire []byte, src netem.Addr) {
-	s := d.route(wire)
-	if s == nil {
-		return
+	d.metrics.ReadBatchCalls.Add(1)
+	d.metrics.ReadBatchSizes.Observe(1)
+	if s := d.route(wire); s != nil {
+		s.handle(wire, src)
 	}
-	s.handle(wire, src)
+	d.flushEgress()
 }
 
 // route accounts an arriving datagram and resolves its session.
@@ -258,13 +314,16 @@ func (d *Daemon) route(wire []byte) *Session {
 	return s
 }
 
-// TickDue runs every session whose deadline has arrived. The sim driver
-// calls it from Pump; the async tick loop calls it from its sleeper.
+// TickDue runs every session whose deadline has arrived, then flushes
+// their emissions as one egress sweep (sessions ticking at the same
+// instant share write batches). The sim driver calls it from Pump; the
+// async tick loop calls it from its sleeper.
 func (d *Daemon) TickDue() {
 	now := d.cfg.Clock.Now()
 	for _, s := range d.timers.popDue(now) {
 		s.tick()
 	}
+	d.flushEgress()
 }
 
 // NextDeadline reports the earliest pending session deadline.
@@ -288,12 +347,14 @@ func (d *Daemon) Pump(sched *simclock.Scheduler) (wake func()) {
 
 // ---- Asynchronous driving (production) ----
 
-// Start launches the next-deadline tick loop (and, with persistence
-// configured, the journal flush loop). It is called implicitly by Serve
-// and is idempotent. Requires a real clock.
+// Start launches the next-deadline tick loop, the egress flusher (and,
+// with persistence configured, the journal flush loop). It is called
+// implicitly by Serve/ServeBatch and is idempotent. Requires a real
+// clock.
 func (d *Daemon) Start() {
 	d.startOnce.Do(func() {
 		go d.tickLoop()
+		go d.egressLoop()
 		if d.journal != nil {
 			go d.journalLoop()
 		}
@@ -333,63 +394,36 @@ func (d *Daemon) tickLoop() {
 	}
 }
 
-// Dispatch routes one datagram to its session's worker queue. The reader
-// loop calls it; tests drive it directly to exercise the concurrent path.
-// The wire buffer is retained until the worker processes it.
+// Dispatch routes one datagram to its session's worker queue as a
+// single-packet run. Tests drive it directly to exercise the concurrent
+// path; the batched reader uses DispatchBatch. The wire buffer is
+// retained until the worker processes it. Safe for concurrent use.
 func (d *Daemon) Dispatch(wire []byte, src netem.Addr) {
+	// One datagram handed in individually = one upstream read syscall:
+	// accounting it keeps syscalls_avoided honest for embedders that
+	// bypass the batched reader.
+	d.metrics.ReadBatchCalls.Add(1)
+	d.metrics.ReadBatchSizes.Observe(1)
 	s := d.route(wire)
 	if s == nil {
 		return
 	}
-	s.workerOnce.Do(func() { go s.worker() })
-	select {
-	case s.inbox <- inPacket{wire: wire, src: src}:
-		d.metrics.DispatchQueueDepth.Add(1)
-		// If the session was removed while we enqueued, its worker may
-		// already have done its final drain; compensate so the queue-depth
-		// gauge cannot leak a phantom entry.
-		if s.closedFlag.Load() {
-			select {
-			case <-s.inbox:
-				d.metrics.DispatchQueueDepth.Add(-1)
-			default:
-			}
-		}
-	default:
-		// Backpressure: drop and let SSP's retransmission recover. A slow
-		// session must not stall the shared reader.
-		d.metrics.DropsQueueFull.Add(1)
-	}
+	r := getRun(false)
+	r.pkts = append(r.pkts, inPacket{wire: wire, src: src})
+	d.deliverRun(s, r)
 }
 
-// Serve runs the daemon over pc: a reader loop feeding Dispatch plus the
-// tick loop. It returns when the socket read fails (socket closed) or the
-// daemon is closed. When Config.Send is nil, replies go out via pc.WriteTo.
+// Serve runs the daemon over pc through the loop adapter: one datagram
+// per read syscall — the portable fallback path. Production servers with
+// a vectorized socket call ServeBatch directly. It returns when the
+// socket read fails (socket closed) or the daemon is closed; replies go
+// out via the egress flusher onto pc.WriteTo.
 func (d *Daemon) Serve(pc PacketConn) error {
-	if d.send == nil {
-		d.send = func(dst netem.Addr, wire []byte) { pc.WriteTo(wire, dst) }
-	}
-	d.servePC.Store(&pc)
-	d.Start()
-	buf := make([]byte, 64<<10)
-	for {
-		n, src, err := pc.ReadFrom(buf)
-		if err != nil {
-			select {
-			case <-d.stop:
-				return nil
-			default:
-				return err
-			}
-		}
-		select {
-		case <-d.stop:
-			return nil
-		default:
-		}
-		wire := append([]byte(nil), buf[:n]...)
-		d.Dispatch(wire, src)
-	}
+	// Preserve Serve's historical read contract: a 64 KiB buffer per
+	// datagram, whatever the source (the loop adapter reads one at a
+	// time, so a handful of slots suffices).
+	d.readPool = udpbatch.NewPool(64<<10, 8)
+	return d.ServeBatch(udpbatch.NewLoopConn(pc))
 }
 
 // Close stops the tick loop, flushes the journal one final time (so a
@@ -409,8 +443,12 @@ func (d *Daemon) Close() {
 			d.flushJournal(true) // on-shutdown flush; errors are in metrics
 		}
 	})
-	if pcp := d.servePC.Load(); pcp != nil {
-		if closer, ok := (*pcp).(interface{ Close() error }); ok {
+	// Give queued replies one final sweep before the transport goes away:
+	// in simulation this keeps Close-time emission deterministic, and on a
+	// real socket it drains what the flusher had not reached yet.
+	d.flushEgress()
+	if bcp := d.serveConn.Load(); bcp != nil {
+		if closer, ok := (*bcp).(interface{ Close() error }); ok {
 			closer.Close()
 		}
 	}
@@ -423,7 +461,9 @@ func (d *Daemon) Close() {
 
 // ---- Per-session machinery ----
 
-// worker drains one session's inbox (Serve mode).
+// worker drains one session's inbox (Serve mode), one run — several
+// datagrams, one wakeup — at a time, recycling reader-owned wire buffers
+// after handling.
 func (s *Session) worker() {
 	for {
 		select {
@@ -432,15 +472,21 @@ func (s *Session) worker() {
 			// does not leak the remainder when a session is removed.
 			for {
 				select {
-				case <-s.inbox:
-					s.d.metrics.DispatchQueueDepth.Add(-1)
+				case r := <-s.inbox:
+					s.queuedPkts.Add(-int64(len(r.pkts)))
+					s.d.metrics.DispatchQueueDepth.Add(-int64(len(r.pkts)))
+					s.d.freeRun(r)
 				default:
 					return
 				}
 			}
-		case p := <-s.inbox:
-			s.d.metrics.DispatchQueueDepth.Add(-1)
-			s.handle(p.wire, p.src)
+		case r := <-s.inbox:
+			s.queuedPkts.Add(-int64(len(r.pkts)))
+			s.d.metrics.DispatchQueueDepth.Add(-int64(len(r.pkts)))
+			for i := range r.pkts {
+				s.handle(r.pkts[i].wire, r.pkts[i].src)
+			}
+			s.d.freeRun(r)
 		}
 	}
 }
@@ -562,19 +608,17 @@ func (s *Session) rearmLocked(now time.Time) {
 	s.lastArmed = at
 }
 
-// emit transmits one sealed, enveloped datagram to the session's current
-// reply target. Called by the transport with s.mu held. Roaming is fully
-// per-session: the target is this session's datagram-layer address, which
-// follows its latest authentic source independently of every other
-// session on the socket.
+// emit queues one sealed, enveloped datagram toward the session's
+// current reply target on the daemon egress ring; the flusher (or the
+// simulation driver's synchronous flush) transmits it in a batch.
+// Called by the transport with s.mu held. Roaming is fully per-session:
+// the target is this session's datagram-layer address, which follows its
+// latest authentic source independently of every other session on the
+// socket.
 func (s *Session) emit(wire []byte) {
 	dst, ok := s.srv.Transport().Connection().RemoteAddr()
 	if !ok {
 		return // no authentic client packet yet: nowhere to send
 	}
-	s.d.metrics.PacketsOut.Add(1)
-	s.d.metrics.BytesOut.Add(int64(len(wire)))
-	if s.d.send != nil {
-		s.d.send(dst, wire)
-	}
+	s.d.enqueueEgress(dst, wire)
 }

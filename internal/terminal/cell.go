@@ -275,8 +275,49 @@ func isCombining(r rune) bool {
 		(r >= 0x1ab0 && r <= 0x1aff) ||
 		(r >= 0x1dc0 && r <= 0x1dff) ||
 		(r >= 0x20d0 && r <= 0x20ff) ||
+		(r >= 0xfe00 && r <= 0xfe0f) || // variation selectors (VS16 widens its cell)
 		(r >= 0xfe20 && r <= 0xfe2f) ||
+		(r >= 0xe0100 && r <= 0xe01ef) || // variation selectors supplement
 		r == 0x200d // zero-width joiner
+}
+
+// vs16 is VARIATION SELECTOR-16: it requests emoji presentation, which
+// renders at double width even when the base character alone is narrow
+// (for example U+2708 AIRPLANE vs U+2708 U+FE0F ✈️).
+const vs16 = 0xfe0f
+
+// isPictographic approximates Unicode's Extended_Pictographic property
+// over the ranges interactive programs actually emit. Per UAX #29 GB11 a
+// ZWJ extends a grapheme cluster only when followed by a pictographic
+// rune — ZWJ between ordinary letters (Arabic shaping, Indic half-forms)
+// must NOT merge cells.
+func isPictographic(r rune) bool {
+	switch r {
+	case 0x00a9, 0x00ae, 0x203c, 0x2049, 0x2122, 0x2139,
+		0x24c2, 0x3030, 0x303d, 0x3297, 0x3299:
+		return true
+	}
+	return (r >= 0x2190 && r <= 0x21ff) || // arrows
+		(r >= 0x2300 && r <= 0x23ff) || // misc technical (⌚ ⏰ …)
+		(r >= 0x25a0 && r <= 0x27bf) || // geometric, misc symbols, dingbats
+		(r >= 0x2934 && r <= 0x2935) ||
+		(r >= 0x2b00 && r <= 0x2b5f) || // ⬛ ⭐ …
+		(r >= 0x1f000 && r <= 0x1faff) // emoji planes
+}
+
+// endsWithZWJ reports whether a packed content word's cluster ends with
+// U+200D (zero-width joiner) — the signal that the next printed rune
+// joins this cell's emoji sequence instead of starting a new cell.
+func endsWithZWJ(content uint32) bool {
+	switch {
+	case content == 0:
+		return false
+	case content&graphemeBit == 0:
+		return content == 0x200d
+	default:
+		s := graphemes.lookup(content)
+		return len(s) >= 3 && s[len(s)-3:] == "\u200d"
+	}
 }
 
 func isWide(r rune) bool {

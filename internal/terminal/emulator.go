@@ -15,6 +15,13 @@ type Emulator struct {
 	// answerback accumulates terminal→host reports (cursor position,
 	// device attributes) for the server to feed back to the application.
 	answerback bytes.Buffer
+	// joinArmed marks an uninterrupted print stream: set by every printed
+	// rune, cleared by any control or escape dispatch. Emoji ZWJ joining
+	// and VS16 widening apply only within such a stream — a cell that
+	// merely *ends* with a dangling joiner must not swallow a rune the
+	// application prints after repositioning the cursor (grapheme
+	// clusters break on cursor motion).
+	joinArmed bool
 }
 
 // NewEmulator returns an emulator with a blank w×h screen.
@@ -33,8 +40,12 @@ func NewEmulatorWithFramebuffer(fb *Framebuffer) *Emulator {
 func (e *Emulator) Framebuffer() *Framebuffer { return e.fb }
 
 // SetFramebuffer replaces the live screen state (used when applying a
-// resize that arrives via state sync).
-func (e *Emulator) SetFramebuffer(fb *Framebuffer) { e.fb = fb }
+// resize that arrives via state sync). Like any cursor disruption it
+// breaks the print stream for emoji joining.
+func (e *Emulator) SetFramebuffer(fb *Framebuffer) {
+	e.fb = fb
+	e.joinArmed = false
+}
 
 // Write interprets host output, implementing io.Writer. It never fails;
 // unknown sequences are ignored like real terminals do.
@@ -46,8 +57,12 @@ func (e *Emulator) Write(data []byte) (int, error) {
 // WriteString interprets host output given as a string.
 func (e *Emulator) WriteString(s string) { e.Write([]byte(s)) }
 
-// Resize changes the screen dimensions (user resized their window).
-func (e *Emulator) Resize(w, h int) { e.fb.Resize(w, h) }
+// Resize changes the screen dimensions (user resized their window). The
+// cursor may be clamped, so the print stream is broken for emoji joining.
+func (e *Emulator) Resize(w, h int) {
+	e.fb.Resize(w, h)
+	e.joinArmed = false
+}
 
 // TakeAnswerback drains pending terminal→host responses.
 func (e *Emulator) TakeAnswerback() []byte {
@@ -65,22 +80,48 @@ func (e *Emulator) print(r rune) {
 	fb := e.fb
 	ds := &fb.DS
 	width := RuneWidth(r)
+	joinable := e.joinArmed
+	e.joinArmed = true
 
 	if width == 0 {
 		// Combining character: attach to the previously printed cell. The
 		// append goes through the grapheme intern table's combine cache, so
 		// the steady state allocates nothing.
-		row, col := ds.CursorRow, ds.CursorCol
-		if !ds.NextPrintWraps && col > 0 {
-			col--
-		}
-		if col > 0 && fb.Peek(row, col).ContentsEmpty() && fb.Peek(row, col-1).Wide {
-			col--
-		}
+		row, col := e.prevGraphicCell()
 		if !fb.Peek(row, col).ContentsEmpty() {
 			c := fb.Cell(row, col)
 			c.content = graphemes.appendRune(c.content, r)
 			fb.writableRow(row).touch()
+			// VS16 requests emoji presentation: the cell renders at double
+			// width even when its base character alone is narrow (✈ vs ✈️).
+			// Only emoji-capable bases widen, and only in an uninterrupted
+			// print stream — a stray selector on a plain letter, or one
+			// arriving after cursor motion, is zero-width noise in every
+			// wcwidth implementation, and widening would desync column
+			// positions with the application's layout.
+			if r == vs16 && joinable && !c.Wide && isPictographic(c.leadRune()) {
+				e.widenCell(row, col)
+			}
+		}
+		return
+	}
+
+	// A grapheme whose cluster ends in ZWJ is awaiting a joiner: a
+	// pictographic rune printed IMMEDIATELY after it belongs to that
+	// cell's emoji sequence (UAX #29 GB11), not to a new cell, and the
+	// joined cell takes the width of its widest member (👩 + ZWJ + 💻 is
+	// one two-column cell, not two). GB11 requires pictographic runes on
+	// BOTH sides of the joiner — letter+ZWJ (Arabic shaping, Indic
+	// half-forms) followed by an emoji is two cells — and clusters break
+	// on cursor motion, so a stale dangling joiner on the screen never
+	// swallows a rune printed after the application repositions.
+	if row, col := e.prevGraphicCell(); joinable && isPictographic(r) &&
+		endsWithZWJ(fb.Peek(row, col).content) && isPictographic(fb.Peek(row, col).leadRune()) {
+		c := fb.Cell(row, col)
+		c.content = graphemes.appendRune(c.content, r)
+		fb.writableRow(row).touch()
+		if width == 2 && !c.Wide {
+			e.widenCell(row, col)
 		}
 		return
 	}
@@ -142,6 +183,51 @@ func (e *Emulator) print(r rune) {
 	}
 }
 
+// prevGraphicCell locates the cell holding the most recently printed
+// grapheme — the attachment target for combining characters and ZWJ
+// joins: the cell left of the cursor (or under it while an autowrap is
+// pending), stepping over a wide character's continuation half.
+func (e *Emulator) prevGraphicCell() (row, col int) {
+	fb := e.fb
+	ds := &fb.DS
+	row, col = ds.CursorRow, ds.CursorCol
+	if !ds.NextPrintWraps && col > 0 {
+		col--
+	}
+	if col > 0 && fb.Peek(row, col).ContentsEmpty() && fb.Peek(row, col-1).Wide {
+		col--
+	}
+	return row, col
+}
+
+// widenCell grows a single-width cell into a double-width one after its
+// grapheme gained emoji presentation (VS16) or a wide ZWJ-joined member:
+// the continuation half is blanked and the cursor, when it sat
+// immediately after the cell, moves past the continuation exactly as if
+// the cell had been printed wide. A cell in the last column stays narrow
+// — there is no room for a continuation, and the wide-cell invariant
+// (normalizeWide) would otherwise destroy it.
+func (e *Emulator) widenCell(row, col int) {
+	fb := e.fb
+	if col >= fb.W-1 {
+		return
+	}
+	c := fb.Cell(row, col)
+	c.Wide = true
+	fb.Cell(row, col+1).Reset(c.Rend)
+	fb.normalizeWide(row)
+	fb.writableRow(row).touch()
+	ds := &fb.DS
+	if ds.CursorRow == row && ds.CursorCol == col+1 && !ds.NextPrintWraps {
+		if col+2 >= fb.W {
+			ds.CursorCol = fb.W - 1
+			ds.NextPrintWraps = true
+		} else {
+			ds.CursorCol = col + 2
+		}
+	}
+}
+
 func (e *Emulator) lineFeed() {
 	fb := e.fb
 	if fb.DS.CursorRow == fb.DS.ScrollBottom {
@@ -161,6 +247,7 @@ func (e *Emulator) reverseLineFeed() {
 }
 
 func (e *Emulator) execute(b byte) {
+	e.joinArmed = false
 	fb := e.fb
 	switch b {
 	case 0x07: // BEL
@@ -184,6 +271,7 @@ func (e *Emulator) execute(b byte) {
 }
 
 func (e *Emulator) escDispatch(inter []byte, final byte) {
+	e.joinArmed = false
 	fb := e.fb
 	if len(inter) == 1 && inter[0] == '#' {
 		if final == '8' { // DECALN
@@ -237,6 +325,7 @@ func param(params []int, i, def int) int {
 }
 
 func (e *Emulator) csiDispatch(private byte, params []int, inter []byte, final byte) {
+	e.joinArmed = false
 	if private == '?' {
 		switch final {
 		case 'h':
@@ -506,6 +595,7 @@ func extendedColor(params []int, i int) (Color, int, bool) {
 }
 
 func (e *Emulator) oscDispatch(data []byte) {
+	e.joinArmed = false
 	// OSC 0/1/2 set the window title.
 	if len(data) >= 2 && (data[0] == '0' || data[0] == '1' || data[0] == '2') && data[1] == ';' {
 		e.fb.Title = string(data[2:])

@@ -83,6 +83,24 @@ func goldenScenarios() []frameScenario {
 			"\x1b[2;39H宽",      // wide char at margin wraps early
 			"\x1b[3;1H\x1b[1P", // delete through wide pair
 		}},
+		{name: "emoji-zwj-vs16", w: 40, h: 8, steps: []string{
+			// VS16 emoji presentation: narrow base widened to two columns.
+			"plane ✈️ dep",
+			// ZWJ profession sequence: one wide cell, not woman+laptop.
+			"\r\n\U0001f469‍\U0001f4bb coding",
+			// VS16 inside a ZWJ sequence (rainbow flag), then a trailer.
+			"\r\n\U0001f3f3️‍\U0001f308 flag",
+			// Narrow lead joined to a wide member takes the wide width.
+			"\r\n☁‍\U0001f327 rain",
+			// Split writes: the join arrives in a separate chunk, as a pty
+			// would deliver it mid-stream.
+			"\r\nfam \U0001f468‍",
+			"\U0001f469‍\U0001f467 done",
+			// VS16 landing on the last column stays narrow (no room).
+			"\x1b[7;40H❤️",
+			// Overwrite through a widened pair.
+			"\x1b[2;1Hxy",
+		}},
 		{name: "modes-title-bell", w: 80, h: 24, steps: []string{
 			"\x1b]2;session one\a",
 			"\x07\x07",

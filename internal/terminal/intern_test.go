@@ -425,7 +425,7 @@ func TestUnicodePrintPathZeroAlloc(t *testing.T) {
 	}
 
 	comb := []byte("a\u0301e\u0308o\u0323\r\n") // combining-built á ë ọ
-	emu.Write(comb) // warm the combine cache
+	emu.Write(comb)                             // warm the combine cache
 	if avg := testing.AllocsPerRun(200, func() {
 		emu.Write(comb)
 	}); avg != 0 {

@@ -19,10 +19,10 @@ type recycleState struct {
 func (s *recycleState) Clone() *recycleState {
 	return &recycleState{textState: s.textState.Clone(), recycled: s.recycled}
 }
-func (s *recycleState) Equal(o *recycleState) bool       { return s.textState.Equal(o.textState) }
-func (s *recycleState) DiffFrom(o *recycleState) []byte  { return s.textState.DiffFrom(o.textState) }
-func (s *recycleState) Subtract(o *recycleState)         { s.textState.Subtract(o.textState) }
-func (s *recycleState) Apply(diff []byte) error          { return s.textState.Apply(diff) }
+func (s *recycleState) Equal(o *recycleState) bool      { return s.textState.Equal(o.textState) }
+func (s *recycleState) DiffFrom(o *recycleState) []byte { return s.textState.DiffFrom(o.textState) }
+func (s *recycleState) Subtract(o *recycleState)        { s.textState.Subtract(o.textState) }
+func (s *recycleState) Apply(diff []byte) error         { return s.textState.Apply(diff) }
 func (s *recycleState) AppendDiff(buf []byte, o *recycleState) []byte {
 	return s.textState.AppendDiff(buf, o.textState)
 }

@@ -1,0 +1,348 @@
+//go:build linux && (amd64 || arm64)
+
+package udpbatch
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"syscall"
+	"unsafe"
+
+	"repro/internal/netem"
+)
+
+// Linux fast path: recvmmsg(2)/sendmmsg(2) over the runtime-poller socket,
+// via raw syscalls (no dependencies beyond the standard library). The
+// socket stays in non-blocking mode under the net poller; ReadBatch parks
+// on the poller until readable, then drains up to a full batch with one
+// syscall. Addresses are converted straight between netem.Addr and raw
+// sockaddrs — both plain AF_INET sockets and AF_INET6 dual-stack sockets
+// (IPv4-mapped addresses) are supported.
+//
+// The build tag is 64-bit Linux: syscall.Msghdr.Iovlen is a uint64 there
+// (32-bit ABIs declare it uint32 and the syscall package offers no
+// portable setter). Everything else falls back to the loop adapter.
+
+// mmsghdr mirrors struct mmsghdr. Go pads the struct to the alignment of
+// syscall.Msghdr, matching the kernel's array stride.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+}
+
+// sockaddrBuf is large enough for sockaddr_in6 (28 bytes).
+const sockaddrBuf = 28
+
+// rawInet4 mirrors struct sockaddr_in with the port kept as big-endian
+// bytes (the syscall package's Port field is raw network order, which is
+// easy to get wrong; explicit bytes are not).
+type rawInet4 struct {
+	family uint16 // host byte order
+	port   [2]byte
+	addr   [4]byte
+	zero   [8]byte
+}
+
+// rawInet6 mirrors struct sockaddr_in6.
+type rawInet6 struct {
+	family   uint16 // host byte order
+	port     [2]byte
+	flowinfo uint32
+	addr     [16]byte
+	scope    uint32
+}
+
+// mmsgConn is the vectorized implementation of Conn.
+type mmsgConn struct {
+	c  *net.UDPConn
+	rc syscall.RawConn
+	// v6 marks an AF_INET6 (dual-stack) socket: outgoing sockaddrs must be
+	// IPv4-mapped sockaddr_in6, incoming ones arrive that way.
+	v6 bool
+
+	// Read scratch (used by the single reader goroutine).
+	rhdrs  []mmsghdr
+	riovs  []syscall.Iovec
+	rnames [][sockaddrBuf]byte
+
+	// Write scratch, guarded by wmu (multiple flush paths may overlap
+	// around shutdown).
+	wmu    sync.Mutex
+	whdrs  []mmsghdr
+	wiovs  []syscall.Iovec
+	wnames [][sockaddrBuf]byte
+
+	// Persistent poller callbacks with their operands passed through
+	// fields: a fresh closure per call would heap-allocate, and the read
+	// path is budgeted at zero allocations per batch.
+	readFn, writeFn func(fd uintptr) bool
+	rN, rGot        int
+	rErr            syscall.Errno
+	wN, wSent       int
+	wErr            syscall.Errno
+}
+
+// newPlatformUDP builds the recvmmsg/sendmmsg connection for c.
+func newPlatformUDP(c *net.UDPConn) (Conn, error) {
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	m := &mmsgConn{
+		c:      c,
+		rc:     rc,
+		rhdrs:  make([]mmsghdr, DefaultBatch),
+		riovs:  make([]syscall.Iovec, DefaultBatch),
+		rnames: make([][sockaddrBuf]byte, DefaultBatch),
+		whdrs:  make([]mmsghdr, DefaultBatch),
+		wiovs:  make([]syscall.Iovec, DefaultBatch),
+		wnames: make([][sockaddrBuf]byte, DefaultBatch),
+	}
+	// Transient-errno handling: EINTR retries immediately inside the
+	// callback. ENOMEM/ENOBUFS (kernel memory pressure) must neither kill
+	// the daemon nor re-park — the poller is edge-triggered, so already-
+	// queued datagrams would generate no new readiness edge and the
+	// backlog would stall until fresh traffic arrived; instead the call
+	// yields an empty success and the caller simply retries. Only EAGAIN
+	// parks (its readiness edge is guaranteed to come).
+	m.readFn = func(fd uintptr) bool {
+		for {
+			r, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+				uintptr(unsafe.Pointer(&m.rhdrs[0])), uintptr(m.rN),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			switch e {
+			case syscall.EAGAIN:
+				return false // park on the poller until readable
+			case syscall.EINTR:
+				continue
+			case syscall.ENOMEM, syscall.ENOBUFS:
+				m.rErr, m.rGot = 0, 0 // transient: yield, caller retries
+				return true
+			}
+			if e != 0 {
+				r = 0 // Syscall6 reports r1=-1 on error; the count is 0
+			}
+			m.rErr, m.rGot = e, int(r)
+			return true
+		}
+	}
+	m.writeFn = func(fd uintptr) bool {
+		for {
+			r, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&m.whdrs[0])), uintptr(m.wN),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			switch e {
+			case syscall.EAGAIN:
+				return false // socket buffer full: wait for writability
+			case syscall.EINTR:
+				continue // retry now; a parked write may see no new edge
+			}
+			if e != 0 {
+				r = 0 // Syscall6 reports r1=-1 on error; nothing was sent
+			}
+			m.wErr, m.wSent = e, int(r)
+			return true
+		}
+	}
+	var nameErr error
+	cerr := rc.Control(func(fd uintptr) {
+		sa, err := syscall.Getsockname(int(fd))
+		if err != nil {
+			// Without the socket's family, outgoing sockaddrs could be
+			// built wrong and every send would fail silently; surface the
+			// error so NewUDPConn falls back to the loop adapter instead.
+			nameErr = err
+			return
+		}
+		_, m.v6 = sa.(*syscall.SockaddrInet6)
+	})
+	if cerr != nil {
+		return nil, cerr
+	}
+	if nameErr != nil {
+		return nil, nameErr
+	}
+	return m, nil
+}
+
+func (m *mmsgConn) BatchCap() int { return DefaultBatch }
+
+func (m *mmsgConn) Close() error { return m.c.Close() }
+
+// ReadBatch drains up to len(msgs) datagrams with one recvmmsg call,
+// parking on the runtime poller until at least one is available.
+func (m *mmsgConn) ReadBatch(msgs []Message) (int, error) {
+	n := len(msgs)
+	if n == 0 {
+		return 0, nil
+	}
+	if n > len(m.rhdrs) {
+		n = len(m.rhdrs)
+	}
+	for {
+		for i := 0; i < n; i++ {
+			if cap(msgs[i].Buf) == 0 {
+				return 0, errors.New("udpbatch: read slot without buffer capacity")
+			}
+			msgs[i].Buf = msgs[i].Buf[:cap(msgs[i].Buf)]
+			m.riovs[i] = syscall.Iovec{Base: &msgs[i].Buf[0]}
+			m.riovs[i].SetLen(len(msgs[i].Buf))
+			m.rhdrs[i] = mmsghdr{hdr: syscall.Msghdr{
+				Name:    &m.rnames[i][0],
+				Namelen: sockaddrBuf,
+				Iov:     &m.riovs[i],
+				Iovlen:  1,
+			}}
+		}
+		m.rN, m.rGot, m.rErr = n, 0, 0
+		err := m.rc.Read(m.readFn)
+		runtime.KeepAlive(msgs)
+		if err != nil {
+			return 0, err
+		}
+		if m.rErr != 0 {
+			return 0, m.rErr
+		}
+		got := m.rGot
+		if got == 0 {
+			// Transient-pressure yield from the syscall callback: only
+			// this case reports an empty success to the caller.
+			return 0, nil
+		}
+		// Reslice each filled slot to its datagram and decode its source.
+		// Non-IPv4 sources are filtered out in place, swapping their
+		// capacity buffers toward the tail so no pooled storage is lost;
+		// order among survivors is preserved, which is all the
+		// demultiplexer needs.
+		out := 0
+		for i := 0; i < got; i++ {
+			addr, ok := decodeName(&m.rnames[i])
+			if !ok {
+				continue
+			}
+			if out != i {
+				msgs[out].Buf, msgs[i].Buf = msgs[i].Buf, msgs[out].Buf
+			}
+			msgs[out].Buf = msgs[out].Buf[:m.rhdrs[i].n]
+			msgs[out].Addr = addr
+			out++
+		}
+		if out > 0 {
+			return out, nil
+		}
+		// The whole batch was unsupported sources (e.g. native IPv6 on a
+		// dual-stack socket): read again rather than returning an empty
+		// success the caller would mistake for kernel pressure — a flood
+		// of such datagrams must not throttle the IPv4 sessions' reader.
+	}
+}
+
+// WriteBatch transmits msgs with one sendmmsg call per kernel acceptance.
+// It returns how many datagrams the kernel consumed; a non-nil error
+// reports that msgs[n] failed (the caller drops it and moves on).
+func (m *mmsgConn) WriteBatch(msgs []Message) (int, error) {
+	if len(msgs) == 0 {
+		return 0, nil
+	}
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	n := len(msgs)
+	if n > len(m.whdrs) {
+		n = len(m.whdrs)
+	}
+	// An empty slot truncates the batch BEFORE it: the valid prefix is
+	// transmitted first, so the (n, err) return keeps its meaning — n
+	// datagrams delivered, msgs[n] failed — matching the loop adapter.
+	var slotErr error
+	for i := 0; i < n; i++ {
+		if len(msgs[i].Buf) == 0 {
+			n, slotErr = i, errors.New("udpbatch: empty write slot")
+			break
+		}
+		nameLen := m.encodeName(&m.wnames[i], msgs[i].Addr)
+		m.wiovs[i] = syscall.Iovec{Base: &msgs[i].Buf[0]}
+		m.wiovs[i].SetLen(len(msgs[i].Buf))
+		m.whdrs[i] = mmsghdr{hdr: syscall.Msghdr{
+			Name:    &m.wnames[i][0],
+			Namelen: nameLen,
+			Iov:     &m.wiovs[i],
+			Iovlen:  1,
+		}}
+	}
+	if n == 0 {
+		return 0, slotErr // msgs[0] itself is the empty slot
+	}
+	m.wN, m.wSent, m.wErr = n, 0, 0
+	err := m.rc.Write(m.writeFn)
+	runtime.KeepAlive(msgs)
+	if err != nil {
+		return 0, err
+	}
+	if m.wErr != 0 {
+		// sendmmsg reports an error only when the first datagram fails, so
+		// wSent is 0 and msgs[0] is the undeliverable one; the caller drops
+		// it and continues. For UDP this is typically a transient ICMP-
+		// induced error and must not kill the flusher.
+		return m.wSent, m.wErr
+	}
+	if slotErr != nil && m.wSent == n {
+		// Whole valid prefix delivered; surface the empty slot as the
+		// failing datagram at index n so the caller drops it and retries
+		// the remainder.
+		return m.wSent, slotErr
+	}
+	return m.wSent, nil
+}
+
+// decodeName converts a raw source sockaddr into a netem.Addr; ok is
+// false for non-IPv4 (and non-IPv4-mapped) sources.
+func decodeName(name *[sockaddrBuf]byte) (netem.Addr, bool) {
+	switch *(*uint16)(unsafe.Pointer(name)) { // sa_family_t, host order
+	case syscall.AF_INET:
+		sa := (*rawInet4)(unsafe.Pointer(name))
+		return netem.Addr{
+			Host: uint32(sa.addr[0])<<24 | uint32(sa.addr[1])<<16 | uint32(sa.addr[2])<<8 | uint32(sa.addr[3]),
+			Port: uint16(sa.port[0])<<8 | uint16(sa.port[1]),
+		}, true
+	case syscall.AF_INET6:
+		sa := (*rawInet6)(unsafe.Pointer(name))
+		// Accept only IPv4-mapped addresses (::ffff:a.b.c.d).
+		for i := 0; i < 10; i++ {
+			if sa.addr[i] != 0 {
+				return netem.Addr{}, false
+			}
+		}
+		if sa.addr[10] != 0xff || sa.addr[11] != 0xff {
+			return netem.Addr{}, false
+		}
+		return netem.Addr{
+			Host: uint32(sa.addr[12])<<24 | uint32(sa.addr[13])<<16 | uint32(sa.addr[14])<<8 | uint32(sa.addr[15]),
+			Port: uint16(sa.port[0])<<8 | uint16(sa.port[1]),
+		}, true
+	}
+	return netem.Addr{}, false
+}
+
+// encodeName fills a raw destination sockaddr for dst, matching the
+// socket's address family, and returns its length.
+func (m *mmsgConn) encodeName(name *[sockaddrBuf]byte, dst netem.Addr) uint32 {
+	*name = [sockaddrBuf]byte{}
+	if m.v6 {
+		sa := (*rawInet6)(unsafe.Pointer(name))
+		sa.family = syscall.AF_INET6
+		sa.port = [2]byte{byte(dst.Port >> 8), byte(dst.Port)}
+		sa.addr[10], sa.addr[11] = 0xff, 0xff
+		sa.addr[12] = byte(dst.Host >> 24)
+		sa.addr[13] = byte(dst.Host >> 16)
+		sa.addr[14] = byte(dst.Host >> 8)
+		sa.addr[15] = byte(dst.Host)
+		return uint32(unsafe.Sizeof(rawInet6{}))
+	}
+	sa := (*rawInet4)(unsafe.Pointer(name))
+	sa.family = syscall.AF_INET
+	sa.port = [2]byte{byte(dst.Port >> 8), byte(dst.Port)}
+	sa.addr = [4]byte{byte(dst.Host >> 24), byte(dst.Host >> 16), byte(dst.Host >> 8), byte(dst.Host)}
+	return uint32(unsafe.Sizeof(rawInet4{}))
+}

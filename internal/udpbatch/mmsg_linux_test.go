@@ -1,0 +1,220 @@
+//go:build linux && (amd64 || arm64)
+
+package udpbatch
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// dialBatchPair opens a server batch conn plus a plain client socket
+// aimed at it over loopback.
+func dialBatchPair(t *testing.T, network string) (Conn, *net.UDPConn, *net.UDPConn) {
+	t.Helper()
+	srv, err := net.ListenUDP(network, &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	bc, err := newPlatformUDP(srv)
+	if err != nil {
+		srv.Close()
+		t.Fatalf("newPlatformUDP: %v", err)
+	}
+	cl, err := net.DialUDP("udp4", nil, srv.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); cl.Close() })
+	return bc, srv, cl
+}
+
+// TestMMsgReadBatchDrainsQueue sends several datagrams before the first
+// read, so one recvmmsg call must return them all, with correct lengths
+// and source addresses.
+func TestMMsgReadBatchDrainsQueue(t *testing.T) {
+	bc, _, cl := dialBatchPair(t, "udp4")
+	const count = 5
+	for i := 0; i < count; i++ {
+		if _, err := cl.Write([]byte(fmt.Sprintf("pkt-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Loopback delivery is asynchronous; wait for the full backlog.
+	deadline := time.Now().Add(5 * time.Second)
+	got := 0
+	msgs := make([]Message, DefaultBatch)
+	for i := range msgs {
+		msgs[i].Buf = make([]byte, 0, DefaultBufSize)
+	}
+	var batches int
+	for got < count {
+		if time.Now().After(deadline) {
+			t.Fatalf("read %d/%d datagrams before timeout", got, count)
+		}
+		n, err := bc.ReadBatch(msgs[: count-got : count-got])
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches++
+		wantSrc, _ := CompressUDPAddr(cl.LocalAddr().(*net.UDPAddr))
+		for i := 0; i < n; i++ {
+			want := fmt.Sprintf("pkt-%d", got+i)
+			if string(msgs[i].Buf) != want {
+				t.Fatalf("datagram %d = %q, want %q", got+i, msgs[i].Buf, want)
+			}
+			if msgs[i].Addr != wantSrc {
+				t.Fatalf("datagram %d src = %v, want %v", got+i, msgs[i].Addr, wantSrc)
+			}
+		}
+		got += n
+	}
+	t.Logf("read %d datagrams in %d recvmmsg call(s)", got, batches)
+}
+
+// TestMMsgWriteBatchRoundTrip sends a batch through sendmmsg and checks
+// every datagram arrives intact at the right peer.
+func TestMMsgWriteBatchRoundTrip(t *testing.T) {
+	bc, _, cl := dialBatchPair(t, "udp4")
+	dst, ok := CompressUDPAddr(cl.LocalAddr().(*net.UDPAddr))
+	if !ok {
+		t.Fatal("client address not IPv4")
+	}
+	const count = 7
+	out := make([]Message, count)
+	for i := range out {
+		out[i] = Message{Buf: []byte(fmt.Sprintf("reply-%d", i)), Addr: dst}
+	}
+	sent := 0
+	for sent < count {
+		n, err := bc.WriteBatch(out[sent:])
+		if err != nil {
+			t.Fatalf("WriteBatch after %d: %v", sent, err)
+		}
+		if n == 0 {
+			t.Fatal("WriteBatch made no progress")
+		}
+		sent += n
+	}
+	cl.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	for i := 0; i < count; i++ {
+		n, err := cl.Read(buf)
+		if err != nil {
+			t.Fatalf("client read %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("reply-%d", i); string(buf[:n]) != want {
+			t.Fatalf("client got %q, want %q", buf[:n], want)
+		}
+	}
+}
+
+// TestMMsgDualStackMapped exercises an AF_INET6 dual-stack socket: reads
+// decode IPv4-mapped sources, writes build IPv4-mapped destinations.
+func TestMMsgDualStackMapped(t *testing.T) {
+	srv, err := net.ListenUDP("udp", &net.UDPAddr{})
+	if err != nil {
+		t.Skipf("dual-stack UDP unavailable: %v", err)
+	}
+	defer srv.Close()
+	bc, err := newPlatformUDP(srv)
+	if err != nil {
+		t.Fatalf("newPlatformUDP: %v", err)
+	}
+	port := srv.LocalAddr().(*net.UDPAddr).Port
+	cl, err := net.DialUDP("udp4", nil, &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: port})
+	if err != nil {
+		t.Skipf("loopback dial unavailable: %v", err)
+	}
+	defer cl.Close()
+	if _, err := cl.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	msgs := []Message{{Buf: make([]byte, 0, DefaultBufSize)}}
+	n, err := bc.ReadBatch(msgs)
+	if err != nil || n != 1 {
+		t.Fatalf("ReadBatch = %d, %v", n, err)
+	}
+	if string(msgs[0].Buf) != "ping" {
+		t.Fatalf("got %q", msgs[0].Buf)
+	}
+	wantSrc, _ := CompressUDPAddr(cl.LocalAddr().(*net.UDPAddr))
+	if msgs[0].Addr != wantSrc {
+		t.Fatalf("mapped source = %v, want %v", msgs[0].Addr, wantSrc)
+	}
+	if n, err := bc.WriteBatch([]Message{{Buf: []byte("pong"), Addr: msgs[0].Addr}}); err != nil || n != 1 {
+		t.Fatalf("WriteBatch = %d, %v", n, err)
+	}
+	cl.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	rn, err := cl.Read(buf)
+	if err != nil || string(buf[:rn]) != "pong" {
+		t.Fatalf("reply = %q, %v", buf[:rn], err)
+	}
+}
+
+// TestMMsgWriteBatchErrorCount pins the error-path contract the egress
+// flusher's recovery arithmetic depends on: when sendmmsg fails on the
+// FIRST datagram, WriteBatch must report n=0 (not the raw syscall's -1),
+// so the caller can drop msgs[0] and continue with the rest.
+func TestMMsgWriteBatchErrorCount(t *testing.T) {
+	bc, _, cl := dialBatchPair(t, "udp4")
+	good, _ := CompressUDPAddr(cl.LocalAddr().(*net.UDPAddr))
+	// 255.255.255.255 without SO_BROADCAST draws EACCES from the kernel.
+	bad := netem.Addr{Host: 0xFFFFFFFF, Port: 9}
+	msgs := []Message{
+		{Buf: []byte("doomed"), Addr: bad},
+		{Buf: []byte("fine"), Addr: good},
+	}
+	n, err := bc.WriteBatch(msgs)
+	if err == nil {
+		t.Skip("kernel accepted a broadcast send without SO_BROADCAST; cannot provoke the error path")
+	}
+	if n != 0 {
+		t.Fatalf("WriteBatch error count = %d, want 0 (the failing datagram is msgs[n])", n)
+	}
+	// The documented recovery: drop msgs[n], retry the remainder.
+	if n2, err := bc.WriteBatch(msgs[n+1:]); err != nil || n2 != 1 {
+		t.Fatalf("retry after dropping the failing datagram = %d, %v", n2, err)
+	}
+	cl.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	rn, err := cl.Read(buf)
+	if err != nil || string(buf[:rn]) != "fine" {
+		t.Fatalf("surviving datagram = %q, %v", buf[:rn], err)
+	}
+}
+
+// TestMMsgReadBatchAllocFree pins the vectorized read path's allocation
+// budget: with pooled buffers prepared, ReadBatch itself performs zero
+// heap allocations per call.
+func TestMMsgReadBatchAllocFree(t *testing.T) {
+	bc, _, cl := dialBatchPair(t, "udp4")
+	msgs := make([]Message, 4)
+	pool := NewPool(DefaultBufSize, 16)
+	for i := range msgs {
+		msgs[i].Buf = pool.Get()
+	}
+	payload := []byte("x")
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := cl.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		n, err := bc.ReadBatch(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			b := msgs[i].Buf
+			pool.Put(b)
+			msgs[i].Buf = pool.Get()
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("ReadBatch steady state = %.1f allocs/call, want 0", allocs)
+	}
+}

@@ -1,0 +1,12 @@
+//go:build linux && amd64
+
+package udpbatch
+
+import "syscall"
+
+// The frozen syscall package predates sendmmsg(2); the numbers are ABI
+// constants per architecture.
+const (
+	sysRecvmmsg = syscall.SYS_RECVMMSG // 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,94 @@
+package udpbatch
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// The rest of the stack tracks peers as netem.Addr — a 32-bit host plus a
+// 16-bit port, standing in for (IPv4, UDP port). The mapping is bijective
+// for IPv4 sources, so unlike the historical adapter in cmd/mosh-server no
+// side table is needed: an address decompresses straight back into a
+// socket address. Non-IPv4 sources are dropped at the read (IPv6 needs a
+// wider address type in internal/netem first — see ROADMAP); because the
+// pre-auth mapping is injective, a spoofed datagram cannot redirect
+// another peer's replies.
+
+// CompressUDPAddr maps an IPv4 UDP address into netem.Addr form. ok is
+// false for non-IPv4 addresses.
+func CompressUDPAddr(a *net.UDPAddr) (netem.Addr, bool) {
+	ip4 := a.IP.To4()
+	if ip4 == nil {
+		return netem.Addr{}, false
+	}
+	host := uint32(ip4[0])<<24 | uint32(ip4[1])<<16 | uint32(ip4[2])<<8 | uint32(ip4[3])
+	return netem.Addr{Host: host, Port: uint16(a.Port)}, true
+}
+
+// DecompressUDPAddr is the inverse of CompressUDPAddr.
+func DecompressUDPAddr(a netem.Addr) *net.UDPAddr {
+	return &net.UDPAddr{
+		IP:   net.IPv4(byte(a.Host>>24), byte(a.Host>>16), byte(a.Host>>8), byte(a.Host)),
+		Port: int(a.Port),
+	}
+}
+
+// udpSingle is the portable single-datagram adapter over *net.UDPConn.
+type udpSingle struct {
+	c *net.UDPConn
+	// lastLog rate-limits transient-error logging (single reader
+	// goroutine): a peer provoking a stream of ICMP errors must not let
+	// unbounded stderr writes — possibly to an undrained pipe — stall the
+	// shared socket's only reader.
+	lastLog time.Time
+}
+
+func (u *udpSingle) ReadFrom(buf []byte) (int, netem.Addr, error) {
+	for {
+		n, src, err := u.c.ReadFromUDP(buf)
+		if err != nil {
+			// One peer's ICMP port-unreachable (or similar transient error)
+			// must not tear down every other session on the shared socket;
+			// only a closed socket ends the read loop.
+			if errors.Is(err, net.ErrClosed) {
+				return 0, netem.Addr{}, err
+			}
+			if now := time.Now(); now.Sub(u.lastLog) >= time.Second {
+				u.lastLog = now
+				fmt.Fprintln(os.Stderr, "udpbatch read:", err)
+			}
+			continue
+		}
+		a, ok := CompressUDPAddr(src)
+		if !ok {
+			continue // non-IPv4 source: unsupported, see package comment
+		}
+		return n, a, nil
+	}
+}
+
+func (u *udpSingle) WriteTo(wire []byte, dst netem.Addr) error {
+	_, err := u.c.WriteToUDP(wire, DecompressUDPAddr(dst))
+	return err
+}
+
+func (u *udpSingle) Close() error { return u.c.Close() }
+
+// NewUDPConn wraps a UDP socket in the best available batch
+// implementation: recvmmsg/sendmmsg on Linux, the loop adapter elsewhere
+// (or when the raw syscall surface is unavailable for this socket).
+func NewUDPConn(c *net.UDPConn) Conn {
+	if bc, err := newPlatformUDP(c); err == nil {
+		return bc
+	}
+	return NewLoopConn(&udpSingle{c: c})
+}
+
+// NewUDPLoopConn wraps a UDP socket in the portable one-datagram-per-
+// syscall adapter regardless of platform — the explicit fallback mode.
+func NewUDPLoopConn(c *net.UDPConn) Conn { return NewLoopConn(&udpSingle{c: c}) }

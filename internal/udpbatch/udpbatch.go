@@ -1,0 +1,179 @@
+// Package udpbatch is the vectorized socket surface under the sessiond
+// daemon. The paper's mosh-server owns one socket per session, so one
+// syscall per datagram is free; a daemon multiplexing thousands of
+// sessions over one UDP socket pays that syscall on every packet in each
+// direction, and at high session counts it dominates the per-packet cost.
+// This package replaces the one-datagram-at-a-time contract with a
+// batch-first one:
+//
+//   - Conn moves whole batches: ReadBatch fills a caller-owned slice of
+//     Messages (one syscall on Linux via recvmmsg), WriteBatch transmits
+//     one (sendmmsg), with short-batch and partial-write semantics spelled
+//     out below.
+//   - Pool is a bounded free ring of wire buffers, so the steady-state
+//     read path hands pre-sized storage to the kernel and recycles it
+//     after dispatch without allocating per datagram.
+//   - NewLoopConn adapts any single-datagram connection to Conn, so every
+//     existing PacketConn keeps working (one datagram per call — the
+//     portable fallback path, and the accounting baseline).
+//
+// The Linux fast path lives in mmsg_linux.go behind a build tag and uses
+// raw syscalls only (no new dependencies); NewUDPConn picks it when
+// available and falls back to the loop adapter elsewhere.
+package udpbatch
+
+import (
+	"sync"
+
+	"repro/internal/netem"
+)
+
+// DefaultBatch is the batch capacity used by callers that do not choose
+// their own: large enough that a loaded daemon amortizes a syscall over
+// tens of datagrams, small enough that one batch of MTU-sized buffers
+// stays within a few hundred kilobytes.
+const DefaultBatch = 64
+
+// DefaultBufSize is the per-datagram buffer capacity the pool hands out.
+// SSP fragments at an MTU of ~1200 bytes plus datagram-layer overhead, so
+// 2 KiB covers every packet this stack emits; an oversized foreign
+// datagram is truncated by the kernel and then discarded by the AEAD.
+const DefaultBufSize = 2048
+
+// Message is one datagram slot in a batch.
+//
+// For reads the caller provides Buf with free capacity (len is ignored,
+// cap is the receive window) and ReadBatch reslices Buf to the datagram's
+// bytes and sets Addr to its source. For writes the caller sets Buf to
+// the wire bytes and Addr to the destination.
+type Message struct {
+	Buf  []byte
+	Addr netem.Addr
+}
+
+// Conn is a batched datagram connection.
+//
+// ReadBatch blocks until at least one datagram is available, fills up to
+// len(msgs) slots, and returns how many it filled ("short batch": any
+// 1 <= n <= len(msgs) is a complete, successful read — the kernel simply
+// had no more queued). n == 0 with a nil error is a transient-pressure
+// yield (e.g. recvmmsg ENOMEM): nothing was read, the caller just calls
+// again.
+//
+// WriteBatch transmits msgs in order and returns how many datagrams were
+// consumed. A short count with a nil error means the kernel took only a
+// prefix (partial write) — the caller retries the remainder. A non-nil
+// error means msgs[n] itself failed; the caller should drop that datagram
+// (SSP treats it as loss) and continue with msgs[n+1:].
+type Conn interface {
+	ReadBatch(msgs []Message) (n int, err error)
+	WriteBatch(msgs []Message) (n int, err error)
+	// BatchCap reports the largest batch one underlying syscall can move:
+	// DefaultBatch-like values for vectorized implementations, 1 for
+	// loop adapters. Metrics use it to attribute syscall counts honestly.
+	BatchCap() int
+}
+
+// SingleConn is the legacy one-datagram surface (sessiond.PacketConn
+// satisfies it structurally): a blocking read and a consuming write.
+type SingleConn interface {
+	ReadFrom(buf []byte) (n int, src netem.Addr, err error)
+	WriteTo(wire []byte, dst netem.Addr) error
+}
+
+// Pool is a bounded free ring of wire buffers. Get returns a zero-length
+// buffer with at least BufSize capacity; Put recycles one. The ring is
+// bounded so a burst cannot pin memory forever, and misses simply
+// allocate — the steady state is all hits.
+type Pool struct {
+	mu   sync.Mutex
+	free [][]byte
+	size int
+	max  int
+}
+
+// NewPool builds a pool handing out bufSize-capacity buffers and keeping
+// at most max free ones (0 means 4×DefaultBatch).
+func NewPool(bufSize, max int) *Pool {
+	if bufSize <= 0 {
+		bufSize = DefaultBufSize
+	}
+	if max <= 0 {
+		max = 4 * DefaultBatch
+	}
+	return &Pool{size: bufSize, max: max}
+}
+
+// BufSize reports the capacity of buffers this pool hands out.
+func (p *Pool) BufSize() int { return p.size }
+
+// Get returns an empty buffer with at least BufSize capacity.
+func (p *Pool) Get() []byte {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return b[:0]
+	}
+	p.mu.Unlock()
+	return make([]byte, 0, p.size)
+}
+
+// Put recycles a buffer obtained from Get. Undersized foreign buffers are
+// dropped rather than poisoning the ring.
+func (p *Pool) Put(b []byte) {
+	if cap(b) < p.size {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < p.max {
+		p.free = append(p.free, b)
+	}
+	p.mu.Unlock()
+}
+
+// loopConn adapts a SingleConn to the batch interface: one datagram per
+// read call, a write loop per batch. This is the portable fallback and
+// the semantic baseline the batched implementations must match.
+type loopConn struct {
+	sc SingleConn
+}
+
+// NewLoopConn wraps a single-datagram connection as a Conn.
+func NewLoopConn(sc SingleConn) Conn { return &loopConn{sc: sc} }
+
+func (l *loopConn) BatchCap() int { return 1 }
+
+func (l *loopConn) ReadBatch(msgs []Message) (int, error) {
+	if len(msgs) == 0 {
+		return 0, nil
+	}
+	buf := msgs[0].Buf[:cap(msgs[0].Buf)]
+	n, src, err := l.sc.ReadFrom(buf)
+	if err != nil {
+		return 0, err
+	}
+	msgs[0].Buf = buf[:n]
+	msgs[0].Addr = src
+	return 1, nil
+}
+
+func (l *loopConn) WriteBatch(msgs []Message) (int, error) {
+	for i := range msgs {
+		if err := l.sc.WriteTo(msgs[i].Buf, msgs[i].Addr); err != nil {
+			return i, err
+		}
+	}
+	return len(msgs), nil
+}
+
+// Close forwards to the underlying connection when it supports closing,
+// so a daemon shutdown can unblock a pending read through the adapter.
+func (l *loopConn) Close() error {
+	if c, ok := l.sc.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
