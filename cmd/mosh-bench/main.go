@@ -23,6 +23,12 @@
 //	                           # one-syscall-per-datagram baseline; compare
 //	                           # its "socket io" line against the default
 //	                           # batched pipeline's
+//	mosh-bench -exp chaos -sessions 200
+//	                           # hostile-world smoke: mixed cohorts under a
+//	                           # seeded fault schedule (wire drop/dup/
+//	                           # corrupt/truncate, journal disk faults,
+//	                           # mid-run restart, roam, loss) with a nonce
+//	                           # audit; exits nonzero on a broken invariant
 //
 // -keys N sets the keystrokes per user (default: the paper-scale 1664,
 // ≈10k total across six users).
@@ -42,7 +48,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2|fig3|lte|singapore|loss|ablations|manysession|all")
+	exp := flag.String("exp", "all", "experiment: fig2|fig3|lte|singapore|loss|ablations|manysession|chaos|all")
 	keys := flag.Int("keys", 1664, "keystrokes per user (6 users)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	sessions := flag.Int("sessions", 1000, "concurrent sessions for -exp manysession")
@@ -51,6 +57,8 @@ func main() {
 	roam := flag.Bool("roam", false, "manysession: a third of the sessions change source address mid-run")
 	lossy := flag.Bool("lossy", false, "manysession: per-cohort lossy links (editor 1%, log-tail 3%)")
 	unbatched := flag.Bool("unbatched", false, "manysession: one-datagram-per-syscall fallback mode (the baseline the batched pipeline is measured against)")
+	chaos := flag.Bool("chaos", false, "manysession: seeded hostile-world schedule (wire mangling, journal disk faults, nonce audit); see also -exp chaos")
+	chaosSeed := flag.Int64("chaos-seed", 0, "chaos schedule seed (0 = derived from -seed)")
 	flag.Parse()
 
 	cfg := bench.Config{KeystrokesPerUser: *keys, Seed: *seed}
@@ -100,9 +108,33 @@ func main() {
 			Roam:         *roam,
 			LossyCohorts: *lossy,
 			Unbatched:    *unbatched,
+			Chaos:        *chaos,
+			ChaosSeed:    *chaosSeed,
 		})
 		fmt.Println(bench.FormatManySession(res))
 		fmt.Fprintf(os.Stderr, "[manysession done in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	// The chaos smoke is the torture preset in one flag: mixed cohorts,
+	// restart, roam, lossy links, and the full fault schedule.
+	if *exp == "chaos" {
+		start := time.Now()
+		res := bench.RunManySession(bench.ManySessionOptions{
+			Sessions:     *sessions,
+			Seed:         cfg.Seed,
+			Mixed:        true,
+			Restart:      true,
+			Roam:         true,
+			LossyCohorts: true,
+			Chaos:        true,
+			ChaosSeed:    *chaosSeed,
+		})
+		fmt.Println(bench.FormatManySession(res))
+		fmt.Fprintf(os.Stderr, "[chaos done in %v]\n\n", time.Since(start).Round(time.Millisecond))
+		if res.NonceViolations != 0 || res.Restored != int64(res.Sessions) || res.Lost != 0 {
+			fmt.Fprintf(os.Stderr, "chaos FAILED: nonce violations=%d restored=%d/%d lost=%d\n",
+				res.NonceViolations, res.Restored, res.Sessions, res.Lost)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -15,6 +15,7 @@
 //	mosh-server [-port 60001] [-sessions 64] [-demo shell|editor|mail]
 //	            [-idle 12h] [-debug 127.0.0.1:6060] [-batchio=false]
 //	            [-state-dir /var/lib/moshd] [-journal 10s]
+//	            [-unauth-burst 64] [-unauth-rate 16]
 //
 // Then, per printed line: mosh-client -to <host>:<port> -key <key> -session <id>
 //
@@ -34,6 +35,12 @@
 // their existing key and session ID; their next datagram authenticates and
 // the daemon fast-forwards them with a fresh full-screen diff — a restart
 // is just another form of packet loss.
+//
+// -unauth-burst/-unauth-rate tune the per-source quota on auth-failing
+// datagrams: spoofed-envelope floods are refused before the AEAD runs once
+// a source exhausts its burst, and any authentic datagram clears its
+// source's record (a roaming client can never lock itself out). See
+// README's "Fault tolerance & graceful degradation".
 package main
 
 import (
@@ -62,6 +69,8 @@ func main() {
 	stateDir := flag.String("state-dir", "", "journal sessions here and restore them on start (crash-safe resumption)")
 	journal := flag.Duration("journal", sessiond.DefaultJournalInterval, "journal flush cadence with -state-dir")
 	batchio := flag.Bool("batchio", true, "vectorized socket I/O (recvmmsg/sendmmsg) when the platform supports it; false forces the one-datagram-per-syscall loop")
+	quotaBurst := flag.Int("unauth-burst", sessiond.DefaultUnauthQuotaBurst, "auth-failing datagrams a single source may charge before being quota-dropped without AEAD cost (negative disables the quota)")
+	quotaRate := flag.Float64("unauth-rate", sessiond.DefaultUnauthQuotaRate, "per-source refill rate (auth failures/sec) for the unauth quota")
 	flag.Parse()
 
 	conn, err := net.ListenUDP("udp", &net.UDPAddr{Port: *port})
@@ -93,9 +102,11 @@ func main() {
 		IdleTimeout: *idle,
 		// Egress hands datagrams to the kernel before recycling, so
 		// per-session wire buffers are reused (the ring owns pooled copies).
-		RecycleWire:     true,
-		StateDir:        *stateDir,
-		JournalInterval: *journal,
+		RecycleWire:      true,
+		StateDir:         *stateDir,
+		JournalInterval:  *journal,
+		UnauthQuotaBurst: *quotaBurst,
+		UnauthQuotaRate:  *quotaRate,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestChaosTorture is the capstone fault-injection run: ~200 mixed-cohort
+// sessions in virtual time under a seeded hostile-world schedule — wire
+// drop/dup/corrupt/truncate in both directions, cohort link loss, a
+// fault-injecting disk under the journal (driving retry, backoff, and
+// suspension), a mid-run daemon kill + journal restore, and a roam wave —
+// and the survivable-failure contract that must hold through all of it:
+//
+//  1. Every session converges to a final screen BYTE-IDENTICAL to an
+//     undisturbed baseline run with the same seed.
+//  2. The daemon never reuses a nonce: every sealed (session, sequence)
+//     pair is unique across both daemon incarnations.
+//  3. Every keystroke's echo becomes visible (nothing is silently lost).
+//  4. Retries stay backoff-bounded: a flush-failure count anywhere near
+//     one-per-tick would mean the backoff gate is not holding.
+//
+// Everything is deterministic from the seeds; on failure the schedule is
+// reproducible from the logged chaos seed.
+func TestChaosTorture(t *testing.T) {
+	base := ManySessionOptions{
+		Sessions:      200,
+		Keystrokes:    20,
+		TypeInterval:  150 * time.Millisecond,
+		Seed:          77,
+		Mixed:         true,
+		CaptureFrames: true,
+	}
+	clean := RunManySession(base)
+
+	chaos := base
+	chaos.Chaos = true
+	chaos.ChaosSeed = 1077
+	chaos.Restart = true
+	chaos.Roam = true
+	chaos.LossyCohorts = true
+	got := RunManySession(chaos)
+	t.Logf("chaos seed %d\n%s", chaos.ChaosSeed, FormatManySession(got))
+
+	// The schedule must have actually been hostile — a chaos run that
+	// injected nothing proves nothing.
+	if got.ChaosDropped == 0 || got.ChaosDuplicated == 0 ||
+		got.ChaosCorrupted == 0 || got.ChaosTruncated == 0 {
+		t.Fatalf("chaos schedule injected nothing: dropped=%d duped=%d corrupted=%d truncated=%d",
+			got.ChaosDropped, got.ChaosDuplicated, got.ChaosCorrupted, got.ChaosTruncated)
+	}
+	if got.AuthDrops == 0 {
+		t.Fatal("corrupted datagrams produced no auth drops — injection not reaching the daemon")
+	}
+	if got.JournalFlushFailures == 0 {
+		t.Fatal("disk fault windows produced no journal flush failures")
+	}
+	if !got.JournalSuspendedSeen {
+		t.Fatal("sustained disk failure never drove the journal into suspension")
+	}
+
+	// Contract 2: zero nonce reuse, across the restart included.
+	if got.NonceViolations != 0 {
+		t.Fatalf("%d nonce violations — the daemon resealed a (session, sequence) pair", got.NonceViolations)
+	}
+
+	// The restore side of the torture: the mid-chaos kill must come back
+	// with every session.
+	if !got.Restarted || got.Restored != int64(got.Sessions) {
+		t.Fatalf("restart restored %d/%d sessions", got.Restored, got.Sessions)
+	}
+
+	// Contract 3: every keystroke's echo eventually became visible.
+	if got.Lost != 0 {
+		t.Fatalf("%d keystrokes never became visible through the chaos", got.Lost)
+	}
+
+	// Contract 4: flush attempts stay backoff-bounded. The fault windows
+	// total a few seconds; with a 40ms→400ms doubling backoff that is a
+	// few dozen attempts at the very most, where an unbounded loop would
+	// be thousands.
+	if got.JournalFlushFailures > 200 {
+		t.Fatalf("%d journal flush failures — retry loop is not backoff-bounded", got.JournalFlushFailures)
+	}
+
+	// Contract 1: byte-identical final screens against the undisturbed
+	// baseline. The intermediate frame STREAMS legitimately differ (loss
+	// reshapes which states each client sees), but the converged screens
+	// may not differ by a single byte.
+	if len(got.FinalFrames) != len(clean.FinalFrames) {
+		t.Fatalf("frame capture mismatch: %d vs %d sessions", len(got.FinalFrames), len(clean.FinalFrames))
+	}
+	diverged := 0
+	for i := range got.FinalFrames {
+		if !bytes.Equal(got.FinalFrames[i], clean.FinalFrames[i]) {
+			diverged++
+			if diverged <= 3 {
+				t.Errorf("session %d: final screen diverged from the undisturbed baseline", i+1)
+			}
+		}
+	}
+	if diverged > 0 {
+		t.Fatalf("%d/%d sessions diverged from the baseline (chaos seed %d)",
+			diverged, len(got.FinalFrames), chaos.ChaosSeed)
+	}
+}

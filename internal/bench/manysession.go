@@ -10,12 +10,14 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/host"
 	"repro/internal/netem"
 	"repro/internal/network"
 	"repro/internal/overlay"
 	"repro/internal/sessiond"
 	"repro/internal/simclock"
+	"repro/internal/sspcrypto"
 	"repro/internal/terminal"
 	"repro/internal/udpbatch"
 )
@@ -77,6 +79,18 @@ type ManySessionOptions struct {
 	// the equivalence test's evidence that batched and unbatched runs
 	// produce byte-identical per-session frame streams.
 	CaptureFrames bool
+	// Chaos runs the whole load under a seeded hostile-world schedule:
+	// windowed drop/dup/corrupt/truncate manglers on both wire directions,
+	// a fault-injecting filesystem under the journal (write/sync/rename
+	// failures, short writes, torn renames — healed just before the
+	// Restart kill so the recovery story stays testable), a periodic
+	// journal flush pump so the retry/backoff/suspension machinery
+	// actually runs in virtual time, and a nonce audit on every datagram
+	// the daemon seals. Combine with Restart/Roam/LossyCohorts for the
+	// full torture. Everything is deterministic from ChaosSeed.
+	Chaos bool
+	// ChaosSeed drives the chaos schedule (default: derived from Seed).
+	ChaosSeed int64
 }
 
 // ManySessionResult aggregates the run.
@@ -129,6 +143,22 @@ type ManySessionResult struct {
 	// each session's converged screen render.
 	FrameHashes []uint64
 	FinalFrames [][]byte
+	// Chaos reporting (Chaos mode). NonceViolations counts sealed
+	// datagrams whose (session, sequence) pair was ever seen before at the
+	// daemon's Send hook — ANY value other than zero is a broken crypto
+	// invariant. The mangle counters sum both wire directions; AuthDrops
+	// and JournalFlushFailures are daemon-side deltas over the run;
+	// JournalSuspendedSeen reports whether the disk-fault windows actually
+	// drove the journal into a suspension.
+	ChaosActive          bool
+	NonceViolations      int
+	ChaosDropped         int64
+	ChaosDuplicated      int64
+	ChaosCorrupted       int64
+	ChaosTruncated       int64
+	AuthDrops            int64
+	JournalFlushFailures int64
+	JournalSuspendedSeen bool
 }
 
 // shellPromptLen is where the first echoed character lands on the prompt
@@ -179,14 +209,57 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		return i % 3
 	}
 
+	// Chaos plumbing: manglers on both wire directions, a nonce audit at
+	// the daemon's Send hook (BEFORE mangling, so network duplication is
+	// not mistaken for daemon nonce reuse), and a fault-injecting
+	// filesystem under the journal. The whole simulation is single-
+	// threaded on the scheduler, so the audit map needs no lock.
+	var (
+		ingressMangler, egressMangler *faultinject.Mangler
+		chaosFS                       *faultinject.FaultFS
+		nonceSeen                     map[uint64]map[uint64]struct{}
+	)
+	res := ManySessionResult{Sessions: opt.Sessions, Keystrokes: opt.Keystrokes}
+	if opt.Chaos {
+		if opt.ChaosSeed == 0 {
+			opt.ChaosSeed = opt.Seed + 0xC4A05
+		}
+		ingressMangler = faultinject.NewMangler(opt.ChaosSeed)
+		egressMangler = faultinject.NewMangler(opt.ChaosSeed + 1)
+		nonceSeen = make(map[uint64]map[uint64]struct{})
+		res.ChaosActive = true
+	}
+	deliver := func(dst netem.Addr, wire []byte) {
+		if p := paths[dst]; p != nil {
+			p.Down.Send(netem.Packet{Src: daemonAddr, Dst: dst, Payload: wire})
+		}
+	}
+
 	// Host applications live outside the daemon so a restart can transplant
 	// them, like ptys surviving a frontend restart.
 	apps := make(map[uint64]host.App, opt.Sessions)
 	cfg := sessiond.Config{
 		Clock: sched,
 		Send: func(dst netem.Addr, wire []byte) {
-			if p := paths[dst]; p != nil {
-				p.Down.Send(netem.Packet{Src: daemonAddr, Dst: dst, Payload: wire})
+			if !opt.Chaos {
+				deliver(dst, wire)
+				return
+			}
+			if id, inner, err := network.ParseEnvelope(wire); err == nil && len(inner) >= 8 {
+				seq := binary.BigEndian.Uint64(inner[:8]) & sspcrypto.MaxSeq
+				seen := nonceSeen[id]
+				if seen == nil {
+					seen = make(map[uint64]struct{})
+					nonceSeen[id] = seen
+				}
+				if _, dup := seen[seq]; dup {
+					res.NonceViolations++
+				} else {
+					seen[seq] = struct{}{}
+				}
+			}
+			for _, w := range egressMangler.Mangle(wire) {
+				deliver(dst, w)
 			}
 		},
 		NewApp: func(id uint64) host.App {
@@ -213,6 +286,19 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		}
 		defer os.RemoveAll(stateDir)
 		cfg.StateDir = stateDir
+		if opt.Chaos {
+			// A hostile disk under the journal, with a tight retry/suspend
+			// schedule so backoff, suspension, and resume all fit inside
+			// the run's fault windows. The small SeqReserve makes the
+			// two-phase reservation actually bind under disk failure.
+			chaosFS = faultinject.NewFaultFS(nil, opt.ChaosSeed+2)
+			cfg.FS = chaosFS
+			cfg.FaultSeed = opt.ChaosSeed + 3
+			cfg.JournalRetryMin = 40 * time.Millisecond
+			cfg.JournalRetryMax = 400 * time.Millisecond
+			cfg.JournalSuspendAfter = 3
+			cfg.SeqReserve = 512
+		}
 	}
 	d, err := sessiond.New(cfg)
 	if err != nil {
@@ -229,7 +315,20 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 	// rebound when the restart scenario swaps in the restored daemon;
 	// in-flight packets follow automatically.
 	var ingressScratch []udpbatch.Message
+	var manglePkts []netem.Packet
 	netem.NewBatchSink(nw, daemonAddr, func(pkts []netem.Packet) {
+		if ingressMangler != nil {
+			out := manglePkts[:0]
+			for _, p := range pkts {
+				for _, w := range ingressMangler.Mangle(p.Payload) {
+					q := p
+					q.Payload = w
+					out = append(out, q)
+				}
+			}
+			manglePkts = out[:0]
+			pkts = out
+		}
 		if opt.Unbatched {
 			for _, p := range pkts {
 				d.HandlePacket(p.Payload, p.Src)
@@ -270,7 +369,6 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		frameHash hash.Hash64
 	}
 	clients := make([]*loadClient, opt.Sessions)
-	res := ManySessionResult{Sessions: opt.Sessions, Keystrokes: opt.Keystrokes}
 
 	// cohortParams degrades the non-shell cohorts' links when requested.
 	cohortParams := func(cohort int) netem.LinkParams {
@@ -376,6 +474,7 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 	bytesIn0, bytesOut0 := m.BytesIn.Value(), m.BytesOut.Value()
 	queueDrops0, roams0 := m.DropsQueueFull.Value(), m.RoamingEvents.Value()
 	readCalls0, writeCalls0 := m.ReadBatchCalls.Value(), m.WriteBatchCalls.Value()
+	authDrops0, flushFails0 := m.DropsAuth.Value(), m.JournalFlushFailures.Value()
 	harvest := func() {
 		res.PacketsIn += m.PacketsIn.Value() - packetsIn0
 		res.PacketsOut += m.PacketsOut.Value() - packetsOut0
@@ -385,6 +484,8 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		res.Roams += m.RoamingEvents.Value() - roams0
 		res.ReadCalls += m.ReadBatchCalls.Value() - readCalls0
 		res.WriteCalls += m.WriteBatchCalls.Value() - writeCalls0
+		res.AuthDrops += m.DropsAuth.Value() - authDrops0
+		res.JournalFlushFailures += m.JournalFlushFailures.Value() - flushFails0
 	}
 	rebase := func() {
 		m = d.Metrics()
@@ -392,6 +493,7 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		bytesIn0, bytesOut0 = m.BytesIn.Value(), m.BytesOut.Value()
 		queueDrops0, roams0 = m.DropsQueueFull.Value(), m.RoamingEvents.Value()
 		readCalls0, writeCalls0 = m.ReadBatchCalls.Value(), m.WriteBatchCalls.Value()
+		authDrops0, flushFails0 = m.DropsAuth.Value(), m.JournalFlushFailures.Value()
 	}
 	start := sched.Now()
 
@@ -484,6 +586,55 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		})
 	}
 
+	if opt.Chaos {
+		// Network chaos window: both directions mangled from shortly after
+		// the measured window opens until typing ends, leaving the drain
+		// clean so retransmits can converge the screens.
+		mangleOn := faultinject.MangleFaults{
+			DropProb: 0.02, DupProb: 0.02, CorruptProb: 0.01, TruncProb: 0.01,
+		}
+		sched.At(start.Add(250*time.Millisecond), func() {
+			ingressMangler.SetFaults(mangleOn)
+			egressMangler.SetFaults(mangleOn)
+		})
+		sched.At(start.Add(typing), func() {
+			ingressMangler.SetFaults(faultinject.MangleFaults{})
+			egressMangler.SetFaults(faultinject.MangleFaults{})
+		})
+		if chaosFS != nil {
+			// Disk chaos: high failure rates so consecutive-failure
+			// suspension actually triggers, healed just before the Restart
+			// kill (the shutdown flush must find a working disk for the
+			// restore side of the torture to stay meaningful) and again at
+			// the end of typing so the final suspension can resume.
+			fsOn := faultinject.FSFaults{
+				WriteErrProb: 0.85, ShortWriteProb: 0.2, SyncErrProb: 0.5,
+				RenameErrProb: 0.25, TornRenameProb: 0.25,
+			}
+			sched.At(start.Add(400*time.Millisecond), func() { chaosFS.SetFaults(fsOn) })
+			if opt.Restart {
+				sched.At(killAt.Add(-100*time.Millisecond), func() { chaosFS.SetFaults(faultinject.FSFaults{}) })
+				sched.At(killAt.Add(outage+300*time.Millisecond), func() { chaosFS.SetFaults(fsOn) })
+			}
+			sched.At(start.Add(typing), func() { chaosFS.SetFaults(faultinject.FSFaults{}) })
+		}
+		if opt.Restart {
+			// Periodic flush pump: sim mode has no journal loop, so drive
+			// the flush (and observe suspensions) on a fixed cadence.
+			// Attempts self-gate on the retry backoff, so this cannot
+			// defeat the backoff it is exercising.
+			var pump func()
+			pump = func() {
+				d.FlushJournal()
+				if d.JournalSuspended() != 0 {
+					res.JournalSuspendedSeen = true
+				}
+				sched.After(500*time.Millisecond, pump)
+			}
+			sched.After(500*time.Millisecond, pump)
+		}
+	}
+
 	// Run through the typing period plus a generous drain for retransmits.
 	sched.RunFor(typing + 10*time.Second)
 	for _, lc := range clients {
@@ -510,6 +661,13 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 			res.FrameHashes = append(res.FrameHashes, lc.frameHash.Sum64())
 			res.FinalFrames = append(res.FinalFrames, terminal.NewFrame(false, nil, lc.cl.ServerState()))
 		}
+	}
+	if opt.Chaos {
+		is, es := ingressMangler.Stats(), egressMangler.Stats()
+		res.ChaosDropped = is.Dropped.Load() + es.Dropped.Load()
+		res.ChaosDuplicated = is.Duplicated.Load() + es.Duplicated.Load()
+		res.ChaosCorrupted = is.Corrupted.Load() + es.Corrupted.Load()
+		res.ChaosTruncated = is.Truncated.Load() + es.Truncated.Load()
 	}
 	return res
 }
@@ -557,6 +715,11 @@ func FormatManySession(r ManySessionResult) string {
 			r.Restored, r.Sessions, rs.N,
 			Percentile(r.ResumeSamples, 50), Percentile(r.ResumeSamples, 90),
 			Percentile(r.ResumeSamples, 99), Percentile(r.ResumeSamples, 100))
+	}
+	if r.ChaosActive {
+		fmt.Fprintf(&b, "  chaos: wire %d dropped / %d duped / %d corrupted / %d truncated; %d auth drops; %d journal flush failures (suspension seen: %v); nonce violations: %d\n",
+			r.ChaosDropped, r.ChaosDuplicated, r.ChaosCorrupted, r.ChaosTruncated,
+			r.AuthDrops, r.JournalFlushFailures, r.JournalSuspendedSeen, r.NonceViolations)
 	}
 	fmt.Fprintf(&b, "  sim: %v virtual in %v wall (%.1fx real time)",
 		r.Elapsed.Round(time.Millisecond), r.Wall.Round(time.Millisecond),

@@ -1,0 +1,18 @@
+package faultinject
+
+import "syscall"
+
+// The errnos the harness injects, re-exported so tests and fault
+// schedules spell them the same way the kernel would. They are real
+// syscall.Errno values: errors.Is and the poller's errno switches treat
+// injected faults exactly like native ones.
+var (
+	ErrEINTR        = error(syscall.EINTR)        // interrupted syscall: retry
+	ErrENOBUFS      = error(syscall.ENOBUFS)      // transient kernel buffer exhaustion
+	ErrENOMEM       = error(syscall.ENOMEM)       // transient kernel memory pressure
+	ErrEACCES       = error(syscall.EACCES)       // persistent: firewall EPERM-style rejection
+	ErrEIO          = error(syscall.EIO)          // disk I/O error
+	ErrENOSPC       = error(syscall.ENOSPC)       // disk full
+	ErrETIMEDOUT    = error(syscall.ETIMEDOUT)    // connected-UDP ICMP timeout
+	ErrECONNREFUSED = error(syscall.ECONNREFUSED) // connected-UDP ICMP port unreachable
+)

@@ -1,0 +1,326 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/netem"
+	"repro/internal/udpbatch"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if n := r.Intn(17); n < 0 || n >= 17 {
+			t.Fatalf("Intn out of range: %v", n)
+		}
+	}
+	if r.Chance(0) {
+		t.Fatal("Chance(0) fired")
+	}
+	if !r.Chance(1) {
+		t.Fatal("Chance(1) did not fire")
+	}
+}
+
+// fakeConn is a scriptable inner connection: queued inbound datagrams,
+// recorded outbound ones.
+type fakeConn struct {
+	in    [][]byte
+	addr  netem.Addr
+	wrote [][]byte
+}
+
+func (f *fakeConn) BatchCap() int { return 8 }
+
+func (f *fakeConn) ReadBatch(msgs []udpbatch.Message) (int, error) {
+	n := 0
+	for n < len(msgs) && n < len(f.in) {
+		buf := msgs[n].Buf[:0]
+		buf = append(buf, f.in[n]...)
+		msgs[n].Buf = buf
+		msgs[n].Addr = f.addr
+		n++
+	}
+	f.in = f.in[n:]
+	return n, nil
+}
+
+func (f *fakeConn) WriteBatch(msgs []udpbatch.Message) (int, error) {
+	for i := range msgs {
+		f.wrote = append(f.wrote, append([]byte(nil), msgs[i].Buf...))
+	}
+	return len(msgs), nil
+}
+
+func newMsgs(n int) []udpbatch.Message {
+	msgs := make([]udpbatch.Message, n)
+	for i := range msgs {
+		msgs[i].Buf = make([]byte, 0, 64)
+	}
+	return msgs
+}
+
+func TestConnScriptedErrors(t *testing.T) {
+	inner := &fakeConn{in: [][]byte{[]byte("hello")}}
+	c := NewConn(inner, 1)
+	c.ScriptReadError(ErrEINTR, ErrENOBUFS)
+	for _, want := range []error{ErrEINTR, ErrENOBUFS} {
+		if _, err := c.ReadBatch(newMsgs(4)); !errors.Is(err, want) {
+			t.Fatalf("scripted read error = %v, want %v", err, want)
+		}
+	}
+	msgs := newMsgs(4)
+	n, err := c.ReadBatch(msgs)
+	if err != nil || n != 1 || string(msgs[0].Buf) != "hello" {
+		t.Fatalf("post-script read = %d, %v, %q", n, err, msgs[0].Buf)
+	}
+	c.ScriptWriteError(ErrEACCES)
+	if _, err := c.WriteBatch(newMsgs(1)); !errors.Is(err, syscall.EACCES) {
+		t.Fatalf("scripted write error = %v, want EACCES", err)
+	}
+	if got := c.Stats().ReadErrs.Load(); got != 2 {
+		t.Fatalf("ReadErrs = %d, want 2", got)
+	}
+	if got := c.Stats().WriteErrs.Load(); got != 1 {
+		t.Fatalf("WriteErrs = %d, want 1", got)
+	}
+}
+
+func TestConnMangling(t *testing.T) {
+	payload := []byte("0123456789abcdef")
+	inner := &fakeConn{}
+	c := NewConn(inner, 99)
+	c.SetFaults(ConnFaults{CorruptProb: 0.5, TruncProb: 0.3, DupProb: 0.3})
+	var corrupted, truncated, dups, clean int
+	for round := 0; round < 200; round++ {
+		inner.in = [][]byte{append([]byte(nil), payload...)}
+		msgs := newMsgs(4)
+		n, err := c.ReadBatch(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 2 {
+			dups++
+			if !bytes.Equal(msgs[0].Buf, msgs[1].Buf) {
+				t.Fatal("duplicate differs from original")
+			}
+		} else if n != 1 {
+			t.Fatalf("read %d datagrams", n)
+		}
+		switch {
+		case len(msgs[0].Buf) < len(payload):
+			truncated++
+		case !bytes.Equal(msgs[0].Buf, payload):
+			corrupted++
+		default:
+			clean++
+		}
+	}
+	if corrupted == 0 || truncated == 0 || dups == 0 || clean == 0 {
+		t.Fatalf("schedule did not mix: corrupt=%d trunc=%d dup=%d clean=%d",
+			corrupted, truncated, dups, clean)
+	}
+	st := c.Stats()
+	if st.Corrupted.Load() == 0 || st.Truncated.Load() == 0 || st.Duplicated.Load() == 0 {
+		t.Fatalf("stats did not count: %d/%d/%d",
+			st.Corrupted.Load(), st.Truncated.Load(), st.Duplicated.Load())
+	}
+}
+
+func TestConnWriteFaults(t *testing.T) {
+	inner := &fakeConn{}
+	c := NewConn(inner, 7)
+	c.SetFaults(ConnFaults{WriteErrProb: 1})
+	msgs := newMsgs(4)
+	for i := range msgs {
+		msgs[i].Buf = append(msgs[i].Buf, byte(i))
+	}
+	n, err := c.WriteBatch(msgs)
+	if err == nil {
+		t.Fatal("write fault did not fire")
+	}
+	if n != len(inner.wrote) {
+		t.Fatalf("reported %d transmitted, inner saw %d", n, len(inner.wrote))
+	}
+	// Partial writes: a strict prefix is consumed with a nil error.
+	inner.wrote = nil
+	c.SetFaults(ConnFaults{PartialWriteProb: 1})
+	n, err = c.WriteBatch(msgs)
+	if err != nil || n < 1 || n >= len(msgs) {
+		t.Fatalf("partial write = %d, %v; want strict prefix", n, err)
+	}
+	if c.Stats().PartialWrites.Load() == 0 {
+		t.Fatal("partial write not counted")
+	}
+}
+
+func TestFaultFSShortWriteAndSync(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil, 3)
+	ffs.SetFaults(FSFaults{ShortWriteProb: 1})
+	path := filepath.Join(dir, "f")
+	f, err := ffs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("x"), 100)
+	n, err := f.Write(data)
+	if !errors.Is(err, syscall.ENOSPC) || n <= 0 || n >= len(data) {
+		t.Fatalf("short write = %d, %v; want strict prefix + ENOSPC", n, err)
+	}
+	f.Close()
+	if got, _ := os.ReadFile(path); len(got) != n {
+		t.Fatalf("on-disk prefix %d bytes, reported %d", len(got), n)
+	}
+	ffs.SetFaults(FSFaults{SyncErrProb: 1})
+	f, err = ffs.OpenFile(path, os.O_WRONLY, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync fault = %v, want EIO", err)
+	}
+	f.Close()
+	if ffs.Stats().ShortWrites.Load() == 0 || ffs.Stats().SyncErrs.Load() == 0 {
+		t.Fatal("fs stats did not count")
+	}
+}
+
+func TestFaultFSTornRename(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil, 11)
+	src, dst := filepath.Join(dir, "src"), filepath.Join(dir, "dst")
+	content := bytes.Repeat([]byte("journal"), 50)
+	f, err := ffs.OpenFile(src, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(content); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	ffs.SetFaults(FSFaults{TornRenameProb: 1})
+	if err := ffs.Rename(src, dst); err != nil {
+		t.Fatalf("torn rename reported failure: %v", err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(content) || !bytes.Equal(got, content[:len(got)]) {
+		t.Fatalf("destination is not a strict prefix: %d vs %d bytes", len(got), len(content))
+	}
+	if _, err := os.Stat(src); !os.IsNotExist(err) {
+		t.Fatalf("source survived the torn rename: %v", err)
+	}
+	if ffs.Stats().TornRenames.Load() != 1 {
+		t.Fatal("torn rename not counted")
+	}
+}
+
+func TestFaultFSFailAllAndHook(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil, 5)
+	ffs.SetFaults(FSFaults{FailAll: ErrEACCES})
+	if _, err := ffs.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE, 0o600); !errors.Is(err, syscall.EACCES) {
+		t.Fatalf("FailAll open = %v, want EACCES", err)
+	}
+	if err := ffs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, syscall.EACCES) {
+		t.Fatalf("FailAll rename = %v, want EACCES", err)
+	}
+	// Reads are not gated by FailAll (the journal must stay loadable).
+	if _, err := ffs.ReadFile(filepath.Join(dir, "nope")); !os.IsNotExist(err) {
+		t.Fatalf("read under FailAll = %v, want not-exist", err)
+	}
+	ffs.SetFaults(FSFaults{})
+	var ops []Op
+	ffs.SetOpHook(func(op Op, path string) error {
+		ops = append(ops, op)
+		if op == OpSync {
+			return ErrEIO
+		}
+		return nil
+	})
+	f, err := ffs.OpenFile(filepath.Join(dir, "g"), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("x"))
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("hooked sync = %v, want EIO", err)
+	}
+	f.Close()
+	want := []Op{OpOpen, OpWrite, OpSync, OpClose}
+	if len(ops) != len(want) {
+		t.Fatalf("hook saw %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("hook saw %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestMangler(t *testing.T) {
+	m := NewMangler(21)
+	wire := []byte("datagram-payload-bytes")
+	// Zero schedule: identity, same backing array.
+	out := m.Mangle(wire)
+	if len(out) != 1 || &out[0][0] != &wire[0] {
+		t.Fatal("zero schedule did not pass through")
+	}
+	m.SetFaults(MangleFaults{DropProb: 0.25, DupProb: 0.25, CorruptProb: 0.25, TruncProb: 0.25})
+	var drops, dups, mods, passed int
+	for i := 0; i < 400; i++ {
+		out := m.Mangle(wire)
+		switch len(out) {
+		case 0:
+			drops++
+		case 2:
+			dups++
+		case 1:
+			if bytes.Equal(out[0], wire) {
+				passed++
+				continue
+			}
+			mods++
+			// A modified payload must be a fresh copy: the original is
+			// untouched.
+			if string(wire) != "datagram-payload-bytes" {
+				t.Fatal("mangling modified the caller's buffer")
+			}
+		}
+	}
+	if drops == 0 || dups == 0 || mods == 0 || passed == 0 {
+		t.Fatalf("schedule did not mix: drop=%d dup=%d mod=%d pass=%d", drops, dups, mods, passed)
+	}
+	st := m.Stats()
+	if st.Dropped.Load() == 0 || st.Duplicated.Load() == 0 ||
+		st.Corrupted.Load()+st.Truncated.Load() == 0 {
+		t.Fatal("mangle stats did not count")
+	}
+}

@@ -1,0 +1,92 @@
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MangleFaults parameterizes a Mangler. Probabilities are per datagram.
+type MangleFaults struct {
+	DropProb    float64 // datagram vanishes
+	DupProb     float64 // datagram is delivered twice
+	CorruptProb float64 // one byte flipped (AEAD must reject)
+	TruncProb   float64 // strict prefix delivered (AEAD must reject)
+}
+
+// MangleStats counts what a Mangler did.
+type MangleStats struct {
+	Dropped    atomic.Int64
+	Duplicated atomic.Int64
+	Corrupted  atomic.Int64
+	Truncated  atomic.Int64
+	Passed     atomic.Int64
+}
+
+// Mangler applies a seeded drop/dup/corrupt/truncate schedule to
+// individual wire datagrams, for harnesses sitting on a packet path
+// rather than a Conn (bench's chaos schedule runs one per direction).
+// The zero schedule passes everything through untouched.
+type Mangler struct {
+	rng *Rand
+
+	mu     sync.Mutex
+	faults MangleFaults
+
+	stats MangleStats
+}
+
+// NewMangler returns a Mangler driven by the given seed.
+func NewMangler(seed int64) *Mangler { return &Mangler{rng: NewRand(seed)} }
+
+// SetFaults replaces the schedule (zero disables). Bench uses this to
+// open and close the chaos window at scheduled virtual times.
+func (m *Mangler) SetFaults(f MangleFaults) {
+	m.mu.Lock()
+	m.faults = f
+	m.mu.Unlock()
+}
+
+// Stats exposes the mangle counters.
+func (m *Mangler) Stats() *MangleStats { return &m.stats }
+
+// Mangle maps one wire datagram to zero, one, or two datagrams to
+// deliver. Modified or duplicated payloads are fresh copies, so callers
+// may hand the results to retaining sinks (netem links) safely; an
+// untouched datagram is returned as-is.
+func (m *Mangler) Mangle(wire []byte) [][]byte {
+	m.mu.Lock()
+	f := m.faults
+	m.mu.Unlock()
+	if f == (MangleFaults{}) || len(wire) == 0 {
+		m.stats.Passed.Add(1)
+		return [][]byte{wire}
+	}
+	if m.rng.Chance(f.DropProb) {
+		m.stats.Dropped.Add(1)
+		return nil
+	}
+	out, touched := wire, false
+	if len(wire) > 1 && m.rng.Chance(f.CorruptProb) {
+		c := make([]byte, len(wire))
+		copy(c, wire)
+		c[m.rng.Intn(len(c))] ^= 1 << uint(m.rng.Intn(8))
+		out, touched = c, true
+		m.stats.Corrupted.Add(1)
+	}
+	if len(out) > 1 && m.rng.Chance(f.TruncProb) {
+		t := make([]byte, 1+m.rng.Intn(len(out)-1))
+		copy(t, out)
+		out, touched = t, true
+		m.stats.Truncated.Add(1)
+	}
+	if m.rng.Chance(f.DupProb) {
+		d := make([]byte, len(out))
+		copy(d, out)
+		m.stats.Duplicated.Add(1)
+		return [][]byte{out, d}
+	}
+	if !touched {
+		m.stats.Passed.Add(1)
+	}
+	return [][]byte{out}
+}

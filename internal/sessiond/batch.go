@@ -145,15 +145,26 @@ func (d *Daemon) deliverRun(s *Session, r *inRun) {
 	// PARTIALLY — its prefix fits, its tail drops — so an InboxDepth
 	// smaller than one read batch bounds the session without starving it
 	// (whole-run drops would also condemn every coalesced retransmission).
+	// Under the shed policy every session's budget halves: sustained
+	// pressure means offered load exceeds drain rate, and short queues
+	// shed it where it arises (the flooded sessions) instead of letting
+	// deep queues convert the overload into memory and latency.
+	depth := int64(d.inboxDepth())
+	if d.shedding() {
+		if depth /= 2; depth < 1 {
+			depth = 1
+		}
+	}
 	var admit int64
 	for {
 		cur := s.queuedPkts.Load()
-		avail := int64(d.inboxDepth()) - cur
+		avail := depth - cur
 		if avail <= 0 {
 			// Backpressure: a slow session must not stall the shared
 			// reader nor pin more wire memory than the pre-batching
 			// one-packet-per-slot bound allowed.
 			d.metrics.DropsQueueFull.Add(n)
+			d.notePressureDrop(n)
 			d.freeRun(r)
 			return
 		}
@@ -170,6 +181,7 @@ func (d *Daemon) deliverRun(s *Session, r *inRun) {
 	if admit < n {
 		tail := r.pkts[admit:]
 		d.metrics.DropsQueueFull.Add(n - admit)
+		d.notePressureDrop(n - admit)
 		if r.pooled {
 			for i := range tail {
 				d.readPool.Put(tail[i].wire)
@@ -202,6 +214,7 @@ func (d *Daemon) deliverRun(s *Session, r *inRun) {
 		// reservation goes back.
 		s.queuedPkts.Add(-n)
 		d.metrics.DropsQueueFull.Add(n)
+		d.notePressureDrop(n)
 		d.freeRun(r)
 	}
 }
@@ -349,6 +362,7 @@ func (d *Daemon) enqueueEgress(dst netem.Addr, wire []byte) {
 	}
 	if !d.egress.enqueue(e) {
 		d.metrics.DropsEgressFull.Add(1)
+		d.notePressureDrop(1)
 		if e.pooled {
 			d.wirePool.Put(e.wire)
 		}
@@ -495,8 +509,17 @@ func (d *Daemon) ServeBatch(bc udpbatch.Conn) error {
 			case <-d.stop:
 				return nil
 			default:
-				return err
 			}
+			if udpbatch.IsTransientIOError(err) {
+				// Kernel pressure or one peer's ICMP error surfaced as an
+				// errno (EINTR, ENOBUFS, ETIMEDOUT, ECONNREFUSED, …):
+				// nothing is wrong with the socket, and dying here would
+				// kill every session on it. Absorb, breathe, retry.
+				d.metrics.ReadErrorsTransient.Add(1)
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			return err
 		}
 		select {
 		case <-d.stop:

@@ -6,9 +6,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/netem"
 	"repro/internal/network"
 	"repro/internal/sspcrypto"
@@ -46,12 +48,46 @@ const DefaultSeqReserve = 1 << 16
 // is the atomic-rename staging file.
 const journalFileName = "sessions.journal"
 
+// suspendedSuffix marks an invalidated journal: when sustained disk
+// failure suspends journaling, the stale on-disk snapshot is renamed
+// aside so a crash during the suspension cannot restore counters below
+// nonces that were used while it lasted.
+const suspendedSuffix = ".suspended"
+
+// corruptSuffix preserves a journal whose header failed to decode (torn
+// rename caught mid-header, foreign file): the daemon boots empty —
+// always nonce-safe — and the artifact stays on disk for forensics.
+const corruptSuffix = ".corrupt"
+
+// Journal suspension modes (the journal_suspended gauge values).
+const (
+	journalActive      = 0 // flushes succeeding (or still retrying below the threshold)
+	journalUnjournaled = 1 // stale snapshot invalidated, ceilings lifted: full service, no durability
+	journalFailSafe    = 2 // invalidation ALSO failed: ceilings stay binding, sessions stall at exhaustion
+)
+
 // journal is the daemon's persistence state. All buffers are reused across
 // flushes, so the steady-state encode path allocates nothing.
 type journal struct {
 	path, tmpPath string
 	interval      time.Duration
 	reserve       uint64
+
+	// fs is the filesystem seam every journal I/O goes through
+	// (faultinject.OSFS in production).
+	fs faultinject.FS
+
+	// Flush-failure state, guarded by the daemon's flushMu (every flush
+	// serializes on it). retryAt and suspended are additionally atomic
+	// because the timing paths (NextDeadline, TickDue, journalLoop,
+	// OpenSession) read them without the lock.
+	retryMin, retryMax time.Duration
+	suspendAfter       int
+	rng                *faultinject.Rand // deterministic backoff jitter
+	fails              int               // consecutive failed attempts
+	backoff            time.Duration     // current base backoff (0 = healthy)
+	retryAt            atomic.Int64      // unix nanos of the next allowed attempt; 0 = none
+	suspended          atomic.Int32      // journalActive/journalUnjournaled/journalFailSafe
 
 	// arena accumulates the encoded session records back to back;
 	// offs[i] delimits record i. fileBuf assembles the whole journal
@@ -75,12 +111,21 @@ type pendingCeiling struct {
 	numCeil uint64
 }
 
-func newJournal(dir string, interval time.Duration, reserve uint64) *journal {
+func newJournal(cfg Config) *journal {
+	seed := cfg.FaultSeed
+	if seed == 0 {
+		seed = 0x5e55104d // fixed default: runs stay reproducible
+	}
 	return &journal{
-		path:     filepath.Join(dir, journalFileName),
-		tmpPath:  filepath.Join(dir, "."+journalFileName+".tmp"),
-		interval: interval,
-		reserve:  reserve,
+		path:         filepath.Join(cfg.StateDir, journalFileName),
+		tmpPath:      filepath.Join(cfg.StateDir, "."+journalFileName+".tmp"),
+		interval:     cfg.JournalInterval,
+		reserve:      cfg.SeqReserve,
+		fs:           cfg.FS,
+		retryMin:     cfg.JournalRetryMin,
+		retryMax:     cfg.JournalRetryMax,
+		suspendAfter: cfg.JournalSuspendAfter,
+		rng:          faultinject.NewRand(seed),
 	}
 }
 
@@ -141,6 +186,18 @@ func (d *Daemon) flushJournal(final bool) error {
 	if d.closing.Load() && !final {
 		return nil
 	}
+	now := d.cfg.Clock.Now()
+	if !final {
+		// Backoff gate: while a failed flush is waiting out its backoff,
+		// every flush request — periodic tick, low-headroom storm from a
+		// thousand sessions — collapses into this cheap refusal. Retries
+		// happen only when the backoff expires; the shutdown flush is the
+		// one caller allowed through regardless.
+		if at := j.retryAt.Load(); at != 0 && now.UnixNano() < at {
+			return nil
+		}
+	}
+	suspendMode := j.suspended.Load()
 
 	// Collect live sessions in ID order (deterministic record order).
 	sessions := j.sessScratch[:0]
@@ -159,6 +216,18 @@ func (d *Daemon) flushJournal(final bool) error {
 			continue
 		}
 		seqCeil, numCeil := s.snapshotSessionLocked(&sn, j.reserve)
+		if suspendMode == journalUnjournaled {
+			// Resuming from the unjournaled suspension: ceilings were
+			// lifted, so the session could otherwise sail past the
+			// snapshot while this flush is in flight — and a crash after
+			// the rename would then restore counters BELOW used nonces.
+			// Re-cap at snapshot time, under the same lock that took the
+			// snapshot, so the recorded reservation is a true upper bound
+			// on everything this session can ever put on the wire.
+			tr := s.srv.Transport()
+			tr.Connection().SetSeqCeiling(seqCeil)
+			tr.Sender().SetNumCeiling(numCeil)
+		}
 		j.arena = appendSessionSnapshot(j.arena, &sn)
 		s.mu.Unlock()
 		j.offs = append(j.offs, len(j.arena))
@@ -171,11 +240,18 @@ func (d *Daemon) flushJournal(final bool) error {
 		j.records = append(j.records, j.arena[start:end])
 		start = end
 	}
-	hdr := journalHeader{NextID: d.nextID.Load(), FlushedAt: d.cfg.Clock.Now()}
+	hdr := journalHeader{NextID: d.nextID.Load(), FlushedAt: now}
 	j.fileBuf = appendJournal(j.fileBuf[:0], hdr, j.records)
 
-	if err := writeFileAtomic(j.tmpPath, j.path, j.fileBuf); err != nil {
+	if err := writeFileAtomic(j.fs, j.tmpPath, j.path, j.fileBuf); err != nil {
 		d.metrics.JournalErrors.Add(1)
+		if suspendMode == journalUnjournaled {
+			// Still suspended and the disk still says no: lift the
+			// ceilings we just re-capped, so service continues. Safe —
+			// the on-disk journal is still the invalidated one.
+			d.liftCeilingsLocked()
+		}
+		d.noteFlushFailureLocked(now)
 		return fmt.Errorf("sessiond: journal flush: %w", err)
 	}
 
@@ -189,6 +265,7 @@ func (d *Daemon) flushJournal(final bool) error {
 		}
 		p.s.mu.Unlock()
 	}
+	d.noteFlushSuccessLocked()
 	d.metrics.JournalFlushes.Add(1)
 	d.metrics.JournalBytes.Add(int64(len(j.fileBuf)))
 	// Release the session pointers the scratch arrays hold (to their full
@@ -205,35 +282,123 @@ func (d *Daemon) flushJournal(final bool) error {
 }
 
 // writeFileAtomic writes data to tmp, fsyncs it, renames it over path, and
-// fsyncs the directory so the rename itself is durable.
-func writeFileAtomic(tmp, path string, data []byte) error {
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+// fsyncs the directory so the rename itself is durable. Every operation
+// goes through the filesystem seam, so fault schedules can fail any step.
+func writeFileAtomic(fs faultinject.FS, tmp, path string, data []byte) error {
+	f, err := fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
 		return err
 	}
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		dir.Sync() // best effort; not all filesystems support it
-		dir.Close()
-	}
+	fs.SyncDir(filepath.Dir(path)) // best effort; not all filesystems support it
 	return nil
+}
+
+// noteFlushFailureLocked advances the retry/backoff state after a failed
+// flush attempt and, past the suspension threshold, degrades to the
+// explicit journaling-suspended state. Caller holds flushMu.
+func (d *Daemon) noteFlushFailureLocked(now time.Time) {
+	j := d.journal
+	j.fails++
+	d.metrics.JournalFlushFailures.Add(1)
+	if j.backoff <= 0 {
+		j.backoff = j.retryMin
+	} else if j.backoff < j.retryMax {
+		j.backoff *= 2
+		if j.backoff > j.retryMax {
+			j.backoff = j.retryMax
+		}
+	}
+	// Deterministic jitter in [0, backoff/4]: retries from a fleet of
+	// daemons (or one daemon's many incarnations in a test matrix) spread
+	// out instead of thundering onto a recovering disk in lockstep.
+	delay := j.backoff + time.Duration(j.rng.Uint64()%uint64(j.backoff/4+1))
+	j.retryAt.Store(now.Add(delay).UnixNano())
+	d.metrics.JournalRetryBackoffMs.Set(int64(delay / time.Millisecond))
+	if j.suspendAfter > 0 && j.fails >= j.suspendAfter && j.suspended.Load() == journalActive {
+		d.suspendJournalingLocked()
+	}
+	d.requestFlush() // nudge the async loop to recompute its sleep
+}
+
+// noteFlushSuccessLocked resets the retry/backoff state and, when the
+// journal was suspended, resumes it — the successful flush that just
+// landed re-recorded every session with snapshot-time ceilings, so
+// durability and nonce safety are both restored. Caller holds flushMu.
+func (d *Daemon) noteFlushSuccessLocked() {
+	j := d.journal
+	j.fails = 0
+	j.backoff = 0
+	j.retryAt.Store(0)
+	d.metrics.JournalRetryBackoffMs.Set(0)
+	if j.suspended.Swap(journalActive) != journalActive {
+		d.metrics.JournalSuspended.Set(journalActive)
+		j.fs.Remove(j.path + suspendedSuffix) // best-effort cleanup
+	}
+}
+
+// suspendJournalingLocked degrades the daemon after sustained flush
+// failure. The stale on-disk snapshot is invalidated first (renamed
+// aside): if that succeeds — or there was nothing on disk — a crash
+// during the suspension restores nothing, so no counter can ever be
+// restored below a nonce used while suspended, and the live ceilings are
+// safely lifted: full service, no durability. If even the invalidation
+// fails, the stale snapshot could still be restored by a crash, so the
+// fail-safe keeps the recorded ceilings binding: sessions stall when
+// their reservation runs out rather than risk nonce reuse. Caller holds
+// flushMu.
+func (d *Daemon) suspendJournalingLocked() {
+	j := d.journal
+	mode := int32(journalFailSafe)
+	if err := j.fs.Rename(j.path, j.path+suspendedSuffix); err == nil || errors.Is(err, os.ErrNotExist) {
+		mode = journalUnjournaled
+	}
+	j.suspended.Store(mode)
+	d.metrics.JournalSuspended.Set(int64(mode))
+	if mode == journalUnjournaled {
+		d.liftCeilingsLocked()
+	}
+}
+
+// liftCeilingsLocked removes every live session's send-counter ceilings
+// (valid only while the on-disk journal is invalidated). Caller holds
+// flushMu; takes each session lock briefly, same order as a flush.
+func (d *Daemon) liftCeilingsLocked() {
+	d.reg.each(func(s *Session) {
+		s.mu.Lock()
+		if !s.closed {
+			tr := s.srv.Transport()
+			tr.Connection().SetSeqCeiling(sspcrypto.MaxSeq + 1)
+			tr.Sender().SetNumCeiling(^uint64(0))
+		}
+		s.mu.Unlock()
+	})
+}
+
+// JournalSuspended reports the suspension gauge (journalActive /
+// journalUnjournaled / journalFailSafe) for tests and status surfaces.
+func (d *Daemon) JournalSuspended() int {
+	if d.journal == nil {
+		return journalActive
+	}
+	return int(d.journal.suspended.Load())
 }
 
 // requestFlush asks the journal loop for an early flush (low reservation
@@ -260,27 +425,48 @@ func (s *Session) maybeRequestFlushLocked() {
 	}
 }
 
-// journalLoop is the async flush driver (Serve mode): periodic cadence
-// plus on-demand requests. Simulation embedders call FlushJournal
-// directly in virtual time instead.
+// journalLoop is the async flush driver (Serve mode): periodic cadence,
+// on-demand requests, and failed-flush retries. Simulation embedders
+// call FlushJournal directly in virtual time instead (with retries
+// riding the deadline heap — see TickDue). Flush attempts self-gate on
+// the backoff state, so a request storm during an outage costs nothing;
+// the loop only has to make sure it is AWAKE when the backoff expires,
+// which is what the retryAt-aware sleep below does.
 func (d *Daemon) journalLoop() {
-	t := time.NewTicker(d.journal.interval)
-	defer t.Stop()
+	j := d.journal
+	timer := time.NewTimer(j.interval)
+	defer timer.Stop()
 	for {
 		select {
 		case <-d.stop:
 			return
-		case <-t.C:
+		case <-timer.C:
 		case <-d.flushReq:
 		}
-		d.FlushJournal() // error already counted in metrics
+		d.FlushJournal() // outcome recorded in metrics/backoff state
+		sleep := j.interval
+		if at := j.retryAt.Load(); at != 0 {
+			if until := time.Unix(0, at).Sub(d.cfg.Clock.Now()); until < sleep {
+				sleep = until
+			}
+		}
+		if sleep < time.Millisecond {
+			sleep = time.Millisecond
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(sleep)
 	}
 }
 
 // restoreFromJournal loads the state directory's journal (if present) and
 // revives every non-stale session. Called from New before any traffic.
 func (d *Daemon) restoreFromJournal() error {
-	data, err := os.ReadFile(d.journal.path)
+	data, err := d.journal.fs.ReadFile(d.journal.path)
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -289,7 +475,15 @@ func (d *Daemon) restoreFromJournal() error {
 	}
 	hdr, snaps, bad, err := decodeJournal(data)
 	if err != nil {
-		return fmt.Errorf("sessiond: %w", err)
+		// The journal exists but its header never survived to disk (a
+		// rename torn by power loss, or a foreign file). Refusing to boot
+		// would turn one bad sector into a dead daemon; restoring nothing
+		// is always nonce-safe (no counter can be resealed by a session
+		// that was never revived). Preserve the artifact for forensics and
+		// start empty.
+		d.metrics.JournalBadRecords.Add(1)
+		d.journal.fs.Rename(d.journal.path, d.journal.path+corruptSuffix)
+		return nil
 	}
 	d.metrics.JournalBadRecords.Add(int64(bad))
 	now := d.cfg.Clock.Now()

@@ -108,6 +108,18 @@ type Metrics struct {
 	JournalBytes      expvar.Int // cumulative journal bytes written
 	JournalErrors     expvar.Int // failed journal writes (reservations not extended)
 	JournalBadRecords expvar.Int // journal records skipped for CRC/decode failure
+
+	// Degradation observability (the fault-injection hardening). The
+	// gauges make the daemon's failure posture visible from /debug/vars:
+	// an operator watching journal_suspended knows exactly what a crash
+	// right now would lose.
+	JournalFlushFailures  expvar.Int // flush attempts that failed (before any retry succeeded)
+	JournalSuspended      expvar.Int // gauge: 0 active, 1 suspended (unjournaled), 2 suspended (fail-safe)
+	JournalRetryBackoffMs expvar.Int // gauge: current flush-retry backoff in ms (0 = healthy)
+	DropsUnauthQuota      expvar.Int // datagrams refused by the per-source unauth token bucket
+	ShedEvents            expvar.Int // times sustained pressure activated the shed policy
+	Shedding              expvar.Int // gauge: 1 while the shed policy is active
+	ReadErrorsTransient   expvar.Int // transient socket read errors absorbed by ServeBatch
 }
 
 // Publish registers every counter with the process-wide expvar registry
@@ -143,6 +155,13 @@ func (m *Metrics) Publish(prefix string) {
 		{"journal_bytes", &m.JournalBytes},
 		{"journal_errors", &m.JournalErrors},
 		{"journal_bad_records", &m.JournalBadRecords},
+		{"journal_flush_failures", &m.JournalFlushFailures},
+		{"journal_suspended", &m.JournalSuspended},
+		{"journal_retry_backoff_ms", &m.JournalRetryBackoffMs},
+		{"drops_unauth_quota", &m.DropsUnauthQuota},
+		{"shed_events", &m.ShedEvents},
+		{"shedding", &m.Shedding},
+		{"read_errors_transient", &m.ReadErrorsTransient},
 	} {
 		expvar.Publish(prefix+"."+v.name, v.v)
 	}

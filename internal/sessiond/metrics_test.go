@@ -97,3 +97,41 @@ func TestScreenStateStats(t *testing.T) {
 		t.Fatalf("interned_graphemes gauge = %v", g)
 	}
 }
+
+// TestDegradationMetricsPublished pins the fault-tolerance counters to
+// the expvar surface: every gauge the graceful-degradation machinery
+// drives (journal retry/suspension, unauth quota, shed policy, transient
+// read errors) must be published and must render the live values.
+func TestDegradationMetricsPublished(t *testing.T) {
+	sched := simclock.NewScheduler(time.Date(2012, 4, 1, 0, 0, 0, 0, time.UTC))
+	d, err := New(Config{Clock: sched, IdleTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.metrics.JournalFlushFailures.Add(3)
+	d.metrics.JournalSuspended.Set(1)
+	d.metrics.JournalRetryBackoffMs.Set(250)
+	d.metrics.DropsUnauthQuota.Add(7)
+	d.metrics.ShedEvents.Add(2)
+	d.metrics.Shedding.Set(1)
+	d.metrics.ReadErrorsTransient.Add(5)
+	d.PublishExpvar("sessiond_degradation_test")
+	for name, want := range map[string]string{
+		"journal_flush_failures":   "3",
+		"journal_suspended":        "1",
+		"journal_retry_backoff_ms": "250",
+		"drops_unauth_quota":       "7",
+		"shed_events":              "2",
+		"shedding":                 "1",
+		"read_errors_transient":    "5",
+	} {
+		v := expvar.Get("sessiond_degradation_test." + name)
+		if v == nil {
+			t.Errorf("%s not published", name)
+			continue
+		}
+		if v.String() != want {
+			t.Errorf("%s = %s, want %s", name, v.String(), want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package sessiond
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// This file is the daemon's defense against unauthenticated-datagram
+// floods. The envelope is cleartext, so anyone can aim traffic at a live
+// session ID; the key rejects it, but each rejection costs an AEAD pass.
+// A per-source token bucket bounds how much of that work any one source
+// can extract: sources are charged per authentication failure, refused
+// once their bucket empties, and forgiven entirely by a single authentic
+// datagram — so a legitimate client behind a noisy address can never be
+// locked out, while a flood is cut off after its burst allowance.
+
+// DefaultUnauthQuotaBurst is how many authentication failures a source
+// may accumulate before being refused: generous enough for a roaming
+// client replaying a stale address's worth of in-flight datagrams,
+// trivial next to a flood.
+const DefaultUnauthQuotaBurst = 64
+
+// DefaultUnauthQuotaRate is the per-source refill in failures/second: a
+// blocked source regains service this fast once it quiets down.
+const DefaultUnauthQuotaRate = 16
+
+// unauthQuotaMaxSources bounds the tracking map. A flood from more
+// spoofed sources than this resets the table (losing its own history —
+// the flood re-pays its burst) rather than letting an attacker grow
+// daemon memory without bound.
+const unauthQuotaMaxSources = 4096
+
+type unauthBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// unauthQuota is the per-source token bucket. The common case — no
+// authentication failures anywhere — is a single atomic load per
+// datagram; the map and its lock are touched only while some source is
+// actually misbehaving.
+type unauthQuota struct {
+	burst float64
+	rate  float64 // tokens per second
+
+	active atomic.Int64 // number of tracked sources (lock-free fast path)
+	mu     sync.Mutex
+	src    map[netem.Addr]*unauthBucket
+}
+
+func newUnauthQuota(burst, rate float64) *unauthQuota {
+	return &unauthQuota{burst: burst, rate: rate, src: make(map[netem.Addr]*unauthBucket)}
+}
+
+// refillLocked advances b's bucket to now.
+func (q *unauthQuota) refillLocked(b *unauthBucket, now time.Time) {
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += q.rate * dt.Seconds()
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+	}
+	b.last = now
+}
+
+// blocked reports whether src has exhausted its failure allowance.
+func (q *unauthQuota) blocked(src netem.Addr, now time.Time) bool {
+	if q.active.Load() == 0 {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.src[src]
+	if b == nil {
+		return false
+	}
+	q.refillLocked(b, now)
+	if b.tokens >= q.burst {
+		// Fully healed: stop tracking the source at all.
+		delete(q.src, src)
+		q.active.Add(-1)
+		return false
+	}
+	return b.tokens < 1
+}
+
+// charge records one authentication failure from src.
+func (q *unauthQuota) charge(src netem.Addr, now time.Time) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.src[src]
+	if b == nil {
+		if len(q.src) >= unauthQuotaMaxSources {
+			// Bounded memory beats per-source fairness under a spoofed
+			// many-source flood: reset and let everyone re-pay the burst.
+			clear(q.src)
+			q.active.Store(0)
+		}
+		b = &unauthBucket{tokens: q.burst, last: now}
+		q.src[src] = b
+		q.active.Add(1)
+	} else {
+		q.refillLocked(b, now)
+	}
+	if b.tokens > 0 {
+		b.tokens--
+	}
+}
+
+// forgive clears src's failure record (an authentic datagram arrived).
+func (q *unauthQuota) forgive(src netem.Addr) {
+	if q.active.Load() == 0 {
+		return
+	}
+	q.mu.Lock()
+	if _, ok := q.src[src]; ok {
+		delete(q.src, src)
+		q.active.Add(-1)
+	}
+	q.mu.Unlock()
+}

@@ -227,13 +227,24 @@ func (d *Daemon) OpenSession() (*Session, error) {
 		}
 	}
 	if d.journal != nil {
-		// A brand-new session has no journal record yet; cap its counters
-		// at one reservation so that, if the daemon dies before the next
-		// flush, the session's absence from the journal is the only loss
-		// (nothing it sent can collide with a future restore). The flush
-		// request gets it journaled promptly.
-		srv.Transport().Connection().SetSeqCeiling(d.cfg.SeqReserve)
-		srv.Transport().Sender().SetNumCeiling(d.cfg.SeqReserve)
+		if d.journal.suspended.Load() == journalUnjournaled {
+			// Journaling is suspended with the on-disk snapshot
+			// invalidated: nothing can be restored, so nothing this
+			// session sends can collide with a future restore — it joins
+			// the other sessions at lifted ceilings, and the eventual
+			// resume flush re-caps it at snapshot time like everyone else.
+			srv.Transport().Connection().SetSeqCeiling(sspcrypto.MaxSeq + 1)
+			srv.Transport().Sender().SetNumCeiling(^uint64(0))
+		} else {
+			// A brand-new session has no journal record yet; cap its counters
+			// at one reservation so that, if the daemon dies before the next
+			// flush, the session's absence from the journal is the only loss
+			// (nothing it sent can collide with a future restore). The flush
+			// request gets it journaled promptly. (In the fail-safe
+			// suspension this cap is also the session's service bound.)
+			srv.Transport().Connection().SetSeqCeiling(d.cfg.SeqReserve)
+			srv.Transport().Sender().SetNumCeiling(d.cfg.SeqReserve)
+		}
 		d.requestFlush()
 	}
 	d.reg.insert(s)

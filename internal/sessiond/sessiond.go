@@ -33,12 +33,12 @@ package sessiond
 import (
 	"errors"
 	"fmt"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/host"
 	"repro/internal/netem"
 	"repro/internal/network"
@@ -132,6 +132,43 @@ type Config struct {
 	// sessions fall back to NewApp — without replaying Start(), since the
 	// restored screen already reflects history.
 	RestoreApp func(id uint64) host.App
+
+	// FS is the filesystem the journal reads and writes through (nil =
+	// the real filesystem). Fault tests substitute a faultinject.FaultFS
+	// so every operation of the atomic-rename protocol can fail on
+	// schedule.
+	FS faultinject.FS
+	// JournalRetryMin/JournalRetryMax bound the exponential backoff
+	// between failed journal-flush attempts (defaults 100ms / 10s). The
+	// retry never blocks the packet path: it rides the journal loop's
+	// timer (async) or the daemon's deadline heap (simulation).
+	JournalRetryMin, JournalRetryMax time.Duration
+	// JournalSuspendAfter is how many consecutive flush failures put the
+	// journal into its explicit suspended state (default 8; negative
+	// never suspends — the daemon retries at JournalRetryMax forever).
+	JournalSuspendAfter int
+	// FaultSeed seeds the deterministic jitter on journal-retry backoff
+	// (0 = a fixed default), keeping fault-schedule runs reproducible.
+	FaultSeed int64
+
+	// UnauthQuotaBurst/UnauthQuotaRate parameterize the per-source token
+	// bucket on auth-failing datagrams: a source that fails
+	// authentication Burst times faster than Rate tokens/second refill is
+	// refused before the AEAD runs, so a spoofed-envelope flood cannot
+	// starve live sessions of CPU. Any authentic datagram clears its
+	// source's record, so a legitimate roaming client can never be locked
+	// out. Defaults 64 and 16/s; a negative Burst disables the quota.
+	UnauthQuotaBurst int
+	UnauthQuotaRate  float64
+
+	// ShedThreshold/ShedWindow/ShedHold parameterize the pressure-shed
+	// policy: when pressure drops (full session inboxes, full egress
+	// ring) exceed ShedThreshold within ShedWindow, the daemon sheds for
+	// ShedHold — halving every session's inbox budget so the flood pays
+	// for the pressure it creates — and meters the event (shed_events).
+	// Defaults 256 drops / 1s / 2s; a negative threshold disables.
+	ShedThreshold        int
+	ShedWindow, ShedHold time.Duration
 }
 
 // PacketConn is the legacy one-datagram socket surface: a blocking read
@@ -161,10 +198,18 @@ type Daemon struct {
 
 	// journal is the persistence state (nil when Config.StateDir is
 	// empty); flushMu serializes flushes; flushReq coalesces early-flush
-	// requests toward the journal loop.
-	journal  *journal
-	flushMu  sync.Mutex
-	flushReq chan struct{}
+	// requests toward the journal loop. asyncJournal marks that the
+	// journal loop owns retry timing (Serve mode), so the simulation
+	// deadline hooks stand down.
+	journal      *journal
+	flushMu      sync.Mutex
+	flushReq     chan struct{}
+	asyncJournal atomic.Bool
+
+	// quota is the per-source unauthenticated-datagram token bucket (nil
+	// when disabled); shed is the inbox/egress pressure-shed policy.
+	quota *unauthQuota
+	shed  shedState
 
 	// serveConn remembers the batched connection Serve/ServeBatch runs on
 	// so the egress flusher can write to it and Close can unblock its
@@ -222,6 +267,36 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.EgressDepth <= 0 {
 		cfg.EgressDepth = 4096
 	}
+	if cfg.FS == nil {
+		cfg.FS = faultinject.OSFS{}
+	}
+	if cfg.JournalRetryMin <= 0 {
+		cfg.JournalRetryMin = 100 * time.Millisecond
+	}
+	if cfg.JournalRetryMax <= 0 {
+		cfg.JournalRetryMax = 10 * time.Second
+	}
+	if cfg.JournalRetryMax < cfg.JournalRetryMin {
+		cfg.JournalRetryMax = cfg.JournalRetryMin
+	}
+	if cfg.JournalSuspendAfter == 0 {
+		cfg.JournalSuspendAfter = 8
+	}
+	if cfg.UnauthQuotaBurst == 0 {
+		cfg.UnauthQuotaBurst = DefaultUnauthQuotaBurst
+	}
+	if cfg.UnauthQuotaRate <= 0 {
+		cfg.UnauthQuotaRate = DefaultUnauthQuotaRate
+	}
+	if cfg.ShedThreshold == 0 {
+		cfg.ShedThreshold = DefaultShedThreshold
+	}
+	if cfg.ShedWindow <= 0 {
+		cfg.ShedWindow = time.Second
+	}
+	if cfg.ShedHold <= 0 {
+		cfg.ShedHold = 2 * time.Second
+	}
 	// Wire-buffer slots must hold any datagram this daemon's transport
 	// can legitimately produce: the configured MTU (fragment contents)
 	// plus headers, envelope, AEAD tag and slack. A truncated read would
@@ -244,11 +319,17 @@ func New(cfg Config) (*Daemon, error) {
 		wirePool: udpbatch.NewPool(bufSize, cfg.EgressDepth),
 		egress:   newEgressRing(cfg.EgressDepth),
 	}
+	if cfg.UnauthQuotaBurst > 0 {
+		d.quota = newUnauthQuota(float64(cfg.UnauthQuotaBurst), cfg.UnauthQuotaRate)
+	}
+	d.shed.threshold = int64(cfg.ShedThreshold)
+	d.shed.window = cfg.ShedWindow
+	d.shed.hold = cfg.ShedHold
 	if cfg.StateDir != "" {
-		if err := os.MkdirAll(cfg.StateDir, 0o700); err != nil {
+		if err := cfg.FS.MkdirAll(cfg.StateDir, 0o700); err != nil {
 			return nil, fmt.Errorf("sessiond: state dir: %w", err)
 		}
-		d.journal = newJournal(cfg.StateDir, cfg.JournalInterval, cfg.SeqReserve)
+		d.journal = newJournal(cfg)
 		if err := d.restoreFromJournal(); err != nil {
 			return nil, err
 		}
@@ -317,17 +398,35 @@ func (d *Daemon) route(wire []byte) *Session {
 // TickDue runs every session whose deadline has arrived, then flushes
 // their emissions as one egress sweep (sessions ticking at the same
 // instant share write batches). The sim driver calls it from Pump; the
-// async tick loop calls it from its sleeper.
+// async tick loop calls it from its sleeper. In simulation it also
+// drives a due journal-retry (the async journal loop owns that job in
+// Serve mode, keeping disk I/O off the tick loop).
 func (d *Daemon) TickDue() {
 	now := d.cfg.Clock.Now()
 	for _, s := range d.timers.popDue(now) {
 		s.tick()
 	}
+	if j := d.journal; j != nil && !d.asyncJournal.Load() {
+		if at := j.retryAt.Load(); at != 0 && now.UnixNano() >= at {
+			d.FlushJournal() // outcome recorded in metrics/backoff state
+		}
+	}
 	d.flushEgress()
 }
 
-// NextDeadline reports the earliest pending session deadline.
-func (d *Daemon) NextDeadline() (time.Time, bool) { return d.timers.next() }
+// NextDeadline reports the earliest pending deadline: session timers
+// plus, in simulation mode, a pending journal-retry.
+func (d *Daemon) NextDeadline() (time.Time, bool) {
+	at, ok := d.timers.next()
+	if j := d.journal; j != nil && !d.asyncJournal.Load() {
+		if r := j.retryAt.Load(); r != 0 {
+			if rt := time.Unix(0, r); !ok || rt.Before(at) {
+				at, ok = rt, true
+			}
+		}
+	}
+	return at, ok
+}
 
 // Pump attaches the daemon to a simulation scheduler with a
 // self-rescheduling timer (the virtual-time analogue of the Serve tick
@@ -356,6 +455,10 @@ func (d *Daemon) Start() {
 		go d.tickLoop()
 		go d.egressLoop()
 		if d.journal != nil {
+			// The journal loop owns flush-retry timing from here on; the
+			// simulation deadline hooks stand down so the tick loop never
+			// does disk I/O.
+			d.asyncJournal.Store(true)
 			go d.journalLoop()
 		}
 	})
@@ -440,7 +543,17 @@ func (d *Daemon) Close() {
 		d.closing.Store(true)
 		close(d.stop)
 		if d.journal != nil {
-			d.flushJournal(true) // on-shutdown flush; errors are in metrics
+			// The on-shutdown flush bypasses the retry gate and gets a few
+			// bounded attempts: under a probabilistic fault schedule a
+			// retry often lands, and this snapshot is the next
+			// incarnation's whole world. Persistent failure is recorded in
+			// metrics and the sessions are lost — the documented cost of
+			// dying while the disk is refusing writes.
+			for attempt := 0; attempt < 3; attempt++ {
+				if err := d.flushJournal(true); err == nil {
+					break
+				}
+			}
 		}
 	})
 	// Give queued replies one final sweep before the transport goes away:
@@ -500,13 +613,31 @@ func (s *Session) handle(wire []byte, src netem.Addr) {
 		return
 	}
 	now := s.d.cfg.Clock.Now()
+	if q := s.d.quota; q != nil && q.blocked(src, now) {
+		// This source has been failing authentication faster than its
+		// token bucket refills: refuse the datagram BEFORE the AEAD runs,
+		// so a spoofed-envelope flood pays nothing but an envelope parse
+		// and cannot starve live sessions of CPU.
+		s.d.metrics.DropsUnauthQuota.Add(1)
+		return
+	}
 	roamsBefore := s.srv.Transport().Connection().RemoteAddrChanges()
 	if err := s.srv.Receive(wire, src); err != nil {
 		// Forged, replayed, stale or malformed: normal network noise at
 		// this layer; the envelope got it here but the key said no.
 		s.d.metrics.DropsAuth.Add(1)
+		if q := s.d.quota; q != nil {
+			q.charge(src, now)
+		}
 	} else {
 		s.lastActive = now
+		if q := s.d.quota; q != nil {
+			// Forgive-on-success: an authentic datagram clears its
+			// source's failure record, so a legitimate client sharing an
+			// address with noise (NAT, injected corruption) can never be
+			// locked out.
+			q.forgive(src)
+		}
 		if roams := s.srv.Transport().Connection().RemoteAddrChanges(); roams > roamsBefore {
 			s.d.metrics.RoamingEvents.Add(int64(roams - roamsBefore))
 		}

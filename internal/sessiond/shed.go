@@ -1,0 +1,85 @@
+package sessiond
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the daemon's explicit shed policy. Isolated pressure
+// drops (one slow session's full inbox, a brief egress burst) are normal
+// backpressure — SSP retransmits and nobody else notices. SUSTAINED
+// pressure is different: it means offered load exceeds what the daemon
+// can move, and continuing to admit full budgets for everyone just
+// converts memory into drops at a different layer. The shed policy makes
+// that regime a first-class, metered state: when pressure drops exceed a
+// threshold within a window, the daemon "sheds" for a hold period —
+// halving every session's inbox budget so queues stay short and the
+// heaviest offenders absorb the drops — and counts the event
+// (shed_events, shedding gauge) so operators see the regime change
+// instead of inferring it from scattered drop counters.
+
+// DefaultShedThreshold is the pressure-drop count within ShedWindow that
+// activates shedding.
+const DefaultShedThreshold = 256
+
+// shedState tracks pressure drops over a sliding window and the
+// activation deadline. until is the lock-free read path (checked per
+// delivered run); the window counters live under mu and are touched only
+// when drops actually happen.
+type shedState struct {
+	threshold int64
+	window    time.Duration
+	hold      time.Duration
+
+	until atomic.Int64 // unix nanos; shedding active while now < until
+
+	mu          sync.Mutex
+	windowStart int64 // unix nanos
+	drops       int64
+}
+
+// notePressureDrop records n datagrams dropped for pressure (full inbox,
+// full egress ring) and activates shedding when the windowed total trips
+// the threshold. Never blocks; safe under session locks.
+func (d *Daemon) notePressureDrop(n int64) {
+	sh := &d.shed
+	if sh.threshold <= 0 {
+		return
+	}
+	now := d.cfg.Clock.Now().UnixNano()
+	sh.mu.Lock()
+	if now-sh.windowStart > int64(sh.window) {
+		sh.windowStart, sh.drops = now, 0
+	}
+	sh.drops += n
+	trip := sh.drops >= sh.threshold
+	if trip {
+		sh.windowStart, sh.drops = now, 0
+	}
+	sh.mu.Unlock()
+	if trip {
+		if prev := sh.until.Swap(now + int64(sh.hold)); prev < now {
+			// Newly activated (not an extension of an active hold).
+			d.metrics.ShedEvents.Add(1)
+		}
+		d.metrics.Shedding.Set(1)
+	}
+}
+
+// shedding reports whether the shed policy is currently active, clearing
+// the gauge lazily when the hold expires.
+func (d *Daemon) shedding() bool {
+	sh := &d.shed
+	until := sh.until.Load()
+	if until == 0 {
+		return false
+	}
+	if d.cfg.Clock.Now().UnixNano() >= until {
+		if sh.until.CompareAndSwap(until, 0) {
+			d.metrics.Shedding.Set(0)
+		}
+		return false
+	}
+	return true
+}

@@ -107,6 +107,14 @@ func newPlatformUDP(c *net.UDPConn) (Conn, error) {
 	// backlog would stall until fresh traffic arrived; instead the call
 	// yields an empty success and the caller simply retries. Only EAGAIN
 	// parks (its readiness edge is guaranteed to come).
+	//
+	// The ICMP family (ECONNREFUSED/EHOSTUNREACH/ENETUNREACH/ETIMEDOUT/
+	// EPROTO) is a pending socket error from an earlier send to one
+	// unreachable peer, surfaced on the next receive. It says nothing
+	// about the other sessions multiplexed on this socket, so it too is a
+	// transient yield: consuming the error clears it, and the already-
+	// queued datagrams behind it arrive on the retry. Returning it would
+	// let one dead peer kill every session's reader.
 	m.readFn = func(fd uintptr) bool {
 		for {
 			r, _, e := syscall.Syscall6(sysRecvmmsg, fd,
@@ -117,7 +125,9 @@ func newPlatformUDP(c *net.UDPConn) (Conn, error) {
 				return false // park on the poller until readable
 			case syscall.EINTR:
 				continue
-			case syscall.ENOMEM, syscall.ENOBUFS:
+			case syscall.ENOMEM, syscall.ENOBUFS,
+				syscall.ECONNREFUSED, syscall.EHOSTUNREACH,
+				syscall.ENETUNREACH, syscall.ETIMEDOUT, syscall.EPROTO:
 				m.rErr, m.rGot = 0, 0 // transient: yield, caller retries
 				return true
 			}

@@ -1,0 +1,37 @@
+package udpbatch
+
+import (
+	"errors"
+	"syscall"
+)
+
+// IsTransientIOError reports whether err is a socket-level errno that a
+// datagram server must absorb rather than die on. Two families qualify:
+//
+//   - kernel-pressure errors (EINTR, EAGAIN, ENOBUFS, ENOMEM): nothing is
+//     wrong with the socket, the kernel just could not service the call
+//     right now — retry;
+//   - ICMP-induced errors a connected (or erroring) UDP socket surfaces on
+//     the NEXT syscall (ECONNREFUSED, EHOSTUNREACH, ENETUNREACH,
+//     ETIMEDOUT, EPROTO): they describe one peer's reachability, not the
+//     socket — a multiplexing daemon with many peers behind one socket
+//     must treat them as that datagram's loss, never as a fatal
+//     condition for every other session's traffic.
+//
+// The batched implementations already swallow what they can inside the
+// poller callback; this predicate is the contract for callers holding an
+// error from any Conn (including the loop adapter over a connected
+// net.UDPConn, which wraps these errnos in *net.OpError — errors.Is
+// unwraps them).
+func IsTransientIOError(err error) bool {
+	for _, e := range []syscall.Errno{
+		syscall.EINTR, syscall.EAGAIN, syscall.ENOBUFS, syscall.ENOMEM,
+		syscall.ECONNREFUSED, syscall.EHOSTUNREACH, syscall.ENETUNREACH,
+		syscall.ETIMEDOUT, syscall.EPROTO,
+	} {
+		if errors.Is(err, e) {
+			return true
+		}
+	}
+	return false
+}

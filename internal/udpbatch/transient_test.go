@@ -1,0 +1,41 @@
+package udpbatch
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+)
+
+// TestIsTransientIOError pins the transient-errno contract: kernel
+// pressure and per-peer ICMP errors survive (the daemon retries), real
+// socket failures do not — and wrapping through the layers net.UDPConn
+// actually produces (*net.OpError around *os.SyscallError) is unwrapped.
+func TestIsTransientIOError(t *testing.T) {
+	transient := []error{
+		syscall.EINTR, syscall.EAGAIN, syscall.ENOBUFS, syscall.ENOMEM,
+		syscall.ECONNREFUSED, syscall.EHOSTUNREACH, syscall.ENETUNREACH,
+		syscall.ETIMEDOUT, syscall.EPROTO,
+	}
+	for _, e := range transient {
+		if !IsTransientIOError(e) {
+			t.Errorf("%v should be transient", e)
+		}
+		wrapped := &net.OpError{Op: "read", Net: "udp",
+			Err: os.NewSyscallError("recvmmsg", e)}
+		if !IsTransientIOError(wrapped) {
+			t.Errorf("wrapped %v should be transient", e)
+		}
+	}
+	fatal := []error{
+		syscall.EACCES, syscall.EBADF, net.ErrClosed, io.EOF,
+		errors.New("socket exploded"), nil,
+	}
+	for _, e := range fatal {
+		if IsTransientIOError(e) {
+			t.Errorf("%v should NOT be transient", e)
+		}
+	}
+}
