@@ -59,6 +59,7 @@ func main() {
 	unbatched := flag.Bool("unbatched", false, "manysession: one-datagram-per-syscall fallback mode (the baseline the batched pipeline is measured against)")
 	chaos := flag.Bool("chaos", false, "manysession: seeded hostile-world schedule (wire mangling, journal disk faults, nonce audit); see also -exp chaos")
 	chaosSeed := flag.Int64("chaos-seed", 0, "chaos schedule seed (0 = derived from -seed)")
+	flightDump := flag.String("flight-dump", "chaos-flight-dump.txt", "file to write the daemon's flight-recorder dump to when the chaos gate fails (empty disables)")
 	flag.Parse()
 
 	cfg := bench.Config{KeystrokesPerUser: *keys, Seed: *seed}
@@ -133,6 +134,16 @@ func main() {
 		if res.NonceViolations != 0 || res.Restored != int64(res.Sessions) || res.Lost != 0 {
 			fmt.Fprintf(os.Stderr, "chaos FAILED: nonce violations=%d restored=%d/%d lost=%d\n",
 				res.NonceViolations, res.Restored, res.Sessions, res.Lost)
+			// Ship the daemon's flight recorder with the failure: the last
+			// few thousand pipeline events (drops, trips, journal faults)
+			// are the forensics a red CI run needs.
+			if *flightDump != "" && len(res.FlightDump) > 0 {
+				if err := os.WriteFile(*flightDump, res.FlightDump, 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "flight dump: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "flight recorder dump written to %s\n", *flightDump)
+				}
+			}
 			os.Exit(1)
 		}
 	}

@@ -24,9 +24,14 @@
 // datagrams per syscall; -batchio=false forces the portable
 // one-datagram-per-syscall loop instead.
 //
-// -debug serves the daemon's expvar metrics (sessions live, packets and
-// bytes in/out, evictions, queue depths, batch-size percentiles, syscalls
-// avoided) at /debug/vars.
+// -debug serves the daemon's observability surface: expvar metrics at
+// /debug/vars (counters, screen-state gauges, live transport introspection,
+// keystroke→echo percentiles, per-stage pipeline latency), the same data as
+// Prometheus text exposition at /metrics, and the Go runtime profiler at
+// /debug/pprof/. SIGQUIT dumps the in-memory flight recorder (the last few
+// thousand pipeline events) to stderr instead of the Go runtime's stack
+// dump; degradation trips (load shedding, journal suspension, unauth-quota
+// blocks) dump it automatically. See README's "Observability".
 //
 // -state-dir enables crash-safe session resumption: the daemon journals
 // every session's durable core there (periodically, per -journal, and on
@@ -49,6 +54,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debug listener's default mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -107,6 +113,12 @@ func main() {
 		JournalInterval:  *journal,
 		UnauthQuotaBurst: *quotaBurst,
 		UnauthQuotaRate:  *quotaRate,
+		// Degradation trips ship their own forensics: the flight-recorder
+		// dump holds the events that led to the trip (rate-limited to one
+		// dump per reason per 10 s inside the daemon).
+		OnDegrade: func(reason string, dump []byte) {
+			fmt.Fprintf(os.Stderr, "--- degradation trip (%s) ---\n%s", reason, dump)
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -141,11 +153,26 @@ func main() {
 		d.Close()
 	}()
 
+	// SIGQUIT dumps the flight recorder to stderr and keeps serving.
+	// Catching it replaces the Go runtime's default goroutine-stack dump —
+	// for that, use /debug/pprof/goroutine on the -debug listener.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			os.Stderr.Write(d.FlightDump("SIGQUIT"))
+		}
+	}()
+
 	if *debug != "" {
 		// Counters plus resident screen-state gauges (interned graphemes,
-		// pooled rows, shared scrollback rows): memory-per-session is
-		// observable at /debug/vars under load.
+		// pooled rows, shared scrollback rows), live transport introspection
+		// (SRTT / frame-interval quantiles), keystroke→echo percentiles,
+		// and per-stage pipeline latency: the whole surface at /debug/vars,
+		// mirrored as Prometheus text exposition at /metrics. The pprof
+		// import above registers /debug/pprof on the same mux.
 		d.PublishExpvar("sessiond")
+		http.Handle("/metrics", d.MetricsHandler())
 		go func() {
 			// expvar auto-registers /debug/vars on the default mux.
 			log.Println(http.ListenAndServe(*debug, nil))

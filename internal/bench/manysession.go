@@ -18,6 +18,7 @@ import (
 	"repro/internal/sessiond"
 	"repro/internal/simclock"
 	"repro/internal/sspcrypto"
+	"repro/internal/telemetry"
 	"repro/internal/terminal"
 	"repro/internal/udpbatch"
 )
@@ -159,6 +160,35 @@ type ManySessionResult struct {
 	AuthDrops            int64
 	JournalFlushFailures int64
 	JournalSuspendedSeen bool
+	// Server-side telemetry (shared across a restart): per-cohort
+	// keystroke→echo percentiles measured at the daemon (paper Fig. 6,
+	// from the telemetry pipeline's matcher), per-stage pipeline
+	// latencies, and the client-visible Fig. 6 fractions computed from
+	// Samples. FlightDump is the daemon's flight-recorder dump captured
+	// at run end (Chaos mode only) so a failing gate can ship forensics.
+	EchoCohorts               []EchoCohortStats
+	StageStats                []StageStat
+	ClientLe16ms, ClientLeRTT float64
+	FlightDump                []byte
+}
+
+// EchoCohortStats summarizes one cohort's server-side keystroke→echo
+// distribution: how long from a keystroke's arrival at the daemon to the
+// mint of the first frame delta carrying its host output.
+type EchoCohortStats struct {
+	Name           string
+	N              int64
+	P50, P99, P999 time.Duration
+	// Le16ms/LeRTT are fractions of matched echoes within 16 ms and
+	// within one smoothed RTT — the paper's Fig. 6 buckets.
+	Le16ms, LeRTT float64
+}
+
+// StageStat summarizes one pipeline stage's latency distribution.
+type StageStat struct {
+	Name           string
+	N              int64
+	P50, P99, P999 time.Duration
 }
 
 // shellPromptLen is where the first echoed character lands on the prompt
@@ -235,11 +265,39 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		}
 	}
 
+	// Server-side telemetry shared across a daemon restart: the restored
+	// daemon inherits the same pipeline, so echo percentiles and stage
+	// latencies cover the whole run. Per-cohort echo aggregation hangs off
+	// the daemon's echo matcher (OnEcho fires under the session lock, and
+	// the simulation is single-threaded on the scheduler).
+	pipe := telemetry.NewPipeline()
+	cohortNames := [3]string{cohortShell: "shell", cohortEditor: "cjk-editor", cohortPager: "log-tail"}
+	type echoAgg struct {
+		hist           *telemetry.Hist
+		n, le16, leRTT int64
+	}
+	var echoAggs [3]echoAgg
+	for i := range echoAggs {
+		echoAggs[i].hist = telemetry.NewHist(6)
+	}
+
 	// Host applications live outside the daemon so a restart can transplant
 	// them, like ptys surviving a frontend restart.
 	apps := make(map[uint64]host.App, opt.Sessions)
 	cfg := sessiond.Config{
-		Clock: sched,
+		Clock:    sched,
+		Pipeline: pipe,
+		OnEcho: func(session uint64, lat, srtt time.Duration) {
+			a := &echoAggs[cohortOf(int(session)-1)]
+			a.hist.Observe(int64(lat))
+			a.n++
+			if lat <= 16*time.Millisecond {
+				a.le16++
+			}
+			if srtt > 0 && lat <= srtt {
+				a.leRTT++
+			}
+		},
 		Send: func(dst netem.Addr, wire []byte) {
 			if !opt.Chaos {
 				deliver(dst, wire)
@@ -455,7 +513,11 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 				if k.col >= fb.W || fb.Peek(0, k.col).ContentsString() != string(rune(k.char)) {
 					break
 				}
-				res.Samples = append(res.Samples, Sample{Latency: now.Sub(k.at)})
+				var rtt time.Duration
+				if conn := lc.cl.Transport().Connection(); conn.HaveRTT() {
+					rtt = conn.SRTT(0)
+				}
+				res.Samples = append(res.Samples, Sample{Latency: now.Sub(k.at), RTT: rtt})
 				lc.pending = lc.pending[1:]
 			}
 			lc.wake()
@@ -668,6 +730,38 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		res.ChaosDuplicated = is.Duplicated.Load() + es.Duplicated.Load()
 		res.ChaosCorrupted = is.Corrupted.Load() + es.Corrupted.Load()
 		res.ChaosTruncated = is.Truncated.Load() + es.Truncated.Load()
+		res.FlightDump = d.FlightDump("chaos-run-end")
+	}
+
+	// Server-side telemetry: per-cohort Fig. 6 echo percentiles, the
+	// client-visible fractions, and the pipeline stage latencies.
+	res.ClientLe16ms, res.ClientLeRTT = Fig6Fractions(res.Samples)
+	for c, a := range echoAggs {
+		if a.n == 0 {
+			continue
+		}
+		res.EchoCohorts = append(res.EchoCohorts, EchoCohortStats{
+			Name:   cohortNames[c],
+			N:      a.n,
+			P50:    a.hist.QuantileDuration(0.50),
+			P99:    a.hist.QuantileDuration(0.99),
+			P999:   a.hist.QuantileDuration(0.999),
+			Le16ms: float64(a.le16) / float64(a.n),
+			LeRTT:  float64(a.leRTT) / float64(a.n),
+		})
+	}
+	for _, st := range telemetry.Stages() {
+		h := pipe.Stage(st)
+		if h.Count() == 0 {
+			continue
+		}
+		res.StageStats = append(res.StageStats, StageStat{
+			Name: st.String(),
+			N:    h.Count(),
+			P50:  h.QuantileDuration(0.50),
+			P99:  h.QuantileDuration(0.99),
+			P999: h.QuantileDuration(0.999),
+		})
 	}
 	return res
 }
@@ -706,6 +800,24 @@ func FormatManySession(r ManySessionResult) string {
 	fmt.Fprintf(&b, "  keystroke latency: n=%d p50=%v p90=%v p99=%v max=%v lost=%d\n",
 		st.N, Percentile(r.Samples, 50), Percentile(r.Samples, 90),
 		Percentile(r.Samples, 99), Percentile(r.Samples, 100), r.Lost)
+	if st.N > 0 {
+		fmt.Fprintf(&b, "  fig6 (client-visible): %.1f%% ≤ 16 ms, %.1f%% ≤ 1 RTT\n",
+			r.ClientLe16ms*100, r.ClientLeRTT*100)
+	}
+	for _, ec := range r.EchoCohorts {
+		fmt.Fprintf(&b, "  keystroke→echo [%s]: n=%d p50=%v p99=%v p99.9=%v; %.1f%% ≤ 16 ms, %.1f%% ≤ 1 RTT (server-side)\n",
+			ec.Name, ec.N, ec.P50.Round(time.Microsecond), ec.P99.Round(time.Microsecond),
+			ec.P999.Round(time.Microsecond), ec.Le16ms*100, ec.LeRTT*100)
+	}
+	if len(r.StageStats) > 0 {
+		fmt.Fprintf(&b, "  pipeline stages (p50/p99/p99.9):")
+		for _, ss := range r.StageStats {
+			fmt.Fprintf(&b, " %s=%v/%v/%v", ss.Name,
+				ss.P50.Round(time.Microsecond), ss.P99.Round(time.Microsecond),
+				ss.P999.Round(time.Microsecond))
+		}
+		b.WriteByte('\n')
+	}
 	if r.Roams > 0 {
 		fmt.Fprintf(&b, "  roaming: %d authentic address changes observed\n", r.Roams)
 	}

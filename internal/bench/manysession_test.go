@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -149,6 +150,63 @@ func TestManySessionRestartRoamLoss(t *testing.T) {
 	}
 }
 
+// TestManySessionTelemetryDeterministic is the acceptance gate for the
+// server-side telemetry spine: a ≥300-session run produces non-trivial
+// keystroke→echo percentiles and per-stage latencies, and rerunning the
+// identical options reproduces every telemetry number bit-for-bit. The
+// probes read the same virtual clock as the pipeline, so instrumentation
+// cannot perturb (or be perturbed by) scheduling.
+func TestManySessionTelemetryDeterministic(t *testing.T) {
+	opt := ManySessionOptions{
+		Sessions:     300,
+		Keystrokes:   6,
+		TypeInterval: 150 * time.Millisecond,
+		Seed:         5,
+		Mixed:        true,
+	}
+	a := RunManySession(opt)
+	b := RunManySession(opt)
+
+	if len(a.EchoCohorts) == 0 {
+		t.Fatal("no server-side echo cohorts measured")
+	}
+	for _, ec := range a.EchoCohorts {
+		if ec.N == 0 || ec.P50 <= 0 || ec.P99 < ec.P50 {
+			t.Fatalf("degenerate echo percentiles for cohort %s: %+v", ec.Name, ec)
+		}
+	}
+	if len(a.StageStats) == 0 {
+		t.Fatal("no pipeline stage latencies measured")
+	}
+	if !reflect.DeepEqual(a.EchoCohorts, b.EchoCohorts) {
+		t.Fatalf("echo percentiles differ across identical runs:\n%+v\n%+v", a.EchoCohorts, b.EchoCohorts)
+	}
+	if !reflect.DeepEqual(a.StageStats, b.StageStats) {
+		t.Fatalf("stage latencies differ across identical runs:\n%+v\n%+v", a.StageStats, b.StageStats)
+	}
+	if a.ClientLe16ms != b.ClientLe16ms || a.ClientLeRTT != b.ClientLeRTT {
+		t.Fatalf("client-visible Fig. 6 fractions differ: %v/%v vs %v/%v",
+			a.ClientLe16ms, a.ClientLeRTT, b.ClientLe16ms, b.ClientLeRTT)
+	}
+	t.Logf("\n%s", FormatManySession(a))
+}
+
+// reportEchoMetrics pushes the server-side echo percentiles into the
+// per-commit benchmark artifact (BENCH_<sha>.json via benchjson): shell-
+// cohort p50/p99 in milliseconds plus the Fig. 6 "% within 16 ms"
+// fraction, alongside the wire-packet throughput metric.
+func reportEchoMetrics(b *testing.B, res ManySessionResult) {
+	b.ReportMetric(float64(res.PacketsIn+res.PacketsOut), "wirepkts/op")
+	for _, ec := range res.EchoCohorts {
+		if ec.Name != "shell" {
+			continue
+		}
+		b.ReportMetric(float64(ec.P50)/float64(time.Millisecond), "echo_p50_ms")
+		b.ReportMetric(float64(ec.P99)/float64(time.Millisecond), "echo_p99_ms")
+		b.ReportMetric(ec.Le16ms*100, "echo_le16ms_pct")
+	}
+}
+
 // BenchmarkManySessionMixed feeds the per-commit perf artifact with the
 // heterogeneous cohort run (unicode + deep-scrollback screen-state load).
 func BenchmarkManySessionMixed(b *testing.B) {
@@ -163,7 +221,7 @@ func BenchmarkManySessionMixed(b *testing.B) {
 		if res.Lost != 0 {
 			b.Fatalf("lost %d keystrokes", res.Lost)
 		}
-		b.ReportMetric(float64(res.PacketsIn+res.PacketsOut), "wirepkts/op")
+		reportEchoMetrics(b, res)
 	}
 }
 
@@ -180,6 +238,6 @@ func BenchmarkManySession(b *testing.B) {
 		if res.Lost != 0 {
 			b.Fatalf("lost %d keystrokes", res.Lost)
 		}
-		b.ReportMetric(float64(res.PacketsIn+res.PacketsOut), "wirepkts/op")
+		reportEchoMetrics(b, res)
 	}
 }

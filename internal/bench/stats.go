@@ -28,6 +28,9 @@ type Sample struct {
 	Kind      trace.Kind
 	Latency   time.Duration
 	Predicted bool // displayed via speculative local echo
+	// RTT is the client's smoothed RTT estimate when the sample landed
+	// (0 when unknown); the Fig. 6 "within one RTT" fraction needs it.
+	RTT time.Duration
 }
 
 // Stats summarizes a latency distribution the way the paper's tables do.
@@ -106,6 +109,26 @@ func Percentile(samples []Sample, p float64) time.Duration {
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	idx := int(p / 100 * float64(len(lat)-1))
 	return lat[idx]
+}
+
+// Fig6Fractions reports the paper's Fig. 6 thresholds over a sample set:
+// the fraction of keystrokes displayed within 16 ms (one frame at 60 Hz)
+// and within one round-trip time (the sample-time smoothed RTT; samples
+// without an RTT estimate count only against the denominator).
+func Fig6Fractions(samples []Sample) (le16, leRTT float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	var n16, nrtt int
+	for _, s := range samples {
+		if s.Latency <= 16*time.Millisecond {
+			n16++
+		}
+		if s.RTT > 0 && s.Latency <= s.RTT {
+			nrtt++
+		}
+	}
+	return float64(n16) / float64(len(samples)), float64(nrtt) / float64(len(samples))
 }
 
 // fmtDur renders a latency like the paper ("<0.005 s" for instant).

@@ -21,6 +21,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/sspcrypto"
 	"repro/internal/statesync"
+	"repro/internal/telemetry"
 	"repro/internal/terminal"
 	"repro/internal/transport"
 )
@@ -63,6 +64,9 @@ type ServerConfig struct {
 	// Resume, when non-nil, restores the endpoint from a session-journal
 	// snapshot instead of starting a fresh session (sessiond restart).
 	Resume *ServerResume
+	// Probe, when non-nil, receives per-stage latency observations from
+	// the transport and datagram layers (see transport.Config.Probe).
+	Probe *telemetry.Pipeline
 }
 
 // ServerResume carries the durable core of a server endpoint across a
@@ -133,6 +137,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		RemoteInitial: statesync.NewUserStream(),
 		Emit:          cfg.Emit,
 		RecycleWire:   cfg.RecycleWire,
+		Probe:         cfg.Probe,
 	}
 	if rs := cfg.Resume; rs != nil {
 		trCfg.LocalInitial = rs.Current

@@ -29,6 +29,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/simclock"
 	"repro/internal/sspcrypto"
+	"repro/internal/telemetry"
 )
 
 // Timing constants from the paper and the reference implementation.
@@ -110,6 +111,10 @@ type Config struct {
 	// from a persisted snapshot instead of starting at zero (a sessiond
 	// restart). See Resume for the crash-safety contract.
 	Resume *Resume
+	// Probe, when non-nil, receives AEAD timing: a StageSeal span per
+	// sealed datagram and a StageVerify span per opened one, measured on
+	// cfg.Clock (0-duration under virtual time, still counted).
+	Probe *telemetry.Pipeline
 }
 
 // Resume restores a Connection across a process restart. NextSeq must be a
@@ -299,6 +304,9 @@ func (c *Connection) AppendPacket(dst, payload []byte) ([]byte, error) {
 		dst = AppendEnvelope(dst, c.cfg.Envelope.ID)
 	}
 	wire, err := c.session.SealAppend(dst, c.cfg.Direction, seq, pt)
+	if pr := c.cfg.Probe; pr != nil {
+		pr.Observe(telemetry.StageSeal, c.cfg.Clock.Now().Sub(now))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("network: sealing packet: %w", err)
 	}
@@ -321,7 +329,17 @@ func (c *Connection) Receive(wire []byte, src netem.Addr) ([]byte, error) {
 		}
 		wire = inner
 	}
+	pr := c.cfg.Probe
+	var verifyStart time.Time
+	if pr != nil {
+		verifyStart = c.cfg.Clock.Now()
+	}
 	dir, seq, pt, err := c.session.Decrypt(wire)
+	if pr != nil {
+		// Failed opens are measured too: verification cost is paid either
+		// way, and a flood of failures should be visible in this stage.
+		pr.Observe(telemetry.StageVerify, c.cfg.Clock.Now().Sub(verifyStart))
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/netem"
+	"repro/internal/telemetry"
 	"repro/internal/udpbatch"
 )
 
@@ -30,6 +31,9 @@ import (
 // channel message. Runs and their packet slices are pooled.
 type inRun struct {
 	pkts []inPacket
+	// at is when the run was enqueued to the worker; the dequeue side
+	// turns it into a queue_wait stage observation.
+	at time.Time
 	// pooled marks wire buffers drawn from the daemon's read pool (the
 	// ServeBatch path); the worker recycles them after handling. Runs from
 	// Dispatch/HandleBatch carry caller-owned buffers instead.
@@ -55,6 +59,7 @@ func (d *Daemon) freeRun(r *inRun) {
 		r.pkts[i] = inPacket{}
 	}
 	r.pkts = r.pkts[:0]
+	r.at = time.Time{}
 	r.pooled = false
 	runPool.Put(r)
 }
@@ -73,6 +78,10 @@ type sessGroup struct {
 // every run. Only the single reader (or the single simulation driver)
 // may call it.
 func (d *Daemon) groupBatch(msgs []udpbatch.Message, pooled bool) []sessGroup {
+	demuxStart := d.cfg.Clock.Now()
+	defer func() {
+		d.pipe.Observe(telemetry.StageDemux, d.cfg.Clock.Now().Sub(demuxStart))
+	}()
 	// Clear the previous batch's entries first: retained *Session
 	// pointers in the scratch backing would otherwise pin evicted
 	// sessions (and their screen state) until a later batch happened to
@@ -164,6 +173,7 @@ func (d *Daemon) deliverRun(s *Session, r *inRun) {
 			// reader nor pin more wire memory than the pre-batching
 			// one-packet-per-slot bound allowed.
 			d.metrics.DropsQueueFull.Add(n)
+			d.recordEv(telemetry.EvDropQueue, s.ID, uint64(n))
 			d.notePressureDrop(n)
 			d.freeRun(r)
 			return
@@ -181,6 +191,7 @@ func (d *Daemon) deliverRun(s *Session, r *inRun) {
 	if admit < n {
 		tail := r.pkts[admit:]
 		d.metrics.DropsQueueFull.Add(n - admit)
+		d.recordEv(telemetry.EvDropQueue, s.ID, uint64(n-admit))
 		d.notePressureDrop(n - admit)
 		if r.pooled {
 			for i := range tail {
@@ -193,6 +204,7 @@ func (d *Daemon) deliverRun(s *Session, r *inRun) {
 		r.pkts = r.pkts[:admit]
 		n = admit
 	}
+	r.at = d.cfg.Clock.Now()
 	select {
 	case s.inbox <- r:
 		d.metrics.DispatchQueueDepth.Add(n)
@@ -214,6 +226,7 @@ func (d *Daemon) deliverRun(s *Session, r *inRun) {
 		// reservation goes back.
 		s.queuedPkts.Add(-n)
 		d.metrics.DropsQueueFull.Add(n)
+		d.recordEv(telemetry.EvDropQueue, s.ID, uint64(n))
 		d.notePressureDrop(n)
 		d.freeRun(r)
 	}
@@ -228,6 +241,7 @@ func (d *Daemon) HandleBatch(msgs []udpbatch.Message) {
 	if len(msgs) == 0 {
 		return
 	}
+	d.recordEv(telemetry.EvBatchIn, 0, uint64(len(msgs)))
 	readCap := d.readBatchCap()
 	for rem := len(msgs); rem > 0; rem -= readCap {
 		n := rem
@@ -236,6 +250,9 @@ func (d *Daemon) HandleBatch(msgs []udpbatch.Message) {
 		}
 		d.metrics.ReadBatchCalls.Add(1)
 		d.metrics.ReadBatchSizes.Observe(n)
+		// The modeled read syscall is instantaneous in virtual time; the
+		// 0-duration marker keeps StageRead's count == read_batch_calls.
+		d.pipe.Observe(telemetry.StageRead, 0)
 	}
 	groups := d.groupBatch(msgs, false)
 	for _, g := range groups {
@@ -283,6 +300,9 @@ func (d *Daemon) writeBatchCap() int {
 type egressEntry struct {
 	dst  netem.Addr
 	wire []byte
+	// at is when the datagram entered the ring; the flusher turns it into
+	// an egress_wait stage observation.
+	at time.Time
 	// pooled marks wire copied into a daemon pool buffer (RecycleWire
 	// mode: the sender reuses its buffer as soon as emit returns, so the
 	// ring must own a copy); the flusher recycles it after the write.
@@ -353,9 +373,10 @@ func (r *egressRing) drainInto(dst []egressEntry) int {
 
 // enqueueEgress queues one sealed datagram for batched transmission,
 // copying it into a pool buffer when the sender recycles its own.
-// Called with the emitting session's lock held; never blocks.
-func (d *Daemon) enqueueEgress(dst netem.Addr, wire []byte) {
-	e := egressEntry{dst: dst, wire: wire}
+// Called with the emitting session's lock held; never blocks. Reports
+// whether the datagram was admitted (the caller attributes the drop).
+func (d *Daemon) enqueueEgress(dst netem.Addr, wire []byte) bool {
+	e := egressEntry{dst: dst, wire: wire, at: d.cfg.Clock.Now()}
 	if d.cfg.RecycleWire {
 		e.wire = append(d.wirePool.Get(), wire...)
 		e.pooled = true
@@ -366,12 +387,13 @@ func (d *Daemon) enqueueEgress(dst netem.Addr, wire []byte) {
 		if e.pooled {
 			d.wirePool.Put(e.wire)
 		}
-		return
+		return false
 	}
 	// PacketsOut/BytesOut are counted in writeOut, per datagram actually
 	// handed to the transport — a later write error must not leave
 	// phantom "sent" traffic in the metrics.
 	d.metrics.EgressQueueDepth.Add(1)
+	return true
 }
 
 // flushEgress drains the ring completely, transmitting in batches of the
@@ -394,7 +416,12 @@ func (d *Daemon) flushEgress() {
 			return
 		}
 		d.metrics.EgressQueueDepth.Add(-int64(n))
+		writeStart := d.cfg.Clock.Now()
+		for i := 0; i < n; i++ {
+			d.pipe.Observe(telemetry.StageEgressWait, writeStart.Sub(d.egressScratch[i].at))
+		}
 		d.writeOut(d.egressScratch[:n])
+		d.pipe.Observe(telemetry.StageWrite, d.cfg.Clock.Now().Sub(writeStart))
 		for i := 0; i < n; i++ {
 			if d.egressScratch[i].pooled {
 				d.wirePool.Put(d.egressScratch[i].wire)
@@ -503,6 +530,7 @@ func (d *Daemon) ServeBatch(bc udpbatch.Conn) error {
 				msgs[i].Buf = d.readPool.Get()
 			}
 		}
+		readStart := d.cfg.Clock.Now()
 		n, err := bc.ReadBatch(msgs)
 		if err != nil {
 			select {
@@ -535,6 +563,11 @@ func (d *Daemon) ServeBatch(bc udpbatch.Conn) error {
 		}
 		d.metrics.ReadBatchCalls.Add(1)
 		d.metrics.ReadBatchSizes.Observe(n)
+		// StageRead on the real socket includes the blocking wait for the
+		// first datagram — it is "time from wanting data to having it",
+		// not pure syscall cost (an idle daemon shows large reads).
+		d.pipe.Observe(telemetry.StageRead, d.cfg.Clock.Now().Sub(readStart))
+		d.recordEv(telemetry.EvBatchIn, 0, uint64(n))
 		if copyOut {
 			for i := 0; i < n; i++ {
 				copyScratch[i] = udpbatch.Message{

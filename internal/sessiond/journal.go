@@ -15,6 +15,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/sspcrypto"
 	"repro/internal/statesync"
+	"repro/internal/telemetry"
 )
 
 // This file implements the daemon's crash-safe persistence: a periodic +
@@ -318,6 +319,7 @@ func (d *Daemon) noteFlushFailureLocked(now time.Time) {
 	j := d.journal
 	j.fails++
 	d.metrics.JournalFlushFailures.Add(1)
+	d.recordEv(telemetry.EvJournalFlushFail, 0, uint64(j.fails))
 	if j.backoff <= 0 {
 		j.backoff = j.retryMin
 	} else if j.backoff < j.retryMax {
@@ -350,6 +352,7 @@ func (d *Daemon) noteFlushSuccessLocked() {
 	d.metrics.JournalRetryBackoffMs.Set(0)
 	if j.suspended.Swap(journalActive) != journalActive {
 		d.metrics.JournalSuspended.Set(journalActive)
+		d.recordEv(telemetry.EvJournalResume, 0, 0)
 		j.fs.Remove(j.path + suspendedSuffix) // best-effort cleanup
 	}
 }
@@ -372,6 +375,7 @@ func (d *Daemon) suspendJournalingLocked() {
 	}
 	j.suspended.Store(mode)
 	d.metrics.JournalSuspended.Set(int64(mode))
+	d.degrade("journal-suspend", telemetry.EvJournalSuspend, 0, uint64(mode))
 	if mode == journalUnjournaled {
 		d.liftCeilingsLocked()
 	}
@@ -540,6 +544,7 @@ func (d *Daemon) restoreSession(sn *sessionSnapshot) (*Session, error) {
 		MinRTO:      d.cfg.MinRTO,
 		MaxRTO:      d.cfg.MaxRTO,
 		Envelope:    &network.Envelope{ID: sn.ID},
+		Probe:       d.pipe,
 		RecycleWire: d.cfg.RecycleWire,
 		Emit:        func(wire []byte) { s.emit(wire) },
 		HostInput:   func(data []byte) { s.hostInput(data) },

@@ -3,8 +3,12 @@ package sessiond
 import (
 	"expvar"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/statesync"
+	"repro/internal/telemetry"
 	"repro/internal/terminal"
 )
 
@@ -13,12 +17,20 @@ import (
 // accumulate there.
 const batchHistBuckets = 128
 
-// BatchHist is a concurrency-safe fixed-bucket histogram of batch sizes
+// BatchHist is a concurrency-safe histogram of batch sizes
 // (1..batchHistBuckets datagrams per syscall). It answers the operational
 // question the batched pipeline raises: how many datagrams is one syscall
-// actually moving?
+// actually moving? It is a thin clamp over telemetry.Hist: with subBits=8
+// every value up to 256 gets an exact bucket, so clamping to 128 keeps the
+// pre-telemetry quantiles bit-for-bit.
 type BatchHist struct {
-	counts [batchHistBuckets + 1]atomic.Int64
+	once sync.Once
+	h    *telemetry.Hist
+}
+
+func (h *BatchHist) hist() *telemetry.Hist {
+	h.once.Do(func() { h.h = telemetry.NewHist(8) })
+	return h.h
 }
 
 // Observe records one batch of n datagrams.
@@ -29,35 +41,15 @@ func (h *BatchHist) Observe(n int) {
 	if n > batchHistBuckets {
 		n = batchHistBuckets
 	}
-	h.counts[n].Add(1)
+	h.hist().Observe(int64(n))
 }
 
 // Samples reports how many batches have been observed.
-func (h *BatchHist) Samples() int64 {
-	var total int64
-	for i := range h.counts {
-		total += h.counts[i].Load()
-	}
-	return total
-}
+func (h *BatchHist) Samples() int64 { return h.hist().Count() }
 
 // Quantile returns the batch size at quantile q in [0,1] (0 when no
 // samples have been observed).
-func (h *BatchHist) Quantile(q float64) int {
-	total := h.Samples()
-	if total == 0 {
-		return 0
-	}
-	rank := int64(q * float64(total-1))
-	var seen int64
-	for i := 1; i <= batchHistBuckets; i++ {
-		seen += h.counts[i].Load()
-		if seen > rank {
-			return i
-		}
-	}
-	return batchHistBuckets
-}
+func (h *BatchHist) Quantile(q float64) int { return int(h.hist().Quantile(q)) }
 
 // expvarValue renders the histogram's summary for /debug/vars.
 func (h *BatchHist) expvarValue() any {
@@ -122,55 +114,88 @@ type Metrics struct {
 	ReadErrorsTransient   expvar.Int // transient socket read errors absorbed by ServeBatch
 }
 
+// metricFields maps every published counter name to its accessor, so the
+// expvar registrations can read through an atomic slot (see Publish).
+var metricFields = []struct {
+	name string
+	get  func(m *Metrics) int64
+}{
+	{"sessions_live", func(m *Metrics) int64 { return m.SessionsLive.Value() }},
+	{"sessions_opened", func(m *Metrics) int64 { return m.SessionsOpened.Value() }},
+	{"sessions_evicted", func(m *Metrics) int64 { return m.SessionsEvicted.Value() }},
+	{"sessions_closed", func(m *Metrics) int64 { return m.SessionsClosed.Value() }},
+	{"packets_in", func(m *Metrics) int64 { return m.PacketsIn.Value() }},
+	{"bytes_in", func(m *Metrics) int64 { return m.BytesIn.Value() }},
+	{"packets_out", func(m *Metrics) int64 { return m.PacketsOut.Value() }},
+	{"bytes_out", func(m *Metrics) int64 { return m.BytesOut.Value() }},
+	{"drops_bad_envelope", func(m *Metrics) int64 { return m.DropsBadEnvelope.Value() }},
+	{"drops_unknown_session", func(m *Metrics) int64 { return m.DropsUnknownSession.Value() }},
+	{"drops_auth", func(m *Metrics) int64 { return m.DropsAuth.Value() }},
+	{"drops_queue_full", func(m *Metrics) int64 { return m.DropsQueueFull.Value() }},
+	{"dispatch_queue_depth", func(m *Metrics) int64 { return m.DispatchQueueDepth.Value() }},
+	{"roaming_events", func(m *Metrics) int64 { return m.RoamingEvents.Value() }},
+	{"read_batch_calls", func(m *Metrics) int64 { return m.ReadBatchCalls.Value() }},
+	{"write_batch_calls", func(m *Metrics) int64 { return m.WriteBatchCalls.Value() }},
+	{"egress_queue_depth", func(m *Metrics) int64 { return m.EgressQueueDepth.Value() }},
+	{"drops_egress_full", func(m *Metrics) int64 { return m.DropsEgressFull.Value() }},
+	{"egress_write_errors", func(m *Metrics) int64 { return m.EgressWriteErrors.Value() }},
+	{"sessions_restored", func(m *Metrics) int64 { return m.SessionsRestored.Value() }},
+	{"snapshots_stale", func(m *Metrics) int64 { return m.SnapshotsStale.Value() }},
+	{"journal_flushes", func(m *Metrics) int64 { return m.JournalFlushes.Value() }},
+	{"journal_bytes", func(m *Metrics) int64 { return m.JournalBytes.Value() }},
+	{"journal_errors", func(m *Metrics) int64 { return m.JournalErrors.Value() }},
+	{"journal_bad_records", func(m *Metrics) int64 { return m.JournalBadRecords.Value() }},
+	{"journal_flush_failures", func(m *Metrics) int64 { return m.JournalFlushFailures.Value() }},
+	{"journal_suspended", func(m *Metrics) int64 { return m.JournalSuspended.Value() }},
+	{"journal_retry_backoff_ms", func(m *Metrics) int64 { return m.JournalRetryBackoffMs.Value() }},
+	{"drops_unauth_quota", func(m *Metrics) int64 { return m.DropsUnauthQuota.Value() }},
+	{"shed_events", func(m *Metrics) int64 { return m.ShedEvents.Value() }},
+	{"shedding", func(m *Metrics) int64 { return m.Shedding.Value() }},
+	{"read_errors_transient", func(m *Metrics) int64 { return m.ReadErrorsTransient.Value() }},
+}
+
+// pubMu guards the prefix→slot maps below. expvar.Publish panics on a
+// duplicate name, so each prefix is registered exactly once, with every
+// registered Func reading through an atomic slot; republishing the same
+// prefix (a daemon restarted in-process, a test constructing a fresh
+// Metrics) just swaps the slot.
+var (
+	pubMu       sync.Mutex
+	metricSlots = map[string]*atomic.Pointer[Metrics]{}
+	daemonSlots = map[string]*atomic.Pointer[Daemon]{}
+)
+
 // Publish registers every counter with the process-wide expvar registry
-// under prefix (e.g. "sessiond.sessions_live"). Call it at most once per
-// process per prefix — expvar panics on duplicate names.
+// under prefix (e.g. "sessiond.sessions_live"). Idempotent per prefix:
+// the first call registers the names, later calls re-point them at m —
+// no duplicate-name panic, and stale objects stop being scraped.
 func (m *Metrics) Publish(prefix string) {
-	for _, v := range []struct {
-		name string
-		v    expvar.Var
-	}{
-		{"sessions_live", &m.SessionsLive},
-		{"sessions_opened", &m.SessionsOpened},
-		{"sessions_evicted", &m.SessionsEvicted},
-		{"sessions_closed", &m.SessionsClosed},
-		{"packets_in", &m.PacketsIn},
-		{"bytes_in", &m.BytesIn},
-		{"packets_out", &m.PacketsOut},
-		{"bytes_out", &m.BytesOut},
-		{"drops_bad_envelope", &m.DropsBadEnvelope},
-		{"drops_unknown_session", &m.DropsUnknownSession},
-		{"drops_auth", &m.DropsAuth},
-		{"drops_queue_full", &m.DropsQueueFull},
-		{"dispatch_queue_depth", &m.DispatchQueueDepth},
-		{"roaming_events", &m.RoamingEvents},
-		{"read_batch_calls", &m.ReadBatchCalls},
-		{"write_batch_calls", &m.WriteBatchCalls},
-		{"egress_queue_depth", &m.EgressQueueDepth},
-		{"drops_egress_full", &m.DropsEgressFull},
-		{"egress_write_errors", &m.EgressWriteErrors},
-		{"sessions_restored", &m.SessionsRestored},
-		{"snapshots_stale", &m.SnapshotsStale},
-		{"journal_flushes", &m.JournalFlushes},
-		{"journal_bytes", &m.JournalBytes},
-		{"journal_errors", &m.JournalErrors},
-		{"journal_bad_records", &m.JournalBadRecords},
-		{"journal_flush_failures", &m.JournalFlushFailures},
-		{"journal_suspended", &m.JournalSuspended},
-		{"journal_retry_backoff_ms", &m.JournalRetryBackoffMs},
-		{"drops_unauth_quota", &m.DropsUnauthQuota},
-		{"shed_events", &m.ShedEvents},
-		{"shedding", &m.Shedding},
-		{"read_errors_transient", &m.ReadErrorsTransient},
-	} {
-		expvar.Publish(prefix+"."+v.name, v.v)
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	if slot, ok := metricSlots[prefix]; ok {
+		slot.Store(m)
+		return
+	}
+	slot := &atomic.Pointer[Metrics]{}
+	slot.Store(m)
+	metricSlots[prefix] = slot
+	for _, f := range metricFields {
+		get := f.get
+		// An expvar.Func returning int64 renders exactly like expvar.Int
+		// (both are json-encoded integers), so swapping the registration
+		// style is invisible to scrapers.
+		expvar.Publish(prefix+"."+f.name, expvar.Func(func() any { return get(slot.Load()) }))
 	}
 	// Batch-size distributions and the syscalls the vectorized pipeline
 	// saved versus a one-datagram-per-syscall loop.
-	expvar.Publish(prefix+".read_batch_size", expvar.Func(m.ReadBatchSizes.expvarValue))
-	expvar.Publish(prefix+".write_batch_size", expvar.Func(m.WriteBatchSizes.expvarValue))
+	expvar.Publish(prefix+".read_batch_size", expvar.Func(func() any {
+		return slot.Load().ReadBatchSizes.expvarValue()
+	}))
+	expvar.Publish(prefix+".write_batch_size", expvar.Func(func() any {
+		return slot.Load().WriteBatchSizes.expvarValue()
+	}))
 	expvar.Publish(prefix+".syscalls_avoided", expvar.Func(func() any {
-		return m.SyscallsAvoided()
+		return slot.Load().SyscallsAvoided()
 	}))
 }
 
@@ -226,20 +251,92 @@ func (d *Daemon) ScreenStateStats() ScreenStateStats {
 	return st
 }
 
-// PublishExpvar registers the daemon's counters plus resident screen-state
-// gauges with the process-wide expvar registry under prefix. The
-// screen-state gauge walks every session at scrape time (one sweep per
-// render, sessions locked briefly); interned_graphemes is the process-wide
-// grapheme table size. Call at most once per process per prefix — expvar
-// panics on duplicate names.
+// PublishExpvar registers the daemon's counters plus its live-inspection
+// gauges with the process-wide expvar registry under prefix: resident
+// screen state, transport introspection (SRTT/frame-interval quantiles,
+// queue depths), keystroke→echo percentiles, per-stage pipeline latencies,
+// buffer-pool effectiveness, and process-wide statesync/grapheme counters.
+// The walking gauges (screen_state, transport) take each session's lock
+// briefly at scrape time. Idempotent per prefix, like Metrics.Publish.
 func (d *Daemon) PublishExpvar(prefix string) {
 	d.metrics.Publish(prefix)
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	if slot, ok := daemonSlots[prefix]; ok {
+		slot.Store(d)
+		return
+	}
+	slot := &atomic.Pointer[Daemon]{}
+	slot.Store(d)
+	daemonSlots[prefix] = slot
 	expvar.Publish(prefix+".interned_graphemes", expvar.Func(func() any {
 		return terminal.InternedGraphemes()
 	}))
 	expvar.Publish(prefix+".screen_state", expvar.Func(func() any {
-		return d.ScreenStateStats()
+		return slot.Load().ScreenStateStats()
 	}))
+	expvar.Publish(prefix+".statesync_applies", expvar.Func(func() any {
+		sc, sb, uc, ub := statesync.ApplyStats()
+		return map[string]int64{
+			"screen": sc, "screen_bytes": sb,
+			"stream": uc, "stream_bytes": ub,
+		}
+	}))
+	expvar.Publish(prefix+".transport", expvar.Func(func() any {
+		return slot.Load().TransportStats()
+	}))
+	expvar.Publish(prefix+".echo", expvar.Func(func() any {
+		return slot.Load().echoExpvar()
+	}))
+	expvar.Publish(prefix+".stage_latency", expvar.Func(func() any {
+		return slot.Load().stageExpvar()
+	}))
+	expvar.Publish(prefix+".buffer_pools", expvar.Func(func() any {
+		return slot.Load().poolExpvar()
+	}))
+}
+
+// echoExpvar renders the Fig. 6 keystroke→echo summary.
+func (d *Daemon) echoExpvar() any {
+	total, le16, leRTT := d.pipe.EchoStats()
+	h := d.pipe.Stage(telemetry.StageEcho)
+	return map[string]int64{
+		"total":   total,
+		"le_16ms": le16,
+		"le_rtt":  leRTT,
+		"p50_us":  int64(h.QuantileDuration(0.50) / time.Microsecond),
+		"p99_us":  int64(h.QuantileDuration(0.99) / time.Microsecond),
+		"p999_us": int64(h.QuantileDuration(0.999) / time.Microsecond),
+	}
+}
+
+// stageExpvar renders every pipeline stage's latency summary.
+func (d *Daemon) stageExpvar() any {
+	out := make(map[string]map[string]int64, len(telemetry.Stages()))
+	for _, st := range telemetry.Stages() {
+		h := d.pipe.Stage(st)
+		out[st.String()] = map[string]int64{
+			"count":  h.Count(),
+			"p50_us": int64(h.QuantileDuration(0.50) / time.Microsecond),
+			"p99_us": int64(h.QuantileDuration(0.99) / time.Microsecond),
+		}
+	}
+	return out
+}
+
+// poolExpvar renders buffer-pool effectiveness: gets vs misses (a miss is
+// a Get that had to allocate; a healthy steady state plateaus misses).
+func (d *Daemon) poolExpvar() any {
+	out := map[string]int64{}
+	if p := d.readPool; p != nil {
+		g, m := p.Stats()
+		out["read_gets"], out["read_misses"] = g, m
+	}
+	if p := d.wirePool; p != nil {
+		g, m := p.Stats()
+		out["wire_gets"], out["wire_misses"] = g, m
+	}
+	return out
 }
 
 // String renders a one-line summary for logs and the load harness.

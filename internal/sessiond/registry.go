@@ -81,8 +81,12 @@ func (r *registry) each(f func(*Session)) {
 // timedOutput is one pending host-application write, delayed to model the
 // application's think time (host.App.Input returns a delay).
 type timedOutput struct {
-	at   time.Time
-	data []byte
+	at time.Time
+	// keyAt is the arrival time of the keystroke that provoked this
+	// output (zero for output with no keystroke attribution), feeding the
+	// keystroke→echo tracker when the output is applied.
+	keyAt time.Time
+	data  []byte
 }
 
 // Session is one SSP session multiplexed on the daemon's socket. Its state
@@ -133,6 +137,16 @@ type Session struct {
 	// session (zero when the entry was popped); guarded by mu. rearmLocked
 	// skips the heap lock when the deadline is unchanged.
 	lastArmed time.Time
+
+	// Keystroke→echo tracking (guarded by mu): echoAwait holds the
+	// arrival times of keystrokes whose host output has been applied to
+	// the terminal but not yet carried by a minted frame; lastSentNum is
+	// the sender state number as of the last match pass, so a fresh mint
+	// is detected by its advance. The ring samples bursts (overflow is
+	// dropped, not queued): it is measurement, not accounting.
+	echoAwait   [16]time.Time
+	echoAwaitN  int
+	lastSentNum uint64
 
 	// Timer-heap entry, guarded by the daemon's timerHeap lock.
 	deadline time.Time
@@ -197,6 +211,7 @@ func (d *Daemon) OpenSession() (*Session, error) {
 		MinRTO:      d.cfg.MinRTO,
 		MaxRTO:      d.cfg.MaxRTO,
 		Envelope:    &network.Envelope{ID: id},
+		Probe:       d.pipe,
 		RecycleWire: d.cfg.RecycleWire,
 		Emit:        func(wire []byte) { s.emit(wire) },
 		HostInput:   func(data []byte) { s.hostInput(data) },

@@ -43,6 +43,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/network"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/udpbatch"
 )
@@ -169,6 +170,30 @@ type Config struct {
 	// Defaults 256 drops / 1s / 2s; a negative threshold disables.
 	ShedThreshold        int
 	ShedWindow, ShedHold time.Duration
+
+	// Pipeline receives the daemon's per-stage latency observations and
+	// keystroke→echo matches. Nil allocates a daemon-private one
+	// (exposed via Daemon.Pipeline); benches pass a shared pipeline so
+	// observations survive a mid-run daemon restart.
+	Pipeline *telemetry.Pipeline
+	// FlightRecorderSlots sizes the flight recorder's per-shard event
+	// ring (0 = telemetry.DefaultRecorderSlots; negative disables the
+	// recorder entirely, leaving only the atomic-load-and-branch gate
+	// compiled out via the nil recorder).
+	FlightRecorderSlots int
+	// OnEcho, when non-nil, observes every matched keystroke→echo-frame
+	// completion: the session, the end-to-end latency, and the smoothed
+	// RTT at match time (0 before the first RTT sample). Called with the
+	// session's lock held — it must be fast and must not call back into
+	// the daemon.
+	OnEcho func(session uint64, latency, srtt time.Duration)
+	// OnDegrade, when non-nil, receives a human-readable flight-recorder
+	// dump whenever a degradation state trips: pressure shed, journal
+	// suspension, or unauth-quota exhaustion. Dumps are rate limited to
+	// one per reason per 10 s. May be called with daemon or session
+	// locks held — it must not call back into the daemon (write the dump
+	// somewhere and return).
+	OnDegrade func(reason string, dump []byte)
 }
 
 // PacketConn is the legacy one-datagram socket surface: a blocking read
@@ -210,6 +235,14 @@ type Daemon struct {
 	// when disabled); shed is the inbox/egress pressure-shed policy.
 	quota *unauthQuota
 	shed  shedState
+
+	// pipe is the stage-latency/echo pipeline (never nil); rec is the
+	// flight recorder (nil when disabled — telemetry.Recorder methods are
+	// nil-safe). dumpMu/lastDump rate-limit OnDegrade dumps per reason.
+	pipe     *telemetry.Pipeline
+	rec      *telemetry.Recorder
+	dumpMu   sync.Mutex
+	lastDump map[string]int64
 
 	// serveConn remembers the batched connection Serve/ServeBatch runs on
 	// so the egress flusher can write to it and Close can unblock its
@@ -325,6 +358,16 @@ func New(cfg Config) (*Daemon, error) {
 	d.shed.threshold = int64(cfg.ShedThreshold)
 	d.shed.window = cfg.ShedWindow
 	d.shed.hold = cfg.ShedHold
+	// Telemetry must exist before restore: sessions revived from the
+	// journal get their probe wired at construction like fresh ones.
+	d.pipe = cfg.Pipeline
+	if d.pipe == nil {
+		d.pipe = telemetry.NewPipeline()
+	}
+	if cfg.FlightRecorderSlots >= 0 {
+		d.rec = telemetry.NewRecorder(cfg.FlightRecorderSlots)
+	}
+	d.lastDump = make(map[string]int64)
 	if cfg.StateDir != "" {
 		if err := cfg.FS.MkdirAll(cfg.StateDir, 0o700); err != nil {
 			return nil, fmt.Errorf("sessiond: state dir: %w", err)
@@ -344,6 +387,71 @@ func New(cfg Config) (*Daemon, error) {
 
 // Metrics exposes the daemon's counters.
 func (d *Daemon) Metrics() *Metrics { return &d.metrics }
+
+// Pipeline exposes the stage-latency/echo telemetry (never nil).
+func (d *Daemon) Pipeline() *telemetry.Pipeline { return d.pipe }
+
+// FlightRecorder exposes the event ring (nil when disabled; the
+// recorder's methods are nil-safe).
+func (d *Daemon) FlightRecorder() *telemetry.Recorder { return d.rec }
+
+// recordEv stores one flight-recorder event. The enabled check runs
+// BEFORE the clock read, so with recording off (or disabled) the whole
+// call is one atomic load and a branch — cheap enough for every packet.
+func (d *Daemon) recordEv(code telemetry.Code, session, arg uint64) {
+	if d.rec.Enabled() {
+		d.rec.Record(code, session, arg, d.cfg.Clock.Now())
+	}
+}
+
+// degradeDumpInterval rate-limits OnDegrade dumps: a sustained flood
+// trips its degradation state on every packet, but one dump per reason
+// per interval is what a human (or a log pipeline) can use.
+const degradeDumpInterval = 10 * time.Second
+
+// degrade records a degradation-state trip in the flight recorder and,
+// when the embedder asked for dumps, hands it a rendered dump of the
+// events leading up to the trip (rate limited per reason). Callers may
+// hold session locks; OnDegrade must not call back into the daemon.
+func (d *Daemon) degrade(reason string, code telemetry.Code, session, arg uint64) {
+	d.recordEv(code, session, arg)
+	cb := d.cfg.OnDegrade
+	if cb == nil {
+		return
+	}
+	now := d.cfg.Clock.Now().UnixNano()
+	d.dumpMu.Lock()
+	last, seen := d.lastDump[reason]
+	if seen && now-last < int64(degradeDumpInterval) {
+		d.dumpMu.Unlock()
+		return
+	}
+	d.lastDump[reason] = now
+	d.dumpMu.Unlock()
+	cb(reason, d.FlightDump(reason))
+}
+
+// FlightDump renders the flight recorder human-readably: every buffered
+// event, oldest first. Returns nil when the recorder is disabled. Also
+// the SIGQUIT handler's payload in cmd/mosh-server.
+func (d *Daemon) FlightDump(reason string) []byte {
+	if d.rec == nil {
+		return nil
+	}
+	now := d.cfg.Clock.Now()
+	d.rec.Record(telemetry.EvDump, 0, 0, now)
+	return d.rec.AppendDump(nil, reason, now)
+}
+
+// FlightDumpJSON is FlightDump as one machine-readable JSON document.
+func (d *Daemon) FlightDumpJSON(reason string) []byte {
+	if d.rec == nil {
+		return nil
+	}
+	now := d.cfg.Clock.Now()
+	d.rec.Record(telemetry.EvDump, 0, 0, now)
+	return d.rec.AppendDumpJSON(nil, reason, now)
+}
 
 // SessionsLive reports the number of registered sessions.
 func (d *Daemon) SessionsLive() int { return int(d.metrics.SessionsLive.Value()) }
@@ -372,7 +480,14 @@ func (d *Daemon) inboxDepth() int { return d.cfg.InboxDepth }
 func (d *Daemon) HandlePacket(wire []byte, src netem.Addr) {
 	d.metrics.ReadBatchCalls.Add(1)
 	d.metrics.ReadBatchSizes.Observe(1)
-	if s := d.route(wire); s != nil {
+	// The modeled read syscall is instantaneous in virtual time; a
+	// 0-duration observation keeps StageRead's count aligned with
+	// read_batch_calls in both driving modes.
+	d.pipe.Observe(telemetry.StageRead, 0)
+	demuxStart := d.cfg.Clock.Now()
+	s := d.route(wire)
+	d.pipe.Observe(telemetry.StageDemux, d.cfg.Clock.Now().Sub(demuxStart))
+	if s != nil {
 		s.handle(wire, src)
 	}
 	d.flushEgress()
@@ -507,7 +622,10 @@ func (d *Daemon) Dispatch(wire []byte, src netem.Addr) {
 	// bypass the batched reader.
 	d.metrics.ReadBatchCalls.Add(1)
 	d.metrics.ReadBatchSizes.Observe(1)
+	d.pipe.Observe(telemetry.StageRead, 0)
+	demuxStart := d.cfg.Clock.Now()
 	s := d.route(wire)
+	d.pipe.Observe(telemetry.StageDemux, d.cfg.Clock.Now().Sub(demuxStart))
 	if s == nil {
 		return
 	}
@@ -596,6 +714,9 @@ func (s *Session) worker() {
 		case r := <-s.inbox:
 			s.queuedPkts.Add(-int64(len(r.pkts)))
 			s.d.metrics.DispatchQueueDepth.Add(-int64(len(r.pkts)))
+			if !r.at.IsZero() {
+				s.d.pipe.Observe(telemetry.StageQueueWait, s.d.cfg.Clock.Now().Sub(r.at))
+			}
 			for i := range r.pkts {
 				s.handle(r.pkts[i].wire, r.pkts[i].src)
 			}
@@ -619,6 +740,7 @@ func (s *Session) handle(wire []byte, src netem.Addr) {
 		// so a spoofed-envelope flood pays nothing but an envelope parse
 		// and cannot starve live sessions of CPU.
 		s.d.metrics.DropsUnauthQuota.Add(1)
+		s.d.degrade("unauth-quota", telemetry.EvQuotaBlocked, s.ID, 0)
 		return
 	}
 	roamsBefore := s.srv.Transport().Connection().RemoteAddrChanges()
@@ -626,6 +748,7 @@ func (s *Session) handle(wire []byte, src netem.Addr) {
 		// Forged, replayed, stale or malformed: normal network noise at
 		// this layer; the envelope got it here but the key said no.
 		s.d.metrics.DropsAuth.Add(1)
+		s.d.recordEv(telemetry.EvDropAuth, s.ID, 0)
 		if q := s.d.quota; q != nil {
 			q.charge(src, now)
 		}
@@ -640,9 +763,16 @@ func (s *Session) handle(wire []byte, src netem.Addr) {
 		}
 		if roams := s.srv.Transport().Connection().RemoteAddrChanges(); roams > roamsBefore {
 			s.d.metrics.RoamingEvents.Add(int64(roams - roamsBefore))
+			s.d.recordEv(telemetry.EvRoam, s.ID, uint64(roams))
 		}
 	}
+	// Echo matching brackets the output flush: a frame minted during
+	// Receive echoes output applied on earlier entries (match before the
+	// flush adds new waiters), and a frame minted inside the flush's own
+	// HostOutput tick echoes what it just applied (match again after).
+	s.noteEchoLocked(now)
 	s.flushHostOutputLocked(now)
+	s.noteEchoLocked(now)
 	s.maybeRequestFlushLocked()
 	s.rearmLocked(now)
 }
@@ -661,6 +791,9 @@ func (s *Session) tick() {
 	s.lastArmed = time.Time{}
 	s.flushHostOutputLocked(now)
 	s.srv.Tick()
+	// Both the flush's HostOutput tick and srv.Tick can mint the frame
+	// that echoes the output applied above; one match pass covers both.
+	s.noteEchoLocked(now)
 	// Idle eviction applies only to sessions a client has actually used:
 	// a pre-issued slot whose MOSH CONNECT line nobody has redeemed yet
 	// waits indefinitely, like a listening mosh-server does.
@@ -681,28 +814,73 @@ func (s *Session) hostInput(data []byte) {
 	if s.app == nil {
 		return
 	}
+	s.d.recordEv(telemetry.EvKeystroke, s.ID, uint64(len(data)))
 	out, delay := s.app.Input(data)
 	if len(out) == 0 {
 		return
 	}
-	at := s.d.cfg.Clock.Now().Add(delay)
+	now := s.d.cfg.Clock.Now()
+	at := now.Add(delay)
 	// Host responses are serialized in input order, like a real pty.
 	if n := len(s.pendingOut); n > 0 && at.Before(s.pendingOut[n-1].at) {
 		at = s.pendingOut[n-1].at
 	}
-	s.pendingOut = append(s.pendingOut, timedOutput{at: at, data: out})
+	// keyAt tags this output with its keystroke's arrival time so the
+	// echo tracker can match it to the first frame that conveys it.
+	s.pendingOut = append(s.pendingOut, timedOutput{at: at, keyAt: now, data: out})
 }
 
 // flushHostOutputLocked writes every due host response to the terminal.
 func (s *Session) flushHostOutputLocked(now time.Time) {
 	n := 0
 	for n < len(s.pendingOut) && !s.pendingOut[n].at.After(now) {
+		// The waiter joins the echo ring BEFORE the write: HostOutput
+		// ticks the sender, and a frame minted there already carries
+		// this output. A burst beyond the ring is sampled, not queued —
+		// the ring is measurement, not accounting.
+		if keyAt := s.pendingOut[n].keyAt; !keyAt.IsZero() && s.echoAwaitN < len(s.echoAwait) {
+			s.echoAwait[s.echoAwaitN] = keyAt
+			s.echoAwaitN++
+		}
 		s.srv.HostOutput(s.pendingOut[n].data)
 		n++
 	}
 	if n > 0 {
 		s.pendingOut = append(s.pendingOut[:0], s.pendingOut[n:]...)
 	}
+}
+
+// noteEchoLocked is the server-side keystroke→echo matcher (the paper's
+// Fig. 6 measurement): when the sender has minted a new state since the
+// last call, that state is the first frame carrying every host output
+// applied so far, so each waiting keystroke's end-to-end latency is
+// now − keystroke arrival. Observed into the pipeline's echo histogram
+// and Fig. 6 counters, the flight recorder, and Config.OnEcho.
+func (s *Session) noteEchoLocked(now time.Time) {
+	sent := s.srv.Transport().Sender().LastSentNum()
+	if sent == s.lastSentNum {
+		return
+	}
+	s.lastSentNum = sent
+	s.d.recordEv(telemetry.EvFrameSent, s.ID, sent)
+	if s.echoAwaitN == 0 {
+		return
+	}
+	conn := s.srv.Transport().Connection()
+	srtt := time.Duration(0)
+	if conn.HaveRTT() {
+		srtt = conn.SRTT(0)
+	}
+	for i := 0; i < s.echoAwaitN; i++ {
+		lat := now.Sub(s.echoAwait[i])
+		s.d.pipe.ObserveEcho(lat, srtt)
+		s.d.recordEv(telemetry.EvEcho, s.ID, uint64(lat/time.Microsecond))
+		if cb := s.d.cfg.OnEcho; cb != nil {
+			cb(s.ID, lat, srtt)
+		}
+		s.echoAwait[i] = time.Time{}
+	}
+	s.echoAwaitN = 0
 }
 
 // rearmLocked recomputes this session's single heap deadline: the earliest
@@ -751,5 +929,7 @@ func (s *Session) emit(wire []byte) {
 	if !ok {
 		return // no authentic client packet yet: nowhere to send
 	}
-	s.d.enqueueEgress(dst, wire)
+	if !s.d.enqueueEgress(dst, wire) {
+		s.d.recordEv(telemetry.EvDropEgress, s.ID, 1)
+	}
 }

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // This file is the daemon's explicit shed policy. Isolated pressure
@@ -60,8 +62,11 @@ func (d *Daemon) notePressureDrop(n int64) {
 	sh.mu.Unlock()
 	if trip {
 		if prev := sh.until.Swap(now + int64(sh.hold)); prev < now {
-			// Newly activated (not an extension of an active hold).
+			// Newly activated (not an extension of an active hold). The
+			// flight-recorder dump here is the whole point of the recorder:
+			// the events leading up to the trip are still in the ring.
 			d.metrics.ShedEvents.Add(1)
+			d.degrade("shed", telemetry.EvShedTrip, 0, uint64(sh.threshold))
 		}
 		d.metrics.Shedding.Set(1)
 	}

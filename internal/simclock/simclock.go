@@ -11,9 +11,11 @@ import (
 	"time"
 )
 
-// Clock supplies the current time. Implementations must be safe for use by a
-// single goroutine; the real-time implementation is additionally safe for
-// concurrent use.
+// Clock supplies the current time. Now must be safe for concurrent use:
+// daemon worker goroutines read the clock (telemetry timestamps, quota
+// checks) while another goroutine advances it. Every implementation here
+// (Real, Scheduler, Manual) satisfies that; the Scheduler's *other*
+// methods remain confined to the simulation goroutine.
 type Clock interface {
 	Now() time.Time
 }
@@ -78,8 +80,13 @@ func (h *eventHeap) Pop() any {
 // Clock; time advances only when events run. Events scheduled for the same
 // instant fire in the order they were scheduled.
 //
+// Now is safe to call from any goroutine (daemon worker goroutines read
+// the clock for telemetry while the simulation goroutine advances it);
+// every other method must be confined to the simulation goroutine.
+//
 // The zero value is not usable; call NewScheduler.
 type Scheduler struct {
+	mu   sync.Mutex // guards now against concurrent Now readers
 	now  time.Time
 	seq  uint64
 	heap eventHeap
@@ -91,7 +98,20 @@ func NewScheduler(start time.Time) *Scheduler {
 }
 
 // Now returns the current virtual time.
-func (s *Scheduler) Now() time.Time { return s.now }
+func (s *Scheduler) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// setNow publishes a clock advance to concurrent Now readers. Internal
+// same-goroutine reads of s.now need no lock: writes only ever happen on
+// the simulation goroutine.
+func (s *Scheduler) setNow(t time.Time) {
+	s.mu.Lock()
+	s.now = t
+	s.mu.Unlock()
+}
 
 // At schedules fn to run at time t. Scheduling in the past runs the event at
 // the current time (it will fire on the next Step).
@@ -134,7 +154,7 @@ func (s *Scheduler) Step() bool {
 		if e.canceled {
 			continue
 		}
-		s.now = e.at
+		s.setNow(e.at)
 		e.fn()
 		return true
 	}
@@ -151,7 +171,7 @@ func (s *Scheduler) RunUntil(t time.Time) {
 		s.Step()
 	}
 	if s.now.Before(t) {
-		s.now = t
+		s.setNow(t)
 	}
 }
 

@@ -134,6 +134,8 @@ func (c *Complete) Apply(diff []byte) error {
 	if len(diff) == 0 {
 		return nil
 	}
+	screenApplies.Add(1)
+	screenApplyBytes.Add(int64(len(diff)))
 	w, n := binary.Uvarint(diff)
 	if n <= 0 {
 		return ErrBadDiff

@@ -1,0 +1,24 @@
+package statesync
+
+import "sync/atomic"
+
+// Process-wide apply counters, following terminal.InternedGraphemes'
+// idiom for package-level gauges: the state objects are too numerous and
+// short-lived to carry per-object meters, but "how much state
+// synchronization work is this process doing" is a first-class
+// observability question. Published by sessiond's expvar/Prometheus
+// exporters.
+var (
+	screenApplies    atomic.Int64
+	screenApplyBytes atomic.Int64
+	streamApplies    atomic.Int64
+	streamApplyBytes atomic.Int64
+)
+
+// ApplyStats reports the process-wide diff application counters: how
+// many screen-state diffs (client direction) and user-input-stream diffs
+// (server direction) have been applied, and their cumulative wire bytes.
+func ApplyStats() (screenCount, screenBytes, streamCount, streamBytes int64) {
+	return screenApplies.Load(), screenApplyBytes.Load(),
+		streamApplies.Load(), streamApplyBytes.Load()
+}

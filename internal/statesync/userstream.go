@@ -167,6 +167,8 @@ func (u *UserStream) Apply(diff []byte) error {
 	if len(diff) == 0 {
 		return nil
 	}
+	streamApplies.Add(1)
+	streamApplyBytes.Add(int64(len(diff)))
 	start, n := binary.Uvarint(diff)
 	if n <= 0 {
 		return ErrBadDiff

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistQuantileOracle checks Hist quantiles against a sorted-sample
+// oracle using the same rank rule: exact equality for values in the
+// sub-2^subBits range, same-bucket equality (bounded relative error)
+// above it.
+func TestHistQuantileOracle(t *testing.T) {
+	for _, sub := range []int{6, 8} {
+		rng := rand.New(rand.NewSource(42))
+		h := NewHist(sub)
+		var vals []int64
+		for i := 0; i < 5000; i++ {
+			var v int64
+			switch rng.Intn(3) {
+			case 0:
+				v = rng.Int63n(1 << sub) // exact region
+			case 1:
+				v = rng.Int63n(1 << 20)
+			default:
+				v = rng.Int63n(int64(10 * time.Second))
+			}
+			vals = append(vals, v)
+			h.Observe(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			oracle := vals[int64(q*float64(len(vals)-1))]
+			got := h.Quantile(q)
+			if oracle < 1<<sub {
+				if got != oracle {
+					t.Errorf("subBits=%d q=%v: got %d, oracle %d (exact region)", sub, q, got, oracle)
+				}
+				continue
+			}
+			if h.bucketIndex(got) != h.bucketIndex(oracle) || got > oracle {
+				t.Errorf("subBits=%d q=%v: got %d not in oracle %d's bucket", sub, q, got, oracle)
+			}
+		}
+		if h.Count() != int64(len(vals)) {
+			t.Errorf("count = %d, want %d", h.Count(), len(vals))
+		}
+	}
+}
+
+// TestHistBucketRoundTrip pins the bucket layout: every bucket's lower
+// bound maps back to that bucket, and indexes are monotonic in value.
+func TestHistBucketRoundTrip(t *testing.T) {
+	h := NewHist(6)
+	for idx := 0; idx < len(h.counts); idx++ {
+		v := h.bucketValue(idx)
+		if got := h.bucketIndex(v); got != idx {
+			t.Fatalf("bucketIndex(bucketValue(%d)=%d) = %d", idx, v, got)
+		}
+	}
+	last := -1
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 1 << 20, 1 << 39, 1<<40 - 1, 1 << 50} {
+		idx := h.bucketIndex(v)
+		if idx < last {
+			t.Fatalf("bucketIndex not monotonic at %d", v)
+		}
+		last = idx
+	}
+	if h.bucketIndex(1<<50) != len(h.counts)-1 {
+		t.Fatal("overflow value must clamp to the last bucket")
+	}
+	if h.bucketIndex(-5) != 0 {
+		t.Fatal("negative values must clamp to bucket 0")
+	}
+}
+
+func TestHistMergeReset(t *testing.T) {
+	a, b := NewHist(6), NewHist(6)
+	for i := int64(1); i <= 100; i++ {
+		a.Observe(i)
+		b.Observe(i * 1000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", a.Count())
+	}
+	if a.Sum() != 5050+5050*1000 {
+		t.Fatalf("merged sum = %d", a.Sum())
+	}
+	if q := a.Quantile(0.25); q > 64 {
+		t.Fatalf("p25 of merged = %d, want from a's range", q)
+	}
+	if q := a.Quantile(0.9); q < 1000 {
+		t.Fatalf("p90 of merged = %d, want from b's range", q)
+	}
+
+	// Mismatched layouts must be ignored, not corrupt the histogram.
+	a.Merge(NewHist(8))
+	if a.Count() != 200 {
+		t.Fatalf("mismatched merge changed count to %d", a.Count())
+	}
+
+	a.Reset()
+	if a.Count() != 0 || a.Sum() != 0 || a.Quantile(0.5) != 0 {
+		t.Fatal("reset histogram is not empty")
+	}
+}
+
+// TestHistConcurrent hammers one histogram from many goroutines while a
+// reader takes quantiles; run under -race this proves the lock-free
+// paths are data-race-free.
+func TestHistConcurrent(t *testing.T) {
+	h := NewHist(6)
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(1 << 30))
+			}
+		}(int64(w))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			h.Quantile(0.99)
+			h.CountLE(1 << 20)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+// TestHistObserveAllocFree gates the record path at 0 allocs/observation.
+func TestHistObserveAllocFree(t *testing.T) {
+	h := NewHist(6)
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(123456) }); n != 0 {
+		t.Fatalf("Hist.Observe allocates %v per call", n)
+	}
+}
+
+func TestPipelineEchoStats(t *testing.T) {
+	p := NewPipeline()
+	p.ObserveEcho(5*time.Millisecond, 100*time.Millisecond)  // ≤16ms, ≤RTT
+	p.ObserveEcho(20*time.Millisecond, 100*time.Millisecond) // ≤RTT only
+	p.ObserveEcho(200*time.Millisecond, 100*time.Millisecond)
+	p.ObserveEcho(time.Millisecond, 0) // no RTT estimate: 16ms bucket only
+	total, le16, leRTT := p.EchoStats()
+	if total != 4 || le16 != 2 || leRTT != 2 {
+		t.Fatalf("echo stats = %d/%d/%d, want 4/2/2", total, le16, leRTT)
+	}
+	if p.Stage(StageEcho).Count() != 4 {
+		t.Fatalf("echo hist count = %d", p.Stage(StageEcho).Count())
+	}
+
+	// The nil pipeline and nil hist are inert, not panics: probe sites
+	// rely on this.
+	var nilP *Pipeline
+	nilP.Observe(StageSeal, time.Millisecond)
+	nilP.ObserveEcho(time.Millisecond, time.Millisecond)
+	if nilP.Stage(StageSeal).Count() != 0 {
+		t.Fatal("nil pipeline stage must read as empty")
+	}
+
+	p.Reset()
+	if tot, _, _ := p.EchoStats(); tot != 0 || p.Stage(StageEcho).Count() != 0 {
+		t.Fatal("reset pipeline is not empty")
+	}
+}

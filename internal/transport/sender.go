@@ -225,6 +225,10 @@ func (s *Sender[T]) setDataAck(ackNum uint64) {
 	s.pendingDataAck = true
 }
 
+// SendInterval reports the current frame interval — the paper's
+// frame-rate rule made observable for live transport introspection.
+func (s *Sender[T]) SendInterval() time.Duration { return s.sendInterval() }
+
 // sendInterval is the paper's frame-rate rule: half the smoothed RTT,
 // clamped so there is about one instruction in flight at any time but
 // never more than 50 frames per second.

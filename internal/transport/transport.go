@@ -7,6 +7,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/simclock"
 	"repro/internal/sspcrypto"
+	"repro/internal/telemetry"
 )
 
 // Transport binds one SSP direction pair over a single datagram-layer
@@ -25,6 +26,7 @@ type Transport[L State[L], R State[R]] struct {
 	sender   *Sender[L]
 	receiver *Receiver[R]
 	assembly assembly
+	probe    *telemetry.Pipeline
 }
 
 // Config assembles a Transport endpoint.
@@ -66,6 +68,13 @@ type Config[L State[L], R State[R]] struct {
 	// LocalBaseline is the agreed initial local state; read only when
 	// Resume is non-nil. Ownership transfers to the sender.
 	LocalBaseline L
+
+	// Probe, when non-nil, receives per-stage latency observations:
+	// StageApply spans around statesync application, StageTick spans
+	// around sender ticks, and (through the datagram layer) StageSeal /
+	// StageVerify spans around the AEAD. Measured on Clock, so virtual
+	// time yields deterministic (0-duration) CPU spans.
+	Probe *telemetry.Pipeline
 }
 
 // Resume restores a Transport endpoint across a process restart. Every
@@ -106,6 +115,7 @@ func New[L State[L], R State[R]](cfg Config[L, R]) (*Transport[L, R], error) {
 		MaxRTO:    cfg.MaxRTO,
 		Envelope:  cfg.Envelope,
 		Resume:    netResume,
+		Probe:     cfg.Probe,
 	})
 	if err != nil {
 		return nil, err
@@ -140,6 +150,7 @@ func New[L State[L], R State[R]](cfg Config[L, R]) (*Transport[L, R], error) {
 		clock:    cfg.Clock,
 		sender:   s,
 		receiver: r,
+		probe:    cfg.Probe,
 	}, nil
 }
 
@@ -179,7 +190,14 @@ func (t *Transport[L, R]) Receive(wire []byte, src netem.Addr) (bool, error) {
 		return false, err
 	}
 	t.sender.processAcknowledgmentThrough(inst.AckNum)
+	var applyStart time.Time
+	if t.probe != nil {
+		applyStart = t.clock.Now()
+	}
 	isNew, err := t.receiver.processInstruction(inst)
+	if t.probe != nil {
+		t.probe.Observe(telemetry.StageApply, t.clock.Now().Sub(applyStart))
+	}
 	if err != nil {
 		return false, err
 	}
@@ -188,13 +206,36 @@ func (t *Transport[L, R]) Receive(wire []byte, src netem.Addr) (bool, error) {
 	}
 	// Any authentic arrival can unblock sending (acks freed history, a
 	// timestamp refined RTT), so tick opportunistically.
-	t.sender.tick()
+	t.tickSender()
 	return isNew, nil
 }
 
 // Tick runs the sender's timing logic; call it after mutating the local
 // object and whenever WaitTime elapses.
-func (t *Transport[L, R]) Tick() { t.sender.tick() }
+func (t *Transport[L, R]) Tick() { t.tickSender() }
+
+// tickSender runs one sender tick, wrapped in a StageTick span when a
+// probe is configured (diff computation + frame mint cost).
+func (t *Transport[L, R]) tickSender() {
+	if t.probe == nil {
+		t.sender.tick()
+		return
+	}
+	start := t.clock.Now()
+	t.sender.tick()
+	t.probe.Observe(telemetry.StageTick, t.clock.Now().Sub(start))
+}
+
+// FragmentsHeld reports how many fragments of a partially assembled
+// incoming instruction the endpoint currently buffers (0 when no
+// multi-fragment instruction is in flight) — live introspection of
+// reassembly depth.
+func (t *Transport[L, R]) FragmentsHeld() int {
+	if !t.assembly.active {
+		return 0
+	}
+	return len(t.assembly.fragments)
+}
 
 // WaitTime reports how long the event loop may sleep before the next Tick
 // is needed.

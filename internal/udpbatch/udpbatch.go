@@ -90,6 +90,10 @@ type Pool struct {
 	free [][]byte
 	size int
 	max  int
+	// gets/misses meter pool effectiveness: a miss is a Get that had to
+	// allocate. A steady-state daemon should see the miss count plateau.
+	gets   int64
+	misses int64
 }
 
 // NewPool builds a pool handing out bufSize-capacity buffers and keeping
@@ -110,6 +114,7 @@ func (p *Pool) BufSize() int { return p.size }
 // Get returns an empty buffer with at least BufSize capacity.
 func (p *Pool) Get() []byte {
 	p.mu.Lock()
+	p.gets++
 	if n := len(p.free); n > 0 {
 		b := p.free[n-1]
 		p.free[n-1] = nil
@@ -117,8 +122,17 @@ func (p *Pool) Get() []byte {
 		p.mu.Unlock()
 		return b[:0]
 	}
+	p.misses++
 	p.mu.Unlock()
 	return make([]byte, 0, p.size)
+}
+
+// Stats reports how many buffers Get has handed out and how many of
+// those had to be freshly allocated (pool misses).
+func (p *Pool) Stats() (gets, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gets, p.misses
 }
 
 // Put recycles a buffer obtained from Get. Undersized foreign buffers are
