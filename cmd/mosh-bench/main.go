@@ -43,6 +43,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/netem"
 	"repro/internal/overlay"
+	"repro/internal/sessiond"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -57,6 +58,8 @@ func main() {
 	roam := flag.Bool("roam", false, "manysession: a third of the sessions change source address mid-run")
 	lossy := flag.Bool("lossy", false, "manysession: per-cohort lossy links (editor 1%, log-tail 3%)")
 	unbatched := flag.Bool("unbatched", false, "manysession: one-datagram-per-syscall fallback mode (the baseline the batched pipeline is measured against)")
+	iomodel := flag.String("iomodel", "mmsg", "manysession: provider geometry the syscall/stack-traversal accounting mirrors: mmsg|loop|gso|uring")
+	trains := flag.Bool("trains", false, "manysession: bulk-stream cohort with lockstep typing — every reply is a multi-fragment same-peer train, the workload GSO segmentation offload coalesces")
 	chaos := flag.Bool("chaos", false, "manysession: seeded hostile-world schedule (wire mangling, journal disk faults, nonce audit); see also -exp chaos")
 	chaosSeed := flag.Int64("chaos-seed", 0, "chaos schedule seed (0 = derived from -seed)")
 	flightDump := flag.String("flight-dump", "chaos-flight-dump.txt", "file to write the daemon's flight-recorder dump to when the chaos gate fails (empty disables)")
@@ -101,6 +104,11 @@ func main() {
 	// reproduction.
 	if *exp == "manysession" {
 		start := time.Now()
+		model, err := sessiond.ParseIOModel(*iomodel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		res := bench.RunManySession(bench.ManySessionOptions{
 			Sessions:     *sessions,
 			Seed:         cfg.Seed,
@@ -109,6 +117,8 @@ func main() {
 			Roam:         *roam,
 			LossyCohorts: *lossy,
 			Unbatched:    *unbatched,
+			IOModel:      model,
+			Trains:       *trains,
 			Chaos:        *chaos,
 			ChaosSeed:    *chaosSeed,
 		})

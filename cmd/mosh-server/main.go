@@ -75,6 +75,7 @@ func main() {
 	stateDir := flag.String("state-dir", "", "journal sessions here and restore them on start (crash-safe resumption)")
 	journal := flag.Duration("journal", sessiond.DefaultJournalInterval, "journal flush cadence with -state-dir")
 	batchio := flag.Bool("batchio", true, "vectorized socket I/O (recvmmsg/sendmmsg) when the platform supports it; false forces the one-datagram-per-syscall loop")
+	udpProvider := flag.String("udp-provider", "auto", "batch I/O provider: auto|uring|gso|mmsg|loop; auto probes the kernel and walks the ladder io_uring → GSO/GRO → mmsg → loop, an explicit name fails at startup if unsupported rather than silently falling back")
 	quotaBurst := flag.Int("unauth-burst", sessiond.DefaultUnauthQuotaBurst, "auth-failing datagrams a single source may charge before being quota-dropped without AEAD cost (negative disables the quota)")
 	quotaRate := flag.Float64("unauth-rate", sessiond.DefaultUnauthQuotaRate, "per-source refill rate (auth failures/sec) for the unauth quota")
 	flag.Parse()
@@ -180,17 +181,21 @@ func main() {
 	}
 
 	// The batch connection handles address translation itself: netem.Addr
-	// is a bijective compression of (IPv4, port), so replies — including
-	// post-roam replies — decompress straight back into socket addresses
-	// with no pre-authentication side table to poison. Non-IPv4 sources
-	// are dropped at the read (IPv6 needs a wider address type in
-	// internal/netem first — ROADMAP).
+	// is a bijective compression of the socket address — (IPv4, port)
+	// packed directly, native IPv6 carried by value — so replies,
+	// including post-roam replies, decompress straight back into socket
+	// addresses with no pre-authentication side table to poison.
 	var bc udpbatch.Conn
-	if *batchio {
-		bc = udpbatch.NewUDPConn(conn)
-	} else {
+	if !*batchio {
 		bc = udpbatch.NewUDPLoopConn(conn)
+	} else {
+		var err error
+		bc, err = udpbatch.NewUDPConnProvider(conn, *udpProvider)
+		if err != nil {
+			log.Fatalf("udp-provider %q: %v", *udpProvider, err)
+		}
 	}
+	log.Printf("udp batch provider: %s", udpbatch.ProviderName(bc))
 	if err := d.ServeBatch(bc); err != nil {
 		log.Fatal(err)
 	}

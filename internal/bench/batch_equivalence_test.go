@@ -5,6 +5,8 @@ import (
 	"sort"
 	"testing"
 	"time"
+
+	"repro/internal/sessiond"
 )
 
 // TestBatchEquivalenceUnderLossAndRoam is the batched pipeline's
@@ -51,6 +53,32 @@ func TestBatchEquivalenceUnderLossAndRoam(t *testing.T) {
 	}
 	if t.Failed() {
 		t.FailNow()
+	}
+
+	// Every provider geometry in the fallback ladder — loop, gso, io_uring
+	// (mmsg is `res` above) — must produce the identical per-session frame
+	// streams: the I/O model only changes how syscalls and stack
+	// traversals are accounted, never what any session sees.
+	for _, m := range []sessiond.IOModel{sessiond.IOModelLoop, sessiond.IOModelGSO, sessiond.IOModelURing} {
+		mopt := base
+		mopt.IOModel = m
+		mres := RunManySession(mopt)
+		if len(mres.FrameHashes) != base.Sessions {
+			t.Fatalf("[%v] frame capture incomplete: %d hashes", m, len(mres.FrameHashes))
+		}
+		for i := range mres.FrameHashes {
+			if mres.FrameHashes[i] != ref.FrameHashes[i] {
+				t.Fatalf("session %d: frame-stream hash differs (%v %x vs unbatched %x)",
+					i+1, m, mres.FrameHashes[i], ref.FrameHashes[i])
+			}
+			if !bytes.Equal(mres.FinalFrames[i], ref.FinalFrames[i]) {
+				t.Fatalf("session %d: converged frame differs under the %v model", i+1, m)
+			}
+		}
+		if mres.PacketsIn != ref.PacketsIn || mres.PacketsOut != ref.PacketsOut {
+			t.Fatalf("[%v] wire traffic differs: %d/%d vs unbatched %d/%d pkts",
+				m, mres.PacketsIn, mres.PacketsOut, ref.PacketsIn, ref.PacketsOut)
+		}
 	}
 
 	if res.Lost != ref.Lost {

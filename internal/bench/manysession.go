@@ -68,6 +68,22 @@ type ManySessionOptions struct {
 	// sendmmsg sweeps. Packet handling instants are identical in both
 	// modes, so the comparison isolates syscall amortization.
 	Unbatched bool
+	// IOModel selects which provider geometry the batched daemon's syscall
+	// and stack-traversal accounting mirrors (mmsg by default; see
+	// sessiond.IOModel). Packet handling is identical in every model —
+	// per-session traffic is byte-for-byte the same — so model runs are
+	// directly comparable on syscalls/pkt and traversals/pkt alone.
+	IOModel sessiond.IOModel
+	// Trains replaces every session's application with host.BulkStream and
+	// types in lockstep (no phase shift): one shared busy log feeding every
+	// viewer, so reply bursts are correlated across sessions and each reply
+	// diff spans several MTU-sized fragments. The egress ring then carries
+	// long same-peer equal-length trains — the workload UDP segmentation
+	// offload (IOModel gso) collapses into single sendmmsg entries and
+	// single kernel-stack traversals. Echo-latency sampling is disabled
+	// (bulk output scrolls the prompt away); the measures of interest are
+	// WriteCalls, StackIn/StackOut, and frame equivalence.
+	Trains bool
 	// DeliveryQuantum models receive-side interrupt coalescing on the
 	// daemon's ingress path (client→daemon links only): arrivals are
 	// clustered onto quantum boundaries, exactly as a NIC+epoll loop hands
@@ -98,9 +114,9 @@ type ManySessionOptions struct {
 type ManySessionResult struct {
 	Sessions   int
 	Keystrokes int // per session
-	// Shells/Editors/Pagers are the cohort sizes (Sessions/0/0 for the
-	// uniform run).
-	Shells, Editors, Pagers int
+	// Shells/Editors/Pagers/Bulk are the cohort sizes (Sessions/0/0/0 for
+	// the uniform run; 0/0/0/Sessions for the Trains run).
+	Shells, Editors, Pagers, Bulk int
 	// PagerScrollbackMin is the shallowest client-side history across the
 	// pager cohort at the end of the run — proof the cohort actually
 	// exercised deep scrollback (0 when the cohort is empty).
@@ -135,6 +151,16 @@ type ManySessionResult struct {
 	// SyscallsPerPacket = (ReadCalls+WriteCalls)/(PacketsIn+PacketsOut).
 	ReadCalls, WriteCalls int64
 	SyscallsPerPacket     float64
+	// IOModel echoes the provider geometry the run's accounting mirrored.
+	IOModel sessiond.IOModel
+	// StackIn/StackOut count modeled UDP-stack traversals per direction:
+	// one per coalesced same-peer run under the gso model (the kernel
+	// segments/reassembles a whole train in one pass), one per datagram
+	// everywhere else. StackTraversalsPerPacket =
+	// (StackIn+StackOut)/(PacketsIn+PacketsOut) — the below-syscall
+	// companion to SyscallsPerPacket.
+	StackIn, StackOut        int64
+	StackTraversalsPerPacket float64
 	// Batch-size distribution observed by the daemon (datagrams moved per
 	// syscall; from the final daemon incarnation on restart runs).
 	ReadBatchP50, ReadBatchP99   int
@@ -231,8 +257,12 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		cohortShell = iota
 		cohortEditor
 		cohortPager
+		cohortBulk
 	)
 	cohortOf := func(i int) int {
+		if opt.Trains {
+			return cohortBulk
+		}
 		if !opt.Mixed {
 			return cohortShell
 		}
@@ -249,7 +279,7 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		chaosFS                       *faultinject.FaultFS
 		nonceSeen                     map[uint64]map[uint64]struct{}
 	)
-	res := ManySessionResult{Sessions: opt.Sessions, Keystrokes: opt.Keystrokes}
+	res := ManySessionResult{Sessions: opt.Sessions, Keystrokes: opt.Keystrokes, IOModel: opt.IOModel}
 	if opt.Chaos {
 		if opt.ChaosSeed == 0 {
 			opt.ChaosSeed = opt.Seed + 0xC4A05
@@ -271,12 +301,12 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 	// the daemon's echo matcher (OnEcho fires under the session lock, and
 	// the simulation is single-threaded on the scheduler).
 	pipe := telemetry.NewPipeline()
-	cohortNames := [3]string{cohortShell: "shell", cohortEditor: "cjk-editor", cohortPager: "log-tail"}
+	cohortNames := [4]string{cohortShell: "shell", cohortEditor: "cjk-editor", cohortPager: "log-tail", cohortBulk: "bulk-stream"}
 	type echoAgg struct {
 		hist           *telemetry.Hist
 		n, le16, leRTT int64
 	}
-	var echoAggs [3]echoAgg
+	var echoAggs [4]echoAgg
 	for i := range echoAggs {
 		echoAggs[i].hist = telemetry.NewHist(6)
 	}
@@ -327,6 +357,8 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 				a = host.NewUnicodeEditor(opt.Seed+int64(id), 80)
 			case cohortPager:
 				a = host.NewLogTail(opt.Seed + int64(id))
+			case cohortBulk:
+				a = host.NewBulkStream(opt.Seed+int64(id), 0)
 			default:
 				a = host.NewShell(opt.Seed + int64(id))
 			}
@@ -336,6 +368,14 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		RestoreApp:  func(id uint64) host.App { return apps[id] },
 		IdleTimeout: -1,
 		UnbatchedIO: opt.Unbatched,
+		IOModel:     opt.IOModel,
+	}
+	// The trains workload views a wide dashboard-sized window: the reply
+	// diff is bounded by one screenful, so a large screen is what makes
+	// each burst span many MTU-sized fragments (the egress train).
+	const trainsWidth, trainsHeight = 162, 64
+	if opt.Trains {
+		cfg.Width, cfg.Height = trainsWidth, trainsHeight
 	}
 	if opt.Restart {
 		stateDir, err := os.MkdirTemp("", "mosh-bench-journal-")
@@ -460,6 +500,8 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 			res.Editors++
 		case cohortPager:
 			res.Pagers++
+		case cohortBulk:
+			res.Bulk++
 		default:
 			res.Shells++
 		}
@@ -478,6 +520,8 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 			Key:         sess.Key(),
 			Clock:       sched,
 			Envelope:    &network.Envelope{ID: sess.ID},
+			Width:       cfg.Width,
+			Height:      cfg.Height,
 			Predictions: overlay.Never,
 			Emit: func(wire []byte) {
 				lc.path.Up.Send(netem.Packet{Src: lc.addr, Dst: daemonAddr, Payload: wire})
@@ -536,6 +580,7 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 	bytesIn0, bytesOut0 := m.BytesIn.Value(), m.BytesOut.Value()
 	queueDrops0, roams0 := m.DropsQueueFull.Value(), m.RoamingEvents.Value()
 	readCalls0, writeCalls0 := m.ReadBatchCalls.Value(), m.WriteBatchCalls.Value()
+	stackIn0, stackOut0 := m.StackTraversalsIn.Value(), m.StackTraversalsOut.Value()
 	authDrops0, flushFails0 := m.DropsAuth.Value(), m.JournalFlushFailures.Value()
 	harvest := func() {
 		res.PacketsIn += m.PacketsIn.Value() - packetsIn0
@@ -546,6 +591,8 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		res.Roams += m.RoamingEvents.Value() - roams0
 		res.ReadCalls += m.ReadBatchCalls.Value() - readCalls0
 		res.WriteCalls += m.WriteBatchCalls.Value() - writeCalls0
+		res.StackIn += m.StackTraversalsIn.Value() - stackIn0
+		res.StackOut += m.StackTraversalsOut.Value() - stackOut0
 		res.AuthDrops += m.DropsAuth.Value() - authDrops0
 		res.JournalFlushFailures += m.JournalFlushFailures.Value() - flushFails0
 	}
@@ -555,6 +602,7 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		bytesIn0, bytesOut0 = m.BytesIn.Value(), m.BytesOut.Value()
 		queueDrops0, roams0 = m.DropsQueueFull.Value(), m.RoamingEvents.Value()
 		readCalls0, writeCalls0 = m.ReadBatchCalls.Value(), m.WriteBatchCalls.Value()
+		stackIn0, stackOut0 = m.StackTraversalsIn.Value(), m.StackTraversalsOut.Value()
 		authDrops0, flushFails0 = m.DropsAuth.Value(), m.JournalFlushFailures.Value()
 	}
 	start := sched.Now()
@@ -565,6 +613,11 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 	for i, lc := range clients {
 		lc := lc
 		phase := opt.TypeInterval * time.Duration(i) / time.Duration(opt.Sessions)
+		if opt.Trains {
+			// One shared log feeds every viewer: bursts land in lockstep, so
+			// same-instant egress sweeps carry many sessions' trains at once.
+			phase = 0
+		}
 		var typeNext func()
 		typeNext = func() {
 			if lc.typed >= opt.Keystrokes {
@@ -717,6 +770,7 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 	res.WriteBatchP99 = m.WriteBatchSizes.Quantile(0.99)
 	if pkts := res.PacketsIn + res.PacketsOut; pkts > 0 {
 		res.SyscallsPerPacket = float64(res.ReadCalls+res.WriteCalls) / float64(pkts)
+		res.StackTraversalsPerPacket = float64(res.StackIn+res.StackOut) / float64(pkts)
 	}
 	if opt.CaptureFrames {
 		for _, lc := range clients {
@@ -775,7 +829,10 @@ func FormatManySession(r ManySessionResult) string {
 	if secs <= 0 {
 		secs = 1
 	}
-	if r.Editors > 0 || r.Pagers > 0 {
+	if r.Bulk > 0 {
+		fmt.Fprintf(&b, "many-session load: %d bulk-stream sessions × %d keystrokes (lockstep egress trains) over one daemon socket\n",
+			r.Bulk, r.Keystrokes)
+	} else if r.Editors > 0 || r.Pagers > 0 {
 		fmt.Fprintf(&b, "many-session load: %d sessions (%d shell / %d cjk-editor / %d log-tail) × %d keystrokes over one daemon socket\n",
 			r.Sessions, r.Shells, r.Editors, r.Pagers, r.Keystrokes)
 	} else {
@@ -792,9 +849,15 @@ func FormatManySession(r ManySessionResult) string {
 		if r.SyscallsPerPacket > 0 {
 			factor = 1 / r.SyscallsPerPacket
 		}
-		fmt.Fprintf(&b, "  socket io: %d read + %d write syscalls for %d pkts → %.3f syscalls/pkt (%.1fx fewer than 1/pkt); batch size read p50/p99 = %d/%d, write p50/p99 = %d/%d\n",
-			r.ReadCalls, r.WriteCalls, r.PacketsIn+r.PacketsOut, r.SyscallsPerPacket, factor,
+		fmt.Fprintf(&b, "  socket io [%s]: %d read + %d write syscalls for %d pkts → %.3f syscalls/pkt (%.1fx fewer than 1/pkt); batch size read p50/p99 = %d/%d, write p50/p99 = %d/%d\n",
+			r.IOModel, r.ReadCalls, r.WriteCalls, r.PacketsIn+r.PacketsOut, r.SyscallsPerPacket, factor,
 			r.ReadBatchP50, r.ReadBatchP99, r.WriteBatchP50, r.WriteBatchP99)
+	}
+	if r.StackIn+r.StackOut > 0 {
+		// One traversal per datagram everywhere except the gso model, where
+		// the stack runs once per coalesced same-peer train each direction.
+		fmt.Fprintf(&b, "  udp stack: %d in + %d out traversals → %.3f traversals/pkt\n",
+			r.StackIn, r.StackOut, r.StackTraversalsPerPacket)
 	}
 	st := Summarize(r.Samples)
 	fmt.Fprintf(&b, "  keystroke latency: n=%d p50=%v p90=%v p99=%v max=%v lost=%d\n",

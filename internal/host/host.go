@@ -302,3 +302,58 @@ func (p *PasswordPrompt) Input(data []byte) ([]byte, time.Duration) {
 	}
 	return nil, 0 // silence: no echo
 }
+
+// BulkStream models a bulk-output host: `tail -F` on a busy high-entropy
+// log (ciphertext blobs, compressed build artifacts, base64 payloads),
+// where every keystroke releases a burst of lines whose screen diff spans
+// several MTU-sized fragments even after the transport's zlib pass. Each
+// reply therefore leaves the daemon as a run of equal-length datagrams to
+// one peer — the egress-train workload UDP segmentation offload coalesces
+// into single kernel-stack traversals.
+type BulkStream struct {
+	rng   *rand.Rand
+	lines int
+}
+
+// bulkAlphabet is wide enough (~6.5 bits/char of rng entropy) that zlib
+// cannot collapse a burst below a few MTUs.
+const bulkAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/=!@#$%^&*()-_[]{};:,.<>?|~"
+
+// NewBulkStream returns a bulk-output model emitting lines log lines per
+// keystroke (<=0 selects the default burst, which more than fills a
+// 64-row window so the reply diff spans ~8 fragments at the transport's
+// 1200-byte MTU).
+func NewBulkStream(seed int64, lines int) *BulkStream {
+	if lines <= 0 {
+		lines = 96
+	}
+	return &BulkStream{rng: rand.New(rand.NewSource(seed)), lines: lines}
+}
+
+// Start fills the screen with the stream's tail.
+func (t *BulkStream) Start() []byte { return t.emit(24) }
+
+// bulkLineWidth sizes each log line for a large window (the screen diff
+// is bounded by one screenful, so wide rows — a dashboard or build log on
+// a modern full-screen terminal — are what make replies span many MTUs).
+const bulkLineWidth = 160
+
+func (t *BulkStream) emit(n int) []byte {
+	const width = bulkLineWidth
+	b := make([]byte, 0, n*(width+2))
+	for i := 0; i < n; i++ {
+		for j := 0; j < width; j++ {
+			b = append(b, bulkAlphabet[t.rng.Intn(len(bulkAlphabet))])
+		}
+		b = append(b, '\r', '\n')
+	}
+	return b
+}
+
+// Input implements App: any keystroke streams the next burst. The think
+// time is short and tight (1-3 ms) — a log follower releases its backlog
+// as fast as the pty hands it over, which is what keeps correlated bursts
+// across sessions concentrated into shared egress sweeps.
+func (t *BulkStream) Input(data []byte) ([]byte, time.Duration) {
+	return t.emit(t.lines), time.Duration(1+t.rng.Intn(3)) * time.Millisecond
+}

@@ -20,13 +20,33 @@ import (
 
 // Addr identifies an endpoint on the emulated network, standing in for an
 // (IP, UDP port) pair. The Host field changes when a mobile client roams.
+//
+// IPv4 addresses (and everything the emulator itself mints) use Host+Port
+// alone. A native IPv6 peer on the real-socket path sets V6 and carries
+// its upper 12 address bytes in Pfx, with the low 4 bytes in Host — the
+// struct stays comparable (it is a map key throughout the stack) and the
+// mapping stays bijective, so replies decompress straight back into
+// socket addresses with no side table to poison. IPv4-mapped IPv6 sources
+// (::ffff:a.b.c.d) canonicalize to the plain IPv4 form; the V6 flag
+// disambiguates ::0.0.0.1 from 0.0.0.1. Scope IDs (link-local zones) are
+// out of scope: such peers are refused at decode rather than aliased.
 type Addr struct {
 	Host uint32
 	Port uint16
+	V6   bool
+	Pfx  [12]byte
 }
 
-// String renders the address in a dotted-quad-like form for logs.
+// String renders the address in a dotted-quad-like form for logs (and
+// bracketed hex for native IPv6).
 func (a Addr) String() string {
+	if a.V6 {
+		return fmt.Sprintf("[%x:%x:%x:%x:%x:%x:%x:%x]:%d",
+			uint16(a.Pfx[0])<<8|uint16(a.Pfx[1]), uint16(a.Pfx[2])<<8|uint16(a.Pfx[3]),
+			uint16(a.Pfx[4])<<8|uint16(a.Pfx[5]), uint16(a.Pfx[6])<<8|uint16(a.Pfx[7]),
+			uint16(a.Pfx[8])<<8|uint16(a.Pfx[9]), uint16(a.Pfx[10])<<8|uint16(a.Pfx[11]),
+			uint16(a.Host>>16), uint16(a.Host), a.Port)
+	}
 	return fmt.Sprintf("10.%d.%d.%d:%d", byte(a.Host>>16), byte(a.Host>>8), byte(a.Host), a.Port)
 }
 
@@ -252,6 +272,41 @@ func (s *BatchSink) drain() {
 	if len(batch) > 0 {
 		s.handler(batch)
 	}
+}
+
+// MaxCoalesce is the segment ceiling one coalesced super-datagram may
+// carry, mirroring the kernel's UDP_MAX_SEGMENTS so virtual-time runs
+// group exactly like a GSO/GRO-capable NIC path.
+const MaxCoalesce = 64
+
+// CoalescedRuns reports how many datagrams a segmentation-aware (UDP GRO)
+// receiver would see in one delivered batch: adjacent packets from the
+// same source whose payloads equal the first's length collapse into one
+// super-datagram (the last segment of a run may be shorter, ending it),
+// capped at MaxCoalesce segments per run. This is the delivery-side
+// grouping rule the real udpbatch GSO provider applies on egress, exposed
+// here so virtual-time experiments can meter stack traversals with the
+// same arithmetic the kernel path pays.
+func CoalescedRuns(pkts []Packet) int {
+	runs := 0
+	for off := 0; off < len(pkts); {
+		seg := len(pkts[off].Payload)
+		src := pkts[off].Src
+		n := 1
+		for off+n < len(pkts) && n < MaxCoalesce && seg > 0 {
+			l := len(pkts[off+n].Payload)
+			if pkts[off+n].Src != src || l > seg || l == 0 {
+				break
+			}
+			n++
+			if l < seg {
+				break // shorter trailer closes the super-datagram
+			}
+		}
+		off += n
+		runs++
+	}
+	return runs
 }
 
 // Path is a bidirectional link pair between a client side and a server

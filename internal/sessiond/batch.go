@@ -1,6 +1,7 @@
 package sessiond
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -25,6 +26,68 @@ import (
 // handling. In simulation the same ring is flushed synchronously at the
 // end of every HandlePacket/HandleBatch/TickDue, so virtual-time runs
 // exercise the identical code path deterministically.
+
+// IOModel selects which provider geometry the simulation's syscall and
+// stack-traversal accounting mirrors. The packet path is identical in
+// every model — what changes is how many modeled syscalls and UDP-stack
+// traversals a batch is charged, matching what the corresponding real
+// provider (udpbatch's ladder) would pay on a served socket.
+type IOModel int
+
+const (
+	// IOModelMMsg is the default: recvmmsg/sendmmsg geometry, one syscall
+	// per DefaultBatch datagrams, one stack traversal per datagram.
+	IOModelMMsg IOModel = iota
+	// IOModelLoop is the portable one-datagram-per-syscall baseline
+	// (Config.UnbatchedIO maps here).
+	IOModelLoop
+	// IOModelGSO is segmentation offload: same-peer equal-length runs
+	// coalesce into super-datagrams (udpbatch.SegmentRun), so both
+	// syscalls AND stack traversals are charged per run, not per
+	// datagram.
+	IOModelGSO
+	// IOModelURing is the completion-based geometry: submissions and
+	// completions move through shared rings, so read syscalls are charged
+	// per drained completion-queue sweep; traversals stay per datagram
+	// (no coalescing on this path).
+	IOModelURing
+)
+
+func (m IOModel) String() string {
+	switch m {
+	case IOModelMMsg:
+		return "mmsg"
+	case IOModelLoop:
+		return "loop"
+	case IOModelGSO:
+		return "gso"
+	case IOModelURing:
+		return "io_uring"
+	}
+	return "unknown"
+}
+
+// ParseIOModel maps a provider name — the same names the udpbatch ladder
+// and the -udp-provider flag use — to the modeled geometry. Unknown names
+// error rather than default, matching NewUDPConnProvider's refusal to
+// silently substitute a provider.
+func ParseIOModel(name string) (IOModel, error) {
+	switch name {
+	case "", "mmsg":
+		return IOModelMMsg, nil
+	case "loop":
+		return IOModelLoop, nil
+	case "gso":
+		return IOModelGSO, nil
+	case "uring", "io_uring":
+		return IOModelURing, nil
+	}
+	return IOModelMMsg, fmt.Errorf("sessiond: unknown io model %q", name)
+}
+
+// uringCQSweep mirrors the io_uring provider's recv completion-queue
+// depth: one modeled enter drains up to this many completions.
+const uringCQSweep = 256
 
 // inRun is one session's slice of a read batch: consecutive (in arrival
 // order) datagrams for the same session, delivered to the worker as one
@@ -242,14 +305,35 @@ func (d *Daemon) HandleBatch(msgs []udpbatch.Message) {
 		return
 	}
 	d.recordEv(telemetry.EvBatchIn, 0, uint64(len(msgs)))
-	readCap := d.readBatchCap()
-	for rem := len(msgs); rem > 0; rem -= readCap {
-		n := rem
-		if n > readCap {
-			n = readCap
+	// Model the read side per I/O geometry: how many syscalls would have
+	// drained this batch, and how many times the UDP stack would have run.
+	// GSO charges both per coalesced same-peer run (the GRO splitter hands
+	// a whole train over as one super-datagram); io_uring charges reads
+	// per completion-queue sweep; mmsg/loop charge one traversal per
+	// datagram and syscalls per readBatchCap chunk.
+	var units, unitCap int
+	switch d.cfg.IOModel {
+	case IOModelGSO:
+		runs := segmentRuns(msgs)
+		d.metrics.StackTraversalsIn.Add(int64(runs))
+		units, unitCap = runs, udpbatch.GROReadSlots
+	case IOModelURing:
+		d.metrics.StackTraversalsIn.Add(int64(len(msgs)))
+		units, unitCap = len(msgs), uringCQSweep
+	default:
+		d.metrics.StackTraversalsIn.Add(int64(len(msgs)))
+		units, unitCap = len(msgs), d.readBatchCap()
+	}
+	calls := (units + unitCap - 1) / unitCap
+	for i := 0; i < calls; i++ {
+		// Attribute the batch's datagrams evenly across the modeled calls
+		// so the size histogram stays meaningful in every model.
+		size := len(msgs) / calls
+		if i < len(msgs)%calls {
+			size++
 		}
 		d.metrics.ReadBatchCalls.Add(1)
-		d.metrics.ReadBatchSizes.Observe(n)
+		d.metrics.ReadBatchSizes.Observe(size)
 		// The modeled read syscall is instantaneous in virtual time; the
 		// 0-duration marker keeps StageRead's count == read_batch_calls.
 		d.pipe.Observe(telemetry.StageRead, 0)
@@ -276,22 +360,39 @@ func (d *Daemon) HandleBatch(msgs []udpbatch.Message) {
 
 // readBatchCap reports how many datagrams one modeled read syscall moves.
 func (d *Daemon) readBatchCap() int {
-	if d.cfg.UnbatchedIO {
+	if d.cfg.IOModel == IOModelLoop {
 		return 1
 	}
 	return udpbatch.DefaultBatch
 }
 
 // writeBatchCap reports how many datagrams one modeled write syscall
-// moves (the served connection's capability when there is one).
+// moves (the served connection's capability when there is one). The GSO
+// model sweeps wider: one sendmmsg carries DefaultBatch segmented runs,
+// so the sweep size is messages-per-call, not runs-per-call.
 func (d *Daemon) writeBatchCap() int {
 	if bcp := d.serveConn.Load(); bcp != nil && d.send == nil {
 		return (*bcp).BatchCap()
 	}
-	if d.cfg.UnbatchedIO {
+	switch d.cfg.IOModel {
+	case IOModelLoop:
 		return 1
+	case IOModelGSO:
+		return udpbatch.GSOBatch
 	}
 	return udpbatch.DefaultBatch
+}
+
+// segmentRuns walks msgs with the provider's run definition
+// (udpbatch.SegmentRun) and reports how many coalesced super-datagrams
+// would carry them — the modeled stack-traversal count for GSO paths.
+func segmentRuns(msgs []udpbatch.Message) int {
+	runs := 0
+	for off := 0; off < len(msgs); {
+		off += udpbatch.SegmentRun(msgs[off:])
+		runs++
+	}
+	return runs
 }
 
 // ---- Egress ring ----
@@ -437,6 +538,25 @@ func (d *Daemon) flushEgress() {
 // (drop the failing datagram, keep going) semantics.
 func (d *Daemon) writeOut(entries []egressEntry) {
 	if d.send != nil {
+		// Modeled write accounting per I/O geometry: every model pays one
+		// syscall per drained sweep (writeBatchCap sizes the sweep — 1 for
+		// loop, DefaultBatch for mmsg, GSOBatch for gso, mirroring each
+		// real provider's WriteBatch clamp: the GSO provider sweeps 8x
+		// wider because run coalescing bounds its per-call msghdr count).
+		// Stack traversals are what segmentation offload changes: the GSO
+		// model charges one per same-peer segment run, computed with the
+		// provider's own arithmetic (udpbatch.SegmentRun over the drained
+		// entries); every other model pays one per datagram.
+		msgs := d.writeMsgScratch[:0]
+		for i := range entries {
+			msgs = append(msgs, udpbatch.Message{Buf: entries[i].wire, Addr: entries[i].dst})
+		}
+		d.writeMsgScratch = msgs[:0]
+		if d.cfg.IOModel == IOModelGSO {
+			d.metrics.StackTraversalsOut.Add(int64(segmentRuns(msgs)))
+		} else {
+			d.metrics.StackTraversalsOut.Add(int64(len(entries)))
+		}
 		d.metrics.WriteBatchCalls.Add(1)
 		d.metrics.WriteBatchSizes.Observe(len(entries))
 		for i := range entries {
@@ -451,6 +571,23 @@ func (d *Daemon) writeOut(entries []egressEntry) {
 		return // not serving and no Send: nowhere to transmit (metrics-only embedder)
 	}
 	bc := *bcp
+	// On a real socket, traversal counts come from the provider itself
+	// when it meters them (GSO counts super-datagrams); otherwise one
+	// traversal per transmitted datagram.
+	tc, hasTC := bc.(udpbatch.TraversalCounter)
+	var trav0 int64
+	if hasTC {
+		_, trav0 = tc.Traversals()
+	}
+	sentTotal := 0
+	defer func() {
+		if hasTC {
+			_, trav1 := tc.Traversals()
+			d.metrics.StackTraversalsOut.Add(trav1 - trav0)
+		} else {
+			d.metrics.StackTraversalsOut.Add(int64(sentTotal))
+		}
+	}()
 	msgs := d.writeMsgScratch[:0]
 	for i := range entries {
 		msgs = append(msgs, udpbatch.Message{Buf: entries[i].wire, Addr: entries[i].dst})
@@ -463,6 +600,7 @@ func (d *Daemon) writeOut(entries []egressEntry) {
 			n = 0 // defensive: a negative count must not rewind the sweep
 		}
 		if n > 0 {
+			sentTotal += n
 			d.metrics.WriteBatchSizes.Observe(n)
 			d.metrics.PacketsOut.Add(int64(n))
 			for i := off; i < off+n; i++ {
@@ -514,6 +652,17 @@ func (d *Daemon) ServeBatch(bc udpbatch.Conn) error {
 	if slots > udpbatch.DefaultBatch {
 		slots = udpbatch.DefaultBatch
 	}
+	// Per-provider read-slot sizing: a provider whose reads can exceed
+	// the MTU-derived pool class (a UDP_GRO super-datagram split, an
+	// io_uring provided buffer) declares it via SlotSizer, and the pool
+	// grows a matching super-buffer size class. Without this, an
+	// oversized-but-legitimate datagram would truncate, fail the AEAD,
+	// and — because SSP retransmits the identical datagram — fail on
+	// every retry forever (a livelock, not a loss).
+	slotSize := udpbatch.ReadSlotSize(bc, d.readPool.BufSize())
+	if slotSize > d.readPool.BufSize() {
+		d.readPool.EnableSuper(slotSize, 4*udpbatch.DefaultBatch)
+	}
 	// A one-datagram loop adapter (legacy Serve: 64 KiB scratch slots)
 	// reuses its read buffer and enqueues an exact-size copy per datagram
 	// — the pre-batching memory profile. The vectorized path hands its
@@ -524,10 +673,17 @@ func (d *Daemon) ServeBatch(bc udpbatch.Conn) error {
 	if copyOut {
 		copyScratch = make([]udpbatch.Message, slots)
 	}
+	// Read-side stack traversals: metered by the provider when it counts
+	// super-datagrams (GSO), otherwise one per datagram.
+	rtc, hasRTC := bc.(udpbatch.TraversalCounter)
+	var travIn int64
+	if hasRTC {
+		travIn, _ = rtc.Traversals()
+	}
 	for {
 		for i := range msgs {
 			if msgs[i].Buf == nil {
-				msgs[i].Buf = d.readPool.Get()
+				msgs[i].Buf = d.readPool.GetSized(slotSize)
 			}
 		}
 		readStart := d.cfg.Clock.Now()
@@ -563,6 +719,13 @@ func (d *Daemon) ServeBatch(bc udpbatch.Conn) error {
 		}
 		d.metrics.ReadBatchCalls.Add(1)
 		d.metrics.ReadBatchSizes.Observe(n)
+		if hasRTC {
+			in1, _ := rtc.Traversals()
+			d.metrics.StackTraversalsIn.Add(in1 - travIn)
+			travIn = in1
+		} else {
+			d.metrics.StackTraversalsIn.Add(int64(n))
+		}
 		// StageRead on the real socket includes the blocking wait for the
 		// first datagram — it is "time from wanting data to having it",
 		// not pure syscall cost (an idle daemon shows large reads).

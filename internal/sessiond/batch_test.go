@@ -495,3 +495,170 @@ func sawEcho(cl *core.Client, text string) bool {
 	}
 	return strings.Contains(b.String(), text)
 }
+
+// sizedConn is a fake provider that, like the GSO and io_uring providers,
+// declares oversized read slots via udpbatch.SlotSizer and truncates
+// kernel-style when handed a smaller buffer.
+type sizedConn struct {
+	slotSize int
+	payload  []byte
+	gotCap   chan int
+	served   bool
+	closed   chan struct{}
+}
+
+func (c *sizedConn) BatchCap() int        { return 8 }
+func (c *sizedConn) ReadSlotSize() int    { return c.slotSize }
+func (c *sizedConn) ProviderName() string { return "fake-sized" }
+
+func (c *sizedConn) Close() error {
+	select {
+	case <-c.closed:
+	default:
+		close(c.closed)
+	}
+	return nil
+}
+
+func (c *sizedConn) ReadBatch(msgs []udpbatch.Message) (int, error) {
+	if c.served {
+		<-c.closed
+		return 0, errors.New("closed")
+	}
+	c.served = true
+	c.gotCap <- cap(msgs[0].Buf)
+	n := len(c.payload)
+	if cp := cap(msgs[0].Buf); cp < n {
+		n = cp // kernel-style truncation: the exact failure the fix removes
+	}
+	msgs[0].Buf = msgs[0].Buf[:n]
+	copy(msgs[0].Buf, c.payload)
+	msgs[0].Addr = netem.Addr{Host: 7, Port: 7}
+	return 1, nil
+}
+
+func (c *sizedConn) WriteBatch(msgs []udpbatch.Message) (int, error) {
+	return len(msgs), nil
+}
+
+// TestServeBatchSlotSizing is the regression test for per-provider read
+// slot sizing: a provider declaring MaxDatagram read slots must receive
+// buffers that large, so an oversized-but-legitimate datagram (a GRO
+// super-datagram, a jumbo frame) arrives whole instead of truncating —
+// truncation fails the AEAD, and since SSP retransmits the identical
+// datagram, every retry fails identically (a livelock, not a loss).
+func TestServeBatchSlotSizing(t *testing.T) {
+	d, err := New(Config{Clock: simclock.Real{}, IdleTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	payload := append(envPkt(12345, 1), bytes.Repeat([]byte{0xab}, 10000)...)
+	conn := &sizedConn{
+		slotSize: udpbatch.MaxDatagram,
+		payload:  payload,
+		gotCap:   make(chan int, 1),
+		closed:   make(chan struct{}),
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- d.ServeBatch(conn) }()
+	select {
+	case got := <-conn.gotCap:
+		if got < udpbatch.MaxDatagram {
+			t.Fatalf("read slot cap = %d, want >= %d (declared via SlotSizer)", got, udpbatch.MaxDatagram)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeBatch never read")
+	}
+	// The datagram must reach routing at full length: BytesIn counts the
+	// wire bytes as delivered by the provider.
+	deadline := time.Now().Add(10 * time.Second)
+	for d.metrics.BytesIn.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := d.metrics.BytesIn.Value(); got != int64(len(payload)) {
+		t.Fatalf("BytesIn = %d, want %d (oversized datagram truncated)", got, len(payload))
+	}
+	d.Close()
+	<-serveErr
+}
+
+// TestIOModelAccounting pins the per-model syscall and stack-traversal
+// arithmetic against a hand-computed batch: 6 same-source equal-length
+// datagrams followed by 2 from another source.
+func TestIOModelAccounting(t *testing.T) {
+	mkBatch := func() []udpbatch.Message {
+		var msgs []udpbatch.Message
+		a := netem.Addr{Host: 1, Port: 1}
+		b := netem.Addr{Host: 2, Port: 2}
+		for i := 0; i < 6; i++ {
+			msgs = append(msgs, udpbatch.Message{Buf: envPkt(1, byte(i)), Addr: a})
+		}
+		for i := 0; i < 2; i++ {
+			msgs = append(msgs, udpbatch.Message{Buf: envPkt(2, byte(i)), Addr: b})
+		}
+		return msgs
+	}
+	cases := []struct {
+		model     IOModel
+		wantCalls int64
+		wantTrav  int64
+	}{
+		{IOModelMMsg, 1, 8},  // one recvmmsg, one traversal per datagram
+		{IOModelLoop, 8, 8},  // one syscall per datagram
+		{IOModelGSO, 1, 2},   // two same-src runs → two traversals, one read call
+		{IOModelURing, 1, 8}, // one CQ sweep, traversals per datagram
+	}
+	for _, tc := range cases {
+		t.Run(tc.model.String(), func(t *testing.T) {
+			sched := simclock.NewScheduler(batchT0)
+			d, err := New(Config{Clock: sched, IdleTimeout: -1, IOModel: tc.model})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.HandleBatch(mkBatch())
+			if got := d.metrics.ReadBatchCalls.Value(); got != tc.wantCalls {
+				t.Errorf("ReadBatchCalls = %d, want %d", got, tc.wantCalls)
+			}
+			if got := d.metrics.StackTraversalsIn.Value(); got != tc.wantTrav {
+				t.Errorf("StackTraversalsIn = %d, want %d", got, tc.wantTrav)
+			}
+		})
+	}
+}
+
+// TestGSOWriteModelCountsRuns pins the egress model: a sweep of same-peer
+// equal-length datagrams is charged one stack traversal per coalesced run
+// and syscalls per DefaultBatch runs, using the provider's own run
+// definition.
+func TestGSOWriteModelCountsRuns(t *testing.T) {
+	sched := simclock.NewScheduler(batchT0)
+	var sent int
+	d, err := New(Config{
+		Clock:       sched,
+		IdleTimeout: -1,
+		IOModel:     IOModelGSO,
+		Send:        func(dst netem.Addr, wire []byte) { sent++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 equal-length datagrams to peer A (one run), 3 to peer B (one run).
+	wire := bytes.Repeat([]byte{0x5c}, 100)
+	for i := 0; i < 10; i++ {
+		d.enqueueEgress(netem.Addr{Host: 1, Port: 1}, wire)
+	}
+	for i := 0; i < 3; i++ {
+		d.enqueueEgress(netem.Addr{Host: 2, Port: 2}, wire)
+	}
+	d.flushEgress()
+	if sent != 13 {
+		t.Fatalf("sent %d datagrams, want 13", sent)
+	}
+	if got := d.metrics.StackTraversalsOut.Value(); got != 2 {
+		t.Fatalf("StackTraversalsOut = %d, want 2 (two same-peer runs)", got)
+	}
+	if got := d.metrics.WriteBatchCalls.Value(); got != 1 {
+		t.Fatalf("WriteBatchCalls = %d, want 1 (both runs fit one sendmmsg)", got)
+	}
+}

@@ -94,6 +94,17 @@ type Metrics struct {
 	DropsEgressFull   expvar.Int // datagrams dropped at a full egress ring (backpressure)
 	EgressWriteErrors expvar.Int // datagrams dropped by a failing socket write
 
+	// Stack traversals count how many times the kernel's UDP stack ran
+	// per direction: one per wire datagram on mmsg/loop/io_uring paths,
+	// one per coalesced super-datagram on GSO/GRO paths. With PacketsIn/
+	// PacketsOut they yield stack-traversals-per-packet — the below-
+	// syscall cost GSO exists to shrink (a syscall moving 64 datagrams
+	// still pays 64 stack traversals without segmentation offload). Real
+	// served sockets meter through udpbatch.TraversalCounter; simulation
+	// models the same run arithmetic via udpbatch.SegmentRun.
+	StackTraversalsIn  expvar.Int
+	StackTraversalsOut expvar.Int
+
 	SessionsRestored  expvar.Int // sessions revived from the journal at boot
 	SnapshotsStale    expvar.Int // journal records evicted at boot (idle past the horizon)
 	JournalFlushes    expvar.Int // successful journal writes
@@ -139,6 +150,8 @@ var metricFields = []struct {
 	{"egress_queue_depth", func(m *Metrics) int64 { return m.EgressQueueDepth.Value() }},
 	{"drops_egress_full", func(m *Metrics) int64 { return m.DropsEgressFull.Value() }},
 	{"egress_write_errors", func(m *Metrics) int64 { return m.EgressWriteErrors.Value() }},
+	{"stack_traversals_in", func(m *Metrics) int64 { return m.StackTraversalsIn.Value() }},
+	{"stack_traversals_out", func(m *Metrics) int64 { return m.StackTraversalsOut.Value() }},
 	{"sessions_restored", func(m *Metrics) int64 { return m.SessionsRestored.Value() }},
 	{"snapshots_stale", func(m *Metrics) int64 { return m.SnapshotsStale.Value() }},
 	{"journal_flushes", func(m *Metrics) int64 { return m.JournalFlushes.Value() }},

@@ -111,7 +111,15 @@ type Config struct {
 	// and write syscall accounting is one datagram per call instead of
 	// one batch per call. The packet path itself is identical — this is
 	// the baseline mode the batched pipeline is measured against.
+	// Shorthand for IOModel: IOModelLoop; ignored when IOModel is set.
 	UnbatchedIO bool
+	// IOModel selects which udpbatch provider geometry the simulation's
+	// syscall and stack-traversal accounting mirrors (mmsg by default;
+	// see the IOModel constants). The packet path is identical across
+	// models — per-session frame streams are byte-for-byte the same —
+	// only the modeled I/O cost differs. Served sockets ignore it: their
+	// accounting comes from the real provider.
+	IOModel IOModel
 
 	// StateDir enables crash-safe session persistence: the daemon journals
 	// every session's durable core there (periodically and on Close, with
@@ -290,6 +298,9 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	if cfg.InboxDepth <= 0 {
 		cfg.InboxDepth = 128
+	}
+	if cfg.UnbatchedIO && cfg.IOModel == IOModelMMsg {
+		cfg.IOModel = IOModelLoop
 	}
 	if cfg.JournalInterval <= 0 {
 		cfg.JournalInterval = DefaultJournalInterval
@@ -480,6 +491,7 @@ func (d *Daemon) inboxDepth() int { return d.cfg.InboxDepth }
 func (d *Daemon) HandlePacket(wire []byte, src netem.Addr) {
 	d.metrics.ReadBatchCalls.Add(1)
 	d.metrics.ReadBatchSizes.Observe(1)
+	d.metrics.StackTraversalsIn.Add(1)
 	// The modeled read syscall is instantaneous in virtual time; a
 	// 0-duration observation keeps StageRead's count aligned with
 	// read_batch_calls in both driving modes.
@@ -622,6 +634,7 @@ func (d *Daemon) Dispatch(wire []byte, src netem.Addr) {
 	// bypass the batched reader.
 	d.metrics.ReadBatchCalls.Add(1)
 	d.metrics.ReadBatchSizes.Observe(1)
+	d.metrics.StackTraversalsIn.Add(1)
 	d.pipe.Observe(telemetry.StageRead, 0)
 	demuxStart := d.cfg.Clock.Now()
 	s := d.route(wire)

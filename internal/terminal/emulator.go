@@ -171,7 +171,10 @@ func (e *Emulator) print(r rune) {
 	if width == 2 && col+1 < fb.W {
 		fb.Cell(row, col+1).Reset(ds.Rend)
 	}
-	fb.normalizeWide(row)
+	// One print perturbs at most cols col-1..col+1; normalizing that
+	// window (instead of the whole row, per character) keeps bulk text
+	// output linear in the row width.
+	fb.normalizeWideRange(row, col-2, col+3)
 	fb.writableRow(row).touch()
 
 	if col+width >= fb.W {
@@ -215,7 +218,7 @@ func (e *Emulator) widenCell(row, col int) {
 	c := fb.Cell(row, col)
 	c.Wide = true
 	fb.Cell(row, col+1).Reset(c.Rend)
-	fb.normalizeWide(row)
+	fb.normalizeWideRange(row, col-2, col+3)
 	fb.writableRow(row).touch()
 	ds := &fb.DS
 	if ds.CursorRow == row && ds.CursorCol == col+1 && !ds.NextPrintWraps {

@@ -313,7 +313,9 @@ func (f *Framebuffer) eraseCells(row, from, to int) {
 	for i := from; i < to; i++ {
 		r.Cells[i].Reset(f.DS.Rend)
 	}
-	f.normalizeWide(row)
+	// A leader just left of the blanked span may have lost its
+	// continuation; nothing further out can have changed.
+	f.normalizeWideRange(row, from-1, to+1)
 	r.touch()
 }
 
@@ -323,9 +325,24 @@ func (f *Framebuffer) eraseCells(row, from, to int) {
 // background. The display renderer relies on this invariant — it lets a
 // repaint of the leader deterministically regenerate the continuation, so
 // screen diffs always converge.
-func (f *Framebuffer) normalizeWide(row int) {
+func (f *Framebuffer) normalizeWide(row int) { f.normalizeWideRange(row, 0, f.W) }
+
+// normalizeWideRange repairs the invariant over cols [from, to) only. A
+// mutation that touches a bounded span of cells can only perturb leaders
+// inside or immediately left of that span (the invariant is pairwise
+// between a leader and its right neighbor), so localized edits — above
+// all print, which writes one cell per call — normalize a small window
+// instead of paying a full-row scan per character. Structural edits that
+// shift whole row tails (insert/delete/scroll/resize) still scan the row.
+func (f *Framebuffer) normalizeWideRange(row, from, to int) {
 	r := f.writableRow(row)
-	for col := 0; col < f.W; col++ {
+	if from < 0 {
+		from = 0
+	}
+	if to > f.W {
+		to = f.W
+	}
+	for col := from; col < to; col++ {
 		c := &r.Cells[col]
 		if !c.Wide {
 			continue

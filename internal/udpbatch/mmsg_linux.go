@@ -179,6 +179,8 @@ func newPlatformUDP(c *net.UDPConn) (Conn, error) {
 
 func (m *mmsgConn) BatchCap() int { return DefaultBatch }
 
+func (m *mmsgConn) ProviderName() string { return "mmsg" }
+
 func (m *mmsgConn) Close() error { return m.c.Close() }
 
 // ReadBatch drains up to len(msgs) datagrams with one recvmmsg call,
@@ -222,10 +224,10 @@ func (m *mmsgConn) ReadBatch(msgs []Message) (int, error) {
 			return 0, nil
 		}
 		// Reslice each filled slot to its datagram and decode its source.
-		// Non-IPv4 sources are filtered out in place, swapping their
-		// capacity buffers toward the tail so no pooled storage is lost;
-		// order among survivors is preserved, which is all the
-		// demultiplexer needs.
+		// Undecodable sources (unknown family, zoned link-local v6) are
+		// filtered out in place, swapping their capacity buffers toward
+		// the tail so no pooled storage is lost; order among survivors is
+		// preserved, which is all the demultiplexer needs.
 		out := 0
 		for i := 0; i < got; i++ {
 			addr, ok := decodeName(&m.rnames[i])
@@ -242,10 +244,10 @@ func (m *mmsgConn) ReadBatch(msgs []Message) (int, error) {
 		if out > 0 {
 			return out, nil
 		}
-		// The whole batch was unsupported sources (e.g. native IPv6 on a
-		// dual-stack socket): read again rather than returning an empty
-		// success the caller would mistake for kernel pressure — a flood
-		// of such datagrams must not throttle the IPv4 sessions' reader.
+		// The whole batch was unsupported sources (e.g. zoned link-local
+		// IPv6): read again rather than returning an empty success the
+		// caller would mistake for kernel pressure — a flood of such
+		// datagrams must not throttle the other sessions' reader.
 	}
 }
 
@@ -271,7 +273,7 @@ func (m *mmsgConn) WriteBatch(msgs []Message) (int, error) {
 			n, slotErr = i, errors.New("udpbatch: empty write slot")
 			break
 		}
-		nameLen := m.encodeName(&m.wnames[i], msgs[i].Addr)
+		nameLen := encodeName(&m.wnames[i], msgs[i].Addr, m.v6)
 		m.wiovs[i] = syscall.Iovec{Base: &msgs[i].Buf[0]}
 		m.wiovs[i].SetLen(len(msgs[i].Buf))
 		m.whdrs[i] = mmsghdr{hdr: syscall.Msghdr{
@@ -306,8 +308,11 @@ func (m *mmsgConn) WriteBatch(msgs []Message) (int, error) {
 	return m.wSent, nil
 }
 
-// decodeName converts a raw source sockaddr into a netem.Addr; ok is
-// false for non-IPv4 (and non-IPv4-mapped) sources.
+// decodeName converts a raw source sockaddr into a netem.Addr. IPv4 and
+// IPv4-mapped IPv6 sources take the compact form; native IPv6 sources set
+// V6 and carry their prefix. ok is false only for unknown families and
+// scoped (zoned) v6 sources, which do not fit a comparable address
+// without aliasing.
 func decodeName(name *[sockaddrBuf]byte) (netem.Addr, bool) {
 	switch *(*uint16)(unsafe.Pointer(name)) { // sa_family_t, host order
 	case syscall.AF_INET:
@@ -318,32 +323,50 @@ func decodeName(name *[sockaddrBuf]byte) (netem.Addr, bool) {
 		}, true
 	case syscall.AF_INET6:
 		sa := (*rawInet6)(unsafe.Pointer(name))
-		// Accept only IPv4-mapped addresses (::ffff:a.b.c.d).
-		for i := 0; i < 10; i++ {
-			if sa.addr[i] != 0 {
-				return netem.Addr{}, false
-			}
+		// IPv4-mapped addresses (::ffff:a.b.c.d) canonicalize to the
+		// compact IPv4 form so a dual-stack socket and a plain v4 socket
+		// agree on every v4 peer's identity.
+		mapped := sa.addr[10] == 0xff && sa.addr[11] == 0xff
+		for i := 0; mapped && i < 10; i++ {
+			mapped = sa.addr[i] == 0
 		}
-		if sa.addr[10] != 0xff || sa.addr[11] != 0xff {
-			return netem.Addr{}, false
+		if mapped {
+			return netem.Addr{
+				Host: uint32(sa.addr[12])<<24 | uint32(sa.addr[13])<<16 | uint32(sa.addr[14])<<8 | uint32(sa.addr[15]),
+				Port: uint16(sa.port[0])<<8 | uint16(sa.port[1]),
+			}, true
 		}
-		return netem.Addr{
+		if sa.scope != 0 {
+			return netem.Addr{}, false // zoned link-local: unsupported
+		}
+		a := netem.Addr{
 			Host: uint32(sa.addr[12])<<24 | uint32(sa.addr[13])<<16 | uint32(sa.addr[14])<<8 | uint32(sa.addr[15]),
 			Port: uint16(sa.port[0])<<8 | uint16(sa.port[1]),
-		}, true
+			V6:   true,
+		}
+		copy(a.Pfx[:], sa.addr[:12])
+		return a, true
 	}
 	return netem.Addr{}, false
 }
 
-// encodeName fills a raw destination sockaddr for dst, matching the
-// socket's address family, and returns its length.
-func (m *mmsgConn) encodeName(name *[sockaddrBuf]byte, dst netem.Addr) uint32 {
+// encodeName fills a raw destination sockaddr for dst and returns its
+// length. v6 marks an AF_INET6 (dual-stack) socket, where IPv4
+// destinations must be written as IPv4-mapped sockaddr_in6. A native-v6
+// destination is always written as sockaddr_in6 — on a v4-only socket the
+// kernel refuses it (EAFNOSUPPORT) and the per-datagram error contract
+// drops just that datagram.
+func encodeName(name *[sockaddrBuf]byte, dst netem.Addr, v6 bool) uint32 {
 	*name = [sockaddrBuf]byte{}
-	if m.v6 {
+	if v6 || dst.V6 {
 		sa := (*rawInet6)(unsafe.Pointer(name))
 		sa.family = syscall.AF_INET6
 		sa.port = [2]byte{byte(dst.Port >> 8), byte(dst.Port)}
-		sa.addr[10], sa.addr[11] = 0xff, 0xff
+		if dst.V6 {
+			copy(sa.addr[:12], dst.Pfx[:])
+		} else {
+			sa.addr[10], sa.addr[11] = 0xff, 0xff
+		}
 		sa.addr[12] = byte(dst.Host >> 24)
 		sa.addr[13] = byte(dst.Host >> 16)
 		sa.addr[14] = byte(dst.Host >> 8)

@@ -218,3 +218,50 @@ func TestMMsgReadBatchAllocFree(t *testing.T) {
 		t.Fatalf("ReadBatch steady state = %.1f allocs/call, want 0", allocs)
 	}
 }
+
+// TestMMsgNativeV6 exercises the widened address path end to end over
+// ::1: reads decode native IPv6 sources into V6-flagged netem.Addrs,
+// writes rebuild full sockaddr_in6 destinations from them.
+func TestMMsgNativeV6(t *testing.T) {
+	srv, err := net.ListenUDP("udp6", &net.UDPAddr{IP: net.IPv6loopback})
+	if err != nil {
+		t.Skipf("IPv6 loopback unavailable: %v", err)
+	}
+	defer srv.Close()
+	bc, err := newPlatformUDP(srv)
+	if err != nil {
+		t.Fatalf("newPlatformUDP: %v", err)
+	}
+	cl, err := net.DialUDP("udp6", nil, srv.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Skipf("IPv6 loopback dial unavailable: %v", err)
+	}
+	defer cl.Close()
+	if _, err := cl.Write([]byte("ping6")); err != nil {
+		t.Fatal(err)
+	}
+	msgs := []Message{{Buf: make([]byte, 0, DefaultBufSize)}}
+	n, err := bc.ReadBatch(msgs)
+	if err != nil || n != 1 {
+		t.Fatalf("ReadBatch = %d, %v", n, err)
+	}
+	if string(msgs[0].Buf) != "ping6" {
+		t.Fatalf("got %q", msgs[0].Buf)
+	}
+	if !msgs[0].Addr.V6 {
+		t.Fatalf("native v6 source decoded without V6 flag: %v", msgs[0].Addr)
+	}
+	wantSrc, ok := CompressUDPAddr(cl.LocalAddr().(*net.UDPAddr))
+	if !ok || msgs[0].Addr != wantSrc {
+		t.Fatalf("source = %v, want %v", msgs[0].Addr, wantSrc)
+	}
+	if n, err := bc.WriteBatch([]Message{{Buf: []byte("pong6"), Addr: msgs[0].Addr}}); err != nil || n != 1 {
+		t.Fatalf("WriteBatch = %d, %v", n, err)
+	}
+	cl.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	rn, err := cl.Read(buf)
+	if err != nil || string(buf[:rn]) != "pong6" {
+		t.Fatalf("reply = %q, %v", buf[:rn], err)
+	}
+}

@@ -12,3 +12,9 @@ import (
 var errNoPlatformBatch = errors.New("udpbatch: no vectorized socket I/O on this platform")
 
 func newPlatformUDP(*net.UDPConn) (Conn, error) { return nil, errNoPlatformBatch }
+
+// The segmentation-offload and io_uring rungs of the provider ladder are
+// Linux-only; elsewhere they fail the capability probe like any other
+// missing kernel facility.
+func newGSOUDP(*net.UDPConn) (Conn, error)   { return nil, errNoPlatformBatch }
+func newURingUDP(*net.UDPConn) (Conn, error) { return nil, errNoPlatformBatch }

@@ -10,28 +10,43 @@ import (
 	"repro/internal/netem"
 )
 
-// The rest of the stack tracks peers as netem.Addr — a 32-bit host plus a
-// 16-bit port, standing in for (IPv4, UDP port). The mapping is bijective
-// for IPv4 sources, so unlike the historical adapter in cmd/mosh-server no
+// The rest of the stack tracks peers as netem.Addr. For IPv4 sources that
+// is a 32-bit host plus a 16-bit port; native IPv6 sources carry their
+// upper 12 address bytes in Addr.Pfx with the V6 flag set. Both mappings
+// are bijective, so unlike the historical adapter in cmd/mosh-server no
 // side table is needed: an address decompresses straight back into a
-// socket address. Non-IPv4 sources are dropped at the read (IPv6 needs a
-// wider address type in internal/netem first — see ROADMAP); because the
-// pre-auth mapping is injective, a spoofed datagram cannot redirect
-// another peer's replies.
+// socket address, and because the pre-auth mapping is injective, a
+// spoofed datagram cannot redirect another peer's replies. Scoped
+// (link-local zoned) IPv6 sources are refused at the read — a zone index
+// does not fit a comparable value without aliasing.
 
-// CompressUDPAddr maps an IPv4 UDP address into netem.Addr form. ok is
-// false for non-IPv4 addresses.
+// CompressUDPAddr maps a UDP address into netem.Addr form. IPv4 and
+// IPv4-mapped IPv6 addresses take the compact form; native IPv6 sets V6
+// and fills Pfx. ok is false only for malformed or zoned addresses.
 func CompressUDPAddr(a *net.UDPAddr) (netem.Addr, bool) {
-	ip4 := a.IP.To4()
-	if ip4 == nil {
+	if ip4 := a.IP.To4(); ip4 != nil {
+		host := uint32(ip4[0])<<24 | uint32(ip4[1])<<16 | uint32(ip4[2])<<8 | uint32(ip4[3])
+		return netem.Addr{Host: host, Port: uint16(a.Port)}, true
+	}
+	ip := a.IP.To16()
+	if ip == nil || a.Zone != "" {
 		return netem.Addr{}, false
 	}
-	host := uint32(ip4[0])<<24 | uint32(ip4[1])<<16 | uint32(ip4[2])<<8 | uint32(ip4[3])
-	return netem.Addr{Host: host, Port: uint16(a.Port)}, true
+	addr := netem.Addr{Port: uint16(a.Port), V6: true}
+	copy(addr.Pfx[:], ip[:12])
+	addr.Host = uint32(ip[12])<<24 | uint32(ip[13])<<16 | uint32(ip[14])<<8 | uint32(ip[15])
+	return addr, true
 }
 
 // DecompressUDPAddr is the inverse of CompressUDPAddr.
 func DecompressUDPAddr(a netem.Addr) *net.UDPAddr {
+	if a.V6 {
+		ip := make(net.IP, 16)
+		copy(ip, a.Pfx[:])
+		ip[12], ip[13] = byte(a.Host>>24), byte(a.Host>>16)
+		ip[14], ip[15] = byte(a.Host>>8), byte(a.Host)
+		return &net.UDPAddr{IP: ip, Port: int(a.Port)}
+	}
 	return &net.UDPAddr{
 		IP:   net.IPv4(byte(a.Host>>24), byte(a.Host>>16), byte(a.Host>>8), byte(a.Host)),
 		Port: int(a.Port),
@@ -66,7 +81,7 @@ func (u *udpSingle) ReadFrom(buf []byte) (int, netem.Addr, error) {
 		}
 		a, ok := CompressUDPAddr(src)
 		if !ok {
-			continue // non-IPv4 source: unsupported, see package comment
+			continue // malformed or zoned source: unsupported, see package comment
 		}
 		return n, a, nil
 	}
@@ -79,16 +94,85 @@ func (u *udpSingle) WriteTo(wire []byte, dst netem.Addr) error {
 
 func (u *udpSingle) Close() error { return u.c.Close() }
 
-// NewUDPConn wraps a UDP socket in the best available batch
-// implementation: recvmmsg/sendmmsg on Linux, the loop adapter elsewhere
-// (or when the raw syscall surface is unavailable for this socket).
+// NewUDPConn wraps a UDP socket in the best available batch provider,
+// walking the fallback ladder io_uring → GSO/GRO → mmsg → loop: each rung
+// is a runtime capability probe (a kernel feature, a seccomp policy or a
+// non-Linux platform fails the rung, never the daemon), and the loop
+// adapter always works.
 func NewUDPConn(c *net.UDPConn) Conn {
-	if bc, err := newPlatformUDP(c); err == nil {
-		return bc
+	bc, _ := NewUDPConnProvider(c, "auto")
+	return bc
+}
+
+// NewUDPConnProvider selects a provider by name. "auto" (or "") walks the
+// ladder; an explicit name fails rather than falling back, so an operator
+// pinning a provider learns it is unavailable instead of silently running
+// a different one. Names: "uring" (alias "io_uring"), "gso", "mmsg",
+// "loop", "auto".
+func NewUDPConnProvider(c *net.UDPConn, provider string) (Conn, error) {
+	switch provider {
+	case "", "auto":
+		if bc, err := newURingUDP(c); err == nil {
+			return bc, nil
+		}
+		if bc, err := newGSOUDP(c); err == nil {
+			return bc, nil
+		}
+		if bc, err := newPlatformUDP(c); err == nil {
+			return bc, nil
+		}
+		return NewUDPLoopConn(c), nil
+	case "uring", "io_uring":
+		return newURingUDP(c)
+	case "gso":
+		return newGSOUDP(c)
+	case "mmsg":
+		return newPlatformUDP(c)
+	case "loop":
+		return NewUDPLoopConn(c), nil
 	}
-	return NewLoopConn(&udpSingle{c: c})
+	return nil, fmt.Errorf("udpbatch: unknown provider %q", provider)
 }
 
 // NewUDPLoopConn wraps a UDP socket in the portable one-datagram-per-
 // syscall adapter regardless of platform — the explicit fallback mode.
 func NewUDPLoopConn(c *net.UDPConn) Conn { return NewLoopConn(&udpSingle{c: c}) }
+
+// ProbeResult is one rung of the capability ladder as probed on this
+// kernel.
+type ProbeResult struct {
+	Name string
+	OK   bool
+	Err  error // why the rung is unavailable (nil when OK)
+}
+
+// ProbeProviders constructs each provider in ladder order against scratch
+// loopback sockets and reports which rungs this kernel supports. The CI
+// capability-probe step and -udp-provider=auto startup logging use it;
+// provider tests consult it to skip (loudly) rather than fail where the
+// runner's kernel lacks a facility.
+func ProbeProviders() []ProbeResult {
+	probe := func(name string) ProbeResult {
+		c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return ProbeResult{Name: name, Err: err}
+		}
+		bc, err := NewUDPConnProvider(c, name)
+		if err != nil {
+			c.Close()
+			return ProbeResult{Name: name, Err: err}
+		}
+		if cl, ok := bc.(interface{ Close() error }); ok {
+			cl.Close()
+		} else {
+			c.Close()
+		}
+		return ProbeResult{Name: name, OK: true}
+	}
+	return []ProbeResult{
+		probe("uring"),
+		probe("gso"),
+		probe("mmsg"),
+		probe("loop"),
+	}
+}

@@ -40,6 +40,27 @@ const DefaultBatch = 64
 // datagram is truncated by the kernel and then discarded by the AEAD.
 const DefaultBufSize = 2048
 
+// MaxSegments mirrors the kernel's UDP_MAX_SEGMENTS: the most MTU-sized
+// segments one GSO super-datagram (one sendmsg, one stack traversal) may
+// carry.
+const MaxSegments = 64
+
+// MaxDatagram is the read-slot capacity that can never truncate: the
+// 64 KiB UDP payload ceiling, which bounds both a UDP_GRO coalesced
+// super-datagram and any single oversized-but-legitimate datagram.
+const MaxDatagram = 65535
+
+// GSOBatch is how many messages one GSO-provider WriteBatch call may
+// consume (DefaultBatch segmented runs of typical train length).
+// sessiond's modeled syscall accounting mirrors it so simulated GSO
+// sweeps match the wire path's geometry.
+const GSOBatch = 8 * DefaultBatch
+
+// GROReadSlots is how many super-buffers one GSO-provider read syscall
+// fills: each can carry a whole coalesced train, so a small vector
+// already moves hundreds of datagrams per syscall.
+const GROReadSlots = 8
+
 // Message is one datagram slot in a batch.
 //
 // For reads the caller provides Buf with free capacity (len is ignored,
@@ -74,6 +95,86 @@ type Conn interface {
 	BatchCap() int
 }
 
+// Optional Conn refinements. Conn itself must not grow methods — fault
+// injectors and test fakes implement it structurally — so capabilities
+// beyond the three-call contract are discovered by interface assertion.
+
+// SlotSizer is implemented by providers whose reads can legitimately
+// exceed the transport MTU: a UDP_GRO super-datagram or an io_uring
+// provided buffer holds up to MaxDatagram bytes. The serve loop draws
+// read slots from the matching pool size class, so an oversized-but-
+// legitimate read can never be truncated (a truncated datagram fails the
+// AEAD, and the peer's retransmissions of it fail forever — a livelock).
+type SlotSizer interface {
+	ReadSlotSize() int
+}
+
+// ReadSlotSize reports the read-slot capacity conn needs: its SlotSizer
+// value when it declares one, fallback otherwise.
+func ReadSlotSize(conn Conn, fallback int) int {
+	if s, ok := conn.(SlotSizer); ok {
+		if n := s.ReadSlotSize(); n > fallback {
+			return n
+		}
+	}
+	return fallback
+}
+
+// Provider names the kernel facility a Conn rides on ("io_uring", "gso",
+// "mmsg", "loop"); the capability probe, startup logs and CI read it.
+type Provider interface {
+	ProviderName() string
+}
+
+// ProviderName reports conn's provider, or "unknown" for implementations
+// that do not declare one (fault injectors, test fakes).
+func ProviderName(conn Conn) string {
+	if p, ok := conn.(Provider); ok {
+		return p.ProviderName()
+	}
+	return "unknown"
+}
+
+// TraversalCounter is implemented by providers whose syscalls move
+// coalesced super-datagrams: Traversals reports cumulative UDP-stack
+// traversals (one per wire datagram on mmsg/loop paths, one per GSO/GRO
+// super-datagram on segmented paths). sessiond diffs it around batch
+// calls to meter stack-traversals-per-packet honestly.
+type TraversalCounter interface {
+	Traversals() (in, out int64)
+}
+
+// SegmentRun reports the length of the maximal GSO-coalescible prefix of
+// msgs: datagrams to the same peer whose payloads equal the first's
+// length (the last segment of a run may be shorter, ending it), capped at
+// MaxSegments segments and the MaxDatagram super-buffer ceiling. The real
+// GSO provider and sessiond's modeled syscall accounting share this one
+// definition, so simulated counts and wire behavior cannot drift apart.
+func SegmentRun(msgs []Message) int {
+	if len(msgs) == 0 {
+		return 0
+	}
+	seg := len(msgs[0].Buf)
+	if seg == 0 {
+		return 1
+	}
+	dst := msgs[0].Addr
+	total := seg
+	n := 1
+	for n < len(msgs) && n < MaxSegments {
+		l := len(msgs[n].Buf)
+		if l == 0 || l > seg || total+l > MaxDatagram || msgs[n].Addr != dst {
+			break
+		}
+		n++
+		total += l
+		if l < seg {
+			break // shorter trailer closes the super-datagram
+		}
+	}
+	return n
+}
+
 // SingleConn is the legacy one-datagram surface (sessiond.PacketConn
 // satisfies it structurally): a blocking read and a consuming write.
 type SingleConn interface {
@@ -85,11 +186,22 @@ type SingleConn interface {
 // buffer with at least BufSize capacity; Put recycles one. The ring is
 // bounded so a burst cannot pin memory forever, and misses simply
 // allocate — the steady state is all hits.
+//
+// A pool can additionally grow a super-buffer size class (EnableSuper):
+// a second bounded free list of much larger buffers for providers whose
+// reads exceed the transport MTU — a 64 KiB UDP_GRO coalesced read must
+// land in a slot that can never truncate it. Put routes returned buffers
+// to the class their capacity fits, so base and super storage recycle
+// independently and a super buffer is never wasted holding an MTU-sized
+// datagram slot.
 type Pool struct {
-	mu   sync.Mutex
-	free [][]byte
-	size int
-	max  int
+	mu        sync.Mutex
+	free      [][]byte
+	superFree [][]byte
+	size      int
+	superSize int // 0 until EnableSuper
+	max       int
+	superMax  int
 	// gets/misses meter pool effectiveness: a miss is a Get that had to
 	// allocate. A steady-state daemon should see the miss count plateau.
 	gets   int64
@@ -110,6 +222,75 @@ func NewPool(bufSize, max int) *Pool {
 
 // BufSize reports the capacity of buffers this pool hands out.
 func (p *Pool) BufSize() int { return p.size }
+
+// EnableSuper registers (or widens) the pool's super-buffer size class:
+// GetSized requests above the base size draw from a second free list of
+// size-capacity buffers, keeping at most max free (0 means DefaultBatch).
+// Idempotent; widening the class drops cached buffers that no longer fit
+// it rather than letting them truncate a future oversized read.
+func (p *Pool) EnableSuper(size, max int) {
+	if size <= 0 {
+		size = MaxDatagram
+	}
+	if max <= 0 {
+		max = DefaultBatch
+	}
+	p.mu.Lock()
+	if size < p.size {
+		size = p.size
+	}
+	if size > p.superSize {
+		p.superSize = size
+		keep := p.superFree[:0]
+		for _, b := range p.superFree {
+			if cap(b) >= size {
+				keep = append(keep, b)
+			}
+		}
+		for i := len(keep); i < len(p.superFree); i++ {
+			p.superFree[i] = nil
+		}
+		p.superFree = keep
+	}
+	if max > p.superMax {
+		p.superMax = max
+	}
+	p.mu.Unlock()
+}
+
+// SuperSize reports the super class capacity (0 when disabled).
+func (p *Pool) SuperSize() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.superSize
+}
+
+// GetSized returns an empty buffer with capacity at least n, drawn from
+// the smallest size class that fits. Requests beyond every class allocate
+// exactly-sized one-offs (counted as misses) rather than truncating.
+func (p *Pool) GetSized(n int) []byte {
+	if n <= p.size {
+		return p.Get()
+	}
+	p.mu.Lock()
+	p.gets++
+	if n <= p.superSize {
+		if k := len(p.superFree); k > 0 {
+			b := p.superFree[k-1]
+			p.superFree[k-1] = nil
+			p.superFree = p.superFree[:k-1]
+			p.mu.Unlock()
+			return b[:0]
+		}
+	}
+	p.misses++
+	size := p.superSize
+	if n > size {
+		size = n
+	}
+	p.mu.Unlock()
+	return make([]byte, 0, size)
+}
 
 // Get returns an empty buffer with at least BufSize capacity.
 func (p *Pool) Get() []byte {
@@ -135,14 +316,19 @@ func (p *Pool) Stats() (gets, misses int64) {
 	return p.gets, p.misses
 }
 
-// Put recycles a buffer obtained from Get. Undersized foreign buffers are
-// dropped rather than poisoning the ring.
+// Put recycles a buffer obtained from Get or GetSized, routing it to the
+// size class its capacity fits. Undersized foreign buffers are dropped
+// rather than poisoning a ring.
 func (p *Pool) Put(b []byte) {
 	if cap(b) < p.size {
 		return
 	}
 	p.mu.Lock()
-	if len(p.free) < p.max {
+	if p.superSize > 0 && cap(b) >= p.superSize {
+		if len(p.superFree) < p.superMax {
+			p.superFree = append(p.superFree, b)
+		}
+	} else if len(p.free) < p.max {
 		p.free = append(p.free, b)
 	}
 	p.mu.Unlock()
@@ -159,6 +345,8 @@ type loopConn struct {
 func NewLoopConn(sc SingleConn) Conn { return &loopConn{sc: sc} }
 
 func (l *loopConn) BatchCap() int { return 1 }
+
+func (l *loopConn) ProviderName() string { return "loop" }
 
 func (l *loopConn) ReadBatch(msgs []Message) (int, error) {
 	if len(msgs) == 0 {

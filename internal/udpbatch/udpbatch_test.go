@@ -128,3 +128,102 @@ func TestPoolAllocFree(t *testing.T) {
 		t.Fatalf("pool Get/Put = %.1f allocs, want 0", allocs)
 	}
 }
+
+// TestSegmentRun pins the one shared definition of a GSO-coalescible run
+// that both the real provider and sessiond's modeled accounting use.
+func TestSegmentRun(t *testing.T) {
+	a := netem.Addr{Host: 1, Port: 1}
+	b := netem.Addr{Host: 2, Port: 2}
+	mk := func(n int, addr netem.Addr) Message {
+		return Message{Buf: make([]byte, n), Addr: addr}
+	}
+	cases := []struct {
+		name string
+		msgs []Message
+		want int
+	}{
+		{"empty", nil, 0},
+		{"single", []Message{mk(100, a)}, 1},
+		{"equal run", []Message{mk(100, a), mk(100, a), mk(100, a)}, 3},
+		{"peer change breaks", []Message{mk(100, a), mk(100, b)}, 1},
+		{"shorter trailer closes", []Message{mk(100, a), mk(100, a), mk(40, a), mk(100, a)}, 3},
+		{"longer breaks", []Message{mk(100, a), mk(200, a)}, 1},
+		{"empty first slot", []Message{mk(0, a), mk(100, a)}, 1},
+		{"empty mid breaks", []Message{mk(100, a), mk(0, a)}, 1},
+	}
+	for _, tc := range cases {
+		if got := SegmentRun(tc.msgs); got != tc.want {
+			t.Errorf("%s: SegmentRun = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	// Kernel caps: at most MaxSegments segments and MaxDatagram total bytes
+	// per super-datagram.
+	long := make([]Message, MaxSegments+10)
+	for i := range long {
+		long[i] = mk(100, a)
+	}
+	if got := SegmentRun(long); got != MaxSegments {
+		t.Errorf("segment cap: SegmentRun = %d, want %d", got, MaxSegments)
+	}
+	big := []Message{mk(40000, a), mk(40000, a)} // 80000 > MaxDatagram
+	if got := SegmentRun(big); got != 1 {
+		t.Errorf("byte cap: SegmentRun = %d, want 1", got)
+	}
+}
+
+// TestPoolSuperClass pins the two-size-class pool: GetSized draws from
+// the class that fits, Put routes each buffer home, and widening drops
+// cached supers that could truncate a future read.
+func TestPoolSuperClass(t *testing.T) {
+	p := NewPool(2048, 4)
+	if got := p.GetSized(2048); cap(got) < 2048 {
+		t.Fatalf("base GetSized cap = %d", cap(got))
+	}
+	// Before EnableSuper an oversized request allocates a one-off.
+	b := p.GetSized(10000)
+	if cap(b) < 10000 {
+		t.Fatalf("one-off cap = %d, want >= 10000", cap(b))
+	}
+	p.EnableSuper(MaxDatagram, 2)
+	if p.SuperSize() != MaxDatagram {
+		t.Fatalf("SuperSize = %d", p.SuperSize())
+	}
+	s1 := p.GetSized(MaxDatagram)
+	if cap(s1) < MaxDatagram {
+		t.Fatalf("super cap = %d", cap(s1))
+	}
+	// Returned supers recycle through the super list, not the base ring.
+	p.Put(s1)
+	s2 := p.GetSized(5000)
+	if cap(s2) < MaxDatagram {
+		t.Fatal("super request did not hit the super free list")
+	}
+	// The old one-off (10000 < superSize) does not poison the super class.
+	p.Put(b)
+	s3 := p.GetSized(MaxDatagram)
+	if cap(s3) < MaxDatagram {
+		t.Fatalf("undersized buffer reached the super list: cap %d", cap(s3))
+	}
+	// Base buffers still recycle normally alongside the super class.
+	base := p.Get()
+	p.Put(base)
+	if got := p.Get(); cap(got) != cap(base) {
+		t.Fatalf("base class disturbed: cap %d vs %d", cap(got), cap(base))
+	}
+}
+
+// TestPoolSuperAllocFree pins the super class at zero steady-state
+// allocations, like the base class.
+func TestPoolSuperAllocFree(t *testing.T) {
+	p := NewPool(2048, 8)
+	p.EnableSuper(MaxDatagram, 8)
+	warm := p.GetSized(MaxDatagram)
+	p.Put(warm)
+	allocs := testing.AllocsPerRun(1000, func() {
+		b := p.GetSized(MaxDatagram)
+		p.Put(b)
+	})
+	if allocs > 0 {
+		t.Fatalf("super class steady state = %.1f allocs/op, want 0", allocs)
+	}
+}
