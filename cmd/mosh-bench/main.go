@@ -62,6 +62,7 @@ func main() {
 	trains := flag.Bool("trains", false, "manysession: bulk-stream cohort with lockstep typing — every reply is a multi-fragment same-peer train, the workload GSO segmentation offload coalesces")
 	chaos := flag.Bool("chaos", false, "manysession: seeded hostile-world schedule (wire mangling, journal disk faults, nonce audit); see also -exp chaos")
 	chaosSeed := flag.Int64("chaos-seed", 0, "chaos schedule seed (0 = derived from -seed)")
+	virtual := flag.Bool("virtual", false, "manysession: virtual-time regime tuned so the run completes faster than the span it simulates even at 100000 sessions (sparse keystrokes, stretched heartbeat); exits nonzero if wall time exceeds virtual time")
 	flightDump := flag.String("flight-dump", "chaos-flight-dump.txt", "file to write the daemon's flight-recorder dump to when the chaos gate fails (empty disables)")
 	flag.Parse()
 
@@ -121,9 +122,15 @@ func main() {
 			Trains:       *trains,
 			Chaos:        *chaos,
 			ChaosSeed:    *chaosSeed,
+			Virtual:      *virtual,
 		})
 		fmt.Println(bench.FormatManySession(res))
 		fmt.Fprintf(os.Stderr, "[manysession done in %v]\n\n", time.Since(start).Round(time.Millisecond))
+		if *virtual && res.Wall >= res.Elapsed {
+			fmt.Fprintf(os.Stderr, "virtual-time FAILED: %v wall >= %v virtual (ratio %.2fx)\n",
+				res.Wall.Round(time.Millisecond), res.Elapsed, res.Elapsed.Seconds()/res.Wall.Seconds())
+			os.Exit(1)
+		}
 	}
 	// The chaos smoke is the torture preset in one flag: mixed cohorts,
 	// restart, roam, lossy links, and the full fault schedule.

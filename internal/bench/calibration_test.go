@@ -39,7 +39,7 @@ func TestLongTypingRunMostlyInstant(t *testing.T) {
 				}
 			}
 			if len(out) > 0 {
-				sched.After(3*time.Millisecond, func() {
+				sched.AfterFunc(3*time.Millisecond, func() {
 					server.HostOutput(out)
 					wakeServer()
 				})

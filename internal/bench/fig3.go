@@ -125,7 +125,7 @@ func runCollection(writes []hostWrite, collection time.Duration) SweepPoint {
 		WaitTime() time.Duration
 	}) func() {
 		var pump func()
-		timer := sched.NewTimer(func() { pump() })
+		timer := sched.NewEventTimer(func() { pump() })
 		pump = func() {
 			t.Tick()
 			w := t.WaitTime()
@@ -134,7 +134,7 @@ func runCollection(writes []hostWrite, collection time.Duration) SweepPoint {
 			}
 			timer.Reset(sched.Now().Add(w))
 		}
-		sched.After(0, pump)
+		sched.AfterFunc(0, pump)
 		return pump
 	}
 	wakeSrv = pumpEndpoint(srv)

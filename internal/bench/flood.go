@@ -74,9 +74,9 @@ func RunFlood(d time.Duration, timing *transport.Timing, seed int64) FloodResult
 		}
 		server.HostOutput([]byte(b.String()))
 		wakeServer()
-		sched.After(2*time.Millisecond, flood)
+		sched.AfterFunc(2*time.Millisecond, flood)
 	}
-	sched.After(0, flood)
+	sched.AfterFunc(0, flood)
 	sched.RunFor(d + 5*time.Second)
 
 	return FloodResult{

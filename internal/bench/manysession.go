@@ -20,6 +20,7 @@ import (
 	"repro/internal/sspcrypto"
 	"repro/internal/telemetry"
 	"repro/internal/terminal"
+	"repro/internal/transport"
 	"repro/internal/udpbatch"
 )
 
@@ -108,6 +109,14 @@ type ManySessionOptions struct {
 	Chaos bool
 	// ChaosSeed drives the chaos schedule (default: derived from Seed).
 	ChaosSeed int64
+	// Virtual tunes the run for wall-beating virtual time at very large
+	// session counts (the 10⁵-session regime): few keystrokes spread over
+	// a long inter-keystroke interval (defaults become 2 keystrokes every
+	// 3 min) and a stretched SSP heartbeat (150 s instead of the paper's
+	// 3 s), so the simulated span is dominated by idle virtual time —
+	// which costs nearly no wall time to skip over — instead of by
+	// per-packet work. Explicit Keystrokes/TypeInterval still win.
+	Virtual bool
 }
 
 // ManySessionResult aggregates the run.
@@ -229,6 +238,14 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 	if opt.Sessions <= 0 {
 		opt.Sessions = 100
 	}
+	if opt.Virtual {
+		if opt.Keystrokes <= 0 {
+			opt.Keystrokes = 2
+		}
+		if opt.TypeInterval <= 0 {
+			opt.TypeInterval = 3 * time.Minute
+		}
+	}
 	if opt.Keystrokes <= 0 {
 		opt.Keystrokes = 20
 	}
@@ -245,7 +262,11 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		opt.DeliveryQuantum = time.Millisecond
 	}
 
-	wallStart := time.Now()
+	// Wall-clock measurement is the one legitimately real-time reading in
+	// this file; it goes through the Real clock so the naked-time lint
+	// stays clean and the intent is explicit.
+	var wallClock simclock.Real
+	wallStart := wallClock.Now()
 	sched := simclock.NewScheduler(benchEpoch)
 	nw := netem.NewNetwork(sched)
 	daemonAddr := netem.Addr{Host: 0xFFFF, Port: 60001}
@@ -369,6 +390,17 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		IdleTimeout: -1,
 		UnbatchedIO: opt.Unbatched,
 		IOModel:     opt.IOModel,
+	}
+	// Virtual regime: stretch the keepalive heartbeat on both ends so the
+	// long idle stretches between keystrokes stay idle on the wire too —
+	// per-session heartbeat exchanges, not simulated idle time, are what
+	// cost wall clock at 10⁵ sessions.
+	var virtualTiming *transport.Timing
+	if opt.Virtual {
+		t := transport.DefaultTiming()
+		t.HeartbeatInterval = 150 * time.Second
+		virtualTiming = &t
+		cfg.Timing = virtualTiming
 	}
 	// The trains workload views a wide dashboard-sized window: the reply
 	// diff is bounded by one screenful, so a large screen is what makes
@@ -519,6 +551,7 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 		lc.cl, err = core.NewClient(core.ClientConfig{
 			Key:         sess.Key(),
 			Clock:       sched,
+			Timing:      virtualTiming,
 			Envelope:    &network.Envelope{ID: sess.ID},
 			Width:       cfg.Width,
 			Height:      cfg.Height,
@@ -637,7 +670,7 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 			lc.typed++
 			lc.cl.UserBytes([]byte{ch})
 			lc.wake()
-			sched.After(opt.TypeInterval, typeNext)
+			sched.AfterFunc(opt.TypeInterval, typeNext)
 		}
 		sched.At(start.Add(phase), typeNext)
 	}
@@ -744,9 +777,9 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 				if d.JournalSuspended() != 0 {
 					res.JournalSuspendedSeen = true
 				}
-				sched.After(500*time.Millisecond, pump)
+				sched.AfterFunc(500*time.Millisecond, pump)
 			}
-			sched.After(500*time.Millisecond, pump)
+			sched.AfterFunc(500*time.Millisecond, pump)
 		}
 	}
 
@@ -762,7 +795,7 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 	}
 
 	res.Elapsed = sched.Now().Sub(start)
-	res.Wall = time.Since(wallStart)
+	res.Wall = wallClock.Since(wallStart)
 	harvest()
 	res.ReadBatchP50 = m.ReadBatchSizes.Quantile(0.50)
 	res.ReadBatchP99 = m.ReadBatchSizes.Quantile(0.99)

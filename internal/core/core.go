@@ -423,7 +423,7 @@ type Endpoint interface {
 // equivalent of each program's select loop.
 func Pump(sched *simclock.Scheduler, ep Endpoint) (wake func()) {
 	var pump func()
-	timer := sched.NewTimer(func() { pump() })
+	timer := sched.NewEventTimer(func() { pump() })
 	pump = func() {
 		ep.Tick()
 		wait := ep.WaitTime()
@@ -432,6 +432,6 @@ func Pump(sched *simclock.Scheduler, ep Endpoint) (wake func()) {
 		}
 		timer.Reset(sched.Now().Add(wait))
 	}
-	sched.After(0, pump)
+	sched.AfterFunc(0, pump)
 	return pump
 }

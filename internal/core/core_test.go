@@ -104,7 +104,7 @@ func (ss *session) hostInput(data []byte) {
 		}
 	}
 	if len(out) > 0 {
-		ss.sched.After(ss.echoDelay, func() {
+		ss.sched.AfterFunc(ss.echoDelay, func() {
 			ss.server.HostOutput(out)
 			ss.wakeServer()
 		})
@@ -222,9 +222,9 @@ func TestControlCDuringFlood(t *testing.T) {
 		}
 		ss.server.HostOutput([]byte(strings.Repeat("spam output line!\r\n", 20)))
 		ss.wakeServer()
-		ss.sched.After(10*time.Millisecond, flood)
+		ss.sched.AfterFunc(10*time.Millisecond, flood)
 	}
-	ss.sched.After(0, flood)
+	ss.sched.AfterFunc(0, flood)
 	ss.run(2 * time.Second)
 
 	sent := ss.client.UserBytes([]byte{0x03})

@@ -32,7 +32,7 @@ func TestReceiverRecyclingMatchesServerUnderScrollFlood(t *testing.T) {
 			lines++
 			out = append(out, []byte("flood line with some cells and content\r\n")...)
 		}
-		ss.sched.After(2*time.Millisecond, func() {
+		ss.sched.AfterFunc(2*time.Millisecond, func() {
 			ss.server.HostOutput(out)
 			ss.wakeServer()
 		})

@@ -257,7 +257,7 @@ func (s *BatchSink) deliver(p Packet) {
 		// After(0) event runs behind them (same-instant events fire FIFO)
 		// and the drain sees the complete batch.
 		s.armed = true
-		s.net.sched.After(0, s.drain)
+		s.net.sched.AfterFunc(0, s.drain)
 	}
 }
 

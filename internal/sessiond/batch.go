@@ -700,7 +700,7 @@ func (d *Daemon) ServeBatch(bc udpbatch.Conn) error {
 				// nothing is wrong with the socket, and dying here would
 				// kill every session on it. Absorb, breathe, retry.
 				d.metrics.ReadErrorsTransient.Add(1)
-				time.Sleep(time.Millisecond)
+				d.cfg.Clock.Sleep(time.Millisecond)
 				continue
 			}
 			return err
@@ -714,7 +714,7 @@ func (d *Daemon) ServeBatch(bc udpbatch.Conn) error {
 			// Transient-pressure yield (see udpbatch.Conn): back off
 			// briefly instead of spinning failing syscalls at the exact
 			// moment the kernel is short on memory.
-			time.Sleep(time.Millisecond)
+			d.cfg.Clock.Sleep(time.Millisecond)
 			continue
 		}
 		d.metrics.ReadBatchCalls.Add(1)

@@ -438,28 +438,44 @@ func (s *Session) maybeRequestFlushLocked() {
 // which is what the retryAt-aware sleep below does.
 func (d *Daemon) journalLoop() {
 	j := d.journal
-	timer := time.NewTimer(j.interval)
+	clk := d.cfg.Clock
+	timer := clk.NewTimer(j.interval)
 	defer timer.Stop()
 	for {
+		// While a failed flush is waiting out its backoff, stop selecting
+		// on flushReq: attempts self-gate on the backoff anyway, so waking
+		// for the low-headroom request storm would spin this loop at the
+		// packet rate for the remainder of a disk outage. The timer below
+		// is armed for the backoff deadline, which is the only instant
+		// worth waking for.
+		req := d.flushReq
+		if j.retryAt.Load() != 0 {
+			req = nil
+		}
 		select {
 		case <-d.stop:
 			return
-		case <-timer.C:
-		case <-d.flushReq:
+		case <-timer.C():
+		case <-req:
 		}
 		d.FlushJournal() // outcome recorded in metrics/backoff state
 		sleep := j.interval
 		if at := j.retryAt.Load(); at != 0 {
-			if until := time.Unix(0, at).Sub(d.cfg.Clock.Now()); until < sleep {
+			// Recompute the backoff deadline from the Clock. A deadline
+			// already in the past means the backoff expired while we were
+			// busy: retry on the immediately-firing timer rather than
+			// clamping to a busy-spin resleep.
+			until := time.Unix(0, at).Sub(clk.Now())
+			if until < sleep {
 				sleep = until
 			}
-		}
-		if sleep < time.Millisecond {
-			sleep = time.Millisecond
+			if sleep < 0 {
+				sleep = 0
+			}
 		}
 		if !timer.Stop() {
 			select {
-			case <-timer.C:
+			case <-timer.C():
 			default:
 			}
 		}

@@ -560,14 +560,14 @@ func (d *Daemon) NextDeadline() (time.Time, bool) {
 // loop) and returns a wake function to call after delivering packets.
 func (d *Daemon) Pump(sched *simclock.Scheduler) (wake func()) {
 	var pump func()
-	timer := sched.NewTimer(func() { pump() })
+	timer := sched.NewEventTimer(func() { pump() })
 	pump = func() {
 		d.TickDue()
 		if at, ok := d.NextDeadline(); ok {
 			timer.Reset(at)
 		}
 	}
-	sched.After(0, pump)
+	sched.AfterFunc(0, pump)
 	return pump
 }
 
@@ -593,9 +593,12 @@ func (d *Daemon) Start() {
 
 // tickLoop sleeps until the earliest session deadline and ticks every due
 // session — one goroutine for the whole daemon, woken early whenever a new
-// minimum is armed.
+// minimum is armed. The sleep goes through the injected Clock: deadlines
+// are computed against Clock.Now, so sleeping on anything else (a real
+// time.Timer, say) silently miscomputes every sleep the moment a non-real
+// clock is injected.
 func (d *Daemon) tickLoop() {
-	timer := time.NewTimer(time.Hour)
+	timer := d.cfg.Clock.NewTimer(time.Hour)
 	defer timer.Stop()
 	for {
 		var sleeve <-chan time.Time
@@ -606,12 +609,12 @@ func (d *Daemon) tickLoop() {
 			}
 			if !timer.Stop() {
 				select {
-				case <-timer.C:
+				case <-timer.C():
 				default:
 				}
 			}
 			timer.Reset(dur)
-			sleeve = timer.C
+			sleeve = timer.C()
 		}
 		select {
 		case <-d.stop:

@@ -1,0 +1,88 @@
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Auto is a Manual clock that advances itself: whenever every registered
+// goroutine is blocked on the clock and at least one deadline is parked,
+// the clock jumps to the earliest deadline and fires it. Virtual time then
+// moves exactly as fast as the workload lets it — the property that makes
+// whole-daemon runs in virtual time finish in however long the CPU work
+// takes, not however long the simulated timers span.
+//
+// Contract: goroutines participating in the lockstep must call
+// RegisterGoroutine before their first wait and UnregisterGoroutine when
+// they exit, and every blocking wait they perform must go through this
+// clock (Sleep, a receive on After, or a receive on an armed timer's
+// channel). The clock counts parked waiters — it cannot see a goroutine
+// blocked on anything else, and a registered goroutine that parks two
+// waits at once (an armed timer plus a Sleep) counts twice. After and
+// NewTimer count from the moment they are called, on the assumption the
+// caller is about to block on the channel; arm timers immediately before
+// selecting on them, as the daemon's loops do.
+type Auto struct {
+	Manual
+	registered int  // guarded by Manual.mu
+	advancing  bool // guarded by Manual.mu; cuts onWait recursion
+}
+
+// NewAuto returns an auto-advancing clock set to start. With no goroutines
+// registered it behaves exactly like a Manual clock.
+func NewAuto(start time.Time) *Auto {
+	a := &Auto{}
+	a.now = start
+	a.cond = sync.NewCond(&a.mu)
+	a.onWait = a.maybeAdvanceLocked
+	return a
+}
+
+// RegisterGoroutine adds the calling goroutine to the lockstep: the clock
+// will only auto-advance when this goroutine (and every other registered
+// one) is blocked on the clock.
+func (a *Auto) RegisterGoroutine() {
+	a.mu.Lock()
+	a.registered++
+	a.maybeAdvanceLocked()
+	a.mu.Unlock()
+}
+
+// UnregisterGoroutine removes the calling goroutine from the lockstep.
+func (a *Auto) UnregisterGoroutine() {
+	a.mu.Lock()
+	if a.registered > 0 {
+		a.registered--
+	}
+	a.maybeAdvanceLocked()
+	a.mu.Unlock()
+}
+
+// Registered reports the current lockstep size.
+func (a *Auto) Registered() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.registered
+}
+
+// maybeAdvanceLocked fires the earliest deadline whenever the whole
+// lockstep is parked. Firing wakes (at least) one goroutine, which breaks
+// the all-blocked condition; the woken goroutine re-triggers the check the
+// next time it parks, so time ratchets forward one deadline at a time.
+// Runs under Manual.mu via the onWait hook; advanceToLocked re-enters
+// notifyLocked → onWait, so the recursion is cut with the advancing flag.
+func (a *Auto) maybeAdvanceLocked() {
+	if a.advancing {
+		return
+	}
+	a.advancing = true
+	for a.registered > 0 && len(a.wh) >= a.registered && len(a.wh) > 0 {
+		next := a.wh[0].at
+		before := len(a.wh)
+		a.advanceToLocked(next)
+		if len(a.wh) >= before {
+			break // defensive: nothing fired, avoid spinning
+		}
+	}
+	a.advancing = false
+}

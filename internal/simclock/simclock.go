@@ -1,30 +1,85 @@
-// Package simclock provides the time substrate shared by every component in
-// this repository. Protocol endpoints are written against the small Clock
-// interface so that the identical state machines can run either in real time
-// (over UDP sockets) or inside a deterministic discrete-event simulation
-// (for tests and for regenerating the paper's experiments).
+// Package simclock provides the single time regime shared by every
+// component in this repository. Protocol endpoints, the sessiond event
+// loops, and the benchmarks are all written against the Clock interface so
+// that the identical state machines can run in real time (over UDP
+// sockets), under an explicitly driven test clock, or inside a
+// deterministic discrete-event simulation that regenerates the paper's
+// experiments bit-for-bit.
+//
+// Four implementations cover the repertoire:
+//
+//   - Real: the system clock.
+//   - Manual: time moves only on Advance/Set; sleepers and timers park on
+//     a waiter heap and fire with exact timestamps.
+//   - Auto: a Manual that advances itself to the next deadline whenever
+//     every registered goroutine is blocked on the clock.
+//   - Scheduler: a single-goroutine discrete-event simulator (callback
+//     events, virtual timers) that also satisfies Clock so it can be
+//     injected wholesale into the daemon.
 package simclock
 
 import (
 	"container/heap"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Clock supplies the current time. Now must be safe for concurrent use:
-// daemon worker goroutines read the clock (telemetry timestamps, quota
-// checks) while another goroutine advances it. Every implementation here
-// (Real, Scheduler, Manual) satisfies that; the Scheduler's *other*
-// methods remain confined to the simulation goroutine.
+// Clock is the full time surface the rest of the repository is allowed to
+// touch. Everything mirrors the time package; Now (and Since) must be safe
+// for concurrent use — daemon worker goroutines read the clock for
+// telemetry while another goroutine advances it.
 type Clock interface {
+	// Now returns the clock's current time.
 	Now() time.Time
+	// Since returns the elapsed time since t on this clock.
+	Since(t time.Time) time.Duration
+	// Sleep blocks the calling goroutine for d of this clock's time.
+	// Sleep(d) for d <= 0 returns immediately.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed. Like time.After, the underlying timer cannot be stopped;
+	// prefer NewTimer in loops.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns an armed timer that delivers on C after d.
+	NewTimer(d time.Duration) Timer
 }
 
-// Real is a Clock backed by the system clock.
+// Timer is the restartable one-shot timer every Clock vends. C returns the
+// same channel on every call, so the time.Timer drain idiom
+// (Stop, then non-blocking receive from C, then Reset) carries over
+// verbatim. Stop and Reset report whether the timer was still armed, with
+// the same inherent fire/Stop race time.Timer documents.
+type Timer interface {
+	C() <-chan time.Time
+	Stop() bool
+	Reset(d time.Duration) bool
+}
+
+// Real is the Clock backed by the system clock. The zero value is ready to
+// use; this package is the one place naked time.* calls are allowed.
 type Real struct{}
 
 // Now returns the current wall-clock time.
 func (Real) Now() time.Time { return time.Now() }
+
+// Since returns the wall-clock time elapsed since t.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Sleep pauses the calling goroutine for d of real time.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After returns time.After(d).
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// NewTimer returns a Timer wrapping a real time.Timer.
+func (Real) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) C() <-chan time.Time        { return rt.t.C }
+func (rt realTimer) Stop() bool                 { return rt.t.Stop() }
+func (rt realTimer) Reset(d time.Duration) bool { return rt.t.Reset(d) }
 
 // Event is a scheduled callback inside a Scheduler. It may be cancelled
 // before it fires.
@@ -33,14 +88,16 @@ type Event struct {
 	seq      uint64 // tie-break: FIFO among events at the same instant
 	fn       func()
 	index    int // heap index, -1 once removed
-	canceled bool
+	canceled atomic.Bool
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. Safe to call from any goroutine
+// (timers owned by daemon loops stop their events from outside the
+// simulation goroutine).
 func (e *Event) Cancel() {
 	if e != nil {
-		e.canceled = true
+		e.canceled.Store(true)
 	}
 }
 
@@ -80,13 +137,18 @@ func (h *eventHeap) Pop() any {
 // Clock; time advances only when events run. Events scheduled for the same
 // instant fire in the order they were scheduled.
 //
-// Now is safe to call from any goroutine (daemon worker goroutines read
-// the clock for telemetry while the simulation goroutine advances it);
-// every other method must be confined to the simulation goroutine.
+// The stepping methods (Step, RunUntil, RunFor, Drain) are confined to the
+// simulation goroutine, and determinism holds only for work scheduled from
+// it. Everything else — Now, Since, AfterFunc, At, the Clock timer surface
+// — is safe to call from any goroutine: the heap is mutex-guarded so that
+// daemon worker goroutines can arm wait timers against virtual time while
+// the simulation goroutine steps. Sleep and the timer channels only make
+// progress while some other goroutine steps the scheduler; calling Sleep
+// from the simulation goroutine itself deadlocks.
 //
 // The zero value is not usable; call NewScheduler.
 type Scheduler struct {
-	mu   sync.Mutex // guards now against concurrent Now readers
+	mu   sync.Mutex // guards now, seq, and heap
 	now  time.Time
 	seq  uint64
 	heap eventHeap
@@ -104,18 +166,18 @@ func (s *Scheduler) Now() time.Time {
 	return s.now
 }
 
-// setNow publishes a clock advance to concurrent Now readers. Internal
-// same-goroutine reads of s.now need no lock: writes only ever happen on
-// the simulation goroutine.
-func (s *Scheduler) setNow(t time.Time) {
-	s.mu.Lock()
-	s.now = t
-	s.mu.Unlock()
-}
+// Since returns the virtual time elapsed since t.
+func (s *Scheduler) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
 
 // At schedules fn to run at time t. Scheduling in the past runs the event at
 // the current time (it will fire on the next Step).
 func (s *Scheduler) At(t time.Time, fn func()) *Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.atLocked(t, fn)
+}
+
+func (s *Scheduler) atLocked(t time.Time, fn func()) *Event {
 	if t.Before(s.now) {
 		t = s.now
 	}
@@ -125,19 +187,28 @@ func (s *Scheduler) At(t time.Time, fn func()) *Event {
 	return e
 }
 
-// After schedules fn to run d from now.
-func (s *Scheduler) After(d time.Duration, fn func()) *Event {
-	return s.At(s.now.Add(d), fn)
+// AfterFunc schedules fn to run d from now, like time.AfterFunc but in
+// virtual time.
+func (s *Scheduler) AfterFunc(d time.Duration, fn func()) *Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.atLocked(s.now.Add(d), fn)
 }
 
 // Pending reports the number of events waiting to fire, including cancelled
 // events that have not yet been discarded.
-func (s *Scheduler) Pending() int { return len(s.heap) }
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.heap)
+}
 
 // NextAt returns the firing time of the earliest pending live event, and
 // false if none is pending.
 func (s *Scheduler) NextAt() (time.Time, bool) {
-	for len(s.heap) > 0 && s.heap[0].canceled {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.heap) > 0 && s.heap[0].canceled.Load() {
 		heap.Pop(&s.heap)
 	}
 	if len(s.heap) == 0 {
@@ -147,18 +218,25 @@ func (s *Scheduler) NextAt() (time.Time, bool) {
 }
 
 // Step advances the clock to the next live event and runs it. It returns
-// false if no events remain.
+// false if no events remain. The event callback runs with the scheduler
+// unlocked, so callbacks may schedule freely.
 func (s *Scheduler) Step() bool {
-	for len(s.heap) > 0 {
+	for {
+		s.mu.Lock()
+		if len(s.heap) == 0 {
+			s.mu.Unlock()
+			return false
+		}
 		e := heap.Pop(&s.heap).(*Event)
-		if e.canceled {
+		if e.canceled.Load() {
+			s.mu.Unlock()
 			continue
 		}
-		s.setNow(e.at)
+		s.now = e.at
+		s.mu.Unlock()
 		e.fn()
 		return true
 	}
-	return false
 }
 
 // RunUntil runs events with firing times <= t, then advances the clock to t.
@@ -170,13 +248,15 @@ func (s *Scheduler) RunUntil(t time.Time) {
 		}
 		s.Step()
 	}
+	s.mu.Lock()
 	if s.now.Before(t) {
-		s.setNow(t)
+		s.now = t
 	}
+	s.mu.Unlock()
 }
 
 // RunFor runs the simulation for duration d of virtual time.
-func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.Now().Add(d)) }
 
 // Drain runs events until none remain or the limit of steps is hit,
 // returning the number of events run. A limit of 0 means no limit.
@@ -191,62 +271,108 @@ func (s *Scheduler) Drain(limit int) int {
 	return n
 }
 
-// Timer is a restartable one-shot timer on a Scheduler, analogous to
-// time.Timer but virtual. It is a convenience for protocol endpoints that
-// keep re-arming a single deadline (retransmission, heartbeat, and so on).
-type Timer struct {
+// Sleep blocks the calling goroutine for d of virtual time. It must be
+// called from a goroutine other than the one stepping the scheduler.
+func (s *Scheduler) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{})
+	s.AfterFunc(d, func() { close(ch) })
+	<-ch
+}
+
+// After returns a channel delivering the virtual time once d has elapsed.
+func (s *Scheduler) After(d time.Duration) <-chan time.Time {
+	return s.NewTimer(d).C()
+}
+
+// NewTimer returns an armed Timer that fires in virtual time. Safe for use
+// from daemon goroutines while the simulation goroutine steps.
+func (s *Scheduler) NewTimer(d time.Duration) Timer {
+	t := &schedTimer{s: s, ch: make(chan time.Time, 1)}
+	t.arm(d)
+	return t
+}
+
+type schedTimer struct {
+	s  *Scheduler
+	ch chan time.Time
+
+	mu sync.Mutex
+	ev *Event
+}
+
+func (t *schedTimer) arm(d time.Duration) {
+	t.s.mu.Lock()
+	ev := t.s.atLocked(t.s.now.Add(d), t.fire)
+	t.s.mu.Unlock()
+	t.mu.Lock()
+	t.ev = ev
+	t.mu.Unlock()
+}
+
+func (t *schedTimer) fire() {
+	t.mu.Lock()
+	t.ev = nil
+	t.mu.Unlock()
+	select {
+	case t.ch <- t.s.Now():
+	default:
+	}
+}
+
+func (t *schedTimer) C() <-chan time.Time { return t.ch }
+
+func (t *schedTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ev == nil {
+		return false
+	}
+	t.ev.Cancel()
+	t.ev = nil
+	return true
+}
+
+func (t *schedTimer) Reset(d time.Duration) bool {
+	t.mu.Lock()
+	active := t.ev != nil
+	if active {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+	t.mu.Unlock()
+	t.arm(d)
+	return active
+}
+
+// EventTimer is a restartable one-shot callback timer on a Scheduler, a
+// convenience for protocol endpoints that keep re-arming a single deadline
+// (retransmission, heartbeat, and so on). Unlike the Clock timer surface it
+// is confined to the simulation goroutine.
+type EventTimer struct {
 	s  *Scheduler
 	ev *Event
 	fn func()
 }
 
-// NewTimer returns a stopped timer that runs fn when it fires.
-func (s *Scheduler) NewTimer(fn func()) *Timer { return &Timer{s: s, fn: fn} }
+// NewEventTimer returns a stopped timer that runs fn when it fires.
+func (s *Scheduler) NewEventTimer(fn func()) *EventTimer { return &EventTimer{s: s, fn: fn} }
 
 // Reset arms the timer to fire at t, replacing any earlier deadline.
-func (t *Timer) Reset(at time.Time) {
+func (t *EventTimer) Reset(at time.Time) {
 	t.Stop()
 	t.ev = t.s.At(at, t.fn)
 }
 
 // ResetAfter arms the timer to fire d from now.
-func (t *Timer) ResetAfter(d time.Duration) { t.Reset(t.s.Now().Add(d)) }
+func (t *EventTimer) ResetAfter(d time.Duration) { t.Reset(t.s.Now().Add(d)) }
 
 // Stop cancels any pending firing.
-func (t *Timer) Stop() {
+func (t *EventTimer) Stop() {
 	if t.ev != nil {
 		t.ev.Cancel()
 		t.ev = nil
 	}
-}
-
-// Manual is a Clock whose time is set explicitly. It is safe for concurrent
-// use and handy for unit tests that do not need an event queue.
-type Manual struct {
-	mu  sync.Mutex
-	now time.Time
-}
-
-// NewManual returns a Manual clock set to start.
-func NewManual(start time.Time) *Manual { return &Manual{now: start} }
-
-// Now returns the manual clock's current time.
-func (m *Manual) Now() time.Time {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.now
-}
-
-// Advance moves the clock forward by d.
-func (m *Manual) Advance(d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.now = m.now.Add(d)
-}
-
-// Set jumps the clock to t.
-func (m *Manual) Set(t time.Time) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.now = t
 }

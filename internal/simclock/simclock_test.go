@@ -10,9 +10,9 @@ var t0 = time.Date(2012, 4, 1, 0, 0, 0, 0, time.UTC)
 func TestSchedulerOrdering(t *testing.T) {
 	s := NewScheduler(t0)
 	var got []int
-	s.After(30*time.Millisecond, func() { got = append(got, 3) })
-	s.After(10*time.Millisecond, func() { got = append(got, 1) })
-	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	s.AfterFunc(30*time.Millisecond, func() { got = append(got, 3) })
+	s.AfterFunc(10*time.Millisecond, func() { got = append(got, 1) })
+	s.AfterFunc(20*time.Millisecond, func() { got = append(got, 2) })
 	s.Drain(0)
 	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
 		t.Fatalf("events ran out of order: %v", got)
@@ -27,7 +27,7 @@ func TestSchedulerFIFOAtSameInstant(t *testing.T) {
 	var got []int
 	for i := 0; i < 10; i++ {
 		i := i
-		s.After(time.Millisecond, func() { got = append(got, i) })
+		s.AfterFunc(time.Millisecond, func() { got = append(got, i) })
 	}
 	s.Drain(0)
 	for i, v := range got {
@@ -40,7 +40,7 @@ func TestSchedulerFIFOAtSameInstant(t *testing.T) {
 func TestSchedulerCancel(t *testing.T) {
 	s := NewScheduler(t0)
 	fired := false
-	e := s.After(time.Millisecond, func() { fired = true })
+	e := s.AfterFunc(time.Millisecond, func() { fired = true })
 	e.Cancel()
 	s.Drain(0)
 	if fired {
@@ -70,7 +70,7 @@ func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
 func TestRunUntilDoesNotRunLaterEvents(t *testing.T) {
 	s := NewScheduler(t0)
 	fired := false
-	s.After(2*time.Second, func() { fired = true })
+	s.AfterFunc(2*time.Second, func() { fired = true })
 	s.RunUntil(t0.Add(time.Second))
 	if fired {
 		t.Fatal("event beyond horizon fired")
@@ -84,9 +84,9 @@ func TestRunUntilDoesNotRunLaterEvents(t *testing.T) {
 func TestEventsScheduledDuringEvents(t *testing.T) {
 	s := NewScheduler(t0)
 	var times []time.Duration
-	s.After(10*time.Millisecond, func() {
+	s.AfterFunc(10*time.Millisecond, func() {
 		times = append(times, s.Now().Sub(t0))
-		s.After(10*time.Millisecond, func() {
+		s.AfterFunc(10*time.Millisecond, func() {
 			times = append(times, s.Now().Sub(t0))
 		})
 	})
@@ -99,7 +99,7 @@ func TestEventsScheduledDuringEvents(t *testing.T) {
 func TestTimerResetReplacesDeadline(t *testing.T) {
 	s := NewScheduler(t0)
 	count := 0
-	tm := s.NewTimer(func() { count++ })
+	tm := s.NewEventTimer(func() { count++ })
 	tm.ResetAfter(10 * time.Millisecond)
 	tm.ResetAfter(50 * time.Millisecond)
 	s.RunFor(30 * time.Millisecond)
@@ -115,7 +115,7 @@ func TestTimerResetReplacesDeadline(t *testing.T) {
 func TestTimerStop(t *testing.T) {
 	s := NewScheduler(t0)
 	count := 0
-	tm := s.NewTimer(func() { count++ })
+	tm := s.NewEventTimer(func() { count++ })
 	tm.ResetAfter(10 * time.Millisecond)
 	tm.Stop()
 	s.RunFor(time.Second)
@@ -126,8 +126,8 @@ func TestTimerStop(t *testing.T) {
 
 func TestNextAtSkipsCancelled(t *testing.T) {
 	s := NewScheduler(t0)
-	e := s.After(time.Millisecond, func() {})
-	s.After(2*time.Millisecond, func() {})
+	e := s.AfterFunc(time.Millisecond, func() {})
+	s.AfterFunc(2*time.Millisecond, func() {})
 	e.Cancel()
 	at, ok := s.NextAt()
 	if !ok || !at.Equal(t0.Add(2*time.Millisecond)) {
@@ -153,9 +153,9 @@ func TestDrainLimit(t *testing.T) {
 	var reschedule func()
 	reschedule = func() {
 		count++
-		s.After(time.Millisecond, reschedule)
+		s.AfterFunc(time.Millisecond, reschedule)
 	}
-	s.After(time.Millisecond, reschedule)
+	s.AfterFunc(time.Millisecond, reschedule)
 	n := s.Drain(100)
 	if n != 100 || count != 100 {
 		t.Fatalf("Drain ran %d events, counted %d; want 100", n, count)

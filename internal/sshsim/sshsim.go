@@ -109,8 +109,8 @@ func BulkFlow(sched *simclock.Scheduler, nw *netem.Network, path *netem.Path,
 		if src.Buffered() < 8*1024*1024 {
 			src.Send(chunk)
 		}
-		sched.After(10*time.Millisecond, feed)
+		sched.AfterFunc(10*time.Millisecond, feed)
 	}
-	sched.After(0, feed)
+	sched.AfterFunc(0, feed)
 	return src, dst
 }

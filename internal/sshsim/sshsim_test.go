@@ -50,7 +50,7 @@ func TestCharacterAtATimeOrdering(t *testing.T) {
 	want := "ordered keystrokes survive loss"
 	for i := 0; i < len(want); i++ {
 		b := want[i]
-		sched.After(time.Duration(i)*50*time.Millisecond, func() { ss.Type([]byte{b}) })
+		sched.AfterFunc(time.Duration(i)*50*time.Millisecond, func() { ss.Type([]byte{b}) })
 	}
 	sched.RunFor(5 * time.Minute)
 	if string(got) != want {

@@ -103,7 +103,7 @@ type Conn struct {
 	// so a mass drop is repaired in one pass rather than one hole per
 	// round trip.
 	rtxNext   uint32
-	rtxTimer  *simclock.Timer
+	rtxTimer  *simclock.EventTimer
 	rtxArmed  bool
 	backoff   uint
 	srtt      float64 // ms
@@ -151,7 +151,7 @@ func New(cfg Config) *Conn {
 		ssthresh: 1 << 30,
 		ooo:      make(map[uint32][]byte),
 	}
-	c.rtxTimer = cfg.Sched.NewTimer(c.onTimeout)
+	c.rtxTimer = cfg.Sched.NewEventTimer(c.onTimeout)
 	return c
 }
 

@@ -190,9 +190,9 @@ func TestBulkFlowFillsBottleneckQueue(t *testing.T) {
 		if server.Buffered() < 8*1024*1024 {
 			server.Send(chunk)
 		}
-		sched.After(10*time.Millisecond, feed)
+		sched.AfterFunc(10*time.Millisecond, feed)
 	}
-	sched.After(0, feed)
+	sched.AfterFunc(0, feed)
 	sched.RunFor(30 * time.Second)
 
 	maxQueue := down.Stats().MaxQueueBytes
@@ -222,7 +222,7 @@ func TestInteractiveLatencyUnderLossHasHugeTail(t *testing.T) {
 	}
 	for i := 0; i < 200; i++ {
 		i := i
-		f.sched.After(time.Duration(i)*250*time.Millisecond, func() {
+		f.sched.AfterFunc(time.Duration(i)*250*time.Millisecond, func() {
 			sendAt[i] = f.sched.Now()
 			f.a.Send([]byte{byte(i)})
 		})

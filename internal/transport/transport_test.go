@@ -128,8 +128,8 @@ func newHarness(t *testing.T, params netem.LinkParams, timing *Timing) *harness 
 
 	// Self-rescheduling pumps, mimicking each endpoint's event loop.
 	var pumpClient, pumpServer func()
-	clientTimer := h.sched.NewTimer(func() { pumpClient() })
-	serverTimer := h.sched.NewTimer(func() { pumpServer() })
+	clientTimer := h.sched.NewEventTimer(func() { pumpClient() })
+	serverTimer := h.sched.NewEventTimer(func() { pumpServer() })
 	pumpClient = func() {
 		h.client.Tick()
 		clientTimer.ResetAfter(clampWait(h.client.WaitTime()))
@@ -140,8 +140,8 @@ func newHarness(t *testing.T, params netem.LinkParams, timing *Timing) *harness 
 	}
 	h.wakeClient = pumpClient
 	h.wakeServer = pumpServer
-	h.sched.After(0, pumpClient)
-	h.sched.After(0, pumpServer)
+	h.sched.AfterFunc(0, pumpClient)
+	h.sched.AfterFunc(0, pumpServer)
 
 	// Client introduces itself so the server learns its address.
 	h.client.Sender().ForceAckSoon()

@@ -1,0 +1,19 @@
+package udpbatch
+
+import "repro/internal/simclock"
+
+// clk is the package's time source. Providers are constructed bare from a
+// *net.UDPConn (no config struct to thread a clock through), so the clock
+// is injected at package level: real by default, swappable for tests that
+// want the probe/retry waits and the log rate limiter in virtual time.
+var clk simclock.Clock = simclock.Real{}
+
+// SetClock injects the clock used for provider probe deadlines, retry
+// waits, and log rate limiting. Call before constructing providers; not
+// safe to swap while providers are live.
+func SetClock(c simclock.Clock) {
+	if c == nil {
+		c = simclock.Real{}
+	}
+	clk = c
+}

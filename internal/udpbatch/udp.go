@@ -73,7 +73,7 @@ func (u *udpSingle) ReadFrom(buf []byte) (int, netem.Addr, error) {
 			if errors.Is(err, net.ErrClosed) {
 				return 0, netem.Addr{}, err
 			}
-			if now := time.Now(); now.Sub(u.lastLog) >= time.Second {
+			if now := clk.Now(); now.Sub(u.lastLog) >= time.Second {
 				u.lastLog = now
 				fmt.Fprintln(os.Stderr, "udpbatch read:", err)
 			}

@@ -464,8 +464,8 @@ func (u *uringConn) selfTest() error {
 		return fmt.Errorf("probe send: n=%d err=%w", n, err)
 	}
 	slot := []Message{{Buf: make([]byte, 0, 2048)}}
-	deadline := time.Now().Add(250 * time.Millisecond)
-	for time.Now().Before(deadline) {
+	deadline := clk.Now().Add(250 * time.Millisecond)
+	for clk.Now().Before(deadline) {
 		n, rearm, err := u.harvest(slot)
 		if rearm {
 			if err := u.armRecv(); err != nil {
@@ -479,7 +479,7 @@ func (u *uringConn) selfTest() error {
 			return nil
 		}
 		slot[0].Buf = slot[0].Buf[:0]
-		time.Sleep(time.Millisecond)
+		clk.Sleep(time.Millisecond)
 	}
 	return errors.New("no completion within deadline (multishot recvmsg unsupported?)")
 }
@@ -761,7 +761,7 @@ func (u *uringConn) Close() error {
 		// once it has left the ring, unmapping is safe. The bound makes a
 		// wedged reader leak the rings rather than race them.
 		for i := 0; i < 2000 && u.readerBusy.Load() != 0; i++ {
-			time.Sleep(time.Millisecond)
+			clk.Sleep(time.Millisecond)
 		}
 		if u.readerBusy.Load() != 0 {
 			return
