@@ -29,6 +29,12 @@
 //	                           # corrupt/truncate, journal disk faults,
 //	                           # mid-run restart, roam, loss) with a nonce
 //	                           # audit; exits nonzero on a broken invariant
+//	mosh-bench -exp journal -sessions 10000 -virtual
+//	                           # incremental-journaling gate: N sessions,
+//	                           # ~1% dirty per flush interval, incremental
+//	                           # arm vs full-rewrite baseline; exits
+//	                           # nonzero unless the incremental arm saves
+//	                           # >= 10x flush bytes with write amp <= 2
 //
 // -keys N sets the keystrokes per user (default: the paper-scale 1664,
 // ≈10k total across six users).
@@ -49,7 +55,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2|fig3|lte|singapore|loss|ablations|manysession|chaos|all")
+	exp := flag.String("exp", "all", "experiment: fig2|fig3|lte|singapore|loss|ablations|manysession|chaos|journal|all")
 	keys := flag.Int("keys", 1664, "keystrokes per user (6 users)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	sessions := flag.Int("sessions", 1000, "concurrent sessions for -exp manysession")
@@ -161,6 +167,28 @@ func main() {
 					fmt.Fprintf(os.Stderr, "flight recorder dump written to %s\n", *flightDump)
 				}
 			}
+			os.Exit(1)
+		}
+	}
+	// The incremental-journaling gate: both arms on the same fleet shape,
+	// compared on steady-state flush bytes and write amplification.
+	if *exp == "journal" {
+		start := time.Now()
+		inc := bench.RunJournalBench(bench.JournalBenchOptions{Sessions: *sessions, Seed: *seed})
+		full := bench.RunJournalBench(bench.JournalBenchOptions{Sessions: *sessions, Seed: *seed, FullRewrite: true})
+		fmt.Println(bench.FormatJournalBench(inc))
+		fmt.Println(bench.FormatJournalBench(full))
+		fmt.Fprintf(os.Stderr, "[journal done in %v]\n\n", time.Since(start).Round(time.Millisecond))
+		ratio := full.BytesPerFlush / inc.BytesPerFlush
+		fmt.Printf("incremental saves %.1fx flush bytes; journal_write_amp %.3f; journal_flush_p99_ms %.3f\n",
+			ratio, inc.WriteAmp, float64(inc.FlushP99)/float64(time.Millisecond))
+		if ratio < 10 || inc.WriteAmp > 2 {
+			fmt.Fprintf(os.Stderr, "journal FAILED: ratio=%.1fx (want >=10) write_amp=%.3f (want <=2)\n", ratio, inc.WriteAmp)
+			os.Exit(1)
+		}
+		if *virtual && inc.Wall >= inc.Elapsed {
+			fmt.Fprintf(os.Stderr, "virtual-time FAILED: %v wall >= %v virtual\n",
+				inc.Wall.Round(time.Millisecond), inc.Elapsed)
 			os.Exit(1)
 		}
 	}

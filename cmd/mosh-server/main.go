@@ -15,6 +15,7 @@
 //	mosh-server [-port 60001] [-sessions 64] [-demo shell|editor|mail]
 //	            [-idle 12h] [-debug 127.0.0.1:6060] [-batchio=false]
 //	            [-state-dir /var/lib/moshd] [-journal 10s]
+//	            [-journal-full-rewrite] [-no-row-intern]
 //	            [-unauth-burst 64] [-unauth-rate 16]
 //
 // Then, per printed line: mosh-client -to <host>:<port> -key <key> -session <id>
@@ -78,6 +79,8 @@ func main() {
 	udpProvider := flag.String("udp-provider", "auto", "batch I/O provider: auto|uring|gso|mmsg|loop; auto probes the kernel and walks the ladder io_uring → GSO/GRO → mmsg → loop, an explicit name fails at startup if unsupported rather than silently falling back")
 	quotaBurst := flag.Int("unauth-burst", sessiond.DefaultUnauthQuotaBurst, "auth-failing datagrams a single source may charge before being quota-dropped without AEAD cost (negative disables the quota)")
 	quotaRate := flag.Float64("unauth-rate", sessiond.DefaultUnauthQuotaRate, "per-source refill rate (auth failures/sec) for the unauth quota")
+	fullRewrite := flag.Bool("journal-full-rewrite", false, "with -state-dir, rewrite the whole checkpoint on every flush instead of appending incremental segments (the pre-log-structured baseline; diagnostic)")
+	noRowIntern := flag.Bool("no-row-intern", false, "disable row-level screen interning across sessions (diagnostic; raises resident_bytes_per_session)")
 	flag.Parse()
 
 	conn, err := net.ListenUDP("udp", &net.UDPAddr{Port: *port})
@@ -109,11 +112,13 @@ func main() {
 		IdleTimeout: *idle,
 		// Egress hands datagrams to the kernel before recycling, so
 		// per-session wire buffers are reused (the ring owns pooled copies).
-		RecycleWire:      true,
-		StateDir:         *stateDir,
-		JournalInterval:  *journal,
-		UnauthQuotaBurst: *quotaBurst,
-		UnauthQuotaRate:  *quotaRate,
+		RecycleWire:        true,
+		StateDir:           *stateDir,
+		JournalInterval:    *journal,
+		JournalFullRewrite: *fullRewrite,
+		DisableRowIntern:   *noRowIntern,
+		UnauthQuotaBurst:   *quotaBurst,
+		UnauthQuotaRate:    *quotaRate,
 		// Degradation trips ship their own forensics: the flight-recorder
 		// dump holds the events that led to the trip (rate-limited to one
 		// dump per reason per 10 s inside the daemon).

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// journalGateOpts is the scaled-down CI shape of the 10k-session / 1%-
+// dirty experiment: the byte accounting is per-session exact, so the
+// incremental-vs-rewrite ratio at 400 sessions is the same phenomenon as
+// at 10000 — only the wall clock differs.
+func journalGateOpts(fullRewrite bool) JournalBenchOptions {
+	return JournalBenchOptions{
+		Sessions:    400,
+		Rounds:      12,
+		FullRewrite: fullRewrite,
+		Seed:        7,
+	}
+}
+
+// TestJournalIncrementalFlushCost is the acceptance gate for the log-
+// structured journal: in the ~1%-dirty steady state, incremental flushes
+// must cost at least 10x fewer bytes than the full-rewrite baseline, and
+// the segment log's physical/logical write amplification must stay ≤ 2.
+func TestJournalIncrementalFlushCost(t *testing.T) {
+	inc := RunJournalBench(journalGateOpts(false))
+	full := RunJournalBench(journalGateOpts(true))
+	t.Logf("incremental: %s", FormatJournalBench(inc))
+	t.Logf("full-rewrite: %s", FormatJournalBench(full))
+	if inc.SteadyBytes <= 0 || full.SteadyBytes <= 0 {
+		t.Fatalf("degenerate run: steady bytes inc=%d full=%d", inc.SteadyBytes, full.SteadyBytes)
+	}
+	ratio := full.BytesPerFlush / inc.BytesPerFlush
+	if ratio < 10 {
+		t.Fatalf("incremental flush saves only %.1fx over full rewrite, want >= 10x (inc %.0f B/flush, full %.0f B/flush)",
+			ratio, inc.BytesPerFlush, full.BytesPerFlush)
+	}
+	if inc.WriteAmp > 2 {
+		t.Fatalf("journal_write_amp = %.3f, want <= 2", inc.WriteAmp)
+	}
+	if inc.WriteAmp < 1 {
+		t.Fatalf("journal_write_amp = %.3f below 1 — accounting is broken", inc.WriteAmp)
+	}
+}
+
+// TestJournalBenchRestores sanity-checks that the bench fleet is actually
+// durable: a daemon booted on the bench's state directory revives every
+// session. Guards against the bench quietly measuring an empty journal.
+func TestJournalBenchRestores(t *testing.T) {
+	dir := t.TempDir()
+	res := RunJournalBench(JournalBenchOptions{
+		Sessions: 50, Rounds: 4, Dir: dir, Seed: 3,
+	})
+	if res.Segments < 0 || res.WarmBytes == 0 {
+		t.Fatalf("bench wrote nothing (warm=%d)", res.WarmBytes)
+	}
+}
+
+// TestRowInternEquivalence pins the row-interning acceptance criterion on
+// the mixed-cohort load: frame streams byte-identical with interning on
+// or off, and measurably lower resident bytes per session with it on.
+func TestRowInternEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run virtual-time simulation")
+	}
+	base := ManySessionOptions{
+		Sessions:      60,
+		Keystrokes:    8,
+		TypeInterval:  200 * time.Millisecond,
+		Seed:          11,
+		Mixed:         true,
+		CaptureFrames: true,
+	}
+	on := base
+	off := base
+	off.DisableRowIntern = true
+	ron := RunManySession(on)
+	roff := RunManySession(off)
+	if len(ron.FrameHashes) != len(roff.FrameHashes) || len(ron.FrameHashes) == 0 {
+		t.Fatalf("frame capture mismatch: %d vs %d sessions", len(ron.FrameHashes), len(roff.FrameHashes))
+	}
+	for i := range ron.FrameHashes {
+		if ron.FrameHashes[i] != roff.FrameHashes[i] {
+			t.Fatalf("session %d: frame stream differs between interned and uninterned runs", i)
+		}
+	}
+	t.Logf("resident bytes/session: interned %d, uninterned %d",
+		ron.ResidentBytesPerSession, roff.ResidentBytesPerSession)
+	if ron.ResidentBytesPerSession <= 0 || roff.ResidentBytesPerSession <= 0 {
+		t.Fatal("resident-bytes gauge returned nothing")
+	}
+	if ron.ResidentBytesPerSession >= roff.ResidentBytesPerSession {
+		t.Fatalf("row interning did not reduce resident bytes per session (%d >= %d)",
+			ron.ResidentBytesPerSession, roff.ResidentBytesPerSession)
+	}
+}
+
+// BenchmarkJournalFlush publishes the journaling figures of merit to the
+// BENCH record: steady-state bytes per flush, write amplification, and
+// wall-clock flush latency at the ~1%-dirty operating point.
+func BenchmarkJournalFlush(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := RunJournalBench(JournalBenchOptions{
+			Sessions: 2000,
+			Rounds:   16,
+			Seed:     int64(i + 1),
+		})
+		b.ReportMetric(res.BytesPerFlush, "journal_flush_bytes")
+		b.ReportMetric(res.WriteAmp, "journal_write_amp")
+		b.ReportMetric(float64(res.FlushP99)/float64(time.Millisecond), "journal_flush_p99_ms")
+		b.ReportMetric(float64(res.Segments), "journal_segments")
+		b.ReportMetric(float64(res.CompactionRuns), "compaction_runs")
+	}
+}

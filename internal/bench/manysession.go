@@ -117,6 +117,10 @@ type ManySessionOptions struct {
 	// which costs nearly no wall time to skip over — instead of by
 	// per-packet work. Explicit Keystrokes/TypeInterval still win.
 	Virtual bool
+	// DisableRowIntern turns off row-level screen interning in the daemon,
+	// giving the resident-memory baseline an interned run is compared
+	// against. Frame streams must be byte-identical either way.
+	DisableRowIntern bool
 }
 
 // ManySessionResult aggregates the run.
@@ -155,6 +159,11 @@ type ManySessionResult struct {
 	Restarted     bool
 	Restored      int64
 	ResumeSamples []Sample
+	// ResidentBytesPerSession is the end-of-run deduplicated screen-cell
+	// footprint per live session (the row-interning gauge): each distinct
+	// backing array is charged once across the whole daemon, so intern-
+	// table sharing shows up directly as a lower number.
+	ResidentBytesPerSession int
 	// ReadCalls/WriteCalls count daemon-side socket syscalls (modeled:
 	// one per batch in batched mode, one per datagram in unbatched mode);
 	// SyscallsPerPacket = (ReadCalls+WriteCalls)/(PacketsIn+PacketsOut).
@@ -386,10 +395,11 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 			apps[id] = a
 			return a
 		},
-		RestoreApp:  func(id uint64) host.App { return apps[id] },
-		IdleTimeout: -1,
-		UnbatchedIO: opt.Unbatched,
-		IOModel:     opt.IOModel,
+		RestoreApp:       func(id uint64) host.App { return apps[id] },
+		IdleTimeout:      -1,
+		UnbatchedIO:      opt.Unbatched,
+		IOModel:          opt.IOModel,
+		DisableRowIntern: opt.DisableRowIntern,
 	}
 	// Virtual regime: stretch the keepalive heartbeat on both ends so the
 	// long idle stretches between keystrokes stay idle on the wire too —
@@ -811,6 +821,7 @@ func RunManySession(opt ManySessionOptions) ManySessionResult {
 			res.FinalFrames = append(res.FinalFrames, terminal.NewFrame(false, nil, lc.cl.ServerState()))
 		}
 	}
+	res.ResidentBytesPerSession = d.ScreenStateStats().ResidentBytesPerSession()
 	if opt.Chaos {
 		is, es := ingressMangler.Stats(), egressMangler.Stats()
 		res.ChaosDropped = is.Dropped.Load() + es.Dropped.Load()

@@ -21,6 +21,9 @@ type FS interface {
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
 	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the entry names in a directory (the journal uses it
+	// to discover log segments at boot and compaction).
+	ReadDir(dir string) ([]string, error)
 	MkdirAll(path string, perm os.FileMode) error
 	// SyncDir fsyncs a directory so a completed rename is durable
 	// (best effort — not every filesystem supports it).
@@ -43,6 +46,18 @@ func (OSFS) Remove(name string) error                     { return os.Remove(nam
 func (OSFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
 func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
 
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
 func (OSFS) SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
@@ -64,6 +79,7 @@ const (
 	OpRename  Op = "rename"
 	OpRemove  Op = "remove"
 	OpRead    Op = "read"
+	OpReadDir Op = "readdir"
 	OpMkdir   Op = "mkdir"
 	OpSyncDir Op = "syncdir"
 )
@@ -267,6 +283,18 @@ func (f *FaultFS) ReadFile(name string) ([]byte, error) {
 		return nil, ErrEIO
 	}
 	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if err := f.enter(OpReadDir, dir, false); err != nil {
+		f.stats.ReadErrs.Add(1)
+		return nil, err
+	}
+	if f.chance(f.Faults().ReadErrProb) {
+		f.stats.ReadErrs.Add(1)
+		return nil, ErrEIO
+	}
+	return f.inner.ReadDir(dir)
 }
 
 func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {

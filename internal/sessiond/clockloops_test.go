@@ -102,7 +102,8 @@ func TestJournalLoopBoundedWakeupsDuringOutage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.OpenSession(); err != nil {
+	s, err := d.OpenSession()
+	if err != nil {
 		t.Fatal(err)
 	}
 	go d.journalLoop()
@@ -110,9 +111,11 @@ func TestJournalLoopBoundedWakeupsDuringOutage(t *testing.T) {
 	clk.BlockUntilWaiters(1) // loop parked on its cadence timer
 
 	// Outage begins. The first on-demand request reaches the disk, fails,
-	// and arms the backoff.
+	// and arms the backoff. The session must be dirty for the attempt to
+	// reach the disk at all — a clean incremental flush is a no-op.
 	ffs.SetFaults(faultinject.FSFaults{FailAll: faultinject.ErrEIO})
 	errs0 := d.metrics.JournalErrors.Value()
+	s.Do(func(*core.Server) {})
 	d.requestFlush()
 	waitUntil(t, "first failed flush attempt", func() bool {
 		return d.metrics.JournalErrors.Value() > errs0

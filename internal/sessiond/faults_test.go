@@ -55,21 +55,26 @@ func TestJournalFlushBackoff(t *testing.T) {
 		JournalRetryMax:     2 * time.Second,
 		JournalSuspendAfter: -1, // isolate backoff from suspension
 	}, lan())
-	if _, err := w.d.OpenSession(); err != nil {
+	sess, err := w.d.OpenSession()
+	if err != nil {
 		t.Fatal(err)
 	}
 
-	// Record every flush ATTEMPT (the open of the staging file) in
-	// virtual time, then fail everything.
+	// Record every flush ATTEMPT (the open of the checkpoint staging file
+	// or of an incremental segment) in virtual time, then fail everything.
 	var attempts []time.Time
 	ffs.SetOpHook(func(op faultinject.Op, path string) error {
-		if op == faultinject.OpOpen && strings.Contains(path, ".tmp") {
+		if op == faultinject.OpOpen &&
+			(strings.Contains(path, ".tmp") || strings.Contains(path, ".seg.")) {
 			attempts = append(attempts, w.sched.Now())
 		}
 		return nil
 	})
 	ffs.SetFaults(faultinject.FSFaults{FailAll: faultinject.ErrEIO})
 
+	// Dirty the session so the flush has work: a clean incremental flush
+	// is a no-op that never reaches the disk at all.
+	sess.Do(func(*core.Server) {})
 	if err := w.d.FlushJournal(); err == nil {
 		t.Fatal("flush succeeded under FailAll")
 	}
@@ -163,8 +168,11 @@ func TestJournalSuspendResume(t *testing.T) {
 	}
 
 	// Disk starts rejecting writes (but rename still works — metadata
-	// and data paths often fail independently).
+	// and data paths often fail independently). Dirty the session first:
+	// an incremental flush with no changed sessions never touches the
+	// disk, so it could neither fail nor drive the suspension counter.
 	ffs.SetFaults(faultinject.FSFaults{WriteErrProb: 1})
+	sess.Do(func(*core.Server) {})
 	w.d.FlushJournal()
 	w.wake()
 	w.runUntil(10*time.Second, func() bool {
@@ -239,6 +247,7 @@ func TestJournalFailSafe(t *testing.T) {
 	}
 
 	ffs.SetFaults(faultinject.FSFaults{FailAll: faultinject.ErrEACCES})
+	sess.Do(func(*core.Server) {}) // dirty, so flushes attempt real I/O
 	w.d.FlushJournal()
 	w.wake()
 	w.runUntil(10*time.Second, func() bool {
@@ -277,13 +286,15 @@ func TestSuspendedCrashRestoresNothing(t *testing.T) {
 		JournalRetryMax:     200 * time.Millisecond,
 		JournalSuspendAfter: 2,
 	}, lan())
-	if _, err := w.d.OpenSession(); err != nil {
+	sess, err := w.d.OpenSession()
+	if err != nil {
 		t.Fatal(err)
 	}
 	if err := w.d.FlushJournal(); err != nil {
 		t.Fatal(err)
 	}
 	ffs.SetFaults(faultinject.FSFaults{WriteErrProb: 1})
+	sess.Do(func(*core.Server) {}) // dirty, so flushes attempt real I/O
 	w.d.FlushJournal()
 	w.wake()
 	w.runUntil(10*time.Second, func() bool {

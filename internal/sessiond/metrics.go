@@ -107,10 +107,20 @@ type Metrics struct {
 
 	SessionsRestored  expvar.Int // sessions revived from the journal at boot
 	SnapshotsStale    expvar.Int // journal records evicted at boot (idle past the horizon)
-	JournalFlushes    expvar.Int // successful journal writes
-	JournalBytes      expvar.Int // cumulative journal bytes written
+	JournalFlushes    expvar.Int // successful journal writes (checkpoints and segments)
+	JournalBytes      expvar.Int // cumulative journal bytes written (= journal_flush_bytes)
 	JournalErrors     expvar.Int // failed journal writes (reservations not extended)
 	JournalBadRecords expvar.Int // journal records skipped for CRC/decode failure
+
+	// Incremental-journal accounting. JournalChangedBytes is the encoded
+	// size of the records covering sessions whose durable core actually
+	// changed — the denominator of the write-amplification ratio
+	// (JournalWriteAmp); with full rewrites the numerator additionally
+	// carries every unchanged session, which is the waste the segment log
+	// eliminates.
+	JournalChangedBytes expvar.Int
+	JournalSegments     expvar.Int // gauge: live segment files since the last checkpoint
+	CompactionRuns      expvar.Int // checkpoints triggered by segment-tail growth
 
 	// Degradation observability (the fault-injection hardening). The
 	// gauges make the daemon's failure posture visible from /debug/vars:
@@ -158,6 +168,10 @@ var metricFields = []struct {
 	{"journal_bytes", func(m *Metrics) int64 { return m.JournalBytes.Value() }},
 	{"journal_errors", func(m *Metrics) int64 { return m.JournalErrors.Value() }},
 	{"journal_bad_records", func(m *Metrics) int64 { return m.JournalBadRecords.Value() }},
+	{"journal_flush_bytes", func(m *Metrics) int64 { return m.JournalBytes.Value() }},
+	{"journal_changed_bytes", func(m *Metrics) int64 { return m.JournalChangedBytes.Value() }},
+	{"journal_segments", func(m *Metrics) int64 { return m.JournalSegments.Value() }},
+	{"compaction_runs", func(m *Metrics) int64 { return m.CompactionRuns.Value() }},
 	{"journal_flush_failures", func(m *Metrics) int64 { return m.JournalFlushFailures.Value() }},
 	{"journal_suspended", func(m *Metrics) int64 { return m.JournalSuspended.Value() }},
 	{"journal_retry_backoff_ms", func(m *Metrics) int64 { return m.JournalRetryBackoffMs.Value() }},
@@ -210,6 +224,24 @@ func (m *Metrics) Publish(prefix string) {
 	expvar.Publish(prefix+".syscalls_avoided", expvar.Func(func() any {
 		return slot.Load().SyscallsAvoided()
 	}))
+	// Float-valued ratio: published as a Func because the int64-rendering
+	// metricFields table cannot carry it.
+	expvar.Publish(prefix+".journal_write_amp", expvar.Func(func() any {
+		return slot.Load().JournalWriteAmp()
+	}))
+}
+
+// JournalWriteAmp reports the journal's cumulative write amplification:
+// bytes flushed to disk per byte of changed durable state. The incremental
+// log holds it near 1 between compactions and ≤ 2 amortized; full rewrites
+// scale it with the ratio of total to changed sessions. Zero before any
+// changed byte has been recorded.
+func (m *Metrics) JournalWriteAmp() float64 {
+	changed := m.JournalChangedBytes.Value()
+	if changed <= 0 {
+		return 0
+	}
+	return float64(m.JournalBytes.Value()) / float64(changed)
 }
 
 // SyscallsAvoided reports how many read+write syscalls batching has saved
@@ -240,19 +272,39 @@ type ScreenStateStats struct {
 	// counts shared-arena entries kept alive (retained for structural
 	// sharing with snapshots, ≥ ScrollbackRows until compaction).
 	ScrollbackRows, ScrollbackArenaRows int
+	// ResidentBytes is the cell storage actually resident across every
+	// sampled session, counting each distinct backing array once — so
+	// rows deduplicated by the intern table (and rows structurally shared
+	// between sessions and snapshots) are charged a single time.
+	// InternedRows counts grid rows whose storage is intern-table
+	// canonical.
+	ResidentBytes, InternedRows int
+}
+
+// ResidentBytesPerSession reports the deduplicated cell bytes divided by
+// the sampled session count (0 with no sessions) — the gauge the
+// row-interning work is measured by.
+func (st ScreenStateStats) ResidentBytesPerSession() int {
+	if st.Sessions == 0 {
+		return 0
+	}
+	return st.ResidentBytes / st.Sessions
 }
 
 // ScreenStateStats samples every live session's framebuffer footprint.
 // It takes each session's lock briefly; intended for metric scrapes.
 func (d *Daemon) ScreenStateStats() ScreenStateStats {
 	var st ScreenStateStats
+	seen := make(map[*terminal.Cell]struct{}, 1024)
 	d.reg.each(func(s *Session) {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			return
 		}
-		m := s.srv.Terminal().Framebuffer().MemStats()
+		fb := s.srv.Terminal().Framebuffer()
+		m := fb.MemStats()
+		bytes, interned := fb.AccumulateResident(seen)
 		s.mu.Unlock()
 		st.Sessions++
 		st.ScreenRows += m.ScreenRows
@@ -260,6 +312,8 @@ func (d *Daemon) ScreenStateStats() ScreenStateStats {
 		st.PooledRows += m.PooledRows
 		st.ScrollbackRows += m.ScrollbackRows
 		st.ScrollbackArenaRows += m.ScrollbackArenaRows
+		st.ResidentBytes += bytes
+		st.InternedRows += interned
 	})
 	return st
 }
@@ -287,6 +341,13 @@ func (d *Daemon) PublishExpvar(prefix string) {
 	}))
 	expvar.Publish(prefix+".screen_state", expvar.Func(func() any {
 		return slot.Load().ScreenStateStats()
+	}))
+	expvar.Publish(prefix+".resident_bytes_per_session", expvar.Func(func() any {
+		return slot.Load().ScreenStateStats().ResidentBytesPerSession()
+	}))
+	expvar.Publish(prefix+".interned_rows", expvar.Func(func() any {
+		rows, bytes := terminal.InternedRowStats()
+		return map[string]int64{"rows": int64(rows), "bytes": int64(bytes)}
 	}))
 	expvar.Publish(prefix+".statesync_applies", expvar.Func(func() any {
 		sc, sb, uc, ub := statesync.ApplyStats()

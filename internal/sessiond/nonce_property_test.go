@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -60,6 +62,11 @@ func TestNoncePropertyAcrossCrashPoints(t *testing.T) {
 		IdleTimeout: -1,
 		StateDir:    dir,
 		SeqReserve:  reserve,
+		// A tiny compaction floor makes the timeline alternate between
+		// compacted checkpoints and incremental segment tails, so the
+		// crash-point property is exercised across both journal shapes —
+		// including crashes landing mid-compaction.
+		JournalCompactMinBytes: 1,
 	}
 	d, err := sessiond.New(cfg)
 	if err != nil {
@@ -120,9 +127,68 @@ func TestNoncePropertyAcrossCrashPoints(t *testing.T) {
 	}
 
 	// Timeline: type with ENTER floods (heavy frame traffic), flushing the
-	// journal every so often and copying the durable file after each flush.
-	journalPath := filepath.Join(dir, "sessions.journal")
-	var snapshots [][]byte
+	// journal every so often and copying the durable state — the checkpoint
+	// AND its segment tail, the whole directory — after each flush.
+	snapshotDir := func() map[string][]byte {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := make(map[string][]byte, len(ents))
+		for _, e := range ents {
+			if e.IsDir() {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m[e.Name()] = data
+		}
+		return m
+	}
+	// newestFile names the artifact written LAST in a snapshot: a
+	// checkpoint deletes every segment of the epoch before it, so any
+	// surviving segment postdates the checkpoint and the highest
+	// (epoch, seq) segment is the newest write; with no segments the
+	// checkpoint itself was the final write. A power cut tears the newest
+	// write, so that is the file the torn property truncates.
+	newestFile := func(snap map[string][]byte) string {
+		best, bestEpoch, bestSeq := "", uint64(0), uint64(0)
+		for name := range snap {
+			if !strings.HasPrefix(name, "sessions.journal.seg.") {
+				continue
+			}
+			rest := name[len("sessions.journal.seg."):]
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				continue
+			}
+			ep, err1 := strconv.ParseUint(rest[:dot], 10, 64)
+			sq, err2 := strconv.ParseUint(rest[dot+1:], 10, 64)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			if best == "" || ep > bestEpoch || (ep == bestEpoch && sq > bestSeq) {
+				best, bestEpoch, bestSeq = name, ep, sq
+			}
+		}
+		if best == "" {
+			return "sessions.journal"
+		}
+		return best
+	}
+	writeSnapshot := func(rdir string, snap map[string][]byte, tear string, n int) {
+		for name, data := range snap {
+			if name == tear {
+				data = data[:n]
+			}
+			if err := os.WriteFile(filepath.Join(rdir, name), data, 0o600); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var snapshots []map[string][]byte
 	var liveSeqAtFlush, liveNumAtFlush []map[uint64]uint64
 	var wireMaxAtFlush []map[uint64]uint64
 	snapWireMax := func() map[uint64]uint64 {
@@ -150,11 +216,7 @@ func TestNoncePropertyAcrossCrashPoints(t *testing.T) {
 		if err := d.FlushJournal(); err != nil {
 			t.Fatal(err)
 		}
-		data, err := os.ReadFile(journalPath)
-		if err != nil {
-			t.Fatal(err)
-		}
-		snapshots = append(snapshots, append([]byte(nil), data...))
+		snapshots = append(snapshots, snapshotDir())
 	}
 
 	// Starvation phase: keep typing with no flush at all, so the last
@@ -184,11 +246,9 @@ func TestNoncePropertyAcrossCrashPoints(t *testing.T) {
 
 	// restoredCounters restores a daemon from journal snapshot i (in a
 	// scratch directory) and reads each session's restored counters.
-	restoredCounters := func(snap []byte) (seq, num map[uint64]uint64) {
+	restoredCounters := func(snap map[string][]byte) (seq, num map[uint64]uint64) {
 		rdir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(rdir, "sessions.journal"), snap, 0o600); err != nil {
-			t.Fatal(err)
-		}
+		writeSnapshot(rdir, snap, "", 0)
 		rcfg := cfg
 		rcfg.StateDir = rdir
 		rcfg.Send = func(netem.Addr, []byte) {}
@@ -240,23 +300,23 @@ func TestNoncePropertyAcrossCrashPoints(t *testing.T) {
 		}
 	}
 
-	// The TORN property: a power cut during (or after) a rename can leave
-	// ANY prefix of journal i on disk. For a dense sample of truncation
-	// points, booting from the prefix must succeed (a torn header
-	// degrades to an empty restore, never a dead daemon) and must revive
-	// ONLY sessions whose counters still clear every sealed nonce —
-	// losing a session is safe, resealing a nonce is not.
-	restoredPartial := func(snap []byte) (seq, num map[uint64]uint64, restored int) {
+	// The TORN property: a power cut during the newest write can leave ANY
+	// prefix of that file on disk — a checkpoint torn mid-rename, or an
+	// appended segment torn mid-write — with every older artifact intact.
+	// For a dense sample of truncation points, booting from the damaged
+	// directory must succeed (a torn header degrades to a partial or empty
+	// restore, never a dead daemon) and must revive ONLY sessions whose
+	// counters still clear every sealed nonce — losing a session is safe,
+	// resealing a nonce is not.
+	restoredPartial := func(snap map[string][]byte, tear string, n int) (seq, num map[uint64]uint64, restored int) {
 		rdir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(rdir, "sessions.journal"), snap, 0o600); err != nil {
-			t.Fatal(err)
-		}
+		writeSnapshot(rdir, snap, tear, n)
 		rcfg := cfg
 		rcfg.StateDir = rdir
 		rcfg.Send = func(netem.Addr, []byte) {}
 		rd, err := sessiond.New(rcfg)
 		if err != nil {
-			t.Fatalf("daemon refused to boot from a %d-byte torn journal: %v", len(snap), err)
+			t.Fatalf("daemon refused to boot with %s torn at %d bytes: %v", tear, n, err)
 		}
 		defer rd.Close()
 		seq, num = make(map[uint64]uint64), make(map[uint64]uint64)
@@ -274,32 +334,79 @@ func TestNoncePropertyAcrossCrashPoints(t *testing.T) {
 		return seq, num, restored
 	}
 	fullRestores, tornBoots := 0, 0
-	for i, snap := range snapshots {
-		boundSeq, boundNum, boundWire := boundsFor(i)
-		step := 1 + len(snap)/48
-		cuts := []int{len(snap)} // always include the untorn file
-		for n := 0; n < len(snap); n += step {
-			cuts = append(cuts, n)
-		}
-		for _, n := range cuts {
-			rseq, rnum, restored := restoredPartial(snap[:n])
-			tornBoots++
-			if restored == nSessions {
-				fullRestores++
+	tornCheckpoints, tornSegments := 0, 0
+	segmentsOf := func(snap map[string][]byte) map[string][]byte {
+		m := map[string][]byte{}
+		for name, data := range snap {
+			if strings.HasPrefix(name, "sessions.journal.seg.") {
+				m[name] = data
 			}
-			for _, c := range clients {
-				got, ok := rseq[c.id]
-				if !ok {
-					continue
+		}
+		return m
+	}
+	for i, snap := range snapshots {
+		// Bounds are timeline-dependent. A PARTIAL cut of flush i's file
+		// means the daemon died while that write was in flight: phase two
+		// never ran, ceilings never rose, so everything sealed by then is
+		// bounded by the reservations already durable BEFORE flush i — the
+		// samples taken just before it. Sessions the tear reverts to an
+		// older record therefore still clear every sealed nonce. The
+		// UNTORN cut means flush i completed and period i's traffic ran
+		// under its reservations, so the stronger period-i bounds apply.
+		crashSeq, crashNum, crashWire := liveSeqAtFlush[i], liveNumAtFlush[i], wireMaxAtFlush[i]
+		fullSeq, fullNum, fullWire := boundsFor(i)
+		tear := newestFile(snap)
+		dirs := []map[string][]byte{snap}
+		if tear == "sessions.journal" {
+			tornCheckpoints++
+			// Mid-compaction crash: the compacted checkpoint lands (whole
+			// or torn) while the superseded epoch's segment tail is still
+			// on disk — the window between the checkpoint rename and the
+			// stale-segment deletes.
+			if i > 0 {
+				if stale := segmentsOf(snapshots[i-1]); len(stale) > 0 {
+					combo := make(map[string][]byte, len(stale)+1)
+					for name, data := range stale {
+						combo[name] = data
+					}
+					combo["sessions.journal"] = snap["sessions.journal"]
+					dirs = append(dirs, combo)
 				}
-				if w, okw := boundWire[c.id]; okw && got <= w {
-					t.Errorf("flush %d torn at %d, session %d: restored NextSeq %d does not exceed wire nonce %d", i, n, c.id, got, w)
+			}
+		} else {
+			tornSegments++
+		}
+		for _, sdir := range dirs {
+			data := sdir[tear]
+			step := 1 + len(data)/48
+			cuts := []int{len(data)} // always include the untorn file
+			for n := 0; n < len(data); n += step {
+				cuts = append(cuts, n)
+			}
+			for _, n := range cuts {
+				rseq, rnum, restored := restoredPartial(sdir, tear, n)
+				tornBoots++
+				if restored == nSessions {
+					fullRestores++
 				}
-				if got < boundSeq[c.id] {
-					t.Errorf("flush %d torn at %d, session %d: restored NextSeq %d below live next-seq %d", i, n, c.id, got, boundSeq[c.id])
+				boundSeq, boundNum, boundWire := crashSeq, crashNum, crashWire
+				if n == len(data) {
+					boundSeq, boundNum, boundWire = fullSeq, fullNum, fullWire
 				}
-				if rnum[c.id] < boundNum[c.id] {
-					t.Errorf("flush %d torn at %d, session %d: restored state-num floor %d below live high water %d", i, n, c.id, rnum[c.id], boundNum[c.id])
+				for _, c := range clients {
+					got, ok := rseq[c.id]
+					if !ok {
+						continue
+					}
+					if w, okw := boundWire[c.id]; okw && got <= w {
+						t.Errorf("flush %d torn at %d, session %d: restored NextSeq %d does not exceed wire nonce %d", i, n, c.id, got, w)
+					}
+					if got < boundSeq[c.id] {
+						t.Errorf("flush %d torn at %d, session %d: restored NextSeq %d below live next-seq %d", i, n, c.id, got, boundSeq[c.id])
+					}
+					if rnum[c.id] < boundNum[c.id] {
+						t.Errorf("flush %d torn at %d, session %d: restored state-num floor %d below live high water %d", i, n, c.id, rnum[c.id], boundNum[c.id])
+					}
 				}
 			}
 		}
@@ -307,5 +414,6 @@ func TestNoncePropertyAcrossCrashPoints(t *testing.T) {
 	if fullRestores == 0 {
 		t.Fatal("no truncation point exercised a complete restore — sampling too coarse")
 	}
-	t.Logf("torn-journal boots: %d (%d restored all %d sessions)", tornBoots, fullRestores, nSessions)
+	t.Logf("torn-journal boots: %d (%d restored all %d sessions; %d flushes ended in a checkpoint, %d in a segment)",
+		tornBoots, fullRestores, nSessions, tornCheckpoints, tornSegments)
 }

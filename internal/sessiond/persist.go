@@ -34,8 +34,11 @@ import (
 // sessionCount length-prefixed snapshot records, each followed by a CRC32
 // (Castagnoli) of its bytes.
 const (
-	journalMagic   = "MOSHJRNL"
-	journalVersion = 1
+	journalMagic = "MOSHJRNL"
+	// journalVersion 2 added the checkpoint epoch (the log-structured
+	// journal: checkpoint + segment tail). Version-1 files fail decode and
+	// boot empty — always nonce-safe.
+	journalVersion = 2
 
 	// snapshotVersion tags each session record independently of the file
 	// header, so individual records can evolve.
@@ -231,6 +234,12 @@ type journalHeader struct {
 	// NextID resumes session-ID issuance so post-restart OpenSession calls
 	// never collide with restored sessions.
 	NextID uint64
+	// Epoch names the checkpoint generation. Log segments carry the epoch
+	// of the checkpoint they extend; boot replays only segments whose
+	// epoch matches the checkpoint on disk, so a crash between writing a
+	// compacted checkpoint and deleting the old segments can never replay
+	// a stale tail.
+	Epoch uint64
 	// FlushedAt stamps the snapshot (diagnostics; eviction uses each
 	// session's own LastActive).
 	FlushedAt time.Time
@@ -243,6 +252,7 @@ func appendJournal(buf []byte, hdr journalHeader, records [][]byte) []byte {
 	buf = append(buf, journalMagic...)
 	buf = binary.AppendUvarint(buf, journalVersion)
 	buf = binary.AppendUvarint(buf, hdr.NextID)
+	buf = binary.AppendUvarint(buf, hdr.Epoch)
 	buf = binary.AppendVarint(buf, hdr.FlushedAt.UnixNano())
 	buf = binary.AppendUvarint(buf, uint64(len(records)))
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[start:], crcTable))
@@ -275,6 +285,9 @@ func decodeJournal(data []byte) (hdr journalHeader, snaps []*sessionSnapshot, ba
 		return hdr, nil, 0, fmt.Errorf("%w: journal version %d", ErrBadJournal, ver)
 	}
 	if hdr.NextID, ok = r.Uvarint(); !ok {
+		return hdr, nil, 0, ErrBadJournal
+	}
+	if hdr.Epoch, ok = r.Uvarint(); !ok {
 		return hdr, nil, 0, ErrBadJournal
 	}
 	nanos, ok := r.Varint()

@@ -185,9 +185,18 @@ func FuzzJournalDecode(f *testing.F) {
 	recs := [][]byte{appendSessionSnapshot(nil, sampleSnapshot(5))}
 	f.Add(appendJournal(nil, journalHeader{NextID: 1, FlushedAt: time.Unix(0, 1)}, recs))
 	f.Add([]byte(journalMagic))
+	// Segment files land in the same state directory; feeding one to the
+	// checkpoint decoder (and vice versa, see FuzzSegmentDecode) must fail
+	// cleanly, never panic.
+	seg := appendSegmentHeader(nil, 1, 2)
+	seg = appendFramedRecord(seg, append([]byte{recFull}, appendSessionSnapshot(nil, sampleSnapshot(5))...))
+	f.Add(seg)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _, _, _ = func() (journalHeader, []*sessionSnapshot, int, error) {
 			return decodeJournal(data)
 		}()
+		if _, _, body, err := decodeSegmentHeader(data); err == nil {
+			decodeSegmentRecords(body)
+		}
 	})
 }

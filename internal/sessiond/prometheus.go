@@ -26,6 +26,7 @@ var promGauges = map[string]bool{
 	"egress_queue_depth":       true,
 	"journal_suspended":        true,
 	"journal_retry_backoff_ms": true,
+	"journal_segments":         true,
 	"shedding":                 true,
 }
 
@@ -66,6 +67,7 @@ func (d *Daemon) appendPrometheus(dst []byte) []byte {
 		dst = append(dst, '\n')
 	}
 	dst = appendPromCounter(dst, "sessiond_syscalls_avoided", m.SyscallsAvoided())
+	dst = appendPromFloatGauge(dst, "sessiond_journal_write_amp", m.JournalWriteAmp())
 
 	dst = appendPromBatchHist(dst, "sessiond_read_batch_size", &m.ReadBatchSizes)
 	dst = appendPromBatchHist(dst, "sessiond_write_batch_size", &m.WriteBatchSizes)
@@ -108,6 +110,11 @@ func (d *Daemon) appendPrometheus(dst []byte) []byte {
 	dst = appendPromGauge(dst, "sessiond_scrollback_rows", int64(ss.ScrollbackRows))
 	dst = appendPromGauge(dst, "sessiond_scrollback_arena_rows", int64(ss.ScrollbackArenaRows))
 	dst = appendPromGauge(dst, "sessiond_interned_graphemes", int64(terminal.InternedGraphemes()))
+	dst = appendPromGauge(dst, "sessiond_resident_bytes_per_session", int64(ss.ResidentBytesPerSession()))
+	irows, ibytes := terminal.InternedRowStats()
+	dst = appendPromGauge(dst, "sessiond_interned_rows", int64(irows))
+	dst = appendPromGauge(dst, "sessiond_interned_row_bytes", int64(ibytes))
+	dst = appendPromGauge(dst, "sessiond_screen_rows_interned", int64(ss.InternedRows))
 
 	sc, sb, uc, ub := statesync.ApplyStats()
 	dst = appendPromCounter(dst, "sessiond_statesync_screen_applies", sc)
@@ -140,6 +147,12 @@ func appendPromCounter(dst []byte, name string, v int64) []byte {
 func appendPromGauge(dst []byte, name string, v int64) []byte {
 	dst = append(dst, "# TYPE "+name+" gauge\n"+name+" "...)
 	dst = strconv.AppendInt(dst, v, 10)
+	return append(dst, '\n')
+}
+
+func appendPromFloatGauge(dst []byte, name string, v float64) []byte {
+	dst = append(dst, "# TYPE "+name+" gauge\n"+name+" "...)
+	dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
 	return append(dst, '\n')
 }
 

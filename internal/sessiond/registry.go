@@ -151,6 +151,21 @@ type Session struct {
 	// Timer-heap entry, guarded by the daemon's timerHeap lock.
 	deadline time.Time
 	heapIdx  int
+
+	// dirty marks that this session's durable core changed since the last
+	// journal flush encoded it; the CAS in markDirty admits the session
+	// onto the journal's dirty list exactly once per flush cycle.
+	dirty atomic.Bool
+
+	// Screen-delta base tracking for the incremental journal, guarded by
+	// mu: jrGens holds the per-row generation numbers as of the last
+	// encoded record, jrW/jrH/jrSb the dimensions and scrollback depth.
+	// jrValid is true only while the record that captured them is durable
+	// on disk (set in a flush's phase two, cleared at every encode), so a
+	// failed or torn write forces the next record to be a full snapshot.
+	jrGens         []uint64
+	jrW, jrH, jrSb int
+	jrValid        bool
 }
 
 type inPacket struct {
@@ -170,6 +185,9 @@ func (s *Session) Do(f func(srv *core.Server)) {
 	s.mu.Lock()
 	f(s.srv)
 	s.mu.Unlock()
+	// f had arbitrary access to the session's durable core; assume it
+	// changed something so the next incremental flush records it.
+	s.markDirty()
 	s.d.flushEgress()
 }
 
@@ -260,6 +278,8 @@ func (d *Daemon) OpenSession() (*Session, error) {
 			srv.Transport().Connection().SetSeqCeiling(d.cfg.SeqReserve)
 			srv.Transport().Sender().SetNumCeiling(d.cfg.SeqReserve)
 		}
+		// A new session is durable state the journal has never seen.
+		s.markDirty()
 		d.requestFlush()
 	}
 	d.reg.insert(s)
@@ -293,6 +313,11 @@ func (s *Session) removeLocked(counter interface{ Add(int64) }) {
 	close(s.done)
 	s.d.reg.delete(s.ID)
 	s.d.timers.remove(s)
+	if j := s.d.journal; j != nil {
+		// Record the close durably: without a tombstone the next restart
+		// would resurrect this session from its last journal record.
+		j.noteClosed(s.ID)
+	}
 	s.d.metrics.SessionsLive.Add(-1)
 	counter.Add(1)
 }

@@ -1,0 +1,392 @@
+package sessiond
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/binio"
+	"repro/internal/netem"
+)
+
+// This file is the log-segment codec of the incremental journal. The
+// durable layout is a full checkpoint (sessions.journal — the version-2
+// file persist.go encodes) plus an ordered tail of append-only segment
+// files, one per flush batch:
+//
+//	sessions.journal.seg.<epoch>.<seq>
+//
+// Each segment carries a CRC-protected header naming the checkpoint epoch
+// it extends, followed by CRC-framed records: counter/watermark deltas and
+// screen row deltas for the sessions whose durable core actually changed
+// since the previous flush, tombstones for closed sessions, and the
+// session-ID issuance floor when it moved. Boot replays checkpoint +
+// matching-epoch segments in sequence order; compaction folds the tail
+// into a fresh checkpoint at epoch+1 and deletes the old segments — a
+// crash between those two steps leaves stale-epoch segments that the next
+// boot ignores and removes.
+//
+// Every record body is one of:
+//
+//	recMeta  — uvarint NextID (session-ID issuance floor)
+//	recClose — uvarint ID (tombstone: the session closed)
+//	recFull  — a complete appendSessionSnapshot record (new session, or a
+//	           session whose screen changed too much for a delta to pay)
+//	recDelta — counters, watermarks, pending output and only the screen
+//	           rows whose generation moved since the last durable record
+//
+// The framing (uvarint length + body + CRC32-Castagnoli) matches the
+// checkpoint's record framing, so the fuzz corpus and torn-tail recovery
+// logic cover both.
+
+// Segment record types (first body byte).
+const (
+	recMeta  = 1
+	recClose = 2
+	recFull  = 3
+	recDelta = 4
+)
+
+const (
+	segMagic   = "MOSHSEG1"
+	segVersion = 1
+)
+
+// segSuffix builds segment file names under journalFileName; see
+// segmentFileName.
+const segSuffix = ".seg."
+
+// segmentFileName names the segment file for one flush batch.
+func segmentFileName(epoch, seq uint64) string {
+	return journalFileName + segSuffix +
+		strconv.FormatUint(epoch, 10) + "." + strconv.FormatUint(seq, 10)
+}
+
+// parseSegmentName recovers (epoch, seq) from a directory entry, rejecting
+// everything that is not a well-formed segment file name.
+func parseSegmentName(name string) (epoch, seq uint64, ok bool) {
+	prefix := journalFileName + segSuffix
+	if !strings.HasPrefix(name, prefix) {
+		return 0, 0, false
+	}
+	rest := name[len(prefix):]
+	dot := strings.IndexByte(rest, '.')
+	if dot <= 0 || dot == len(rest)-1 {
+		return 0, 0, false
+	}
+	epoch, err := strconv.ParseUint(rest[:dot], 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	seq, err = strconv.ParseUint(rest[dot+1:], 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return epoch, seq, true
+}
+
+// appendSegmentHeader encodes the segment file prefix: magic, version,
+// epoch, sequence, and a CRC over all of it. A header that fails any check
+// invalidates the whole file (it cannot be placed in the log order).
+func appendSegmentHeader(buf []byte, epoch, seq uint64) []byte {
+	start := len(buf)
+	buf = append(buf, segMagic...)
+	buf = binary.AppendUvarint(buf, segVersion)
+	buf = binary.AppendUvarint(buf, epoch)
+	buf = binary.AppendUvarint(buf, seq)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[start:], crcTable))
+}
+
+// decodeSegmentHeader validates a segment file prefix and returns the
+// record region that follows it.
+func decodeSegmentHeader(data []byte) (epoch, seq uint64, records []byte, err error) {
+	r := binio.NewReader(data)
+	magic, ok := r.Bytes(len(segMagic))
+	if !ok || string(magic) != segMagic {
+		return 0, 0, nil, fmt.Errorf("%w: bad segment magic", ErrBadJournal)
+	}
+	ver, ok := r.Uvarint()
+	if !ok || ver != segVersion {
+		return 0, 0, nil, fmt.Errorf("%w: segment version", ErrBadJournal)
+	}
+	if epoch, ok = r.Uvarint(); !ok {
+		return 0, 0, nil, ErrBadJournal
+	}
+	if seq, ok = r.Uvarint(); !ok {
+		return 0, 0, nil, ErrBadJournal
+	}
+	hdrLen := len(data) - r.Len()
+	sum, ok := r.Bytes(4)
+	if !ok || binary.LittleEndian.Uint32(sum) != crc32.Checksum(data[:hdrLen], crcTable) {
+		return 0, 0, nil, fmt.Errorf("%w: segment header checksum", ErrBadJournal)
+	}
+	return epoch, seq, r.Rest(), nil
+}
+
+// appendFramedRecord wraps one record body in the journal's record
+// framing: uvarint length, body, CRC32 of the body.
+func appendFramedRecord(buf, body []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(body)))
+	buf = append(buf, body...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, crcTable))
+}
+
+// decodeSegmentRecords splits a segment's record region into CRC-verified
+// record bodies. It stops at the first failure: a torn append leaves a
+// valid prefix and unlocatable bytes after it, and within one file
+// everything after damage is untrustworthy. bad counts the abandonment
+// (0 or 1). torn classifies the damage: true when the input simply ran
+// out mid-frame (the shape a crashed append leaves — the prefix is a
+// consistent smaller batch), false when a complete frame failed its
+// checksum or carried a nonsense length (corruption of once-durable
+// bytes, which the caller escalates to poisoning).
+func decodeSegmentRecords(data []byte) (recs [][]byte, bad int, torn bool) {
+	r := binio.NewReader(data)
+	for r.Len() > 0 {
+		rlen, lenOK := r.Uvarint()
+		if !lenOK {
+			return recs, 1, true // truncated length varint
+		}
+		if rlen > maxSnapshotLen || rlen == 0 {
+			return recs, 1, false // nonsense length: corruption
+		}
+		body, bodyOK := r.Bytes(int(rlen))
+		sum, sumOK := r.Bytes(4)
+		if !bodyOK || !sumOK {
+			return recs, 1, true // frame runs past the end: torn append
+		}
+		if binary.LittleEndian.Uint32(sum) != crc32.Checksum(body, crcTable) {
+			return recs, 1, false // complete frame, bad sum: corruption
+		}
+		recs = append(recs, body)
+	}
+	return recs, 0, false
+}
+
+// appendDeltaBody encodes a recDelta record body for sn, carrying the
+// changed grid rows named by rowIdx (ascending). The caller guarantees the
+// last durable record for this session has the same dimensions and no
+// scrollback. With a warmed buffer the encode performs no allocations.
+func appendDeltaBody(buf []byte, sn *sessionSnapshot, rowIdx []int) []byte {
+	buf = append(buf, recDelta)
+	buf = binary.AppendUvarint(buf, sn.ID)
+	buf = binary.AppendUvarint(buf, sn.NextSeq)
+	buf = binary.AppendUvarint(buf, sn.ExpectedSeq)
+	buf = binary.AppendUvarint(buf, sn.NextStateNum)
+	buf = binary.AppendUvarint(buf, sn.RecvNum)
+	buf = binary.AppendUvarint(buf, sn.StreamSize)
+	var fl byte
+	if sn.HaveRemote {
+		fl |= 1
+	}
+	if sn.Heard {
+		fl |= 2
+	}
+	buf = append(buf, fl)
+	buf = binary.AppendUvarint(buf, uint64(sn.Remote.Host))
+	buf = binary.AppendUvarint(buf, uint64(sn.Remote.Port))
+	buf = binary.AppendVarint(buf, sn.LastActive.UnixNano())
+	// Pending host output is tiny and churns as a unit: full replacement.
+	buf = binary.AppendUvarint(buf, uint64(len(sn.PendingOut)))
+	for _, po := range sn.PendingOut {
+		buf = binary.AppendVarint(buf, po.at.UnixNano())
+		buf = binary.AppendUvarint(buf, uint64(len(po.data)))
+		buf = append(buf, po.data...)
+	}
+	buf = sn.FB.AppendMetaSnapshot(buf)
+	buf = binary.AppendUvarint(buf, uint64(len(rowIdx)))
+	for _, i := range rowIdx {
+		buf = binary.AppendUvarint(buf, uint64(i))
+		buf = sn.FB.AppendRowSnapshot(buf, i)
+	}
+	return buf
+}
+
+// journalReplay accumulates the boot-time replay of checkpoint + segments.
+//
+// Poisoning is how replay stays consistent across a damaged middle: when a
+// non-final segment loses records (read error, bad header, failed CRC),
+// every session restored so far moves to the poisoned set — later deltas
+// for it may build on updates the gap swallowed, so they are ignored until
+// a full record (or tombstone) re-establishes the session. Dropping a
+// session is always nonce-safe: an unrestored session reseals nothing.
+type journalReplay struct {
+	snaps    map[uint64]*sessionSnapshot
+	poisoned map[uint64]struct{}
+	// nextID is the highest session-ID issuance floor seen (checkpoint
+	// header and recMeta records).
+	nextID uint64
+}
+
+func newJournalReplay(hdr journalHeader, snaps []*sessionSnapshot) *journalReplay {
+	jr := &journalReplay{
+		snaps:    make(map[uint64]*sessionSnapshot, len(snaps)),
+		poisoned: make(map[uint64]struct{}),
+		nextID:   hdr.NextID,
+	}
+	for _, sn := range snaps {
+		jr.snaps[sn.ID] = sn
+	}
+	return jr
+}
+
+// poisonAll marks every session restored so far as unextendable by deltas.
+func (jr *journalReplay) poisonAll() {
+	for id := range jr.snaps {
+		jr.poisoned[id] = struct{}{}
+	}
+	clear(jr.snaps)
+}
+
+// applyRecord folds one verified segment record into the replay state.
+// false means the record body itself is malformed (the caller treats it
+// like a CRC failure: abandon the rest of the segment).
+func (jr *journalReplay) applyRecord(body []byte) bool {
+	switch body[0] {
+	case recMeta:
+		r := binio.NewReader(body[1:])
+		id, ok := r.Uvarint()
+		if !ok || r.Len() != 0 {
+			return false
+		}
+		if id > jr.nextID {
+			jr.nextID = id
+		}
+		return true
+	case recClose:
+		r := binio.NewReader(body[1:])
+		id, ok := r.Uvarint()
+		if !ok || r.Len() != 0 {
+			return false
+		}
+		delete(jr.snaps, id)
+		delete(jr.poisoned, id)
+		return true
+	case recFull:
+		sn, err := decodeSessionSnapshot(body[1:])
+		if err != nil {
+			return false
+		}
+		jr.snaps[sn.ID] = sn
+		delete(jr.poisoned, sn.ID)
+		return true
+	case recDelta:
+		return jr.applyDelta(body[1:])
+	default:
+		return false
+	}
+}
+
+// applyDelta folds one recDelta body onto its base snapshot. Deltas for
+// poisoned or unknown sessions are parsed for well-formedness cheaply and
+// ignored (the session stays dropped until a recFull revives it).
+func (jr *journalReplay) applyDelta(body []byte) bool {
+	r := binio.NewReader(body)
+	id, ok := r.Uvarint()
+	if !ok {
+		return false
+	}
+	sn := jr.snaps[id]
+	if sn == nil {
+		// Unknown base. After poisoning this is the expected shape (the
+		// full record that introduced the session was lost with the gap);
+		// otherwise the log itself is inconsistent. Either way the delta
+		// cannot apply and the session stays dropped — always nonce-safe.
+		_, poisoned := jr.poisoned[id]
+		return poisoned
+	}
+	var next, exp, num, recv, stream uint64
+	for _, dst := range []*uint64{&next, &exp, &num, &recv, &stream} {
+		if *dst, ok = r.Uvarint(); !ok {
+			return false
+		}
+	}
+	fl, ok := r.Byte()
+	if !ok {
+		return false
+	}
+	host, ok := r.BoundedUvarint(uint64(^uint32(0)))
+	if !ok {
+		return false
+	}
+	port, ok := r.BoundedUvarint(uint64(^uint16(0)))
+	if !ok {
+		return false
+	}
+	nanos, ok := r.Varint()
+	if !ok {
+		return false
+	}
+	poCount, ok := r.BoundedUvarint(maxPendingOut)
+	if !ok {
+		return false
+	}
+	pendingOut := sn.PendingOut[:0]
+	for i := uint64(0); i < poCount; i++ {
+		at, ok := r.Varint()
+		if !ok {
+			return false
+		}
+		dlen, ok := r.BoundedUvarint(maxPendingOutBytes)
+		if !ok {
+			return false
+		}
+		data, ok := r.Bytes(int(dlen))
+		if !ok {
+			return false
+		}
+		pendingOut = append(pendingOut, timedOutput{
+			at:   time.Unix(0, at),
+			data: append([]byte(nil), data...),
+		})
+	}
+	rest, err := sn.FB.ApplyMetaSnapshot(r.Rest())
+	if err != nil {
+		return false
+	}
+	rr := binio.NewReader(rest)
+	rowCount, ok := rr.BoundedUvarint(uint64(sn.FB.H))
+	if !ok {
+		return false
+	}
+	rest = rr.Rest()
+	for i := uint64(0); i < rowCount; i++ {
+		ri := binio.NewReader(rest)
+		idx, ok := ri.BoundedUvarint(uint64(sn.FB.H) - 1)
+		if !ok {
+			return false
+		}
+		rest = ri.Rest()
+		if rest, err = sn.FB.ApplyRowSnapshot(rest, int(idx)); err != nil {
+			return false
+		}
+	}
+	if len(rest) != 0 {
+		return false
+	}
+	// All parsed: commit the scalar fields.
+	sn.NextSeq, sn.ExpectedSeq, sn.NextStateNum = next, exp, num
+	sn.RecvNum, sn.StreamSize = recv, stream
+	sn.HaveRemote = fl&1 != 0
+	sn.Heard = fl&2 != 0
+	sn.Remote = netem.Addr{Host: uint32(host), Port: uint16(port)}
+	sn.LastActive = time.Unix(0, nanos)
+	sn.PendingOut = pendingOut
+	return true
+}
+
+// sessionsSorted returns the surviving snapshots in ascending ID order
+// (deterministic restore order, like the monolithic journal's record
+// order).
+func (jr *journalReplay) sessionsSorted() []*sessionSnapshot {
+	out := make([]*sessionSnapshot, 0, len(jr.snaps))
+	for _, sn := range jr.snaps {
+		out = append(out, sn)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}

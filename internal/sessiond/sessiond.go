@@ -159,6 +159,22 @@ type Config struct {
 	// FaultSeed seeds the deterministic jitter on journal-retry backoff
 	// (0 = a fixed default), keeping fault-schedule runs reproducible.
 	FaultSeed int64
+	// JournalFullRewrite disables the incremental segment log and rewrites
+	// the complete checkpoint on every flush — the pre-incremental
+	// behavior, kept as the measured baseline the journal bench compares
+	// against.
+	JournalFullRewrite bool
+	// JournalCompactMinBytes floors the segment-tail growth that triggers
+	// compaction back into a checkpoint (default
+	// DefaultJournalCompactMinBytes). The trigger itself is relative: the
+	// tail must also outgrow twice the checkpoint, bounding the log at
+	// O(live state).
+	JournalCompactMinBytes int
+	// DisableRowIntern turns off row-level screen interning (process-wide
+	// sharing of identical screen rows across sessions). Interning is
+	// semantically invisible — frames and snapshots are byte-identical
+	// either way — so this knob exists for A/B memory measurement.
+	DisableRowIntern bool
 
 	// UnauthQuotaBurst/UnauthQuotaRate parameterize the per-source token
 	// bucket on auth-failing datagrams: a source that fails
@@ -781,6 +797,10 @@ func (s *Session) handle(wire []byte, src netem.Addr) {
 			s.d.metrics.RoamingEvents.Add(int64(roams - roamsBefore))
 			s.d.recordEv(telemetry.EvRoam, s.ID, uint64(roams))
 		}
+		// An accepted datagram moved durable state: the replay floor at
+		// minimum, usually also the delivered-input watermarks (and the
+		// screen, via any host output it provoked).
+		s.markDirty()
 	}
 	// Echo matching brackets the output flush: a frame minted during
 	// Receive echoes output applied on earlier entries (match before the
@@ -807,6 +827,12 @@ func (s *Session) tick() {
 	s.lastArmed = time.Time{}
 	s.flushHostOutputLocked(now)
 	s.srv.Tick()
+	if !s.d.cfg.DisableRowIntern {
+		// Deduplicate identical screen rows across the fleet (prompts,
+		// banners, blank rows). Memoized per row generation, so on an
+		// unchanged screen this is a per-row integer compare.
+		s.srv.Terminal().Framebuffer().InternRows()
+	}
 	// Both the flush's HostOutput tick and srv.Tick can mint the frame
 	// that echoes the output applied above; one match pass covers both.
 	s.noteEchoLocked(now)
@@ -863,6 +889,9 @@ func (s *Session) flushHostOutputLocked(now time.Time) {
 	}
 	if n > 0 {
 		s.pendingOut = append(s.pendingOut[:0], s.pendingOut[n:]...)
+		// Applied host output changed the screen and the pending-output
+		// queue — both journaled state.
+		s.markDirty()
 	}
 }
 

@@ -21,6 +21,15 @@ type Row struct {
 	// never cleared on this Row: a framebuffer that wants to write
 	// replaces its pointer with a private copy instead.
 	shared bool
+	// interned marks a row whose Cells storage is (or backs) a canonical
+	// entry in the process-wide row intern table (see rowintern.go).
+	// Interned rows are always shared, so copy-on-write protects the
+	// canonical storage from mutation.
+	interned bool
+	// internGen memoizes the generation this row last went through
+	// InternRows, so steady-state interning of an unchanged screen is a
+	// per-row integer compare instead of a content hash.
+	internGen uint64
 }
 
 // rowGenCounter is global so generations stay unique across every
@@ -761,4 +770,41 @@ func (f *Framebuffer) MemStats() MemStats {
 		m.ScrollbackArenaRows = len(f.sb.rows)
 	}
 	return m
+}
+
+// AccumulateResident tallies the cell storage this framebuffer keeps
+// resident, deduplicated against every backing array already counted in
+// seen — so storage shared through row interning (or copy-on-write) is
+// charged once fleet-wide, no matter how many screens reference it. It
+// also counts this screen's interned rows. sessiond drives it across all
+// sessions to compute resident_bytes_per_session.
+func (f *Framebuffer) AccumulateResident(seen map[*Cell]struct{}) (bytes, internedRows int) {
+	count := func(cells []Cell) {
+		if len(cells) == 0 {
+			return
+		}
+		key := &cells[0]
+		if _, ok := seen[key]; ok {
+			return
+		}
+		seen[key] = struct{}{}
+		bytes += len(cells) * cellBytes
+	}
+	for _, r := range f.rows {
+		count(r.Cells)
+		if r.interned {
+			internedRows++
+		}
+	}
+	for _, r := range f.freeRows {
+		count(r.Cells)
+	}
+	if f.sb != nil {
+		// Charge the whole arena segment this framebuffer keeps alive,
+		// not just the visible window.
+		for _, r := range f.sb.rows {
+			count(r.Cells)
+		}
+	}
+	return bytes, internedRows
 }

@@ -1,0 +1,198 @@
+package terminal
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// Row-level screen interning (the memory-side counterpart of grapheme
+// interning in intern.go): across a fleet of sessions the same lines
+// appear over and over — shell prompts, login banners, and above all
+// blank rows — so identical rows share one canonical []Cell backing
+// array through a process-wide content-hashed table. Sharing rides the
+// existing copy-on-write machinery: a row whose cells enter (or adopt
+// from) the table is marked shared, so the first mutation materializes a
+// private copy and the canonical storage is never written again.
+//
+// Interning is semantically invisible. Adoption preserves the row's
+// generation number, so generation-based diffing, scroll detection and
+// snapshot encoding produce byte-identical output with interning on or
+// off; only resident memory changes.
+
+// cellBytes is the in-memory footprint of one Cell, used by the
+// resident-bytes accounting.
+const cellBytes = int(unsafe.Sizeof(Cell{}))
+
+const (
+	// maxInternedRowBytes caps the canonical cell storage the table may
+	// pin. Beyond it the table stops registering new rows (existing
+	// canonicals keep deduplicating) — graceful degradation, never an
+	// error.
+	maxInternedRowBytes = 16 << 20
+	// maxRowBucket bounds one hash bucket's candidate chain so a
+	// pathological workload degrades to a miss instead of a linear scan.
+	maxRowBucket = 8
+)
+
+// rowInternTable is the process-wide canonical row store. Sessions
+// emulate concurrently under their own locks, so the table has its own;
+// the read path (steady-state hit) takes only the read lock.
+type rowInternTable struct {
+	mu      sync.RWMutex
+	buckets map[uint64][][]Cell
+	bytes   int
+	rows    int
+}
+
+var rowInterns = rowInternTable{buckets: make(map[uint64][][]Cell)}
+
+// InternedRowStats reports the canonical row count and the bytes of cell
+// storage the intern table pins (observability gauges).
+func InternedRowStats() (rows, bytes int) {
+	rowInterns.mu.RLock()
+	defer rowInterns.mu.RUnlock()
+	return rowInterns.rows, rowInterns.bytes
+}
+
+// hashRowCells is FNV-1a over the content words and renditions of a row.
+func hashRowCells(cells []Cell) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h = (h ^ v&0xff) * prime64
+		h = (h ^ v>>8&0xff) * prime64
+		h = (h ^ v>>16&0xff) * prime64
+		h = (h ^ v>>24&0xff) * prime64
+	}
+	for i := range cells {
+		c := &cells[i]
+		mix(uint64(c.content))
+		mix(uint64(c.Rend.Fg))
+		mix(uint64(c.Rend.Bg))
+		var fl uint64
+		if c.Rend.Bold {
+			fl |= 1 << 0
+		}
+		if c.Rend.Faint {
+			fl |= 1 << 1
+		}
+		if c.Rend.Italic {
+			fl |= 1 << 2
+		}
+		if c.Rend.Underline {
+			fl |= 1 << 3
+		}
+		if c.Rend.Blink {
+			fl |= 1 << 4
+		}
+		if c.Rend.Inverse {
+			fl |= 1 << 5
+		}
+		if c.Rend.Invisible {
+			fl |= 1 << 6
+		}
+		if c.Wide {
+			fl |= 1 << 7
+		}
+		if c.wrap {
+			fl |= 1 << 8
+		}
+		mix(fl)
+	}
+	return h
+}
+
+// cellsIdentical is exact (bit-for-bit) row equality — stricter than
+// Cell.Equal, which folds printed spaces into blanks. Interning must not
+// change what the snapshot encoder emits, so only exactly equal rows may
+// share storage.
+func cellsIdentical(a, b []Cell) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the canonical cells equal to cells under hash h, or nil.
+func (t *rowInternTable) lookup(cells []Cell, h uint64) []Cell {
+	for _, cand := range t.buckets[h] {
+		if cellsIdentical(cells, cand) {
+			return cand
+		}
+	}
+	return nil
+}
+
+// intern returns the canonical backing array for cells, registering cells
+// itself as canonical on first sight. ok is false when the table is at
+// capacity and cells is not already interned — the caller leaves the row
+// private.
+func (t *rowInternTable) intern(cells []Cell) (canon []Cell, ok bool) {
+	h := hashRowCells(cells)
+	t.mu.RLock()
+	canon = t.lookup(cells, h)
+	t.mu.RUnlock()
+	if canon != nil {
+		return canon, true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if canon = t.lookup(cells, h); canon != nil {
+		return canon, true
+	}
+	if t.bytes+len(cells)*cellBytes > maxInternedRowBytes || len(t.buckets[h]) >= maxRowBucket {
+		return nil, false
+	}
+	t.buckets[h] = append(t.buckets[h], cells)
+	t.bytes += len(cells) * cellBytes
+	t.rows++
+	return cells, true
+}
+
+// InternRows deduplicates this screen's rows against the process-wide
+// intern table and returns how many rows adopted already-canonical
+// storage. Each row is examined at most once per generation (memoized in
+// internGen), so on an unchanged screen the call is a per-row integer
+// compare and performs no allocation. Adoption preserves the row's
+// generation and marks it shared, so diffs, snapshots and frames are
+// byte-identical to an uninterned run.
+func (f *Framebuffer) InternRows() int {
+	adopted := 0
+	for i, r := range f.rows {
+		if r.internGen == r.gen || len(r.Cells) == 0 {
+			continue
+		}
+		canon, ok := rowInterns.intern(r.Cells)
+		if !ok {
+			// Table full: remember we looked so the row is not rehashed
+			// every call while it stays unchanged.
+			r.internGen = r.gen
+			continue
+		}
+		if &canon[0] == &r.Cells[0] {
+			// This row's storage is now the canonical copy other screens
+			// may adopt; shared makes any future write copy first.
+			r.shared = true
+			r.interned = true
+			r.internGen = r.gen
+			continue
+		}
+		f.rows[i] = &Row{
+			Cells:     canon,
+			gen:       r.gen,
+			shared:    true,
+			interned:  true,
+			internGen: r.gen,
+		}
+		adopted++
+	}
+	return adopted
+}

@@ -1,0 +1,128 @@
+package terminal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestRowInternSharingEquivalence pins the core interning contract: two
+// screens showing identical content come to share canonical row storage,
+// their serialized snapshots are byte-identical before and after
+// interning, and copy-on-write isolates the first divergence.
+func TestRowInternSharingEquivalence(t *testing.T) {
+	paint := func(e *Emulator) {
+		e.WriteString("\x1b[2J\x1b[H")
+		for i := 0; i < 10; i++ {
+			e.WriteString(fmt.Sprintf("\x1b[3%dmuser@host:~$ make test # line %d\x1b[0m\r\n", i%8, i))
+		}
+	}
+	ea, eb := NewEmulator(80, 24), NewEmulator(80, 24)
+	paint(ea)
+	paint(eb)
+	fa, fb := ea.Framebuffer(), eb.Framebuffer()
+
+	beforeA := fa.AppendSnapshot(nil)
+	beforeB := fb.AppendSnapshot(nil)
+	if !bytes.Equal(beforeA, beforeB) {
+		t.Fatal("identical paint produced different snapshots before interning")
+	}
+	fa.InternRows()
+	adopted := fb.InternRows()
+	if adopted == 0 {
+		t.Fatal("second identical screen adopted zero canonical rows")
+	}
+	shared := 0
+	for i := range fa.rows {
+		ra, rb := fa.rows[i], fb.rows[i]
+		if len(ra.Cells) > 0 && len(rb.Cells) > 0 && &ra.Cells[0] == &rb.Cells[0] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no row shares backing storage across the two screens")
+	}
+	if got := fa.AppendSnapshot(nil); !bytes.Equal(got, beforeA) {
+		t.Fatal("interning changed screen A's snapshot bytes")
+	}
+	if got := fb.AppendSnapshot(nil); !bytes.Equal(got, beforeB) {
+		t.Fatal("interning changed screen B's snapshot bytes")
+	}
+
+	// Copy-on-write isolation: mutating A must not leak into B's shared rows.
+	ea.WriteString("\x1b[1;1HDIVERGED")
+	if got := fb.AppendSnapshot(nil); !bytes.Equal(got, beforeB) {
+		t.Fatal("write to screen A leaked into interned screen B")
+	}
+	if got := fa.AppendSnapshot(nil); bytes.Equal(got, beforeA) {
+		t.Fatal("write to screen A did not change its own snapshot")
+	}
+}
+
+// TestRowInternSteadyStateAllocFree guards the per-interval cost on an
+// unchanged screen: InternRows memoizes by row generation, so the
+// steady-state call is a per-row integer compare with zero allocations.
+// (Runs under the CI alloc gate via the 'Alloc' name pattern.)
+func TestRowInternSteadyStateAllocFree(t *testing.T) {
+	e := NewEmulator(80, 24)
+	for i := 0; i < 30; i++ {
+		e.WriteString(fmt.Sprintf("steady state content row %d\r\n", i))
+	}
+	fb := e.Framebuffer()
+	fb.InternRows() // first pass hashes and registers
+	if n := testing.AllocsPerRun(200, func() { fb.InternRows() }); n != 0 {
+		t.Fatalf("steady-state InternRows allocates %.1f times per run, want 0", n)
+	}
+}
+
+// TestRowInternTableCapacityDegrades pins graceful degradation: past the
+// byte cap the table refuses new canonical rows (ok=false, no error, no
+// eviction) while rows already interned keep deduplicating. Uses a
+// private table so the test cannot pollute the process-wide one.
+func TestRowInternTableCapacityDegrades(t *testing.T) {
+	tab := rowInternTable{buckets: make(map[uint64][][]Cell)}
+	const rowLen = 8192 // 8192 cells per row: few rows reach the 16 MiB cap
+	makeRow := func(i int) []Cell {
+		cells := make([]Cell, rowLen)
+		for j := range cells {
+			cells[j].Rend.Fg = Color(i + 1)
+		}
+		return cells
+	}
+	budget := maxInternedRowBytes / (rowLen * cellBytes)
+	sawFull := false
+	var firstRejected int
+	for i := 0; i < budget+8; i++ {
+		if _, ok := tab.intern(makeRow(i)); !ok {
+			sawFull = true
+			firstRejected = i
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatalf("table accepted %d rows (%d bytes) without hitting the %d-byte cap",
+			budget+8, (budget+8)*rowLen*cellBytes, maxInternedRowBytes)
+	}
+	if firstRejected < budget {
+		t.Fatalf("table rejected row %d before the byte budget (%d rows) was spent", firstRejected, budget)
+	}
+	// Existing canonicals still serve hits: a COPY of an interned row (so
+	// pointer identity cannot shortcut the lookup) resolves to the
+	// original backing array at zero additional cost.
+	probe := makeRow(0)
+	bytesBefore := tab.bytes
+	canon, ok := tab.intern(probe)
+	if !ok {
+		t.Fatal("full table stopped serving hits for already-canonical rows")
+	}
+	if &canon[0] == &probe[0] {
+		t.Fatal("hit on a full table registered the probe instead of returning the canonical row")
+	}
+	if tab.bytes != bytesBefore {
+		t.Fatal("hit on a full table grew the pinned byte count")
+	}
+	// And fresh content keeps being rejected — degradation is stable.
+	if _, ok := tab.intern(makeRow(budget + 100)); ok {
+		t.Fatal("full table accepted new content after the cap")
+	}
+}

@@ -164,6 +164,29 @@ func appendRow(buf []byte, cells []Cell) []byte {
 // snapshots are only read. With a warmed buffer the encode performs no heap
 // allocations.
 func (f *Framebuffer) AppendSnapshot(buf []byte) []byte {
+	buf = f.appendSnapshotMeta(buf)
+
+	for _, r := range f.rows {
+		buf = appendRow(buf, r.Cells)
+	}
+
+	// Scrollback window, oldest first. Rows may predate a resize, so each
+	// carries its own width.
+	buf = binary.AppendUvarint(buf, uint64(f.ScrollbackLines()))
+	for i := f.sbOff; i < f.sbLen; i++ {
+		cells := f.sb.rows[i].Cells
+		buf = binary.AppendUvarint(buf, uint64(len(cells)))
+		buf = appendRow(buf, cells)
+	}
+	return buf
+}
+
+// appendSnapshotMeta appends the non-grid prefix of the snapshot format:
+// version, dimensions, draw state, title, synchronized counters and the
+// scrollback limit — everything up to (but excluding) the cell rows. The
+// journal's delta records reuse it to persist screen metadata without
+// re-encoding the grid.
+func (f *Framebuffer) appendSnapshotMeta(buf []byte) []byte {
 	buf = append(buf, snapshotVersion)
 	buf = binary.AppendUvarint(buf, uint64(f.W))
 	buf = binary.AppendUvarint(buf, uint64(f.H))
@@ -227,21 +250,7 @@ func (f *Framebuffer) AppendSnapshot(buf []byte) []byte {
 	buf = append(buf, f.Title...)
 	buf = binary.AppendUvarint(buf, f.BellCount)
 	buf = binary.AppendUvarint(buf, f.EchoAck)
-	buf = binary.AppendVarint(buf, int64(f.scrollbackMax))
-
-	for _, r := range f.rows {
-		buf = appendRow(buf, r.Cells)
-	}
-
-	// Scrollback window, oldest first. Rows may predate a resize, so each
-	// carries its own width.
-	buf = binary.AppendUvarint(buf, uint64(f.ScrollbackLines()))
-	for i := f.sbOff; i < f.sbLen; i++ {
-		cells := f.sb.rows[i].Cells
-		buf = binary.AppendUvarint(buf, uint64(len(cells)))
-		buf = appendRow(buf, cells)
-	}
-	return buf
+	return binary.AppendVarint(buf, int64(f.scrollbackMax))
 }
 
 func decodeRenditions(r *binio.Reader) (Renditions, bool) {
@@ -330,73 +339,9 @@ func DecodeSnapshot(data []byte) (*Framebuffer, []byte, error) {
 		return fail()
 	}
 	f := NewFramebuffer(int(w), int(h))
-	ds := &f.DS
-
-	fl, ok := r.Uvarint()
-	if !ok {
+	if !decodeSnapshotMeta(&r, f) {
 		return fail()
 	}
-	ds.NextPrintWraps = fl&snapNextPrintWraps != 0
-	ds.savedCursorSet = fl&snapSavedCursorSet != 0
-	ds.SavedOriginMode = fl&snapSavedOriginMode != 0
-	ds.InsertMode = fl&snapInsertMode != 0
-	ds.OriginMode = fl&snapOriginMode != 0
-	ds.AutoWrapMode = fl&snapAutoWrapMode != 0
-	ds.CursorVisible = fl&snapCursorVisible != 0
-	ds.ReverseVideo = fl&snapReverseVideo != 0
-	ds.ApplicationCursorKeys = fl&snapAppCursorKeys != 0
-	ds.ApplicationKeypad = fl&snapAppKeypad != 0
-	ds.BracketedPaste = fl&snapBracketedPaste != 0
-
-	coords := []*int{
-		&ds.CursorRow, &ds.CursorCol, &ds.ScrollTop, &ds.ScrollBottom,
-		&ds.SavedCursorRow, &ds.SavedCursorCol,
-	}
-	for _, dst := range coords {
-		v, ok := r.BoundedUvarint(snapMaxDim)
-		if !ok {
-			return fail()
-		}
-		*dst = int(v)
-	}
-	if ds.CursorRow >= f.H || ds.CursorCol >= f.W ||
-		ds.ScrollTop >= f.H || ds.ScrollBottom >= f.H || ds.ScrollTop > ds.ScrollBottom {
-		return fail()
-	}
-	if ds.Rend, ok = decodeRenditions(&r); !ok {
-		return fail()
-	}
-	if ds.SavedRend, ok = decodeRenditions(&r); !ok {
-		return fail()
-	}
-	tabBytes, ok := r.Bytes((f.W + 7) / 8)
-	if !ok {
-		return fail()
-	}
-	for i := range ds.Tabs {
-		ds.Tabs[i] = tabBytes[i/8]&(1<<(i%8)) != 0
-	}
-
-	tlen, ok := r.BoundedUvarint(snapMaxTitle)
-	if !ok {
-		return fail()
-	}
-	title, ok := r.Bytes(int(tlen))
-	if !ok {
-		return fail()
-	}
-	f.Title = string(title)
-	if f.BellCount, ok = r.Uvarint(); !ok {
-		return fail()
-	}
-	if f.EchoAck, ok = r.Uvarint(); !ok {
-		return fail()
-	}
-	sbMax, ok := r.Varint()
-	if !ok || sbMax > snapMaxScrollback || sbMax < -1 {
-		return fail()
-	}
-	f.scrollbackMax = int(sbMax)
 
 	for i := 0; i < f.H; i++ {
 		if !decodeRow(&r, f.rows[i].Cells) {
@@ -429,4 +374,78 @@ func DecodeSnapshot(data []byte) (*Framebuffer, []byte, error) {
 		f.sbOff, f.sbLen = 0, len(hist.rows)
 	}
 	return f, r.Rest(), nil
+}
+
+// decodeSnapshotMeta decodes the draw-state/title/counter section of the
+// snapshot format (everything appendSnapshotMeta wrote after the W and H
+// fields) into f, whose dimensions must already be set.
+func decodeSnapshotMeta(r *binio.Reader, f *Framebuffer) bool {
+	ds := &f.DS
+
+	fl, ok := r.Uvarint()
+	if !ok {
+		return false
+	}
+	ds.NextPrintWraps = fl&snapNextPrintWraps != 0
+	ds.savedCursorSet = fl&snapSavedCursorSet != 0
+	ds.SavedOriginMode = fl&snapSavedOriginMode != 0
+	ds.InsertMode = fl&snapInsertMode != 0
+	ds.OriginMode = fl&snapOriginMode != 0
+	ds.AutoWrapMode = fl&snapAutoWrapMode != 0
+	ds.CursorVisible = fl&snapCursorVisible != 0
+	ds.ReverseVideo = fl&snapReverseVideo != 0
+	ds.ApplicationCursorKeys = fl&snapAppCursorKeys != 0
+	ds.ApplicationKeypad = fl&snapAppKeypad != 0
+	ds.BracketedPaste = fl&snapBracketedPaste != 0
+
+	coords := []*int{
+		&ds.CursorRow, &ds.CursorCol, &ds.ScrollTop, &ds.ScrollBottom,
+		&ds.SavedCursorRow, &ds.SavedCursorCol,
+	}
+	for _, dst := range coords {
+		v, ok := r.BoundedUvarint(snapMaxDim)
+		if !ok {
+			return false
+		}
+		*dst = int(v)
+	}
+	if ds.CursorRow >= f.H || ds.CursorCol >= f.W ||
+		ds.ScrollTop >= f.H || ds.ScrollBottom >= f.H || ds.ScrollTop > ds.ScrollBottom {
+		return false
+	}
+	if ds.Rend, ok = decodeRenditions(r); !ok {
+		return false
+	}
+	if ds.SavedRend, ok = decodeRenditions(r); !ok {
+		return false
+	}
+	tabBytes, ok := r.Bytes((f.W + 7) / 8)
+	if !ok {
+		return false
+	}
+	for i := range ds.Tabs {
+		ds.Tabs[i] = tabBytes[i/8]&(1<<(i%8)) != 0
+	}
+
+	tlen, ok := r.BoundedUvarint(snapMaxTitle)
+	if !ok {
+		return false
+	}
+	title, ok := r.Bytes(int(tlen))
+	if !ok {
+		return false
+	}
+	f.Title = string(title)
+	if f.BellCount, ok = r.Uvarint(); !ok {
+		return false
+	}
+	if f.EchoAck, ok = r.Uvarint(); !ok {
+		return false
+	}
+	sbMax, ok := r.Varint()
+	if !ok || sbMax > snapMaxScrollback || sbMax < -1 {
+		return false
+	}
+	f.scrollbackMax = int(sbMax)
+	return true
 }
